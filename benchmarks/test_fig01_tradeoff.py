@@ -1,0 +1,37 @@
+"""Figure 1: the latency-throughput trade-off of batched serving.
+
+The paper shows, for ResNet50, VGG13, BERT-base and GPT2-medium, that growing
+the batch size from 1 to 16 raises throughput while inflating per-request
+serving latency.  We regenerate the same series from the latency profiles.
+"""
+
+import pytest
+
+from bench_common import print_table, run_once
+from repro.models.latency import build_latency_profile
+from repro.models.zoo import get_model
+
+MODELS = ["resnet50", "vgg13", "bert-base", "gpt2-medium"]
+BATCH_SIZES = [1, 2, 4, 8, 16]
+
+
+def sweep(model_name):
+    profile = build_latency_profile(get_model(model_name))
+    return profile.sweep_batch_sizes(BATCH_SIZES)
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+def test_fig01_latency_throughput_tradeoff(benchmark, model_name):
+    table = run_once(benchmark, sweep, model_name)
+    rows = [{"model": model_name, "batch": bs,
+             "latency_ms": table[bs]["latency_ms"],
+             "throughput_qps": table[bs]["throughput_qps"]} for bs in BATCH_SIZES]
+    print_table(f"Figure 1 — {model_name}", rows)
+
+    latencies = [table[bs]["latency_ms"] for bs in BATCH_SIZES]
+    throughputs = [table[bs]["throughput_qps"] for bs in BATCH_SIZES]
+    # Shape: both latency and throughput increase monotonically with batch size.
+    assert all(b > a for a, b in zip(latencies, latencies[1:]))
+    assert all(b > a for a, b in zip(throughputs, throughputs[1:]))
+    # Batching must remain worthwhile: batch-16 throughput well above batch-1.
+    assert throughputs[-1] > throughputs[0] * 2.0

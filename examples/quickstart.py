@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: register a model with Apparate and serve a video workload.
+
+This mirrors the workflow of Figure 6 in the paper:
+
+1. register a model (ResNet50) with an SLO, an accuracy constraint and a ramp
+   budget — Apparate analyzes the graph, places lightweight ramps at cut
+   vertices and calibrates them on bootstrap data;
+2. serve a live video-analytics workload on a Clockwork-like platform;
+3. compare latencies, accuracy and throughput against vanilla serving.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Apparate
+from repro.workloads import make_video_workload
+
+
+def main() -> None:
+    system = Apparate(seed=0)
+    workload = make_video_workload("urban-day", num_frames=6000, fps=30.0, seed=1)
+
+    deployment = system.register(
+        "resnet50",
+        accuracy_constraint=0.01,   # at most 1% accuracy loss vs the original model
+        ramp_budget=0.02,           # ramps may inflate worst-case latency by at most 2%
+        bootstrap_workload=workload,
+    )
+    prep = deployment.preparation
+    print(f"Prepared {prep.model_name}: {prep.num_candidate_ramps} candidate ramps, "
+          f"{prep.num_initial_ramps} initially active, "
+          f"ramp params = {100 * prep.ramp_params_fraction:.2f}% of the model")
+
+    vanilla = deployment.serve_vanilla(workload, platform="clockwork")
+    apparate = deployment.serve(workload, platform="clockwork")
+
+    v, a = vanilla.summary(), apparate.summary()
+    print("\n                vanilla     Apparate")
+    print(f"median latency  {v['p50_ms']:8.2f} ms {a['p50_ms']:8.2f} ms"
+          f"   ({100 * (v['p50_ms'] - a['p50_ms']) / v['p50_ms']:.1f}% lower)")
+    print(f"p25 latency     {v['p25_ms']:8.2f} ms {a['p25_ms']:8.2f} ms")
+    print(f"p95 latency     {v['p95_ms']:8.2f} ms {a['p95_ms']:8.2f} ms"
+          "   (bounded by the 2% ramp budget)")
+    print(f"throughput      {v['throughput_qps']:8.2f} qps {a['throughput_qps']:8.2f} qps")
+    print(f"accuracy        {v['accuracy']:8.3f}    {a['accuracy']:8.3f}"
+          "   (relative to the original model)")
+    print(f"exit rate                      {a['exit_rate']:8.2%}")
+
+    stats = apparate.controller.stats
+    print(f"\ncontroller: {stats.threshold_tunings} threshold tunings "
+          f"({stats.accuracy_triggered_tunings} accuracy-triggered), "
+          f"{stats.ramp_adjustments} ramp adjustments, "
+          f"{stats.ramp_set_changes} ramp-set changes")
+    print(f"final configuration: {apparate.controller.config.describe()}")
+
+
+if __name__ == "__main__":
+    main()

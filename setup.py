@@ -1,0 +1,10 @@
+"""Setup shim so that editable installs work without the `wheel` package.
+
+All project metadata lives in pyproject.toml; this file only exists because
+the offline environment lacks `wheel`, which PEP 660 editable installs via
+setuptools would otherwise require.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro — a full reproduction of Apparate (SOSP 2024).
+
+Apparate automatically injects and manages early exits (EEs) in ML models to
+lower per-request serving latency without harming platform throughput or
+violating accuracy constraints.  This package reproduces the system and its
+evaluation on top of a simulated model-execution and serving substrate (see
+DESIGN.md for the substitution rationale).
+
+Quickstart
+----------
+>>> from repro import Apparate
+>>> from repro.workloads import make_video_workload
+>>> system = Apparate(seed=0)
+>>> deployment = system.register("resnet50", accuracy_constraint=0.01, ramp_budget=0.02)
+>>> workload = make_video_workload("urban-day", num_frames=2000)
+>>> result = deployment.serve(workload, platform="clockwork")
+>>> vanilla = deployment.serve_vanilla(workload, platform="clockwork")
+"""
+
+from repro.core import (
+    Apparate,
+    ApparateDeployment,
+    ApparateController,
+    ApparateRunResult,
+    GenerativeRunResult,
+    run_apparate,
+    run_vanilla,
+    run_generative_apparate,
+    run_generative_vanilla,
+)
+from repro.models import ModelSpec, Task, get_model, list_models, register_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Apparate",
+    "ApparateDeployment",
+    "ApparateController",
+    "ApparateRunResult",
+    "GenerativeRunResult",
+    "run_apparate",
+    "run_vanilla",
+    "run_generative_apparate",
+    "run_generative_vanilla",
+    "ModelSpec",
+    "Task",
+    "get_model",
+    "list_models",
+    "register_model",
+    "__version__",
+]

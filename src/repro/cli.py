@@ -1,0 +1,161 @@
+"""Command-line interface for the Apparate reproduction.
+
+Three subcommands cover the common flows without writing any Python:
+
+``repro-apparate models``
+    List the registered model zoo (Table 5 latencies, SLOs, tasks).
+
+``repro-apparate classify --model resnet50 --workload video:urban-day``
+    Serve a classification workload with and without Apparate and print the
+    latency/accuracy/throughput comparison.
+
+``repro-apparate generate --model t5-large --dataset cnn-dailymail``
+    Serve a generative workload with Apparate, FREE and the optimal oracle and
+    print the time-per-token comparison.
+
+The CLI is intentionally a thin veneer over the public API (`repro.core.*`);
+every option maps one-to-one to a keyword argument documented there.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.baselines.free import run_free_generative
+from repro.baselines.oracle import run_optimal_generative
+from repro.core.generative import run_generative_apparate, run_generative_vanilla
+from repro.core.pipeline import run_apparate, run_vanilla
+from repro.generative.sequences import make_generative_workload
+from repro.models.zoo import Task, get_model, list_models
+from repro.workloads.nlp import make_nlp_workload
+from repro.workloads.video import make_video_workload
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-apparate",
+        description="Apparate (SOSP 2024) reproduction: early exits for ML serving.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the registered model zoo")
+
+    classify = sub.add_parser("classify", help="serve a classification workload")
+    classify.add_argument("--model", default="resnet50",
+                          help="registered model name (see the 'models' command)")
+    classify.add_argument("--workload", default="video:urban-day",
+                          help="'video:<scene>' or 'nlp:<dataset>'")
+    classify.add_argument("--requests", type=int, default=4000,
+                          help="number of requests to serve")
+    classify.add_argument("--rate", type=float, default=None,
+                          help="arrival rate in qps (video default: 30 fps)")
+    classify.add_argument("--platform", default="clockwork",
+                          choices=["clockwork", "tfserve"])
+    classify.add_argument("--accuracy-constraint", type=float, default=0.01)
+    classify.add_argument("--ramp-budget", type=float, default=0.02)
+    classify.add_argument("--seed", type=int, default=0)
+
+    generate = sub.add_parser("generate", help="serve a generative workload")
+    generate.add_argument("--model", default="t5-large")
+    generate.add_argument("--dataset", default="cnn-dailymail",
+                          choices=["cnn-dailymail", "squad"])
+    generate.add_argument("--sequences", type=int, default=150)
+    generate.add_argument("--rate", type=float, default=2.0)
+    generate.add_argument("--accuracy-constraint", type=float, default=0.01)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--with-baselines", action="store_true",
+                          help="also run the FREE baseline and the optimal oracle")
+    return parser
+
+
+def _cmd_models(_args: argparse.Namespace) -> int:
+    print(f"{'name':<18s} {'task':<20s} {'params (M)':>11s} {'bs=1 (ms)':>10s} {'SLO (ms)':>9s}")
+    for spec in list_models():
+        slo = f"{spec.default_slo_ms:.1f}" if spec.default_slo_ms else "-"
+        print(f"{spec.name:<18s} {spec.task.value:<20s} {spec.params_millions:11.1f} "
+              f"{spec.bs1_latency_ms:10.1f} {slo:>9s}")
+    return 0
+
+
+def _build_classification_workload(args: argparse.Namespace):
+    kind, _, source = args.workload.partition(":")
+    source = source or ("urban-day" if kind == "video" else "amazon")
+    if kind == "video":
+        fps = args.rate if args.rate else 30.0
+        return make_video_workload(source, num_frames=args.requests, fps=fps, seed=args.seed)
+    if kind == "nlp":
+        rate = args.rate if args.rate else 20.0
+        return make_nlp_workload(source, num_requests=args.requests, rate_qps=rate,
+                                 seed=args.seed)
+    raise SystemExit(f"unknown workload kind {kind!r}; use 'video:<scene>' or 'nlp:<dataset>'")
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    spec = get_model(args.model)
+    if spec.task is Task.GENERATIVE:
+        raise SystemExit(f"{spec.name} is generative; use the 'generate' command")
+    workload = _build_classification_workload(args)
+    vanilla = run_vanilla(spec, workload, platform=args.platform, seed=args.seed)
+    apparate = run_apparate(spec, workload, platform=args.platform, seed=args.seed,
+                            accuracy_constraint=args.accuracy_constraint,
+                            ramp_budget=args.ramp_budget)
+    v, a = vanilla.summary(), apparate.summary()
+    win = 100.0 * (v["p50_ms"] - a["p50_ms"]) / max(v["p50_ms"], 1e-9)
+    print(f"model={spec.name} workload={args.workload} platform={args.platform} "
+          f"requests={args.requests}")
+    print(f"{'metric':<18s} {'vanilla':>12s} {'Apparate':>12s}")
+    for key, label in [("p25_ms", "p25 latency"), ("p50_ms", "median latency"),
+                       ("p95_ms", "p95 latency"), ("throughput_qps", "throughput"),
+                       ("accuracy", "accuracy")]:
+        print(f"{label:<18s} {v[key]:12.3f} {a[key]:12.3f}")
+    print(f"{'exit rate':<18s} {'-':>12s} {a['exit_rate']:12.3f}")
+    print(f"median latency win: {win:.1f}%")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = get_model(args.model)
+    if not spec.is_generative:
+        raise SystemExit(f"{spec.name} is not generative; use the 'classify' command")
+    workload = make_generative_workload(args.dataset, num_sequences=args.sequences,
+                                        rate_qps=args.rate, seed=args.seed)
+    vanilla = run_generative_vanilla(spec, workload, seed=args.seed)
+    apparate = run_generative_apparate(spec, workload, seed=args.seed,
+                                       accuracy_constraint=args.accuracy_constraint)
+    rows = [("vanilla", vanilla), ("Apparate", apparate.metrics)]
+    if args.with_baselines:
+        rows.append(("FREE", run_free_generative(spec, workload, seed=args.seed)))
+        rows.append(("optimal", run_optimal_generative(spec, workload, seed=args.seed)))
+    print(f"model={spec.name} dataset={args.dataset} sequences={args.sequences}")
+    print(f"{'system':<10s} {'TPT p25':>9s} {'TPT p50':>9s} {'TPT p95':>9s} "
+          f"{'seq accuracy':>13s} {'exit rate':>10s}")
+    for name, metrics in rows:
+        summary = metrics.summary()
+        print(f"{name:<10s} {summary['tpt_p25_ms']:9.2f} {summary['tpt_p50_ms']:9.2f} "
+              f"{summary['tpt_p95_ms']:9.2f} {summary['sequence_accuracy']:13.3f} "
+              f"{summary['exit_rate']:10.2%}")
+    win = 100.0 * (vanilla.median_tpt() - apparate.metrics.median_tpt()) \
+        / max(vanilla.median_tpt(), 1e-9)
+    print(f"median TPT win: {win:.1f}%  (ramp depth {apparate.policy.ramp_depth:.2f}, "
+          f"threshold {apparate.policy.threshold:.2f})")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-apparate`` console script."""
+    args = build_parser().parse_args(argv)
+    if args.command == "models":
+        return _cmd_models(args)
+    if args.command == "classify":
+        return _cmd_classify(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    raise SystemExit(f"unknown command {args.command!r}")   # pragma: no cover
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

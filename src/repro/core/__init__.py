@@ -1,0 +1,37 @@
+"""Apparate itself: the end-to-end system assembled from the substrates.
+
+The public entry points are:
+
+* :class:`repro.core.apparate.Apparate` — register a model, let the system
+  prepare it with early exits, and serve workloads on a chosen platform;
+* :func:`repro.core.pipeline.run_vanilla` / :func:`repro.core.pipeline.run_apparate`
+  — one-call classification serving runs used by the examples and benchmarks;
+* :func:`repro.core.generative.run_generative_vanilla` /
+  :func:`repro.core.generative.run_generative_apparate` — the generative
+  counterparts (§3.4, §4.3).
+"""
+
+from repro.core.apparate import Apparate, ApparateDeployment, PreparationReport
+from repro.core.controller import ApparateController, ControllerStats
+from repro.core.pipeline import ApparateRunResult, run_apparate, run_vanilla
+from repro.core.generative import (
+    ApparateTokenPolicy,
+    GenerativeRunResult,
+    run_generative_apparate,
+    run_generative_vanilla,
+)
+
+__all__ = [
+    "Apparate",
+    "ApparateDeployment",
+    "PreparationReport",
+    "ApparateController",
+    "ControllerStats",
+    "ApparateRunResult",
+    "run_apparate",
+    "run_vanilla",
+    "ApparateTokenPolicy",
+    "GenerativeRunResult",
+    "run_generative_apparate",
+    "run_generative_vanilla",
+]

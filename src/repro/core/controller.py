@@ -1,0 +1,173 @@
+"""Apparate's runtime controller (§3.2–§3.3).
+
+The controller runs on a CPU next to each model replica.  GPUs stream per-ramp
+profiling information (top-prediction error score and agreement with the
+original model) for every input; the controller:
+
+* maintains a sliding accuracy window (16 samples) over *released* results and
+  triggers threshold tuning whenever it falls below the accuracy constraint;
+* periodically refreshes thresholds even without a violation (thresholds start
+  at 0 — no exiting — so the first tuning round is what activates exits; the
+  paper couples this with the ramp-adjustment cadence);
+* every ``ramp_adjustment_period`` requests (128 by default) runs the
+  utility-driven ramp adjustment of Algorithm 2 and applies its decision.
+
+All tuning happens by replaying recorded observations; no extra inference is
+ever issued (§3.2, "Evaluating threshold configurations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exits.adjustment import AdjustmentDecision, RampAdjuster
+from repro.exits.config import EEConfig
+from repro.exits.evaluation import WindowBuffer
+from repro.exits.placement import RampCatalog, initial_ramp_selection
+from repro.exits.thresholds import tune_thresholds_greedy
+from repro.models.execution import BatchExecution
+from repro.models.latency import LatencyProfile
+from repro.models.zoo import ModelSpec
+from repro.utils.stats import WindowedAccuracy
+
+__all__ = ["ControllerStats", "ApparateController"]
+
+
+@dataclass
+class ControllerStats:
+    """Bookkeeping about the controller's own activity."""
+
+    samples_seen: int = 0
+    threshold_tunings: int = 0
+    accuracy_triggered_tunings: int = 0
+    ramp_adjustments: int = 0
+    ramp_set_changes: int = 0
+    tuning_runtime_ms: float = 0.0
+    config_history: List[Tuple[int, List[int]]] = field(default_factory=list)
+
+    def record_config(self, sample_index: int, active_ramp_ids: Sequence[int]) -> None:
+        self.config_history.append((sample_index, list(active_ramp_ids)))
+
+
+class ApparateController:
+    """Runtime manager of one model replica's early-exit configuration."""
+
+    def __init__(self, spec: ModelSpec, catalog: RampCatalog, profile: LatencyProfile,
+                 accuracy_constraint: float = 0.01,
+                 accuracy_window: int = 16,
+                 tuning_window: int = 256,
+                 threshold_refresh_period: int = 32,
+                 ramp_adjustment_period: int = 128,
+                 min_tuning_samples: int = 48,
+                 tuning_safety: float = 0.75,
+                 initial_ramp_ids: Optional[Sequence[int]] = None) -> None:
+        self.spec = spec
+        self.catalog = catalog
+        self.profile = profile
+        self.accuracy_constraint = float(accuracy_constraint)
+        self.tuning_window = int(tuning_window)
+        self.threshold_refresh_period = int(threshold_refresh_period)
+        self.ramp_adjustment_period = int(ramp_adjustment_period)
+        self.min_tuning_samples = int(min_tuning_samples)
+        # Thresholds are tuned against a fraction of the allowed accuracy loss
+        # so that drift between tuning rounds does not breach the constraint.
+        self.tuning_safety = float(tuning_safety)
+
+        ramp_ids = list(initial_ramp_ids) if initial_ramp_ids is not None \
+            else initial_ramp_selection(catalog)
+        self.config = EEConfig(catalog=catalog, active_ramp_ids=ramp_ids)
+        self.window = WindowBuffer(self.config.active_ramp_ids, capacity=max(tuning_window, 512))
+        self.accuracy_monitor = WindowedAccuracy(window=accuracy_window)
+        self.adjuster = RampAdjuster(catalog, accuracy_constraint=accuracy_constraint)
+        self.stats = ControllerStats()
+        self._full_latency_ms = spec.bs1_latency_ms
+        self.stats.record_config(0, self.config.active_ramp_ids)
+
+    # ----------------------------------------------------------- config view
+    def deployed_config(self) -> Tuple[List[int], List[float], List[float], List[float]]:
+        """Return (ramp_ids, depths, thresholds, overhead fractions) for the GPU."""
+        return (list(self.config.active_ramp_ids),
+                self.config.ordered_depths(),
+                self.config.ordered_thresholds(),
+                self.config.ordered_overheads())
+
+    def overhead_budget_ok(self) -> bool:
+        return self.config.within_budget()
+
+    # -------------------------------------------------------------- feedback
+    def observe_batch(self, execution: BatchExecution) -> None:
+        """Ingest one batch's streamed profiling data and adapt if needed."""
+        window_ids = set(self.window.ramp_ids)
+        for result in execution.results:
+            observed_ids = {obs.ramp_id for obs in result.observations}
+            # A ramp-set change mid-batch leaves earlier observations keyed to
+            # the previous configuration; only matching records are ingested.
+            if self.config.num_active() > 0 and window_ids <= observed_ids:
+                self.window.record(result.observations)
+            self.accuracy_monitor.record(result.final_correct)
+            self.stats.samples_seen += 1
+
+            accuracy_violation = (self.accuracy_monitor.full()
+                                  and self.accuracy_monitor.accuracy() < 1.0 - self.accuracy_constraint)
+            periodic_refresh = (self.stats.samples_seen % self.threshold_refresh_period == 0)
+            if accuracy_violation:
+                # Immediate multiplicative backoff: wrong exits are already
+                # escaping, so cut every threshold before the (asynchronous)
+                # re-tuning settles on new values.
+                for ramp_id in self.config.active_ramp_ids:
+                    self.config.set_threshold(ramp_id, self.config.thresholds[ramp_id] * 0.5)
+            if ((accuracy_violation or periodic_refresh)
+                    and len(self.window) >= self.min_tuning_samples):
+                self.tune_thresholds(triggered_by_accuracy=accuracy_violation)
+                if accuracy_violation:
+                    self.accuracy_monitor.reset()
+
+            if (self.stats.samples_seen % self.ramp_adjustment_period == 0
+                    and len(self.window) >= self.min_tuning_samples):
+                self.adjust_ramps()
+                window_ids = set(self.window.ramp_ids)
+
+    # -------------------------------------------------------- threshold loop
+    def tune_thresholds(self, triggered_by_accuracy: bool = False) -> None:
+        """Re-tune thresholds of the active ramps on the recent window."""
+        if self.config.num_active() == 0 or len(self.window) == 0:
+            return
+        # A violation means the workload just shifted: tune on the freshest
+        # samples only, so the new regime dominates the replay.  Periodic
+        # refreshes use the full tuning window for stability.
+        window = self.min_tuning_samples if triggered_by_accuracy else self.tuning_window
+        errors, correct = self.window.latest(window)
+        overheads_ms = [o * self._full_latency_ms for o in self.config.ordered_overheads()]
+        result = tune_thresholds_greedy(errors, correct, self.config.ordered_depths(),
+                                        overheads_ms, self._full_latency_ms,
+                                        accuracy_constraint=self.accuracy_constraint
+                                        * self.tuning_safety,
+                                        conservative_margin=0.5)
+        self.config.set_thresholds(result.thresholds_by_ramp(self.config.active_ramp_ids))
+        self.stats.threshold_tunings += 1
+        self.stats.tuning_runtime_ms += result.runtime_ms
+        if triggered_by_accuracy:
+            self.stats.accuracy_triggered_tunings += 1
+
+    # ------------------------------------------------------------- ramp loop
+    def adjust_ramps(self) -> None:
+        """Run Algorithm 2 and apply its decision."""
+        decision = self.adjuster.propose(self.config, self.window, self._full_latency_ms)
+        self.stats.ramp_adjustments += 1
+        self.apply_decision(decision)
+
+    def apply_decision(self, decision: AdjustmentDecision) -> None:
+        if decision.new_thresholds:
+            self.config.set_thresholds(decision.new_thresholds)
+        if decision.changes_ramp_set:
+            for ramp_id in decision.ramps_to_remove:
+                self.config.remove_ramp(ramp_id)
+            for ramp_id in decision.ramps_to_add:
+                if len(self.config.active_ramp_ids) < self.catalog.max_active_ramps():
+                    self.config.add_ramp(ramp_id, threshold=0.0)
+            self.window.rebuild(self.config.active_ramp_ids)
+            self.stats.ramp_set_changes += 1
+            self.stats.record_config(self.stats.samples_seen, self.config.active_ramp_ids)

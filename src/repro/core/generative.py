@@ -1,0 +1,212 @@
+"""Generative serving with Apparate (§3.4, §4.3).
+
+For generative LLMs Apparate deploys a *single* adaptive ramp (a ramp budget
+of one, as in §4.4's comparison against FREE) that reuses the model's own
+decode head, so no ramp training is needed.  The token policy below manages
+the two runtime knobs the paper describes:
+
+* the ramp's **threshold**, re-tuned from windowed token feedback whenever the
+  achieved accuracy of exited tokens dips below the constraint and refreshed
+  periodically to maximize exits otherwise; and
+* the ramp's **position**, shifted later when too few tokens exit (the ramp is
+  too shallow to be confident) and probed earlier when almost everything exits
+  and accuracy headroom remains (more savings available).
+
+Feedback is truncated at the first deviating token of each parallel-decoding
+instance (see :func:`repro.generative.parallel.truncate_feedback`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.pipeline import model_stack
+from repro.exits.ramps import RampStyle, ramp_overhead_fraction
+from repro.generative.decoding import DecodeTimingModel
+from repro.generative.parallel import TokenFeedback
+from repro.generative.sequences import GenerativeWorkload
+from repro.models.prediction import PredictionModel
+from repro.models.zoo import ModelSpec, get_model
+from repro.serving.hf_pipelines import (
+    ContinuousBatchingEngine,
+    GenerativeMetrics,
+    TokenDecision,
+    VanillaTokenPolicy,
+)
+
+__all__ = ["ApparateTokenPolicy", "GenerativeRunResult",
+           "run_generative_vanilla", "run_generative_apparate",
+           "generative_ramp_depths"]
+
+
+def generative_ramp_depths(model: Union[str, ModelSpec], seed: int = 0) -> List[float]:
+    """Candidate ramp depths (block boundaries) for a generative model."""
+    _spec, _profile, _prediction, catalog, _executor = model_stack(model, seed=seed)
+    return [r.depth_fraction for r in catalog.ramps]
+
+
+class ApparateTokenPolicy:
+    """Adaptive single-ramp exit policy for generative decoding."""
+
+    def __init__(self, prediction: PredictionModel, candidate_depths: Sequence[float],
+                 accuracy_constraint: float = 0.01, window: int = 768,
+                 refresh_period: int = 32, adjustment_period: int = 128,
+                 initial_position: Optional[int] = None,
+                 low_exit_rate: float = 0.50, high_exit_rate: float = 0.90,
+                 tuning_safety: float = 0.25) -> None:
+        if not candidate_depths:
+            raise ValueError("candidate_depths must be non-empty")
+        self.prediction = prediction
+        self.candidate_depths = sorted(float(d) for d in candidate_depths)
+        self.accuracy_constraint = float(accuracy_constraint)
+        self.refresh_period = int(refresh_period)
+        self.adjustment_period = int(adjustment_period)
+        self.low_exit_rate = float(low_exit_rate)
+        self.high_exit_rate = float(high_exit_rate)
+        # Thresholds are tuned against a fraction of the allowed accuracy loss
+        # so that drift between tuning rounds does not breach the constraint.
+        self.tuning_safety = float(tuning_safety)
+
+        self.position = int(initial_position) if initial_position is not None \
+            else len(self.candidate_depths) // 2
+        self.threshold = 0.0
+        self._window: Deque[Tuple[float, bool]] = deque(maxlen=int(window))
+        self.tokens_seen = 0
+        self.tokens_since_move = 0
+        self.threshold_tunings = 0
+        self.position_moves = 0
+
+    # --------------------------------------------------------------- helpers
+    @property
+    def ramp_depth(self) -> float:
+        return self.candidate_depths[self.position]
+
+    def _released_accuracy(self, threshold: float) -> Tuple[float, float]:
+        """(accuracy, exit rate) on the feedback window under ``threshold``."""
+        if not self._window:
+            return 1.0, 0.0
+        errors = np.array([e for e, _ in self._window])
+        correct = np.array([c for _, c in self._window], dtype=bool)
+        exits = errors < threshold if threshold > 0 else np.zeros_like(correct)
+        n = errors.size
+        num_exited = int(exits.sum())
+        num_correct = int(correct[exits].sum()) + (n - num_exited)
+        return num_correct / n, num_exited / n
+
+    def _tune_threshold(self) -> None:
+        """Pick the largest threshold that satisfies the (tightened) constraint."""
+        target = 1.0 - self.accuracy_constraint * self.tuning_safety
+        best = 0.0
+        for candidate in np.arange(0.02, 0.99, 0.02):
+            accuracy, _rate = self._released_accuracy(float(candidate))
+            if accuracy >= target:
+                best = float(candidate)
+            else:
+                break
+        self.threshold = best
+        self.threshold_tunings += 1
+
+    def _adjust_position(self) -> None:
+        """Move the ramp later when exits are rare, probe earlier when abundant.
+
+        Moving later uses a coarse stride (a tenth of the candidate list) so
+        that a badly placed ramp converges within a few adjustment rounds;
+        probing earlier is conservative (one position at a time), matching the
+        low-risk probing phase of §3.3.
+        """
+        accuracy, exit_rate = self._released_accuracy(self.threshold)
+        moved = False
+        later_stride = max(1, len(self.candidate_depths) // 10)
+        if exit_rate < self.low_exit_rate and self.position < len(self.candidate_depths) - 1:
+            self.position = min(self.position + later_stride, len(self.candidate_depths) - 1)
+            moved = True
+        elif (exit_rate > self.high_exit_rate
+              and accuracy >= 1.0 - 0.5 * self.accuracy_constraint
+              and self.position > 0):
+            self.position -= 1
+            moved = True
+        if moved:
+            self.position_moves += 1
+            self.threshold = 0.0     # new position starts conservative (§3.3)
+            self._window.clear()
+            self.tokens_since_move = 0
+
+    # --------------------------------------------------------------- policy API
+    def decide(self, sequence_id: int, token_index: int, raw_difficulty: float,
+               sharpness: float) -> TokenDecision:
+        depth = self.ramp_depth
+        error = self.prediction.error_score(raw_difficulty, depth, sharpness)
+        correct = self.prediction.is_correct(raw_difficulty, depth)
+        exited = self.threshold > 0.0 and error < self.threshold
+        return TokenDecision(exited=exited, exit_depth=depth if exited else None,
+                             error_score=error, correct=correct)
+
+    def feedback(self, records: Sequence[TokenFeedback]) -> None:
+        for record in records:
+            self._window.append((record.error_score, record.correct))
+            self.tokens_seen += 1
+            self.tokens_since_move += 1
+
+            accuracy, _ = self._released_accuracy(self.threshold)
+            accuracy_violation = accuracy < 1.0 - self.accuracy_constraint
+            periodic_refresh = self.tokens_seen % self.refresh_period == 0
+            if (accuracy_violation or periodic_refresh) and len(self._window) >= 96:
+                self._tune_threshold()
+            # Position moves are rate-limited: the ramp must have been in
+            # place (and its threshold re-tuned) for a full adjustment period
+            # before its exit rate is judged, which prevents oscillation.
+            if (self.tokens_since_move >= 2 * self.adjustment_period
+                    and self.tokens_seen % self.adjustment_period == 0
+                    and len(self._window) >= 128 and self.threshold > 0.0):
+                self._adjust_position()
+
+
+@dataclass
+class GenerativeRunResult:
+    """Outcome of one generative Apparate run."""
+
+    metrics: GenerativeMetrics
+    policy: ApparateTokenPolicy
+
+    def summary(self) -> Dict[str, float]:
+        data = self.metrics.summary()
+        data.update({
+            "ramp_depth": self.policy.ramp_depth,
+            "threshold": self.policy.threshold,
+            "threshold_tunings": float(self.policy.threshold_tunings),
+            "position_moves": float(self.policy.position_moves),
+        })
+        return data
+
+
+# ---------------------------------------------------------------------------
+# One-call generative runs.
+# ---------------------------------------------------------------------------
+
+def run_generative_vanilla(model: Union[str, ModelSpec], workload: GenerativeWorkload,
+                           max_batch_size: int = 8, seed: int = 0) -> GenerativeMetrics:
+    """Serve a generative workload with the original model (no exits)."""
+    spec = get_model(model) if isinstance(model, str) else model
+    timing = DecodeTimingModel(spec, ramp_overhead_fraction=0.0)
+    engine = ContinuousBatchingEngine(timing, max_batch_size=max_batch_size)
+    return engine.run(workload, VanillaTokenPolicy())
+
+
+def run_generative_apparate(model: Union[str, ModelSpec], workload: GenerativeWorkload,
+                            accuracy_constraint: float = 0.01, max_batch_size: int = 8,
+                            flush_limit: int = 8, seed: int = 0) -> GenerativeRunResult:
+    """Serve a generative workload with Apparate's adaptive single ramp."""
+    spec = get_model(model) if isinstance(model, str) else model
+    prediction = PredictionModel(spec, seed=seed)
+    depths = generative_ramp_depths(spec, seed=seed)
+    policy = ApparateTokenPolicy(prediction, depths, accuracy_constraint=accuracy_constraint)
+    overhead = ramp_overhead_fraction(spec, RampStyle.DECODE_HEAD)
+    timing = DecodeTimingModel(spec, ramp_overhead_fraction=overhead)
+    engine = ContinuousBatchingEngine(timing, max_batch_size=max_batch_size,
+                                      flush_limit=flush_limit)
+    metrics = engine.run(workload, policy)
+    return GenerativeRunResult(metrics=metrics, policy=policy)

@@ -1,0 +1,168 @@
+"""Classification serving pipelines: vanilla and Apparate-managed.
+
+These helpers glue together the substrates for one serving run: build the
+model graph, latency profile and prediction model; construct the requested
+platform; and run the workload through either the vanilla executor or the
+Apparate executor (which consults the controller for the deployed EE
+configuration before every batch and streams feedback back afterwards).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.controller import ApparateController
+from repro.exits.placement import RampCatalog, build_ramp_catalog
+from repro.exits.ramps import RampStyle
+from repro.graph.builders import build_graph_for_model
+from repro.models.execution import ModelExecutor
+from repro.models.latency import LatencyProfile, build_latency_profile
+from repro.models.prediction import PredictionModel
+from repro.models.zoo import ModelSpec, get_model
+from repro.serving.clockwork import ClockworkPlatform
+from repro.serving.metrics import ServingMetrics
+from repro.serving.platform import BatchResult, ServingPlatform, VanillaExecutor
+from repro.serving.request import Request, make_requests
+from repro.serving.tfserve import TFServingPlatform
+from repro.workloads.nlp import NLPWorkload
+from repro.workloads.video import VideoWorkload
+
+__all__ = ["ApparateExecutor", "ApparateRunResult", "build_platform",
+           "run_vanilla", "run_apparate", "model_stack"]
+
+Workload = Union[VideoWorkload, NLPWorkload]
+
+
+@dataclass
+class ApparateRunResult:
+    """Outcome of one Apparate serving run."""
+
+    metrics: ServingMetrics
+    controller: ApparateController
+
+    def summary(self) -> Dict[str, float]:
+        data = self.metrics.summary()
+        data.update({
+            "threshold_tunings": float(self.controller.stats.threshold_tunings),
+            "ramp_adjustments": float(self.controller.stats.ramp_adjustments),
+            "ramp_set_changes": float(self.controller.stats.ramp_set_changes),
+            "active_ramps": float(self.controller.config.num_active()),
+        })
+        return data
+
+
+class ApparateExecutor:
+    """Batch executor that serves through the deployed EE configuration."""
+
+    def __init__(self, executor: ModelExecutor, controller: ApparateController) -> None:
+        self.executor = executor
+        self.controller = controller
+
+    def __call__(self, batch: Sequence[Request], batch_start_ms: float) -> BatchResult:
+        ramp_ids, depths, thresholds, overheads = self.controller.deployed_config()
+        difficulties = [r.sample.raw_difficulty for r in batch]
+        sharpness = [r.sample.sharpness for r in batch]
+        shifts = [r.sample.confidence_shift for r in batch]
+        execution = self.executor.execute_batch(difficulties, sharpness, ramp_ids, depths,
+                                                thresholds, overheads,
+                                                confidence_shifts=shifts)
+        self.controller.observe_batch(execution)
+        return BatchResult(
+            gpu_time_ms=execution.gpu_time_ms,
+            result_offsets_ms=[r.result_latency_ms for r in execution.results],
+            exited=[r.exited for r in execution.results],
+            exit_depths=[r.exit_depth for r in execution.results],
+            correct=[r.final_correct for r in execution.results],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Stack construction helpers.
+# ---------------------------------------------------------------------------
+
+def model_stack(model: Union[str, ModelSpec], seed: int = 0,
+                ramp_budget: float = 0.02,
+                ramp_style: RampStyle = RampStyle.LIGHTWEIGHT
+                ) -> Tuple[ModelSpec, LatencyProfile, PredictionModel, RampCatalog, ModelExecutor]:
+    """Build the (spec, profile, prediction, catalog, executor) stack for a model."""
+    spec = get_model(model) if isinstance(model, str) else model
+    graph = build_graph_for_model(_graph_name(spec))
+    profile = build_latency_profile(spec, graph)
+    prediction = PredictionModel(spec, seed=seed)
+    catalog = build_ramp_catalog(spec, graph, profile, budget_fraction=ramp_budget,
+                                 style=ramp_style)
+    executor = ModelExecutor(spec, profile, prediction)
+    return spec, profile, prediction, catalog, executor
+
+
+def _graph_name(spec: ModelSpec) -> str:
+    """Map derived specs (e.g. quantized variants) back to a buildable graph."""
+    name = spec.name
+    if name.endswith("-int8"):
+        return name.removesuffix("-int8")
+    return name
+
+
+def build_platform(platform: str, profile: LatencyProfile, max_batch_size: int = 16,
+                   batch_timeout_ms: float = 5.0, drop_expired: bool = True) -> ServingPlatform:
+    """Construct a serving platform by name (``clockwork`` or ``tfserve``)."""
+    platform = platform.lower()
+    if platform == "clockwork":
+        return ClockworkPlatform(profile, max_batch_size=max_batch_size,
+                                 drop_expired=drop_expired)
+    if platform in ("tfserve", "tf-serving", "tensorflow-serving"):
+        return TFServingPlatform(max_batch_size=max_batch_size,
+                                 batch_timeout_ms=batch_timeout_ms,
+                                 drop_expired=drop_expired)
+    raise ValueError(f"unknown platform {platform!r}")
+
+
+# ---------------------------------------------------------------------------
+# One-call serving runs.
+# ---------------------------------------------------------------------------
+
+def _workload_requests(workload: Workload, slo_ms: float) -> List[Request]:
+    return make_requests(workload.trace, workload.arrival_times_ms, slo_ms)
+
+
+def run_vanilla(model: Union[str, ModelSpec], workload: Workload,
+                platform: str = "clockwork", slo_ms: Optional[float] = None,
+                max_batch_size: int = 16, seed: int = 0,
+                drop_expired: bool = True) -> ServingMetrics:
+    """Serve ``workload`` with the original (non-EE) model."""
+    spec, profile, _prediction, _catalog, executor = model_stack(model, seed=seed)
+    slo = slo_ms if slo_ms is not None else spec.default_slo_ms
+    requests = _workload_requests(workload, slo)
+    engine = build_platform(platform, profile, max_batch_size=max_batch_size,
+                            drop_expired=drop_expired)
+    return engine.run(requests, VanillaExecutor(executor))
+
+
+def run_apparate(model: Union[str, ModelSpec], workload: Workload,
+                 platform: str = "clockwork", slo_ms: Optional[float] = None,
+                 accuracy_constraint: float = 0.01, ramp_budget: float = 0.02,
+                 ramp_style: RampStyle = RampStyle.LIGHTWEIGHT,
+                 max_batch_size: int = 16, seed: int = 0,
+                 drop_expired: bool = True,
+                 ramp_adjustment_enabled: bool = True,
+                 initial_ramp_ids: Optional[Sequence[int]] = None) -> ApparateRunResult:
+    """Serve ``workload`` with Apparate managing early exits on top of the platform."""
+    spec, profile, _prediction, catalog, executor = model_stack(
+        model, seed=seed, ramp_budget=ramp_budget, ramp_style=ramp_style)
+    slo = slo_ms if slo_ms is not None else spec.default_slo_ms
+    requests = _workload_requests(workload, slo)
+
+    controller = ApparateController(spec, catalog, profile,
+                                    accuracy_constraint=accuracy_constraint,
+                                    initial_ramp_ids=initial_ramp_ids)
+    if not ramp_adjustment_enabled:
+        # Ablation switch (§4.5): keep the initial ramp set for the whole run.
+        controller.ramp_adjustment_period = 10 ** 9
+
+    engine = build_platform(platform, profile, max_batch_size=max_batch_size,
+                            drop_expired=drop_expired)
+    metrics = engine.run(requests, ApparateExecutor(executor, controller))
+    return ApparateRunResult(metrics=metrics, controller=controller)

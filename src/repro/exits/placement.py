@@ -1,0 +1,125 @@
+"""Ramp placement: candidate enumeration, budgets and initial selection (§3.1).
+
+Given a model graph, the *catalog* of candidate ramps is the set of feasible
+positions (cut vertices, excluding trivial ones) annotated with depth and
+overhead.  The ramp-aggression parameter bounds the number of simultaneously
+active ramps by their total impact on worst-case latency (and throughput):
+with a budget of 2% and lightweight ramps costing ~0.2% each, at most ~10
+ramps may be active at once.  For initial deployment Apparate spaces the
+maximum allowable number of ramps evenly across the model and starts every
+threshold at 0 (no exiting) to avoid accuracy dips before the first feedback
+arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.cut_vertices import feasible_ramp_positions
+from repro.graph.ir import ModelGraph
+from repro.models.latency import LatencyProfile
+from repro.models.zoo import ModelSpec
+from repro.exits.ramps import RampSpec, RampStyle, ramp_overhead_fraction, ramp_parameter_count
+
+__all__ = ["RampCatalog", "build_ramp_catalog", "initial_ramp_selection"]
+
+
+@dataclass
+class RampCatalog:
+    """All candidate ramp positions of one model, in model order."""
+
+    spec: ModelSpec
+    ramps: List[RampSpec]
+    budget_fraction: float
+
+    def __len__(self) -> int:
+        return len(self.ramps)
+
+    def ramp(self, ramp_id: int) -> RampSpec:
+        return self.ramps[ramp_id]
+
+    def depths(self) -> np.ndarray:
+        return np.array([r.depth_fraction for r in self.ramps], dtype=float)
+
+    def max_active_ramps(self) -> int:
+        """Largest number of ramps whose combined overhead fits the budget.
+
+        The budget is expressed as a fraction of worst-case (non-exiting)
+        latency, exactly like the paper's "ramp aggression" parameter.
+        """
+        if not self.ramps:
+            return 0
+        per_ramp = float(np.mean([r.overhead_fraction for r in self.ramps]))
+        if per_ramp <= 0:
+            return len(self.ramps)
+        return max(1, min(len(self.ramps), int(self.budget_fraction / per_ramp)))
+
+    def overhead_of(self, ramp_ids: Sequence[int]) -> float:
+        """Total overhead fraction of a set of active ramps."""
+        return float(sum(self.ramps[i].overhead_fraction for i in ramp_ids))
+
+    def within_budget(self, ramp_ids: Sequence[int]) -> bool:
+        return self.overhead_of(ramp_ids) <= self.budget_fraction + 1e-9
+
+    def coverage(self) -> float:
+        """Fraction of model depth spanned by candidate positions."""
+        if not self.ramps:
+            return 0.0
+        depths = self.depths()
+        return float(depths.max() - depths.min())
+
+
+def build_ramp_catalog(spec: ModelSpec, graph: ModelGraph, profile: LatencyProfile,
+                       budget_fraction: float = 0.02,
+                       style: RampStyle = RampStyle.LIGHTWEIGHT,
+                       min_depth: float = 0.02, max_depth: float = 0.97) -> RampCatalog:
+    """Enumerate candidate ramps for ``spec`` from its graph and latency profile.
+
+    Positions are the graph's feasible ramp locations (cut vertices); each is
+    annotated with the fraction of model latency elapsed at that point, the
+    overhead of the chosen ramp style and the ramp's parameter count.
+    Positions too close to the model's input or output (``min_depth`` /
+    ``max_depth``) are dropped: they could never provide meaningful savings.
+    """
+    overhead = ramp_overhead_fraction(spec, style)
+    ramps: List[RampSpec] = []
+    for node in feasible_ramp_positions(graph):
+        depth = profile.depth_fraction(node.name)
+        if depth < min_depth or depth > max_depth:
+            continue
+        ramps.append(RampSpec(
+            ramp_id=len(ramps),
+            node_name=node.name,
+            depth_fraction=float(depth),
+            overhead_fraction=float(overhead),
+            params=ramp_parameter_count(spec, node.output_width or spec.hidden_width, style),
+            style=style,
+        ))
+    return RampCatalog(spec=spec, ramps=ramps, budget_fraction=float(budget_fraction))
+
+
+def initial_ramp_selection(catalog: RampCatalog, max_ramps: Optional[int] = None) -> List[int]:
+    """Evenly space the maximum allowable number of ramps across the model.
+
+    Returns the selected ramp ids in model order.  Selection targets equal
+    spacing in *depth* (latency) rather than position index so that latency
+    savings options are spread across the whole forward pass.
+    """
+    if len(catalog) == 0:
+        return []
+    budgeted = catalog.max_active_ramps()
+    count = budgeted if max_ramps is None else min(max_ramps, budgeted)
+    count = max(1, min(count, len(catalog)))
+    depths = catalog.depths()
+    targets = np.linspace(depths.min(), depths.max(), count)
+    chosen: List[int] = []
+    for target in targets:
+        candidate_order = np.argsort(np.abs(depths - target))
+        for idx in candidate_order:
+            if int(idx) not in chosen:
+                chosen.append(int(idx))
+                break
+    return sorted(chosen)

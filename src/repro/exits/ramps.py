@@ -1,0 +1,108 @@
+"""Ramp specifications and architectures (§3.1, "Ramp architectures").
+
+Apparate's default ramps are the shallowest computation that can turn an
+intermediate into a final prediction: a lightweight pooling operator followed
+by the model's final fully-connected layer (input width adjusted to the
+intermediate, output width unchanged).  More expensive styles — extra conv
+layers for CNNs, the full BERT pooler block, or stacked fc layers — are also
+modelled so that the Figure 8 and §4.5 comparisons can be reproduced.  A
+ramp's latency overhead is expressed as a fraction of the whole model's
+forward-pass time, derived from its FLOPs relative to the model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.models.zoo import ModelSpec
+
+__all__ = ["RampStyle", "RampSpec", "ramp_overhead_fraction", "ramp_parameter_count"]
+
+
+class RampStyle(str, enum.Enum):
+    """Supported ramp architectures."""
+
+    #: pooling + the model's final fc layer (Apparate's default).
+    LIGHTWEIGHT = "lightweight"
+    #: 1–2 extra conv layers before pooling (CNN alternative in Figure 8).
+    CONV_HEAVY = "conv_heavy"
+    #: two reduced-width fc layers after pooling (BERT alternative 1).
+    STACKED_FC = "stacked_fc"
+    #: the full BERT pooler block + dropout, as in DeeBERT (alternative 2).
+    DEEP_POOLER = "deep_pooler"
+    #: reuse of the model's own decode head (generative models, zero training).
+    DECODE_HEAD = "decode_head"
+
+
+# Relative compute cost of each style, as a multiple of the lightweight ramp.
+_STYLE_COST_MULTIPLIER: Dict[RampStyle, float] = {
+    RampStyle.LIGHTWEIGHT: 1.0,
+    RampStyle.CONV_HEAVY: 4.0,
+    RampStyle.STACKED_FC: 2.5,
+    RampStyle.DEEP_POOLER: 4.0,
+    RampStyle.DECODE_HEAD: 1.0,
+}
+
+# Fraction of whole-model latency one *lightweight* ramp adds, per family.
+# Classification heads are a tiny share of CNN compute but a larger share of
+# two-class BERT classifiers; generative decode heads are relatively costly
+# because of the vocabulary-sized projection.
+_FAMILY_BASE_OVERHEAD: Dict[str, float] = {
+    "resnet": 0.0020,
+    "vgg": 0.0015,
+    "bert": 0.0035,
+    "gpt": 0.0035,
+    "t5": 0.0090,
+    "llama": 0.0080,
+}
+
+
+@dataclass(frozen=True)
+class RampSpec:
+    """A (potential or active) early-exit ramp.
+
+    Attributes
+    ----------
+    ramp_id:
+        Index of the ramp's position in the catalog of feasible positions
+        (model order).
+    node_name:
+        Graph node the ramp is attached after.
+    depth_fraction:
+        Fraction of whole-model latency elapsed when the ramp runs.
+    overhead_fraction:
+        Fraction of whole-model latency the ramp adds to every batch that
+        passes it.
+    params:
+        Trainable parameters in the ramp.
+    style:
+        Ramp architecture.
+    """
+
+    ramp_id: int
+    node_name: str
+    depth_fraction: float
+    overhead_fraction: float
+    params: int
+    style: RampStyle = RampStyle.LIGHTWEIGHT
+
+
+def ramp_overhead_fraction(spec: ModelSpec, style: RampStyle = RampStyle.LIGHTWEIGHT) -> float:
+    """Latency overhead of one ramp as a fraction of the model's forward pass."""
+    base = _FAMILY_BASE_OVERHEAD.get(spec.family, 0.003)
+    return base * _STYLE_COST_MULTIPLIER[style]
+
+
+def ramp_parameter_count(spec: ModelSpec, intermediate_width: int,
+                         style: RampStyle = RampStyle.LIGHTWEIGHT) -> int:
+    """Number of trainable parameters in a ramp attached to a given width.
+
+    The lightweight ramp is a single fc layer mapping the intermediate width
+    to the model's output classes; heavier styles multiply this by their cost
+    factor.  The paper reports ramps at 0.01–3.50% of model parameters.
+    """
+    width = max(int(intermediate_width), 1)
+    base = width * max(spec.num_classes, 2)
+    return int(base * _STYLE_COST_MULTIPLIER[style])

@@ -1,0 +1,189 @@
+"""Threshold tuning (§3.2, Algorithm 1) plus a grid-search reference.
+
+The tuner searches for per-ramp thresholds that maximize latency savings on
+the most recent window of recorded observations, subject to the accuracy
+constraint.  It exploits the monotone structure of the problem (raising any
+threshold can only increase exits, increasing latency savings and decreasing
+accuracy) with greedy hill climbing:
+
+* all thresholds start at 0 (no exiting) with a per-ramp step size;
+* each round tries raising every ramp's threshold in isolation and applies the
+  single change with the best marginal savings per unit of accuracy loss;
+* step sizes follow multiplicative-increase / multiplicative-decrease: a
+  chosen ramp doubles its step (promising direction), a ramp whose trial
+  violated the constraint halves it (homing in on the accuracy boundary),
+  lower-bounded at ``min_step``;
+* the search ends when no ramp can be raised without violating the constraint
+  and every step size has collapsed to the minimum.
+
+``tune_thresholds_grid`` exhaustively evaluates a discretized grid and is used
+as the optimality reference for Figure 10.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exits.evaluation import ConfigEvaluation, evaluate_thresholds
+
+__all__ = ["ThresholdTuningResult", "tune_thresholds_greedy", "tune_thresholds_grid"]
+
+# Accuracy-loss granularity below which extra loss is treated as free when
+# ranking candidate moves (avoids division by ~0 for moves that add savings
+# with no measurable accuracy change).
+_EPS_LOSS = 1e-6
+
+
+@dataclass
+class ThresholdTuningResult:
+    """Outcome of a threshold-tuning run."""
+
+    thresholds: List[float]
+    evaluation: ConfigEvaluation
+    rounds: int
+    evaluations: int
+    runtime_ms: float
+
+    def thresholds_by_ramp(self, ramp_ids: Sequence[int]) -> Dict[int, float]:
+        return {int(r): float(t) for r, t in zip(ramp_ids, self.thresholds)}
+
+
+def _evaluate(errors: np.ndarray, correct: np.ndarray, thresholds: Sequence[float],
+              depths: Sequence[float], overheads_ms: Sequence[float],
+              full_latency_ms: float) -> ConfigEvaluation:
+    return evaluate_thresholds(errors, correct, thresholds, depths, overheads_ms,
+                               full_latency_ms)
+
+
+def tune_thresholds_greedy(errors: np.ndarray, correct: np.ndarray,
+                           depths: Sequence[float], overheads_ms: Sequence[float],
+                           full_latency_ms: float, accuracy_constraint: float = 0.01,
+                           initial_step: float = 0.1, min_step: float = 0.01,
+                           max_rounds: int = 200,
+                           conservative_margin: float = 0.0) -> ThresholdTuningResult:
+    """Algorithm 1: greedy hill-climbing threshold search with MIMD steps.
+
+    Parameters
+    ----------
+    errors / correct:
+        ``(num_samples, num_ramps)`` recorded observations for the window.
+    depths / overheads_ms:
+        Per-ramp depth fractions and per-input overheads (model order).
+    full_latency_ms:
+        Whole-model serving time for converting depths to milliseconds.
+    accuracy_constraint:
+        Maximum tolerable accuracy loss relative to the original model
+        (e.g. 0.01 for the paper's default 1%).
+    conservative_margin:
+        Pseudo-count of wrong results added to the window when checking the
+        constraint.  With a finite window, a candidate threshold can look
+        perfect by luck; the margin demands statistical headroom (e.g. a
+        margin of 1 on a 256-sample window only admits thresholds whose
+        observed loss is at least one sample below the budget).
+    """
+    start = time.perf_counter()
+    depths = list(depths)
+    num_ramps = len(depths)
+    thresholds = [0.0] * num_ramps
+    step_sizes = [float(initial_step)] * num_ramps
+    num_samples = int(np.atleast_2d(np.asarray(errors)).shape[0]) if num_ramps else 0
+    min_accuracy = 1.0 - float(accuracy_constraint)
+    if conservative_margin > 0.0 and num_samples > 0:
+        min_accuracy += conservative_margin / num_samples
+
+    evaluations = 0
+    rounds = 0
+    best_eval = _evaluate(errors, correct, thresholds, depths, overheads_ms, full_latency_ms)
+    evaluations += 1
+
+    while rounds < max_rounds:
+        rounds += 1
+        best_ramp: Optional[int] = None
+        best_score = -np.inf
+        best_candidate_eval: Optional[ConfigEvaluation] = None
+        best_candidate_threshold = 0.0
+        overstepped: List[int] = []
+
+        for ramp in range(num_ramps):
+            if thresholds[ramp] >= 1.0:
+                continue
+            trial = list(thresholds)
+            trial[ramp] = min(1.0, trial[ramp] + step_sizes[ramp])
+            candidate = _evaluate(errors, correct, trial, depths, overheads_ms, full_latency_ms)
+            evaluations += 1
+            if candidate.accuracy < min_accuracy:
+                overstepped.append(ramp)
+                continue
+            gain = candidate.mean_savings_ms - best_eval.mean_savings_ms
+            loss = max(best_eval.accuracy - candidate.accuracy, 0.0)
+            if gain <= 0.0:
+                continue
+            score = gain / max(loss, _EPS_LOSS)
+            if score > best_score:
+                best_score = score
+                best_ramp = ramp
+                best_candidate_eval = candidate
+                best_candidate_threshold = trial[ramp]
+
+        if best_ramp is not None and best_candidate_eval is not None:
+            thresholds[best_ramp] = best_candidate_threshold
+            best_eval = best_candidate_eval
+            step_sizes[best_ramp] = min(step_sizes[best_ramp] * 2.0, 0.5)
+            # Overstepped ramps still shrink their steps to zoom into the
+            # accuracy boundary in later rounds.
+            for ramp in overstepped:
+                step_sizes[ramp] = max(step_sizes[ramp] / 2.0, min_step)
+            continue
+
+        # No admissible improvement this round: shrink overstepped ramps and
+        # stop once every step has collapsed to the minimum.
+        progressed = False
+        for ramp in overstepped:
+            if step_sizes[ramp] > min_step:
+                step_sizes[ramp] = max(step_sizes[ramp] / 2.0, min_step)
+                progressed = True
+        if not progressed:
+            break
+
+    runtime_ms = (time.perf_counter() - start) * 1000.0
+    return ThresholdTuningResult(thresholds=thresholds, evaluation=best_eval,
+                                 rounds=rounds, evaluations=evaluations,
+                                 runtime_ms=runtime_ms)
+
+
+def tune_thresholds_grid(errors: np.ndarray, correct: np.ndarray,
+                         depths: Sequence[float], overheads_ms: Sequence[float],
+                         full_latency_ms: float, accuracy_constraint: float = 0.01,
+                         step: float = 0.1) -> ThresholdTuningResult:
+    """Exhaustive grid search over discretized thresholds (Figure 10 baseline).
+
+    Cost grows as ``O((1/step + 1) ** num_ramps)`` and is only practical for a
+    handful of ramps; it exists to quantify how close the greedy search gets
+    to the optimum.
+    """
+    start = time.perf_counter()
+    depths = list(depths)
+    num_ramps = len(depths)
+    values = np.round(np.arange(0.0, 1.0 + step / 2, step), 6)
+    min_accuracy = 1.0 - float(accuracy_constraint)
+
+    best_thresholds = [0.0] * num_ramps
+    best_eval = _evaluate(errors, correct, best_thresholds, depths, overheads_ms, full_latency_ms)
+    evaluations = 1
+    for combo in itertools.product(values, repeat=num_ramps):
+        candidate = _evaluate(errors, correct, list(combo), depths, overheads_ms, full_latency_ms)
+        evaluations += 1
+        if candidate.accuracy < min_accuracy:
+            continue
+        if candidate.mean_savings_ms > best_eval.mean_savings_ms:
+            best_eval = candidate
+            best_thresholds = list(float(v) for v in combo)
+
+    runtime_ms = (time.perf_counter() - start) * 1000.0
+    return ThresholdTuningResult(thresholds=best_thresholds, evaluation=best_eval,
+                                 rounds=1, evaluations=evaluations, runtime_ms=runtime_ms)

@@ -1,0 +1,85 @@
+"""Autoregressive decode-step timing model.
+
+A decode step runs one token of every active sequence through the model.  The
+timing model captures the quantities Apparate's generative mode cares about:
+
+* per-step latency as a function of the decode batch size (continuous
+  batching keeps the accelerator at the largest feasible batch);
+* the fraction of a step saved when a token exits at a ramp of a given depth;
+* the cost of running deferred tail layers (of previously exited tokens)
+  batched alongside a later step (parallel decoding, §3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.models.zoo import ModelSpec
+
+__all__ = ["TokenRecord", "DecodeTimingModel"]
+
+
+@dataclass
+class TokenRecord:
+    """Timing and exit bookkeeping for one generated token."""
+
+    sequence_id: int
+    token_index: int
+    release_ms: float
+    tpt_ms: float
+    exited: bool
+    exit_depth: Optional[float]
+    correct: bool
+
+
+class DecodeTimingModel:
+    """Latency model for decode steps of one generative model."""
+
+    def __init__(self, spec: ModelSpec, ramp_overhead_fraction: float = 0.0) -> None:
+        if not spec.is_generative:
+            raise ValueError(f"{spec.name} is not a generative model")
+        self.spec = spec
+        self.ramp_overhead_fraction = float(ramp_overhead_fraction)
+
+    # ----------------------------------------------------------------- steps
+    def batch_scale(self, batch_size: int) -> float:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return 1.0 + self.spec.batch_marginal_cost * (batch_size - 1)
+
+    def full_step_ms(self, batch_size: int) -> float:
+        """Time of a decode step that runs the whole model for the batch."""
+        return self.spec.bs1_latency_ms * self.batch_scale(batch_size)
+
+    def partial_step_ms(self, batch_size: int, depth_fraction: float) -> float:
+        """Time of a decode step that stops at ``depth_fraction`` (all exit)."""
+        depth_fraction = min(max(depth_fraction, 0.0), 1.0)
+        return self.full_step_ms(batch_size) * depth_fraction
+
+    def ramp_overhead_ms(self, batch_size: int) -> float:
+        """Per-step latency added by the (single) active ramp."""
+        return self.full_step_ms(batch_size) * self.ramp_overhead_fraction
+
+    # ------------------------------------------------------------ parallel decoding
+    def deferred_tail_ms(self, depth_fraction: float, num_deferred: int,
+                         batch_size: int) -> float:
+        """Extra time to run deferred tail layers alongside a full step.
+
+        The tail layers of ``num_deferred`` previously-exited tokens are
+        batched with the current step's tokens; because the accelerator is
+        already executing those layers for the non-exiting tokens, the
+        marginal cost is only the batch-growth term, which is mild (§3.4).
+        """
+        if num_deferred <= 0:
+            return 0.0
+        tail_fraction = 1.0 - min(max(depth_fraction, 0.0), 1.0)
+        tail_time_bs1 = self.spec.bs1_latency_ms * tail_fraction
+        return tail_time_bs1 * self.spec.batch_marginal_cost * num_deferred
+
+    def flush_step_ms(self, depth_fraction: float, num_deferred: int) -> float:
+        """Time of a standalone flush of deferred tails (no piggyback step)."""
+        if num_deferred <= 0:
+            return 0.0
+        tail_fraction = 1.0 - min(max(depth_fraction, 0.0), 1.0)
+        return self.spec.bs1_latency_ms * tail_fraction * self.batch_scale(num_deferred)

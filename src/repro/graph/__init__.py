@@ -1,0 +1,35 @@
+"""Model-graph substrate: an ONNX-like dataflow IR plus structural analysis.
+
+Apparate accepts models as dataflow graphs and places early-exit ramps only at
+*cut vertices* — operators whose removal disconnects the graph — so that every
+ramp sees the full set of intermediates produced up to that point (paper §3.1,
+Figure 7).  This subpackage provides the graph IR, the cut-vertex analysis and
+builders for the model families used in the paper's evaluation.
+"""
+
+from repro.graph.ir import Node, ModelGraph, OpCategory
+from repro.graph.cut_vertices import cut_vertex_nodes, feasible_ramp_positions
+from repro.graph.builders import (
+    build_resnet,
+    build_vgg,
+    build_bert,
+    build_gpt,
+    build_t5,
+    build_llama,
+    build_graph_for_model,
+)
+
+__all__ = [
+    "Node",
+    "ModelGraph",
+    "OpCategory",
+    "cut_vertex_nodes",
+    "feasible_ramp_positions",
+    "build_resnet",
+    "build_vgg",
+    "build_bert",
+    "build_gpt",
+    "build_t5",
+    "build_llama",
+    "build_graph_for_model",
+]

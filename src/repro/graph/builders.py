@@ -1,0 +1,252 @@
+"""Builders for the model-family graphs used in the paper's evaluation.
+
+Each builder synthesizes a :class:`~repro.graph.ir.ModelGraph` with the same
+block structure as the real architecture:
+
+* **ResNet** — a convolutional stem followed by residual blocks; each block's
+  interior conv nodes are bypassed by a skip edge into the block's ``add``
+  node, so only the ``add`` nodes (block outputs) are cut vertices (Figure 7a).
+* **VGG** — a pure chain of conv/pool layers; every layer is a cut vertex
+  (Figure 7b).
+* **BERT / DistilBERT / GPT-2 / T5 / Llama2** — embedding followed by
+  transformer blocks, each containing attention and feed-forward residual
+  sub-blocks; only the block outputs are cut vertices (Figure 7c).
+
+Parameter counts and FLOPs shares are approximate but proportioned like the
+real models so that ramp-size and latency-share computations behave the same
+way they would on the real graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.graph.ir import ModelGraph, Node, OpCategory
+
+__all__ = [
+    "build_resnet",
+    "build_vgg",
+    "build_bert",
+    "build_gpt",
+    "build_t5",
+    "build_llama",
+    "build_graph_for_model",
+]
+
+# Residual-block counts per ResNet stage, matching torchvision definitions.
+_RESNET_STAGES: Dict[int, Sequence[int]] = {
+    18: (2, 2, 2, 2),
+    34: (3, 4, 6, 3),
+    50: (3, 4, 6, 3),
+    101: (3, 4, 23, 3),
+}
+
+# Conv layers per VGG stage (the "A"/"B"/"D" configurations).
+_VGG_STAGES: Dict[int, Sequence[int]] = {
+    11: (1, 1, 2, 2, 2),
+    13: (2, 2, 2, 2, 2),
+    16: (2, 2, 3, 3, 3),
+}
+
+_STAGE_WIDTHS = (64, 128, 256, 512)
+_VGG_WIDTHS = (64, 128, 256, 512, 512)
+
+
+def build_resnet(depth: int, num_classes: int = 1000) -> ModelGraph:
+    """Build a ResNet-{18,34,50,101} style residual graph."""
+    if depth not in _RESNET_STAGES:
+        raise ValueError(f"unsupported ResNet depth: {depth}")
+    stages = _RESNET_STAGES[depth]
+    bottleneck = depth >= 50
+    convs_per_block = 3 if bottleneck else 2
+    expansion = 4 if bottleneck else 1
+
+    g = ModelGraph(f"resnet{depth}")
+    g.add_node(Node("input", OpCategory.INPUT))
+    g.add_node(Node("stem.conv", OpCategory.CONV, block="stem", params=9_408,
+                    flops_share=0.03, output_width=64))
+    g.add_node(Node("stem.pool", OpCategory.POOL, block="stem", flops_share=0.005,
+                    output_width=64))
+    g.add_edge("input", "stem.conv")
+    g.add_edge("stem.conv", "stem.pool")
+    prev = "stem.pool"
+
+    total_blocks = sum(stages)
+    # Spread the remaining FLOPs roughly evenly over residual blocks, matching
+    # the fairly even per-block cost of real ResNets.
+    block_share = (1.0 - 0.035 - 0.01) / total_blocks
+
+    for stage_idx, num_blocks in enumerate(stages):
+        width = _STAGE_WIDTHS[stage_idx] * expansion
+        for block_idx in range(num_blocks):
+            block = f"layer{stage_idx + 1}.block{block_idx}"
+            entry = prev
+            inner_prev = entry
+            per_conv_share = block_share / convs_per_block
+            for conv_idx in range(convs_per_block):
+                conv_name = f"{block}.conv{conv_idx + 1}"
+                g.add_node(Node(conv_name, OpCategory.CONV, block=block,
+                                params=width * width * 3,
+                                flops_share=per_conv_share, output_width=width))
+                g.add_edge(inner_prev, conv_name)
+                inner_prev = conv_name
+            add_name = f"{block}.add"
+            g.add_node(Node(add_name, OpCategory.ADD, block=block,
+                            flops_share=0.0, output_width=width))
+            g.add_edge(inner_prev, add_name)
+            g.add_edge(entry, add_name)  # residual skip connection
+            prev = add_name
+
+    g.add_node(Node("head.pool", OpCategory.POOL, flops_share=0.005, output_width=width))
+    g.add_node(Node("head.fc", OpCategory.LINEAR, params=width * num_classes,
+                    flops_share=0.005, output_width=num_classes))
+    g.add_node(Node("output", OpCategory.OUTPUT, output_width=num_classes))
+    g.add_edge(prev, "head.pool")
+    g.add_edge("head.pool", "head.fc")
+    g.add_edge("head.fc", "output")
+    return g
+
+
+def build_vgg(depth: int, num_classes: int = 1000) -> ModelGraph:
+    """Build a VGG-{11,13,16} style chained graph (every layer is a cut vertex)."""
+    if depth not in _VGG_STAGES:
+        raise ValueError(f"unsupported VGG depth: {depth}")
+    stages = _VGG_STAGES[depth]
+
+    g = ModelGraph(f"vgg{depth}")
+    g.add_node(Node("input", OpCategory.INPUT))
+    prev = "input"
+    total_convs = sum(stages)
+    conv_share = 0.92 / total_convs
+
+    for stage_idx, num_convs in enumerate(stages):
+        width = _VGG_WIDTHS[stage_idx]
+        for conv_idx in range(num_convs):
+            block = f"stage{stage_idx + 1}"
+            conv_name = f"{block}.conv{conv_idx + 1}"
+            g.add_node(Node(conv_name, OpCategory.CONV, block=block,
+                            params=width * width * 9,
+                            flops_share=conv_share, output_width=width))
+            g.add_edge(prev, conv_name)
+            prev = conv_name
+        pool_name = f"stage{stage_idx + 1}.pool"
+        g.add_node(Node(pool_name, OpCategory.POOL, block=f"stage{stage_idx + 1}",
+                        flops_share=0.002, output_width=width))
+        g.add_edge(prev, pool_name)
+        prev = pool_name
+
+    for fc_idx, fc_width in enumerate((4096, 4096, num_classes)):
+        fc_name = f"classifier.fc{fc_idx + 1}"
+        share = 0.02 if fc_idx < 2 else 0.005
+        g.add_node(Node(fc_name, OpCategory.LINEAR, params=fc_width * 4096,
+                        flops_share=share, output_width=fc_width))
+        g.add_edge(prev, fc_name)
+        prev = fc_name
+    g.add_node(Node("output", OpCategory.OUTPUT, output_width=num_classes))
+    g.add_edge(prev, "output")
+    return g
+
+
+def _build_transformer(name: str, num_blocks: int, hidden: int, num_classes: int,
+                       decoder_only: bool = False) -> ModelGraph:
+    """Shared builder for encoder-only / decoder-only transformer graphs."""
+    g = ModelGraph(name)
+    g.add_node(Node("input", OpCategory.INPUT))
+    g.add_node(Node("embedding", OpCategory.EMBEDDING, params=30_000 * hidden,
+                    flops_share=0.01, output_width=hidden))
+    g.add_edge("input", "embedding")
+    prev = "embedding"
+
+    block_share = (1.0 - 0.01 - 0.01) / num_blocks
+    attn_share = block_share * 0.45
+    ffn_share = block_share * 0.55
+    per_block_params = 12 * hidden * hidden
+
+    for block_idx in range(num_blocks):
+        block = f"encoder{block_idx}" if not decoder_only else f"decoder{block_idx}"
+        entry = prev
+        attn = f"{block}.attention"
+        attn_add = f"{block}.attention_add"
+        ffn = f"{block}.ffn"
+        ffn_add = f"{block}.ffn_add"
+        g.add_node(Node(attn, OpCategory.ATTENTION, block=block,
+                        params=per_block_params // 3,
+                        flops_share=attn_share, output_width=hidden))
+        g.add_node(Node(attn_add, OpCategory.ADD, block=block, output_width=hidden))
+        g.add_node(Node(ffn, OpCategory.FEEDFORWARD, block=block,
+                        params=2 * per_block_params // 3,
+                        flops_share=ffn_share, output_width=hidden))
+        g.add_node(Node(ffn_add, OpCategory.ADD, block=block, output_width=hidden))
+        g.add_edge(entry, attn)
+        g.add_edge(attn, attn_add)
+        g.add_edge(entry, attn_add)          # attention residual
+        g.add_edge(attn_add, ffn)
+        g.add_edge(ffn, ffn_add)
+        g.add_edge(attn_add, ffn_add)        # feed-forward residual
+        prev = ffn_add
+
+    g.add_node(Node("head.pool", OpCategory.POOL, flops_share=0.002, output_width=hidden))
+    g.add_node(Node("head.fc", OpCategory.LINEAR, params=hidden * num_classes,
+                    flops_share=0.008, output_width=num_classes))
+    g.add_node(Node("output", OpCategory.OUTPUT, output_width=num_classes))
+    g.add_edge(prev, "head.pool")
+    g.add_edge("head.pool", "head.fc")
+    g.add_edge("head.fc", "output")
+    return g
+
+
+def build_bert(num_blocks: int = 12, hidden: int = 768, num_classes: int = 2,
+               name: Optional[str] = None) -> ModelGraph:
+    """Build a BERT-style encoder-only graph (BERT-base/large, DistilBERT)."""
+    return _build_transformer(name or f"bert{num_blocks}", num_blocks, hidden, num_classes)
+
+
+def build_gpt(num_blocks: int = 24, hidden: int = 1024, num_classes: int = 2,
+              name: Optional[str] = None) -> ModelGraph:
+    """Build a GPT-2-style decoder-only graph."""
+    return _build_transformer(name or f"gpt{num_blocks}", num_blocks, hidden, num_classes,
+                              decoder_only=True)
+
+
+def build_t5(num_blocks: int = 24, hidden: int = 1024, vocab: int = 32_128,
+             name: str = "t5-large") -> ModelGraph:
+    """Build a T5-style graph (decoder side; ramps only apply during decoding)."""
+    return _build_transformer(name, num_blocks, hidden, vocab, decoder_only=True)
+
+
+def build_llama(num_blocks: int = 32, hidden: int = 4096, vocab: int = 32_000,
+                name: str = "llama2-7b") -> ModelGraph:
+    """Build a Llama2-style decoder-only graph."""
+    return _build_transformer(name, num_blocks, hidden, vocab, decoder_only=True)
+
+
+# ---------------------------------------------------------------------------
+# Registry-style dispatch used by the model zoo.
+# ---------------------------------------------------------------------------
+
+def build_graph_for_model(model_name: str) -> ModelGraph:
+    """Build the dataflow graph for one of the evaluation models by name."""
+    name = model_name.lower()
+    if name.startswith("resnet"):
+        return build_resnet(int(name.removeprefix("resnet")))
+    if name.startswith("vgg"):
+        return build_vgg(int(name.removeprefix("vgg")))
+    if name == "distilbert-base":
+        return build_bert(num_blocks=6, hidden=768, name="distilbert-base")
+    if name == "bert-base":
+        return build_bert(num_blocks=12, hidden=768, name="bert-base")
+    if name == "bert-large":
+        return build_bert(num_blocks=24, hidden=1024, name="bert-large")
+    if name in ("bert-base-int8", "bert-large-int8"):
+        base = build_graph_for_model(name.removesuffix("-int8"))
+        base.name = name
+        return base
+    if name == "gpt2-medium":
+        return build_gpt(num_blocks=24, hidden=1024, name="gpt2-medium")
+    if name == "t5-large":
+        return build_t5(num_blocks=24, hidden=1024)
+    if name == "llama2-7b":
+        return build_llama(num_blocks=32, hidden=4096, name="llama2-7b")
+    if name == "llama2-13b":
+        return build_llama(num_blocks=40, hidden=5120, name="llama2-13b")
+    raise ValueError(f"unknown model: {model_name}")

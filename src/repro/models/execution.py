@@ -1,0 +1,137 @@
+"""Simulated model execution: turn batches of inputs into timing + feedback.
+
+``ModelExecutor`` is the GPU stand-in.  Given a batch of inputs and the
+currently-deployed early-exit configuration (active ramp depths, per-ramp
+thresholds and per-ramp overhead fractions), it produces for every input:
+
+* the time at which its *result* is released (either at the first exiting
+  ramp or at the end of the model),
+* the full batch processing time (which is what occupies the accelerator —
+  with Apparate, inputs always run to completion, so platform throughput is
+  governed by this number plus ramp overheads), and
+* the per-ramp observations streamed back to the controller (error score and
+  agreement with the original model) for *all* active ramps.
+
+The executor is deliberately stateless across batches; all adaptation state
+lives in the controller (§3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.models.latency import LatencyProfile
+from repro.models.prediction import PredictionModel, RampObservation
+from repro.models.zoo import ModelSpec
+
+__all__ = ["ExecutionResult", "BatchExecution", "ModelExecutor"]
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of serving one input within a batch."""
+
+    sample_index: int
+    exit_depth: Optional[float]
+    exit_ramp_id: Optional[int]
+    result_latency_ms: float
+    full_latency_ms: float
+    final_correct: bool
+    observations: List[RampObservation] = field(default_factory=list)
+
+    @property
+    def exited(self) -> bool:
+        return self.exit_depth is not None
+
+
+@dataclass
+class BatchExecution:
+    """Outcome of serving one batch."""
+
+    batch_size: int
+    gpu_time_ms: float
+    results: List[ExecutionResult]
+
+
+class ModelExecutor:
+    """Simulated forward-pass executor for one model replica."""
+
+    def __init__(self, spec: ModelSpec, profile: LatencyProfile,
+                 prediction: PredictionModel) -> None:
+        self.spec = spec
+        self.profile = profile
+        self.prediction = prediction
+
+    # ------------------------------------------------------------------ main
+    def execute_batch(
+        self,
+        raw_difficulties: Sequence[float],
+        sharpness: Sequence[float],
+        ramp_ids: Sequence[int],
+        ramp_depths: Sequence[float],
+        ramp_thresholds: Sequence[float],
+        ramp_overhead_fractions: Sequence[float],
+        batch_size: Optional[int] = None,
+        confidence_shifts: Optional[Sequence[float]] = None,
+    ) -> BatchExecution:
+        """Serve one batch and return per-input results plus GPU occupancy.
+
+        ``ramp_*`` sequences describe the currently active ramps in model
+        order.  An empty configuration reproduces vanilla serving exactly.
+        """
+        n = len(raw_difficulties)
+        if n == 0:
+            raise ValueError("cannot execute an empty batch")
+        if not (len(ramp_ids) == len(ramp_depths) == len(ramp_thresholds)
+                == len(ramp_overhead_fractions)):
+            raise ValueError("ramp description arrays must have equal length")
+        bs = batch_size if batch_size is not None else n
+
+        scale = self.profile.batch_scale(bs)
+        base_full_ms = self.spec.bs1_latency_ms * scale
+        ramp_overhead_ms = [float(f) * base_full_ms for f in ramp_overhead_fractions]
+        total_overhead_ms = float(sum(ramp_overhead_ms))
+        # GPU occupancy: every input runs the whole model plus every ramp.
+        gpu_time_ms = base_full_ms + total_overhead_ms
+
+        results: List[ExecutionResult] = []
+        for idx in range(n):
+            raw = float(raw_difficulties[idx])
+            sharp = float(sharpness[idx])
+            shift = float(confidence_shifts[idx]) if confidence_shifts is not None else 0.0
+            observations = self.prediction.observe(raw, sharp, ramp_ids, ramp_depths,
+                                                   confidence_shift=shift)
+
+            exit_depth: Optional[float] = None
+            exit_ramp: Optional[int] = None
+            elapsed_overhead = 0.0
+            result_latency = gpu_time_ms
+            for obs, threshold, overhead in zip(observations, ramp_thresholds, ramp_overhead_ms):
+                elapsed_overhead += overhead
+                if threshold > 0.0 and obs.error_score < threshold:
+                    exit_depth = obs.depth_fraction
+                    exit_ramp = obs.ramp_id
+                    result_latency = base_full_ms * obs.depth_fraction + elapsed_overhead
+                    break
+
+            exited_correct = True
+            if exit_depth is not None:
+                exited_correct = next(o.correct for o in observations if o.ramp_id == exit_ramp)
+            results.append(ExecutionResult(
+                sample_index=idx,
+                exit_depth=exit_depth,
+                exit_ramp_id=exit_ramp,
+                result_latency_ms=float(result_latency),
+                full_latency_ms=float(gpu_time_ms),
+                final_correct=bool(exited_correct),
+                observations=observations,
+            ))
+        return BatchExecution(batch_size=bs, gpu_time_ms=float(gpu_time_ms), results=results)
+
+    # -------------------------------------------------------------- vanilla
+    def vanilla_batch_time_ms(self, batch_size: int) -> float:
+        """Serving time of a batch without any ramps (vanilla model)."""
+        return self.spec.bs1_latency_ms * self.profile.batch_scale(batch_size)

@@ -1,0 +1,164 @@
+"""Model registry calibrated to the paper's evaluation corpus.
+
+Latency numbers (batch-size-1 inference time and default SLO) come from
+Table 5 of the paper; parameter counts and architecture descriptors match the
+public checkpoints the paper uses (PyTorch Model Zoo / HuggingFace).  The
+``headroom`` field encodes how overparameterized a model is for its workload:
+it scales the fraction of inputs whose prediction stabilizes early, which is
+the property early exits capitalize on (§2.2).  Quantized variants have lower
+headroom (§4.2: quantization "reduces model overparameterization").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+__all__ = ["Task", "ModelSpec", "register_model", "get_model", "list_models", "MODEL_ZOO"]
+
+
+class Task(str, enum.Enum):
+    """Kind of workload a model serves."""
+
+    CV_CLASSIFICATION = "cv_classification"
+    NLP_CLASSIFICATION = "nlp_classification"
+    GENERATIVE = "generative"
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Static description of one servable model.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"resnet50"``.
+    task:
+        Workload kind (CV / NLP classification or generative).
+    family:
+        Architecture family (``resnet``, ``vgg``, ``bert``, ``gpt``, ...).
+    params_millions:
+        Total trainable parameters, in millions.
+    bs1_latency_ms:
+        Inference latency with batch size 1 (Table 5); for generative models
+        this is the per-decode-step latency.
+    default_slo_ms:
+        Default SLO (2x the bs1 latency for classification, Table 5).
+    num_classes:
+        Output cardinality for classification heads.
+    headroom:
+        Overparameterization factor in [0, 1]; higher values mean more inputs
+        can exit early.  Calibrated per family so that optimal-exit latency
+        wins land in the ranges of §2.2 / §4.2.
+    batch_marginal_cost:
+        Marginal serving-time cost of each extra item in a batch relative to
+        the bs=1 time (captures GPU amortization; lower = better batching).
+    num_blocks:
+        Number of coarse blocks (residual blocks or transformer layers).
+    hidden_width:
+        Representative hidden width, used to size ramp parameters.
+    """
+
+    name: str
+    task: Task
+    family: str
+    params_millions: float
+    bs1_latency_ms: float
+    default_slo_ms: float
+    num_classes: int = 1000
+    headroom: float = 0.8
+    batch_marginal_cost: float = 0.3
+    num_blocks: int = 0
+    hidden_width: int = 0
+
+    def with_overrides(self, **kwargs) -> "ModelSpec":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    @property
+    def is_generative(self) -> bool:
+        return self.task is Task.GENERATIVE
+
+
+MODEL_ZOO: Dict[str, ModelSpec] = {}
+
+
+def register_model(spec: ModelSpec) -> ModelSpec:
+    """Add ``spec`` to the registry (overwriting any existing entry)."""
+    MODEL_ZOO[spec.name] = spec
+    return spec
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a registered model spec by name."""
+    try:
+        return MODEL_ZOO[name.lower()]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown model {name!r}; known models: {sorted(MODEL_ZOO)}"
+        ) from exc
+
+
+def list_models(task: Optional[Task] = None) -> List[ModelSpec]:
+    """Return registered specs, optionally filtered by task."""
+    specs = sorted(MODEL_ZOO.values(), key=lambda s: s.name)
+    if task is None:
+        return specs
+    return [s for s in specs if s.task is task]
+
+
+# ---------------------------------------------------------------------------
+# Default corpus (Table 5 plus the generative models of §4.3).
+# ---------------------------------------------------------------------------
+
+_DEFAULTS = [
+    # CV classification (ImageNet-pretrained, PyTorch Model Zoo).
+    ModelSpec("resnet18", Task.CV_CLASSIFICATION, "resnet", 11.7, 6.5, 13.0,
+              num_classes=1000, headroom=0.93, batch_marginal_cost=0.28,
+              num_blocks=8, hidden_width=512),
+    ModelSpec("resnet50", Task.CV_CLASSIFICATION, "resnet", 25.6, 16.4, 32.8,
+              num_classes=1000, headroom=0.88, batch_marginal_cost=0.28,
+              num_blocks=16, hidden_width=2048),
+    ModelSpec("resnet101", Task.CV_CLASSIFICATION, "resnet", 44.5, 33.3, 66.6,
+              num_classes=1000, headroom=0.90, batch_marginal_cost=0.28,
+              num_blocks=33, hidden_width=2048),
+    ModelSpec("vgg11", Task.CV_CLASSIFICATION, "vgg", 132.9, 3.3, 10.0,
+              num_classes=1000, headroom=0.90, batch_marginal_cost=0.32,
+              num_blocks=11, hidden_width=512),
+    ModelSpec("vgg13", Task.CV_CLASSIFICATION, "vgg", 133.0, 3.8, 10.0,
+              num_classes=1000, headroom=0.90, batch_marginal_cost=0.32,
+              num_blocks=13, hidden_width=512),
+    ModelSpec("vgg16", Task.CV_CLASSIFICATION, "vgg", 138.4, 4.5, 10.0,
+              num_classes=1000, headroom=0.91, batch_marginal_cost=0.32,
+              num_blocks=16, hidden_width=512),
+    # NLP classification (sentiment analysis, HuggingFace checkpoints).
+    ModelSpec("distilbert-base", Task.NLP_CLASSIFICATION, "bert", 66.0, 15.5, 31.0,
+              num_classes=2, headroom=0.50, batch_marginal_cost=0.42,
+              num_blocks=6, hidden_width=768),
+    ModelSpec("bert-base", Task.NLP_CLASSIFICATION, "bert", 110.0, 29.4, 58.8,
+              num_classes=2, headroom=0.54, batch_marginal_cost=0.42,
+              num_blocks=12, hidden_width=768),
+    ModelSpec("bert-large", Task.NLP_CLASSIFICATION, "bert", 345.0, 63.2, 126.4,
+              num_classes=2, headroom=0.56, batch_marginal_cost=0.42,
+              num_blocks=24, hidden_width=1024),
+    ModelSpec("gpt2-medium", Task.NLP_CLASSIFICATION, "gpt", 345.0, 103.0, 206.0,
+              num_classes=2, headroom=0.58, batch_marginal_cost=0.42,
+              num_blocks=24, hidden_width=1024),
+    # Generative models (§4.3): bs1 latency here is per decoding step.
+    # Decode steps are memory-bound, so batching extra sequences is cheap
+    # (low marginal cost); headroom reflects how early token predictions
+    # stabilize (very early for T5 summarization, later for Llama2 QA).
+    ModelSpec("t5-large", Task.GENERATIVE, "t5", 770.0, 18.0, 0.0,
+              num_classes=32_128, headroom=0.90, batch_marginal_cost=0.05,
+              num_blocks=24, hidden_width=1024),
+    ModelSpec("llama2-7b", Task.GENERATIVE, "llama", 7000.0, 28.0, 0.0,
+              num_classes=32_000, headroom=0.50, batch_marginal_cost=0.06,
+              num_blocks=32, hidden_width=4096),
+    ModelSpec("llama2-13b", Task.GENERATIVE, "llama", 13000.0, 42.0, 0.0,
+              num_classes=32_000, headroom=0.58, batch_marginal_cost=0.06,
+              num_blocks=40, hidden_width=5120),
+]
+
+for _spec in _DEFAULTS:
+    register_model(_spec)

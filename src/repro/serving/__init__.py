@@ -1,0 +1,36 @@
+"""Serving-platform substrate: queues, batching policies and platforms.
+
+The paper runs Apparate on top of TensorFlow-Serving, Clockwork and
+HuggingFace Pipelines without changing any platform decision (queue
+management, batching, scheduling).  This subpackage provides event-driven
+simulators of those platforms with the same external behaviour:
+
+* :class:`ClockworkPlatform` — work-conserving, SLO-aware max-batch selection;
+* :class:`TFServingPlatform` — ``max_batch_size`` / ``batch_timeout`` knobs;
+* :class:`ContinuousBatchingEngine` — generative serving with continuous
+  batching (new sequences join as others finish).
+
+Platforms are agnostic to early exits: they hand formed batches to an executor
+callback and collect per-request result-release times, which is exactly the
+interface Apparate needs to sit on top.
+"""
+
+from repro.serving.request import Request, Response, make_requests
+from repro.serving.metrics import ServingMetrics
+from repro.serving.platform import BatchExecutorFn, ServingPlatform, VanillaExecutor
+from repro.serving.clockwork import ClockworkPlatform
+from repro.serving.tfserve import TFServingPlatform
+from repro.serving.hf_pipelines import ContinuousBatchingEngine
+
+__all__ = [
+    "Request",
+    "Response",
+    "make_requests",
+    "ServingMetrics",
+    "BatchExecutorFn",
+    "ServingPlatform",
+    "VanillaExecutor",
+    "ClockworkPlatform",
+    "TFServingPlatform",
+    "ContinuousBatchingEngine",
+]

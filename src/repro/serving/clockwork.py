@@ -1,0 +1,51 @@
+"""Clockwork-style platform: work-conserving, SLO-aware max batching (§2.1).
+
+Clockwork (OSDI'20) schedules inference jobs in a work-conserving manner and
+selects the largest batch size that keeps queued requests within their SLOs.
+The simulator mirrors that policy: whenever the accelerator is free it drains
+the queue immediately, choosing the largest batch (up to ``max_batch_size``)
+whose predicted serving time still meets the SLO of the oldest request in the
+batch.  Requests whose SLO has already expired may optionally be dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.models.latency import LatencyProfile
+from repro.serving.platform import ServingPlatform
+from repro.serving.request import Request
+
+__all__ = ["ClockworkPlatform"]
+
+
+class ClockworkPlatform(ServingPlatform):
+    """SLO-aware, work-conserving batching."""
+
+    def __init__(self, profile: LatencyProfile, max_batch_size: int = 16,
+                 drop_expired: bool = True) -> None:
+        super().__init__(max_batch_size=max_batch_size, drop_expired=drop_expired)
+        self.profile = profile
+
+    def predicted_batch_time_ms(self, batch_size: int) -> float:
+        return self.profile.total_latency_ms(batch_size)
+
+    def select_batch(self, queue: List[Request], now_ms: float) -> Tuple[List[Request], float]:
+        """Largest batch whose serving time keeps the oldest request in SLO."""
+        ordered = sorted(queue, key=lambda r: (r.arrival_ms, r.request_id))
+        limit = min(len(ordered), self.max_batch_size)
+
+        chosen = 1
+        for batch_size in range(limit, 0, -1):
+            batch_time = self.predicted_batch_time_ms(batch_size)
+            oldest = ordered[0]
+            # Serving completes at now + batch_time; the oldest request's
+            # remaining slack governs whether this batch size is safe.
+            if now_ms + batch_time <= oldest.deadline_ms():
+                chosen = batch_size
+                break
+        else:
+            # Even a batch of one violates the SLO: serve one anyway (work
+            # conserving) — the request is already late.
+            chosen = 1
+        return ordered[:chosen], now_ms

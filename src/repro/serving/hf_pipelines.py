@@ -1,0 +1,233 @@
+"""Generative serving engine (HuggingFace-Pipelines-like, §2.1/§4.3).
+
+The paper's generative experiments run the HuggingFace Pipelines inference
+engine under Poisson arrivals that saturate the accelerator.  Each request is
+an autoregressive decode *stream*: its tokens are produced one step at a time,
+and the stream's time-per-token (TPT) cadence is what Apparate improves.  The
+engine below models the accelerator as a fixed number of concurrent decode
+slots (``max_batch_size``): an arriving sequence waits for a free slot and is
+then decoded as its own stream, with per-token exit decisions delegated to a
+policy object.  The same engine therefore serves the vanilla model (never
+exits), FREE (one fixed ramp and threshold), the optimal oracle, and Apparate
+(adaptive ramp + threshold with parallel decoding).
+
+Timing of one stream follows §3.4 exactly:
+
+* a token that exits at a ramp of depth ``p`` releases after only the head
+  portion of the decode step and its tail layers are deferred;
+* the first subsequent non-exiting token pays the full step plus a mild
+  penalty for running the deferred tails batched alongside it;
+* if too many exited tokens accumulate, a flush runs their tails as one batch
+  before the stream continues (bounding the staleness of KV states).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.generative.decoding import DecodeTimingModel, TokenRecord
+from repro.generative.parallel import ParallelDecodingState, TokenFeedback, truncate_feedback
+from repro.generative.sequences import GenerativeWorkload, SequenceSample
+from repro.utils.stats import summarize_latencies
+
+__all__ = ["TokenDecision", "TokenExitPolicy", "VanillaTokenPolicy",
+           "GenerativeMetrics", "ContinuousBatchingEngine"]
+
+
+@dataclass(frozen=True)
+class TokenDecision:
+    """Exit decision for one token."""
+
+    exited: bool
+    exit_depth: Optional[float]
+    error_score: float
+    correct: bool
+
+
+class TokenExitPolicy(Protocol):
+    """Per-token exit policy plugged into the engine."""
+
+    def decide(self, sequence_id: int, token_index: int, raw_difficulty: float,
+               sharpness: float) -> TokenDecision:
+        ...  # pragma: no cover - protocol definition
+
+    def feedback(self, records: Sequence[TokenFeedback]) -> None:
+        ...  # pragma: no cover - protocol definition
+
+
+class VanillaTokenPolicy:
+    """Never exits: every token runs the full model."""
+
+    def decide(self, sequence_id: int, token_index: int, raw_difficulty: float,
+               sharpness: float) -> TokenDecision:
+        return TokenDecision(exited=False, exit_depth=None, error_score=1.0, correct=True)
+
+    def feedback(self, records: Sequence[TokenFeedback]) -> None:
+        return None
+
+
+@dataclass
+class GenerativeMetrics:
+    """Aggregated outcome of one generative serving run."""
+
+    tokens: List[TokenRecord] = field(default_factory=list)
+    sequence_accuracy: Dict[int, float] = field(default_factory=dict)
+    queueing_delays_ms: Dict[int, float] = field(default_factory=dict)
+    makespan_ms: float = 0.0
+
+    def tpt_values(self) -> np.ndarray:
+        return np.array([t.tpt_ms for t in self.tokens], dtype=float)
+
+    def tpt_summary(self) -> Dict[str, float]:
+        return summarize_latencies(self.tpt_values())
+
+    def median_tpt(self) -> float:
+        return self.tpt_summary()["p50"]
+
+    def p25_tpt(self) -> float:
+        return self.tpt_summary()["p25"]
+
+    def p95_tpt(self) -> float:
+        return self.tpt_summary()["p95"]
+
+    def mean_sequence_accuracy(self) -> float:
+        if not self.sequence_accuracy:
+            return 1.0
+        return float(np.mean(list(self.sequence_accuracy.values())))
+
+    def exit_rate(self) -> float:
+        if not self.tokens:
+            return 0.0
+        return sum(1 for t in self.tokens if t.exited) / len(self.tokens)
+
+    def median_queueing_ms(self) -> float:
+        if not self.queueing_delays_ms:
+            return 0.0
+        return float(np.median(list(self.queueing_delays_ms.values())))
+
+    def throughput_tokens_per_s(self) -> float:
+        if self.makespan_ms <= 0:
+            return 0.0
+        return 1000.0 * len(self.tokens) / self.makespan_ms
+
+    def summary(self) -> Dict[str, float]:
+        tpt = self.tpt_summary()
+        return {
+            "tpt_p25_ms": tpt["p25"],
+            "tpt_p50_ms": tpt["p50"],
+            "tpt_p95_ms": tpt["p95"],
+            "sequence_accuracy": self.mean_sequence_accuracy(),
+            "exit_rate": self.exit_rate(),
+            "throughput_tokens_per_s": self.throughput_tokens_per_s(),
+            "num_tokens": float(len(self.tokens)),
+        }
+
+
+class ContinuousBatchingEngine:
+    """Slot-based generative serving engine with pluggable exit policies."""
+
+    def __init__(self, timing: DecodeTimingModel, max_batch_size: int = 8,
+                 flush_limit: int = 8) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self.timing = timing
+        self.max_batch_size = int(max_batch_size)
+        self.flush_limit = int(flush_limit)
+
+    # ------------------------------------------------------------------ run
+    def run(self, workload: GenerativeWorkload, policy: TokenExitPolicy) -> GenerativeMetrics:
+        """Serve every sequence in ``workload`` under ``policy``.
+
+        Sequences are admitted in arrival order as decode slots free up
+        (continuous batching); each admitted sequence is decoded as its own
+        stream whose per-token timing follows the parallel-decoding rules.
+        """
+        metrics = GenerativeMetrics()
+        queue = sorted(workload.sequences, key=lambda s: (s.arrival_ms, s.sequence_id))
+        if not queue:
+            return metrics
+
+        slot_free_ms = [queue[0].arrival_ms] * self.max_batch_size
+        first_arrival = queue[0].arrival_ms
+        last_completion = first_arrival
+
+        for sample in queue:
+            slot = int(np.argmin(slot_free_ms))
+            start = max(sample.arrival_ms, slot_free_ms[slot])
+            metrics.queueing_delays_ms[sample.sequence_id] = start - sample.arrival_ms
+            completion = self._decode_stream(sample, start, policy, metrics)
+            slot_free_ms[slot] = completion
+            last_completion = max(last_completion, completion)
+
+        metrics.makespan_ms = max(last_completion - first_arrival, 1e-9)
+        return metrics
+
+    # --------------------------------------------------------------- streams
+    def _decode_stream(self, sample: SequenceSample, start_ms: float,
+                       policy: TokenExitPolicy, metrics: GenerativeMetrics) -> float:
+        """Decode one sequence as a stream; returns its completion time."""
+        state = ParallelDecodingState(flush_limit=self.flush_limit)
+        now = start_ms
+        last_release = start_ms
+        correct_tokens = 0
+        # Feedback is grouped per parallel-decoding instance: the run of
+        # consecutive exited tokens closed by the first non-exiting token.
+        instance: List[TokenFeedback] = []
+
+        for token_idx in range(sample.num_tokens):
+            decision = policy.decide(sample.sequence_id, token_idx,
+                                     float(sample.token_difficulty[token_idx]),
+                                     float(sample.token_sharpness[token_idx]))
+            ramp_overhead = self.timing.ramp_overhead_ms(1)
+
+            if decision.exited and decision.exit_depth is not None:
+                # Head-only step: release the token at the ramp, defer its tail.
+                release = now + self.timing.partial_step_ms(1, decision.exit_depth) \
+                    + ramp_overhead
+                now = release
+                state.defer(decision.exit_depth)
+                if state.needs_flush():
+                    # Forced flush: run the accumulated tails as one batch
+                    # before the next token's step (keeps KV staleness bounded).
+                    now += self.timing.flush_step_ms(state.pending_depth, state.pending_tokens)
+                    state.flush()
+                released_correct = decision.correct
+            else:
+                # Full step, plus the deferred tails of previously exited
+                # tokens batched alongside it (parallel decoding).
+                step = self.timing.full_step_ms(1) + ramp_overhead
+                step += self.timing.deferred_tail_ms(state.pending_depth,
+                                                     state.pending_tokens, 1)
+                state.flush()
+                release = now + step
+                now = release
+                released_correct = True
+
+            tpt = max(release - last_release, 0.0)
+            metrics.tokens.append(TokenRecord(
+                sequence_id=sample.sequence_id, token_index=token_idx,
+                release_ms=release, tpt_ms=tpt, exited=decision.exited,
+                exit_depth=decision.exit_depth, correct=released_correct))
+            # Feedback carries the ramp's *agreement* with the original model
+            # regardless of exiting: Apparate eventually computes every
+            # token's tail layers, so the signal is always available (§3.4).
+            instance.append(TokenFeedback(sequence_id=sample.sequence_id,
+                                          token_index=token_idx,
+                                          error_score=decision.error_score,
+                                          exited=decision.exited,
+                                          correct=decision.correct))
+            if not decision.exited:
+                # The non-exiting token closes this parallel-decoding instance.
+                policy.feedback(truncate_feedback(instance))
+                instance = []
+            last_release = release
+            correct_tokens += int(released_correct)
+
+        metrics.sequence_accuracy[sample.sequence_id] = \
+            correct_tokens / max(sample.num_tokens, 1)
+        if instance:
+            policy.feedback(truncate_feedback(instance))
+        return now

@@ -1,0 +1,124 @@
+"""Serving metrics: latency distributions, throughput and accuracy accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serving.request import Response
+from repro.utils.stats import summarize_latencies
+
+__all__ = ["ServingMetrics"]
+
+
+@dataclass
+class ServingMetrics:
+    """Aggregated outcome of one serving run."""
+
+    responses: List[Response] = field(default_factory=list)
+    gpu_busy_ms: float = 0.0
+    makespan_ms: float = 0.0
+    num_batches: int = 0
+
+    # ----------------------------------------------------------------- write
+    def add_response(self, response: Response) -> None:
+        self.responses.append(response)
+
+    def add_batch(self, gpu_time_ms: float) -> None:
+        self.gpu_busy_ms += float(gpu_time_ms)
+        self.num_batches += 1
+
+    # ------------------------------------------------------------------ read
+    def served(self) -> List[Response]:
+        return [r for r in self.responses if not r.dropped]
+
+    def dropped(self) -> List[Response]:
+        return [r for r in self.responses if r.dropped]
+
+    def drop_rate(self) -> float:
+        if not self.responses:
+            return 0.0
+        return len(self.dropped()) / len(self.responses)
+
+    def latencies(self) -> np.ndarray:
+        return np.array([r.latency_ms for r in self.served()], dtype=float)
+
+    def queueing_delays(self) -> np.ndarray:
+        return np.array([r.queueing_ms for r in self.served()], dtype=float)
+
+    def latency_summary(self) -> Dict[str, float]:
+        return summarize_latencies(self.latencies())
+
+    def median_latency(self) -> float:
+        return self.latency_summary()["p50"]
+
+    def p25_latency(self) -> float:
+        return self.latency_summary()["p25"]
+
+    def p95_latency(self) -> float:
+        return self.latency_summary()["p95"]
+
+    def accuracy(self) -> float:
+        """Fraction of served requests whose released result matched the
+        original (non-EE) model's prediction."""
+        served = self.served()
+        if not served:
+            return 1.0
+        return sum(1 for r in served if r.correct) / len(served)
+
+    def exit_rate(self) -> float:
+        served = self.served()
+        if not served:
+            return 0.0
+        return sum(1 for r in served if r.exited) / len(served)
+
+    def throughput_qps(self) -> float:
+        """Served requests per second of wall-clock makespan."""
+        if self.makespan_ms <= 0:
+            return 0.0
+        return 1000.0 * len(self.served()) / self.makespan_ms
+
+    def goodput_qps(self, slo_ms: Optional[float] = None) -> float:
+        """Requests per second that met their SLO."""
+        if self.makespan_ms <= 0:
+            return 0.0
+        served = self.served()
+        if slo_ms is None:
+            return self.throughput_qps()
+        good = sum(1 for r in served if r.latency_ms <= slo_ms)
+        return 1000.0 * good / self.makespan_ms
+
+    def average_batch_size(self) -> float:
+        if self.num_batches == 0:
+            return 0.0
+        return len(self.served()) / self.num_batches
+
+    def gpu_utilization(self) -> float:
+        if self.makespan_ms <= 0:
+            return 0.0
+        return min(1.0, self.gpu_busy_ms / self.makespan_ms)
+
+    def slo_violation_rate(self, slo_ms: float) -> float:
+        served = self.served()
+        if not served:
+            return 0.0
+        violations = sum(1 for r in served if r.latency_ms > slo_ms)
+        return violations / len(served)
+
+    def summary(self) -> Dict[str, float]:
+        """One-dictionary summary used by benchmarks and EXPERIMENTS.md."""
+        lat = self.latency_summary()
+        return {
+            "p25_ms": lat["p25"],
+            "p50_ms": lat["p50"],
+            "p95_ms": lat["p95"],
+            "mean_ms": lat["mean"],
+            "throughput_qps": self.throughput_qps(),
+            "avg_batch_size": self.average_batch_size(),
+            "accuracy": self.accuracy(),
+            "exit_rate": self.exit_rate(),
+            "drop_rate": self.drop_rate(),
+            "num_served": float(len(self.served())),
+        }

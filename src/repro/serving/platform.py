@@ -1,0 +1,174 @@
+"""Base event-driven serving platform.
+
+A platform owns the request queue and the (single) accelerator of one model
+replica.  Its job is batching policy: decide *when* to drain queued requests
+and *how many* to serve together.  The actual forward pass is delegated to an
+executor callback so that the same platform code serves vanilla models,
+Apparate-managed models and the baselines.
+
+The executor receives the formed batch and must return the accelerator
+occupancy time plus, for every request in the batch, the offset (from batch
+start) at which its *result* is released and bookkeeping about exits.  For a
+vanilla model every result is released when the batch finishes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.execution import ModelExecutor
+from repro.serving.metrics import ServingMetrics
+from repro.serving.request import Request, Response
+
+__all__ = ["BatchResult", "BatchExecutorFn", "ServingPlatform", "VanillaExecutor"]
+
+
+@dataclass
+class BatchResult:
+    """What an executor reports back for one batch."""
+
+    gpu_time_ms: float
+    #: per-request offset (from batch start) at which the result is released.
+    result_offsets_ms: List[float]
+    #: per-request exit flags (False for vanilla serving).
+    exited: List[bool] = field(default_factory=list)
+    #: per-request exit depths (None when not exited).
+    exit_depths: List[Optional[float]] = field(default_factory=list)
+    #: per-request agreement with the original model's prediction.
+    correct: List[bool] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        n = len(self.result_offsets_ms)
+        if not self.exited:
+            self.exited = [False] * n
+        if not self.exit_depths:
+            self.exit_depths = [None] * n
+        if not self.correct:
+            self.correct = [True] * n
+
+
+class BatchExecutorFn(Protocol):
+    """Signature executors must implement."""
+
+    def __call__(self, batch: Sequence[Request], batch_start_ms: float) -> BatchResult:
+        ...  # pragma: no cover - protocol definition
+
+
+class VanillaExecutor:
+    """Executor serving the original model without any ramps."""
+
+    def __init__(self, executor: ModelExecutor) -> None:
+        self.executor = executor
+
+    def __call__(self, batch: Sequence[Request], batch_start_ms: float) -> BatchResult:
+        gpu_time = self.executor.vanilla_batch_time_ms(len(batch))
+        return BatchResult(gpu_time_ms=gpu_time,
+                           result_offsets_ms=[gpu_time] * len(batch))
+
+
+class ServingPlatform(abc.ABC):
+    """Common machinery of the event-driven platform simulators.
+
+    Subclasses implement :meth:`select_batch`, which inspects the queue and
+    the current time and returns either a batch to serve now or the time at
+    which the platform wants to be woken up again (to wait for more requests).
+    """
+
+    def __init__(self, max_batch_size: int = 16, drop_expired: bool = False) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self.max_batch_size = int(max_batch_size)
+        self.drop_expired = bool(drop_expired)
+
+    # ------------------------------------------------------------ batch policy
+    @abc.abstractmethod
+    def select_batch(self, queue: List[Request], now_ms: float) -> Tuple[List[Request], float]:
+        """Return (batch, wake_up_time).
+
+        An empty batch with a finite wake-up time means "wait"; an empty batch
+        with ``wake_up <= now`` must never be returned when the queue is
+        non-empty (the run loop guards against livelock by forcing progress).
+        """
+
+    # --------------------------------------------------------------- main loop
+    def run(self, requests: Sequence[Request], executor: BatchExecutorFn) -> ServingMetrics:
+        """Serve all requests and return the aggregated metrics."""
+        metrics = ServingMetrics()
+        pending = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
+        num_requests = len(pending)
+        if num_requests == 0:
+            return metrics
+
+        queue: List[Request] = []
+        next_arrival = 0
+        now = pending[0].arrival_ms
+
+        while next_arrival < num_requests or queue:
+            # Admit everything that has arrived by now.
+            while next_arrival < num_requests and pending[next_arrival].arrival_ms <= now + 1e-9:
+                queue.append(pending[next_arrival])
+                next_arrival += 1
+
+            if not queue:
+                now = pending[next_arrival].arrival_ms
+                continue
+
+            if self.drop_expired:
+                still_valid: List[Request] = []
+                for request in queue:
+                    if now > request.deadline_ms():
+                        metrics.add_response(Response(
+                            request_id=request.request_id,
+                            arrival_ms=request.arrival_ms,
+                            scheduled_ms=now, completion_ms=now,
+                            queueing_ms=now - request.arrival_ms,
+                            serving_ms=0.0, latency_ms=now - request.arrival_ms,
+                            batch_size=0, dropped=True))
+                    else:
+                        still_valid.append(request)
+                queue = still_valid
+                if not queue:
+                    continue
+
+            batch, wake_up = self.select_batch(queue, now)
+            if not batch:
+                # The policy wants to wait for more requests (or a timeout).
+                next_event = pending[next_arrival].arrival_ms if next_arrival < num_requests else np.inf
+                target = min(wake_up, next_event)
+                if not np.isfinite(target) or target <= now + 1e-9:
+                    # Nothing left to wait for: force progress with what we have.
+                    batch = queue[: self.max_batch_size]
+                else:
+                    now = target
+                    continue
+
+            batch_ids = {r.request_id for r in batch}
+            queue = [r for r in queue if r.request_id not in batch_ids]
+
+            result = executor(batch, now)
+            metrics.add_batch(result.gpu_time_ms)
+            for idx, request in enumerate(batch):
+                offset = float(result.result_offsets_ms[idx])
+                completion = now + offset
+                metrics.add_response(Response(
+                    request_id=request.request_id,
+                    arrival_ms=request.arrival_ms,
+                    scheduled_ms=now,
+                    completion_ms=completion,
+                    queueing_ms=now - request.arrival_ms,
+                    serving_ms=offset,
+                    latency_ms=completion - request.arrival_ms,
+                    batch_size=len(batch),
+                    exited=bool(result.exited[idx]),
+                    exit_depth=result.exit_depths[idx],
+                    correct=bool(result.correct[idx]),
+                ))
+            now += result.gpu_time_ms
+
+        first_arrival = pending[0].arrival_ms
+        metrics.makespan_ms = max(now - first_arrival, 1e-9)
+        return metrics

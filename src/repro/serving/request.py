@@ -1,0 +1,58 @@
+"""Request and response records shared by every serving platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.workloads.difficulty import DifficultyTrace, InputSample
+
+__all__ = ["Request", "Response", "make_requests"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request."""
+
+    request_id: int
+    arrival_ms: float
+    sample: InputSample
+    slo_ms: float
+
+    def deadline_ms(self) -> float:
+        return self.arrival_ms + self.slo_ms
+
+
+@dataclass
+class Response:
+    """Outcome of serving one request."""
+
+    request_id: int
+    arrival_ms: float
+    scheduled_ms: float
+    completion_ms: float
+    queueing_ms: float
+    serving_ms: float
+    latency_ms: float
+    batch_size: int
+    exited: bool = False
+    exit_depth: Optional[float] = None
+    correct: bool = True
+    dropped: bool = False
+
+    def met_slo(self, slo_ms: float) -> bool:
+        return not self.dropped and self.latency_ms <= slo_ms
+
+
+def make_requests(trace: DifficultyTrace, arrival_times_ms: Sequence[float],
+                  slo_ms: float) -> List[Request]:
+    """Pair a difficulty trace with arrival times into request records."""
+    arrivals = np.asarray(arrival_times_ms, dtype=float)
+    if len(trace) != arrivals.size:
+        raise ValueError(
+            f"trace has {len(trace)} samples but {arrivals.size} arrival times were given")
+    return [Request(request_id=i, arrival_ms=float(arrivals[i]),
+                    sample=trace.sample(i), slo_ms=float(slo_ms))
+            for i in range(len(trace))]

@@ -1,0 +1,40 @@
+"""TensorFlow-Serving-style platform: ``max_batch_size`` and batch timeout knobs.
+
+TF-Serving's batching scheduler exposes ``max_batch_size`` and
+``batch_timeout_micros``: a batch is dispatched either when it is full or when
+the oldest queued request has waited for the timeout.  These knobs let users
+trade latency against throughput (Figure 2), but — as the paper argues — only
+by walking a harsh trade-off curve.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.serving.platform import ServingPlatform
+from repro.serving.request import Request
+
+__all__ = ["TFServingPlatform"]
+
+
+class TFServingPlatform(ServingPlatform):
+    """Knob-driven batching (max size + timeout)."""
+
+    def __init__(self, max_batch_size: int = 16, batch_timeout_ms: float = 5.0,
+                 drop_expired: bool = False) -> None:
+        super().__init__(max_batch_size=max_batch_size, drop_expired=drop_expired)
+        if batch_timeout_ms < 0:
+            raise ValueError("batch_timeout_ms must be non-negative")
+        self.batch_timeout_ms = float(batch_timeout_ms)
+
+    def select_batch(self, queue: List[Request], now_ms: float) -> Tuple[List[Request], float]:
+        ordered = sorted(queue, key=lambda r: (r.arrival_ms, r.request_id))
+        if len(ordered) >= self.max_batch_size:
+            return ordered[: self.max_batch_size], now_ms
+        oldest_wait = now_ms - ordered[0].arrival_ms
+        if oldest_wait >= self.batch_timeout_ms:
+            return ordered, now_ms
+        # Wait until the timeout of the oldest request expires (or until more
+        # requests arrive, whichever the run loop sees first).
+        wake_up = ordered[0].arrival_ms + self.batch_timeout_ms
+        return [], wake_up

@@ -1,0 +1,18 @@
+"""Shared utilities: seeded randomness, windowed statistics, event primitives."""
+
+from repro.utils.rng import RngFactory, derive_seed
+from repro.utils.stats import (
+    LatencyAccumulator,
+    WindowedAccuracy,
+    percentile,
+    summarize_latencies,
+)
+
+__all__ = [
+    "RngFactory",
+    "derive_seed",
+    "LatencyAccumulator",
+    "WindowedAccuracy",
+    "percentile",
+    "summarize_latencies",
+]

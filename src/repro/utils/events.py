@@ -1,0 +1,65 @@
+"""Minimal discrete-event primitives used by the serving simulators."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["Event", "EventQueue", "SimClock"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled event: fires ``callback(payload)`` at ``time``."""
+
+    time: float
+    order: int
+    callback: Callable[[Any], None] = field(compare=False)
+    payload: Any = field(default=None, compare=False)
+
+
+class EventQueue:
+    """Priority queue of timestamped events with stable FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, callback: Callable[[Any], None], payload: Any = None) -> None:
+        heapq.heappush(self._heap, Event(float(time), next(self._counter), callback, payload))
+
+    def pop(self) -> Event:
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class SimClock:
+    """Monotonic simulation clock (milliseconds)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        if time < self._now - 1e-9:
+            raise ValueError(f"clock cannot move backwards: {time} < {self._now}")
+        self._now = max(self._now, float(time))
+
+    def advance_by(self, delta: float) -> float:
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        self._now += float(delta)
+        return self._now

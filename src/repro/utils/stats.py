@@ -1,0 +1,115 @@
+"""Statistics helpers shared by the controller, serving metrics and benches."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "percentile",
+    "summarize_latencies",
+    "WindowedAccuracy",
+    "LatencyAccumulator",
+]
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Return the ``pct``-th percentile of ``values`` (empty -> 0.0)."""
+    if len(values) == 0:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=float), pct))
+
+
+def summarize_latencies(values: Sequence[float]) -> Dict[str, float]:
+    """Return the latency summary used throughout the evaluation.
+
+    Keys mirror the statistics the paper reports: 25th percentile, median,
+    95th percentile, mean and count.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return {"p25": 0.0, "p50": 0.0, "p95": 0.0, "mean": 0.0, "count": 0}
+    return {
+        "p25": float(np.percentile(arr, 25)),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "mean": float(arr.mean()),
+        "count": int(arr.size),
+    }
+
+
+class WindowedAccuracy:
+    """Sliding-window accuracy monitor.
+
+    Apparate triggers threshold tuning whenever the accuracy of exited results
+    over the most recent ``window`` samples (16 in the paper) drops below the
+    user constraint.  ``record`` ingests one sample; ``accuracy`` returns the
+    current window accuracy (1.0 when the window is empty so that a cold start
+    never triggers tuning).
+    """
+
+    def __init__(self, window: int = 16) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = int(window)
+        self._hits: Deque[bool] = deque(maxlen=self.window)
+
+    def record(self, correct: bool) -> None:
+        self._hits.append(bool(correct))
+
+    def accuracy(self) -> float:
+        if not self._hits:
+            return 1.0
+        return sum(self._hits) / len(self._hits)
+
+    def full(self) -> bool:
+        return len(self._hits) == self.window
+
+    def reset(self) -> None:
+        self._hits.clear()
+
+    def __len__(self) -> int:
+        return len(self._hits)
+
+
+@dataclass
+class LatencyAccumulator:
+    """Accumulates per-request latencies and exposes summary statistics."""
+
+    values: List[float] = field(default_factory=list)
+
+    def add(self, latency: float) -> None:
+        self.values.append(float(latency))
+
+    def extend(self, latencies: Iterable[float]) -> None:
+        self.values.extend(float(v) for v in latencies)
+
+    def summary(self) -> Dict[str, float]:
+        return summarize_latencies(self.values)
+
+    def median(self) -> float:
+        return percentile(self.values, 50)
+
+    def p95(self) -> float:
+        return percentile(self.values, 95)
+
+    def p25(self) -> float:
+        return percentile(self.values, 25)
+
+    def mean(self) -> float:
+        if not self.values:
+            return 0.0
+        return float(np.mean(self.values))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def savings_percent(baseline: float, improved: float) -> float:
+    """Relative latency saving (%) of ``improved`` over ``baseline``."""
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline

@@ -1,0 +1,43 @@
+"""Workload generators: drifting input-difficulty streams and arrival traces.
+
+The paper drives its evaluation with real video streams (CV), Amazon/IMDB
+review streams (NLP), CNN/DailyMail and SQuAD prompts (generative), and
+Microsoft Azure Functions arrival traces.  None of those datasets are
+available offline, so this subpackage generates synthetic equivalents that
+preserve the statistical properties Apparate's adaptation reacts to:
+
+* **CV video** streams have high spatiotemporal continuity (difficulty follows
+  a slow bounded random walk) with occasional scene changes and day/night
+  phases.
+* **NLP review** streams have little continuity between adjacent requests but
+  shift regime when the stream moves to a new product category or user.
+* **Arrival traces** are either bursty MAF-like processes or Poisson.
+"""
+
+from repro.workloads.difficulty import (
+    InputSample,
+    DifficultyTrace,
+    RandomWalkDifficulty,
+    RegimeSwitchDifficulty,
+)
+from repro.workloads.video import VideoWorkload, make_video_workload
+from repro.workloads.nlp import NLPWorkload, make_nlp_workload
+from repro.workloads.arrivals import (
+    poisson_arrivals,
+    fixed_rate_arrivals,
+    maf_trace_arrivals,
+)
+
+__all__ = [
+    "InputSample",
+    "DifficultyTrace",
+    "RandomWalkDifficulty",
+    "RegimeSwitchDifficulty",
+    "VideoWorkload",
+    "make_video_workload",
+    "NLPWorkload",
+    "make_nlp_workload",
+    "poisson_arrivals",
+    "fixed_rate_arrivals",
+    "maf_trace_arrivals",
+]

@@ -1,0 +1,40 @@
+"""Shared fixtures: small, fast workloads and model stacks for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import model_stack
+from repro.generative.sequences import make_generative_workload
+from repro.workloads.nlp import make_nlp_workload
+from repro.workloads.video import make_video_workload
+
+
+@pytest.fixture(scope="session")
+def small_video_workload():
+    """A short CV workload (fast enough for unit tests)."""
+    return make_video_workload("urban-day", num_frames=1200, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_nlp_workload():
+    """A short NLP workload."""
+    return make_nlp_workload("amazon", num_requests=1200, rate_qps=20, seed=12)
+
+
+@pytest.fixture(scope="session")
+def small_generative_workload():
+    """A short generative workload."""
+    return make_generative_workload("squad", num_sequences=40, rate_qps=2.0, seed=13)
+
+
+@pytest.fixture(scope="session")
+def resnet50_stack():
+    """(spec, profile, prediction, catalog, executor) for ResNet50."""
+    return model_stack("resnet50", seed=0)
+
+
+@pytest.fixture(scope="session")
+def bert_base_stack():
+    """(spec, profile, prediction, catalog, executor) for BERT-base."""
+    return model_stack("bert-base", seed=0)

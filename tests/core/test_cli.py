@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_models_command_lists_zoo(capsys):
+    assert main(["models"]) == 0
+    out = capsys.readouterr().out
+    assert "resnet50" in out
+    assert "t5-large" in out
+    assert "bs=1" in out
+
+
+def test_classify_command_runs_small_video_workload(capsys):
+    code = main(["classify", "--model", "resnet50", "--workload", "video:urban-day",
+                 "--requests", "800", "--seed", "5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "median latency win" in out
+    assert "Apparate" in out
+
+
+def test_classify_command_rejects_generative_model():
+    with pytest.raises(SystemExit):
+        main(["classify", "--model", "t5-large", "--requests", "100"])
+
+
+def test_classify_command_rejects_unknown_workload_kind():
+    with pytest.raises(SystemExit):
+        main(["classify", "--model", "resnet50", "--workload", "audio:calls",
+              "--requests", "100"])
+
+
+def test_generate_command_runs_small_workload(capsys):
+    code = main(["generate", "--model", "t5-large", "--dataset", "squad",
+                 "--sequences", "30", "--seed", "5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "median TPT win" in out
+    assert "vanilla" in out and "Apparate" in out
+
+
+def test_generate_command_rejects_classification_model():
+    with pytest.raises(SystemExit):
+        main(["generate", "--model", "resnet50", "--sequences", "10"])
+
+
+def test_nlp_workload_parsing(capsys):
+    code = main(["classify", "--model", "distilbert-base", "--workload", "nlp:imdb",
+                 "--requests", "600", "--rate", "25", "--seed", "6"])
+    assert code == 0
+    assert "distilbert-base" in capsys.readouterr().out

@@ -1,0 +1,106 @@
+"""Tests for ramp specs, overheads, catalogs and initial placement (§3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import model_stack
+from repro.exits.placement import build_ramp_catalog, initial_ramp_selection
+from repro.exits.ramps import RampStyle, ramp_overhead_fraction, ramp_parameter_count
+from repro.graph.builders import build_graph_for_model
+from repro.models.latency import build_latency_profile
+from repro.models.zoo import get_model, list_models
+
+
+def catalog_for(name, budget=0.02, style=RampStyle.LIGHTWEIGHT):
+    spec = get_model(name)
+    graph = build_graph_for_model(name)
+    profile = build_latency_profile(spec, graph)
+    return spec, build_ramp_catalog(spec, graph, profile, budget_fraction=budget, style=style)
+
+
+def test_lightweight_ramp_is_cheapest_style():
+    spec = get_model("bert-base")
+    light = ramp_overhead_fraction(spec, RampStyle.LIGHTWEIGHT)
+    for style in (RampStyle.CONV_HEAVY, RampStyle.STACKED_FC, RampStyle.DEEP_POOLER):
+        assert ramp_overhead_fraction(spec, style) > light
+
+
+def test_ramp_parameter_fraction_is_small():
+    """Each ramp is a single fc head: a small fraction of the model's weights.
+
+    (Transformer ramps are tiny — the paper's 0.01-3.5% band; CNN ramps with a
+    1000-class head are larger but still well below one residual stage.)
+    """
+    for name in ("resnet50", "bert-base", "vgg13"):
+        spec, catalog = catalog_for(name)
+        worst = max(r.params for r in catalog.ramps)
+        assert worst / (spec.params_millions * 1e6) < 0.10, name
+    spec, catalog = catalog_for("bert-base")
+    total = sum(r.params for r in catalog.ramps)
+    assert total / (spec.params_millions * 1e6) < 0.01
+
+
+def test_ramp_parameter_count_scales_with_width():
+    spec = get_model("resnet50")
+    assert ramp_parameter_count(spec, 2048) > ramp_parameter_count(spec, 256)
+
+
+def test_catalog_depths_sorted_and_in_range():
+    _spec, catalog = catalog_for("resnet50")
+    depths = catalog.depths()
+    assert np.all(np.diff(depths) > 0)
+    assert depths.min() >= 0.02
+    assert depths.max() <= 0.97
+
+
+def test_catalog_built_for_every_registered_model():
+    for spec in list_models():
+        _s, _p, _pred, catalog, _e = model_stack(spec.name)
+        assert len(catalog) >= 3, spec.name
+
+
+def test_max_active_ramps_respects_budget():
+    _spec, small = catalog_for("resnet50", budget=0.004)
+    _spec, large = catalog_for("resnet50", budget=0.05)
+    assert small.max_active_ramps() < large.max_active_ramps()
+
+
+def test_within_budget_accounting():
+    _spec, catalog = catalog_for("resnet50", budget=0.02)
+    few = list(range(min(3, len(catalog))))
+    assert catalog.within_budget(few)
+    assert catalog.overhead_of(few) == pytest.approx(
+        sum(catalog.ramp(i).overhead_fraction for i in few))
+
+
+def test_initial_selection_respects_budget_and_order():
+    _spec, catalog = catalog_for("resnet50", budget=0.02)
+    selection = initial_ramp_selection(catalog)
+    assert selection == sorted(selection)
+    assert len(selection) == len(set(selection))
+    assert len(selection) <= catalog.max_active_ramps()
+
+
+def test_initial_selection_spans_the_model():
+    """Initial ramps are evenly spaced across the model (§3.1)."""
+    _spec, catalog = catalog_for("resnet101", budget=0.02)
+    selection = initial_ramp_selection(catalog)
+    depths = [catalog.ramp(r).depth_fraction for r in selection]
+    assert min(depths) < 0.25
+    assert max(depths) > 0.7
+
+
+def test_initial_selection_max_ramps_cap():
+    _spec, catalog = catalog_for("resnet50", budget=0.05)
+    assert len(initial_ramp_selection(catalog, max_ramps=2)) == 2
+
+
+def test_initial_selection_empty_catalog():
+    _spec, catalog = catalog_for("resnet50")
+    catalog.ramps = []
+    assert initial_ramp_selection(catalog) == []
+
+
+def test_coverage_spans_most_of_model():
+    _spec, catalog = catalog_for("vgg16")
+    assert catalog.coverage() > 0.5

@@ -1,0 +1,117 @@
+"""Tests for threshold tuning (Algorithm 1) and the grid-search reference."""
+
+import numpy as np
+import pytest
+
+from repro.exits.thresholds import tune_thresholds_greedy, tune_thresholds_grid
+from repro.models.prediction import ramp_error_score
+
+
+def synthetic_window(n=400, depths=(0.3, 0.6, 0.85), seed=0, mean_difficulty=0.35):
+    """Build an observation window from the synthetic prediction model."""
+    rng = np.random.default_rng(seed)
+    required = np.clip(rng.normal(mean_difficulty, 0.15, size=n), 0.0, 1.0)
+    sharpness = rng.uniform(0.03, 0.08, size=n)
+    depths_arr = np.asarray(depths)
+    errors = np.asarray(ramp_error_score(required[:, None], depths_arr[None, :],
+                                         sharpness[:, None]))
+    correct = required[:, None] <= depths_arr[None, :]
+    overheads = [0.05] * len(depths)
+    return errors, correct, list(depths), overheads
+
+
+def test_greedy_meets_accuracy_constraint():
+    errors, correct, depths, overheads = synthetic_window()
+    result = tune_thresholds_greedy(errors, correct, depths, overheads, 20.0,
+                                    accuracy_constraint=0.01)
+    assert result.evaluation.accuracy >= 0.99
+
+
+def test_greedy_finds_positive_savings():
+    errors, correct, depths, overheads = synthetic_window()
+    result = tune_thresholds_greedy(errors, correct, depths, overheads, 20.0)
+    assert result.evaluation.mean_savings_ms > 0.0
+    assert any(t > 0 for t in result.thresholds)
+
+
+def test_greedy_thresholds_within_unit_interval():
+    errors, correct, depths, overheads = synthetic_window()
+    result = tune_thresholds_greedy(errors, correct, depths, overheads, 20.0)
+    assert all(0.0 <= t <= 1.0 for t in result.thresholds)
+
+
+def test_greedy_tighter_constraint_never_gains_more():
+    errors, correct, depths, overheads = synthetic_window()
+    loose = tune_thresholds_greedy(errors, correct, depths, overheads, 20.0,
+                                   accuracy_constraint=0.05)
+    tight = tune_thresholds_greedy(errors, correct, depths, overheads, 20.0,
+                                   accuracy_constraint=0.002)
+    assert loose.evaluation.mean_savings_ms >= tight.evaluation.mean_savings_ms - 1e-9
+
+
+def test_greedy_handles_all_hard_inputs():
+    """When nothing can exit accurately, the tuner leaves thresholds near zero."""
+    errors, correct, depths, overheads = synthetic_window(mean_difficulty=0.99, seed=1)
+    correct[:, :] = False
+    result = tune_thresholds_greedy(errors, correct, depths, overheads, 20.0)
+    assert result.evaluation.accuracy >= 0.99
+    assert result.evaluation.exit_rate <= 0.05
+
+
+def test_greedy_conservative_margin_reduces_aggressiveness():
+    errors, correct, depths, overheads = synthetic_window(seed=2)
+    plain = tune_thresholds_greedy(errors, correct, depths, overheads, 20.0)
+    guarded = tune_thresholds_greedy(errors, correct, depths, overheads, 20.0,
+                                     conservative_margin=3.0)
+    assert guarded.evaluation.exit_rate <= plain.evaluation.exit_rate + 1e-9
+
+
+def test_greedy_much_faster_than_grid():
+    """Figure 10a: greedy runs orders of magnitude faster than grid search."""
+    errors, correct, depths, overheads = synthetic_window(n=300)
+    greedy = tune_thresholds_greedy(errors, correct, depths, overheads, 20.0)
+    grid = tune_thresholds_grid(errors, correct, depths, overheads, 20.0, step=0.1)
+    assert greedy.evaluations < grid.evaluations / 5
+
+
+def test_greedy_close_to_grid_optimum():
+    """Figure 10b: greedy is within a few percent of the grid optimum."""
+    errors, correct, depths, overheads = synthetic_window(n=300, depths=(0.35, 0.7))
+    greedy = tune_thresholds_greedy(errors, correct, depths, overheads, 20.0)
+    grid = tune_thresholds_grid(errors, correct, depths, overheads, 20.0, step=0.1)
+    # The greedy search may even beat the coarse grid (it refines step sizes
+    # below the grid resolution); it must never trail it by more than a few
+    # percent of the achievable savings.
+    assert grid.evaluation.mean_savings_ms > 0
+    gap = (grid.evaluation.mean_savings_ms - greedy.evaluation.mean_savings_ms) \
+        / grid.evaluation.mean_savings_ms
+    assert gap <= 0.15
+
+
+def test_grid_respects_accuracy_constraint():
+    errors, correct, depths, overheads = synthetic_window(n=200, depths=(0.4, 0.8))
+    result = tune_thresholds_grid(errors, correct, depths, overheads, 20.0,
+                                  accuracy_constraint=0.01, step=0.2)
+    assert result.evaluation.accuracy >= 0.99
+
+
+def test_thresholds_by_ramp_mapping():
+    errors, correct, depths, overheads = synthetic_window()
+    result = tune_thresholds_greedy(errors, correct, depths, overheads, 20.0)
+    mapping = result.thresholds_by_ramp([4, 7, 9])
+    assert set(mapping) == {4, 7, 9}
+    assert list(mapping.values()) == pytest.approx(result.thresholds)
+
+
+def test_single_ramp_window():
+    errors, correct, depths, overheads = synthetic_window(depths=(0.5,))
+    result = tune_thresholds_greedy(errors, correct, depths, overheads, 20.0)
+    assert len(result.thresholds) == 1
+    assert result.evaluation.accuracy >= 0.99
+
+
+def test_runtime_reported_positive():
+    errors, correct, depths, overheads = synthetic_window(n=100)
+    result = tune_thresholds_greedy(errors, correct, depths, overheads, 20.0)
+    assert result.runtime_ms > 0.0
+    assert result.rounds >= 1

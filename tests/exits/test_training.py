@@ -1,0 +1,73 @@
+"""Tests for ramp training / calibration (§3.1)."""
+
+import pytest
+
+from repro.core.pipeline import model_stack
+from repro.exits.training import RampTrainer
+from repro.workloads.video import make_video_workload
+
+
+@pytest.fixture(scope="module")
+def trainer_and_workload():
+    spec, _profile, prediction, catalog, _exec = model_stack("resnet50", seed=0)
+    trainer = RampTrainer(spec, catalog, prediction)
+    workload = make_video_workload("urban-day", num_frames=2000, seed=21)
+    return trainer, workload
+
+
+def test_bootstrap_slice_is_first_ten_percent(trainer_and_workload):
+    trainer, workload = trainer_and_workload
+    bootstrap = trainer.bootstrap_slice(workload.trace)
+    assert len(bootstrap) == len(workload.trace) // 10
+
+
+def test_invalid_bootstrap_fraction_rejected():
+    spec, _profile, prediction, catalog, _exec = model_stack("resnet50")
+    with pytest.raises(ValueError):
+        RampTrainer(spec, catalog, prediction, bootstrap_fraction=0.0)
+
+
+def test_training_report_covers_every_candidate_ramp(trainer_and_workload):
+    trainer, workload = trainer_and_workload
+    report = trainer.train(workload.trace)
+    assert report.num_ramps == len(trainer.catalog)
+    assert len(report.calibrations) == report.num_ramps
+
+
+def test_ramp_params_are_a_minority_of_model(trainer_and_workload):
+    """Even all candidate ramps together stay well below the model's own size."""
+    trainer, workload = trainer_and_workload
+    report = trainer.train(workload.trace)
+    assert 0.0 < report.ramp_params_fraction < 0.6
+
+
+def test_training_flops_far_below_full_training(trainer_and_workload):
+    trainer, workload = trainer_and_workload
+    report = trainer.train(workload.trace)
+    assert report.training_flops_fraction < 1.0
+
+
+def test_calibration_exit_rates_monotone_in_threshold(trainer_and_workload):
+    trainer, workload = trainer_and_workload
+    report = trainer.train(workload.trace)
+    for calibration in report.calibrations[:5]:
+        thresholds = sorted(calibration.exit_rate_by_threshold)
+        rates = [calibration.exit_rate_by_threshold[t] for t in thresholds]
+        assert all(b >= a - 1e-9 for a, b in zip(rates, rates[1:]))
+
+
+def test_later_ramps_have_higher_exit_rates(trainer_and_workload):
+    """Deeper ramps see more computation and exit at least as much (§3.3)."""
+    trainer, workload = trainer_and_workload
+    report = trainer.train(workload.trace)
+    first = report.calibrations[0].exit_rate(0.5)
+    last = report.calibrations[-1].exit_rate(0.5)
+    assert last >= first
+
+
+def test_calibration_lookup_by_ramp_id(trainer_and_workload):
+    trainer, workload = trainer_and_workload
+    report = trainer.train(workload.trace)
+    assert report.calibration_for(0).ramp_id == 0
+    with pytest.raises(KeyError):
+        report.calibration_for(10_000)

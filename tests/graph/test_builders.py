@@ -1,0 +1,78 @@
+"""Tests for the model-graph builders."""
+
+import pytest
+
+from repro.graph.builders import (
+    build_bert,
+    build_gpt,
+    build_graph_for_model,
+    build_llama,
+    build_resnet,
+    build_t5,
+    build_vgg,
+)
+from repro.graph.ir import OpCategory
+from repro.models.zoo import list_models
+
+
+@pytest.mark.parametrize("depth,expected_blocks", [(18, 8), (50, 16), (101, 33)])
+def test_resnet_block_counts(depth, expected_blocks):
+    g = build_resnet(depth)
+    adds = [n for n in g.nodes() if n.op is OpCategory.ADD]
+    assert len(adds) == expected_blocks
+
+
+@pytest.mark.parametrize("depth,expected_convs", [(11, 8), (13, 10), (16, 13)])
+def test_vgg_conv_counts(depth, expected_convs):
+    g = build_vgg(depth)
+    convs = [n for n in g.nodes() if n.op is OpCategory.CONV]
+    assert len(convs) == expected_convs
+
+
+def test_unsupported_depths_rejected():
+    with pytest.raises(ValueError):
+        build_resnet(37)
+    with pytest.raises(ValueError):
+        build_vgg(19)
+
+
+@pytest.mark.parametrize("builder,blocks", [(build_bert, 12), (build_gpt, 24)])
+def test_transformer_block_counts(builder, blocks):
+    g = builder(num_blocks=blocks)
+    attention_nodes = [n for n in g.nodes() if n.op is OpCategory.ATTENTION]
+    assert len(attention_nodes) == blocks
+
+
+def test_all_builders_produce_valid_graphs():
+    for graph in [build_resnet(50), build_vgg(13), build_bert(6), build_gpt(12),
+                  build_t5(8), build_llama(8)]:
+        graph.validate()
+
+
+def test_flops_share_sums_to_about_one():
+    for graph in [build_resnet(50), build_vgg(16), build_bert(12)]:
+        assert graph.total_flops_share() == pytest.approx(1.0, abs=0.05)
+
+
+def test_build_graph_for_model_covers_whole_zoo():
+    for spec in list_models():
+        graph = build_graph_for_model(spec.name)
+        graph.validate()
+
+
+def test_build_graph_for_model_unknown_name():
+    with pytest.raises(ValueError):
+        build_graph_for_model("alexnet")
+
+
+def test_quantized_alias_builds_base_graph():
+    graph = build_graph_for_model("bert-base-int8")
+    assert graph.name == "bert-base-int8"
+    graph.validate()
+
+
+def test_depth_fractions_increase_through_resnet_stages():
+    g = build_resnet(50)
+    early = g.depth_fraction("layer1.block0.add")
+    late = g.depth_fraction("layer4.block2.add")
+    assert early < 0.3 < 0.8 < late

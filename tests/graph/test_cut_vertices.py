@@ -1,0 +1,86 @@
+"""Tests for cut-vertex-based ramp-position analysis (paper §3.1, Figure 7)."""
+
+import pytest
+
+from repro.graph.builders import build_bert, build_resnet, build_vgg
+from repro.graph.cut_vertices import cut_vertex_nodes, feasible_ramp_positions, ramp_coverage
+from repro.graph.ir import ModelGraph, Node, OpCategory
+
+
+def test_vgg_every_conv_layer_is_feasible():
+    """Chained models expose ramp positions at every layer (Figure 7b)."""
+    g = build_vgg(11)
+    feasible = {n.name for n in feasible_ramp_positions(g)}
+    convs = [n.name for n in g.nodes() if n.op is OpCategory.CONV]
+    assert all(name in feasible for name in convs)
+
+
+def test_resnet_interior_conv_nodes_are_not_feasible():
+    """Residual-block interiors are bypassed by the skip edge (Figure 7a)."""
+    g = build_resnet(50)
+    feasible = {n.name for n in feasible_ramp_positions(g)}
+    interior = [n.name for n in g.nodes()
+                if n.op is OpCategory.CONV and n.block and n.block.startswith("layer")]
+    assert not any(name in feasible for name in interior)
+
+
+def test_resnet_block_outputs_are_feasible():
+    g = build_resnet(18)
+    feasible = {n.name for n in feasible_ramp_positions(g)}
+    adds = [n.name for n in g.nodes() if n.op is OpCategory.ADD]
+    assert all(name in feasible for name in adds)
+
+
+def test_bert_attention_and_ffn_adds_are_feasible():
+    """Both residual outputs within an encoder are cut vertices (Figure 7c)."""
+    g = build_bert(num_blocks=4)
+    feasible = {n.name for n in feasible_ramp_positions(g)}
+    assert "encoder0.attention_add" in feasible
+    assert "encoder0.ffn_add" in feasible
+    assert "encoder0.attention" not in feasible
+    assert "encoder0.ffn" not in feasible
+
+
+def test_embedding_and_io_nodes_excluded():
+    g = build_bert(num_blocks=2)
+    names = {n.name for n in feasible_ramp_positions(g)}
+    assert "input" not in names
+    assert "embedding" not in names
+    assert "output" not in names
+
+
+def test_positions_returned_in_topological_order():
+    g = build_resnet(18)
+    positions = feasible_ramp_positions(g)
+    order = {node.name: i for i, node in enumerate(g.topological_order())}
+    indices = [order[n.name] for n in positions]
+    assert indices == sorted(indices)
+
+
+def test_cut_vertices_on_diamond_graph():
+    """A diamond's interior branches are not cut vertices; the join is."""
+    g = ModelGraph("diamond")
+    for name, op in [("input", OpCategory.INPUT), ("left", OpCategory.CONV),
+                     ("right", OpCategory.CONV), ("join", OpCategory.ADD),
+                     ("head", OpCategory.LINEAR), ("output", OpCategory.OUTPUT)]:
+        g.add_node(Node(name, op, flops_share=0.2, output_width=4))
+    g.add_edge("input", "left")
+    g.add_edge("input", "right")
+    g.add_edge("left", "join")
+    g.add_edge("right", "join")
+    g.add_edge("join", "head")
+    g.add_edge("head", "output")
+    cuts = cut_vertex_nodes(g)
+    assert "join" in cuts and "head" in cuts
+    assert "left" not in cuts and "right" not in cuts
+
+
+def test_ramp_coverage_within_paper_range():
+    """The paper reports 9.2-68.4% of layers hosting ramps across its corpus."""
+    for graph in [build_resnet(50), build_bert(12), build_resnet(101)]:
+        coverage = ramp_coverage(graph)
+        assert 0.05 <= coverage <= 0.75, f"{graph.name}: {coverage}"
+
+
+def test_vgg_coverage_is_high():
+    assert ramp_coverage(build_vgg(13)) > 0.8

@@ -1,0 +1,94 @@
+"""End-to-end integration tests spanning workloads, platforms and Apparate."""
+
+import pytest
+
+from repro.baselines.oracle import run_optimal_classification
+from repro.core.apparate import Apparate
+from repro.core.generative import run_generative_apparate, run_generative_vanilla
+from repro.core.pipeline import run_apparate, run_vanilla
+from repro.generative.sequences import make_generative_workload
+from repro.workloads.nlp import make_nlp_workload
+from repro.workloads.video import make_video_workload
+
+import numpy as np
+
+
+@pytest.mark.parametrize("model,scene", [("resnet18", "urban-day"), ("vgg11", "highway")])
+def test_cv_end_to_end_latency_accuracy_throughput(model, scene):
+    workload = make_video_workload(scene, num_frames=2500, seed=41)
+    vanilla = run_vanilla(model, workload)
+    apparate = run_apparate(model, workload)
+    # Latency improves, accuracy within constraint, throughput preserved,
+    # tail within the 2% ramp budget.
+    assert apparate.metrics.median_latency() < vanilla.median_latency()
+    assert apparate.metrics.accuracy() >= 0.985
+    assert apparate.metrics.throughput_qps() >= vanilla.throughput_qps() * 0.97
+    assert apparate.metrics.p95_latency() <= vanilla.p95_latency() * 1.05
+
+
+def test_nlp_end_to_end_on_both_platforms():
+    workload = make_nlp_workload("amazon", num_requests=2500, rate_qps=20, seed=42)
+    for platform in ("clockwork", "tfserve"):
+        vanilla = run_vanilla("bert-base", workload, platform=platform)
+        apparate = run_apparate("bert-base", workload, platform=platform)
+        assert apparate.metrics.median_latency() <= vanilla.median_latency()
+        assert apparate.metrics.accuracy() >= 0.98
+
+
+def test_apparate_between_vanilla_and_oracle():
+    workload = make_video_workload("urban-day", num_frames=2500, seed=43)
+    vanilla = run_vanilla("resnet50", workload)
+    apparate = run_apparate("resnet50", workload)
+    oracle = np.median(run_optimal_classification("resnet50", workload))
+    assert oracle <= apparate.metrics.median_latency() <= vanilla.median_latency()
+
+
+def test_accuracy_constraint_sweep_monotone_wins():
+    """Figure 19: looser accuracy constraints never reduce latency savings."""
+    workload = make_video_workload("urban-day", num_frames=2500, seed=44)
+    medians = []
+    for constraint in (0.01, 0.05):
+        result = run_apparate("resnet50", workload, accuracy_constraint=constraint)
+        medians.append(result.metrics.median_latency())
+        assert result.metrics.accuracy() >= 1.0 - constraint - 0.01
+    assert medians[1] <= medians[0] * 1.05
+
+
+def test_ramp_budget_sweep_monotone_wins():
+    """Table 3: larger ramp budgets never reduce median latency savings (much)."""
+    workload = make_video_workload("urban-day", num_frames=2500, seed=45)
+    small = run_apparate("resnet50", workload, ramp_budget=0.02)
+    large = run_apparate("resnet50", workload, ramp_budget=0.10)
+    assert large.metrics.median_latency() <= small.metrics.median_latency() * 1.10
+
+
+def test_generative_end_to_end():
+    # Long-output summarization gives the adaptive policy enough token
+    # feedback to both activate exits and hold the accuracy constraint.
+    workload = make_generative_workload("cnn-dailymail", num_sequences=90, rate_qps=2.0,
+                                        seed=46)
+    vanilla = run_generative_vanilla("t5-large", workload)
+    apparate = run_generative_apparate("t5-large", workload)
+    assert apparate.metrics.median_tpt() < vanilla.median_tpt()
+    assert apparate.metrics.mean_sequence_accuracy() >= 0.98
+
+
+def test_full_api_round_trip():
+    """Register -> prepare -> serve -> compare, through the public API only."""
+    system = Apparate(seed=7)
+    workload = make_video_workload("crossroads", num_frames=2000, seed=47)
+    deployment = system.register("resnet50", accuracy_constraint=0.01, ramp_budget=0.02,
+                                 bootstrap_workload=workload)
+    assert deployment.preparation.num_initial_ramps >= 1
+    result = deployment.serve(workload)
+    vanilla = deployment.serve_vanilla(workload)
+    assert result.metrics.median_latency() < vanilla.median_latency()
+    assert result.controller.stats.threshold_tunings > 0
+
+
+def test_determinism_across_runs():
+    workload = make_video_workload("urban-day", num_frames=1500, seed=48)
+    a = run_apparate("resnet50", workload, seed=3)
+    b = run_apparate("resnet50", workload, seed=3)
+    assert a.metrics.median_latency() == pytest.approx(b.metrics.median_latency())
+    assert a.metrics.accuracy() == pytest.approx(b.metrics.accuracy())

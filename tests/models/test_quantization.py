@@ -1,0 +1,37 @@
+"""Tests for quantized model variants (§4.2)."""
+
+import pytest
+
+from repro.models.quantization import quantized_spec
+from repro.models.zoo import get_model
+
+
+def test_quantized_spec_is_faster():
+    base = get_model("bert-base")
+    quantized = quantized_spec(base, register=False)
+    assert quantized.bs1_latency_ms < base.bs1_latency_ms
+    assert quantized.default_slo_ms < base.default_slo_ms
+
+
+def test_quantized_spec_has_less_headroom():
+    """Quantization reduces overparameterization, so fewer inputs exit early."""
+    base = get_model("bert-large")
+    quantized = quantized_spec(base, register=False)
+    assert quantized.headroom < base.headroom
+
+
+def test_quantized_spec_name_suffix():
+    assert quantized_spec(get_model("bert-base"), register=False).name == "bert-base-int8"
+
+
+def test_quantized_spec_registration():
+    quantized_spec(get_model("bert-base"), register=True)
+    assert get_model("bert-base-int8").name == "bert-base-int8"
+
+
+def test_quantization_preserves_architecture_descriptors():
+    base = get_model("bert-base")
+    quantized = quantized_spec(base, register=False)
+    assert quantized.num_blocks == base.num_blocks
+    assert quantized.hidden_width == base.hidden_width
+    assert quantized.task is base.task

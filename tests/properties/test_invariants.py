@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) on the core invariants Apparate relies on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exits.evaluation import evaluate_thresholds
+from repro.exits.thresholds import tune_thresholds_greedy
+from repro.models.prediction import effective_difficulty, ramp_error_score
+from repro.utils.stats import WindowedAccuracy, summarize_latencies
+from repro.workloads.arrivals import fixed_rate_arrivals, poisson_arrivals
+
+# Hypothesis settings: keep examples modest so the suite stays fast.
+FAST = settings(max_examples=50, deadline=None)
+
+
+# ------------------------------------------------------------------ prediction
+
+@FAST
+@given(raw=st.floats(0.0, 1.0), headroom=st.floats(0.0, 1.0))
+def test_effective_difficulty_stays_in_unit_interval(raw, headroom):
+    d = effective_difficulty(raw, headroom)
+    assert 0.0 <= d <= 1.0
+    assert d >= raw * headroom - 1e-12
+
+
+@FAST
+@given(difficulty=st.floats(0.0, 1.0), sharpness=st.floats(0.01, 0.2),
+       shift=st.floats(-0.3, 0.3),
+       depth_a=st.floats(0.0, 1.0), depth_b=st.floats(0.0, 1.0))
+def test_error_score_monotone_in_depth(difficulty, sharpness, shift, depth_a, depth_b):
+    """Deeper ramps are never less confident for the same input."""
+    lo, hi = sorted((depth_a, depth_b))
+    err_lo = ramp_error_score(difficulty, lo, sharpness, shift)
+    err_hi = ramp_error_score(difficulty, hi, sharpness, shift)
+    assert err_hi <= err_lo + 1e-12
+    assert 0.0 <= err_lo <= 1.0 and 0.0 <= err_hi <= 1.0
+
+
+# ------------------------------------------------------------------ evaluation
+
+@st.composite
+def observation_window(draw):
+    n = draw(st.integers(4, 40))
+    num_ramps = draw(st.integers(1, 4))
+    errors = draw(st.lists(st.lists(st.floats(0.0, 1.0), min_size=num_ramps,
+                                    max_size=num_ramps), min_size=n, max_size=n))
+    correct = draw(st.lists(st.lists(st.booleans(), min_size=num_ramps,
+                                     max_size=num_ramps), min_size=n, max_size=n))
+    depths = sorted(draw(st.lists(st.floats(0.05, 0.95), min_size=num_ramps,
+                                  max_size=num_ramps)))
+    return (np.array(errors), np.array(correct, dtype=bool), depths,
+            [0.05] * num_ramps)
+
+
+@FAST
+@given(window=observation_window(), threshold=st.floats(0.0, 1.0))
+def test_evaluation_bounds(window, threshold):
+    errors, correct, depths, overheads = window
+    ev = evaluate_thresholds(errors, correct, [threshold] * len(depths), depths,
+                             overheads, 10.0)
+    assert 0.0 <= ev.accuracy <= 1.0
+    assert 0.0 <= ev.exit_rate <= 1.0
+    assert ev.exit_counts.sum() <= ev.num_samples
+    assert np.all(ev.ramp_savings_ms >= 0.0)
+    assert np.all(ev.ramp_overhead_ms >= 0.0)
+
+
+@FAST
+@given(window=observation_window(), t_low=st.floats(0.0, 1.0), t_high=st.floats(0.0, 1.0))
+def test_exit_rate_monotone_in_shared_threshold(window, t_low, t_high):
+    """Raising every threshold never reduces the number of exits (§3.2)."""
+    errors, correct, depths, overheads = window
+    lo, hi = sorted((t_low, t_high))
+    ev_lo = evaluate_thresholds(errors, correct, [lo] * len(depths), depths, overheads, 10.0)
+    ev_hi = evaluate_thresholds(errors, correct, [hi] * len(depths), depths, overheads, 10.0)
+    assert ev_hi.exit_rate >= ev_lo.exit_rate - 1e-12
+
+
+@FAST
+@given(window=observation_window())
+def test_zero_thresholds_always_fully_accurate(window):
+    errors, correct, depths, overheads = window
+    ev = evaluate_thresholds(errors, correct, [0.0] * len(depths), depths, overheads, 10.0)
+    assert ev.accuracy == 1.0
+    assert ev.exit_rate == 0.0
+
+
+# ------------------------------------------------------------ threshold tuning
+
+@FAST
+@given(window=observation_window(), constraint=st.floats(0.005, 0.2))
+def test_greedy_tuning_respects_constraint_on_its_window(window, constraint):
+    errors, correct, depths, overheads = window
+    result = tune_thresholds_greedy(errors, correct, depths, overheads, 10.0,
+                                    accuracy_constraint=constraint)
+    assert result.evaluation.accuracy >= 1.0 - constraint - 1e-9
+    assert all(0.0 <= t <= 1.0 for t in result.thresholds)
+
+
+# -------------------------------------------------------------------- arrivals
+
+@FAST
+@given(n=st.integers(1, 500), rate=st.floats(0.5, 500.0))
+def test_fixed_rate_arrivals_sorted_and_correct_length(n, rate):
+    arrivals = fixed_rate_arrivals(n, rate)
+    assert arrivals.shape == (n,)
+    assert np.all(np.diff(arrivals) >= 0)
+
+
+@FAST
+@given(n=st.integers(1, 300), rate=st.floats(1.0, 200.0), seed=st.integers(0, 100))
+def test_poisson_arrivals_sorted(n, rate, seed):
+    arrivals = poisson_arrivals(n, rate, np.random.default_rng(seed))
+    assert arrivals.shape == (n,)
+    assert np.all(np.diff(arrivals) >= 0)
+
+
+# ----------------------------------------------------------------------- stats
+
+@FAST
+@given(values=st.lists(st.floats(0.0, 1e4), min_size=1, max_size=200))
+def test_latency_summary_percentile_ordering(values):
+    summary = summarize_latencies(values)
+    assert summary["p25"] <= summary["p50"] <= summary["p95"]
+    assert min(values) - 1e-9 <= summary["mean"] <= max(values) + 1e-9
+
+
+@FAST
+@given(flags=st.lists(st.booleans(), min_size=1, max_size=100),
+       window=st.integers(1, 32))
+def test_windowed_accuracy_bounds(flags, window):
+    monitor = WindowedAccuracy(window=window)
+    for flag in flags:
+        monitor.record(flag)
+    accuracy = monitor.accuracy()
+    assert 0.0 <= accuracy <= 1.0
+    recent = flags[-window:]
+    assert accuracy == pytest.approx(sum(recent) / len(recent))

@@ -1,0 +1,127 @@
+"""Tests for the classification serving platforms (Clockwork / TF-Serving)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import model_stack
+from repro.serving.clockwork import ClockworkPlatform
+from repro.serving.platform import BatchResult, VanillaExecutor
+from repro.serving.request import make_requests
+from repro.serving.tfserve import TFServingPlatform
+from repro.workloads.difficulty import DifficultyTrace
+from repro.workloads.arrivals import fixed_rate_arrivals
+from repro.workloads.video import make_video_workload
+
+
+@pytest.fixture(scope="module")
+def stack():
+    return model_stack("resnet50", seed=0)
+
+
+def burst_requests(stack, n=32, slo_ms=60.0):
+    """All requests arrive at time zero (forces batching decisions)."""
+    trace = DifficultyTrace(name="burst", raw_difficulty=np.full(n, 0.3),
+                            sharpness=np.full(n, 0.05))
+    return make_requests(trace, np.zeros(n), slo_ms)
+
+
+def paced_requests(stack, n=64, rate_qps=30.0, slo_ms=32.8):
+    trace = DifficultyTrace(name="paced", raw_difficulty=np.full(n, 0.3),
+                            sharpness=np.full(n, 0.05))
+    return make_requests(trace, fixed_rate_arrivals(n, rate_qps), slo_ms)
+
+
+def test_clockwork_selects_largest_slo_compliant_batch(stack):
+    spec, profile, _pred, _cat, executor = stack
+    platform = ClockworkPlatform(profile, max_batch_size=16, drop_expired=False)
+    metrics = platform.run(burst_requests(stack, n=32, slo_ms=1000.0), VanillaExecutor(executor))
+    # With a very loose SLO the first batch should be the full max size.
+    assert metrics.average_batch_size() > 8
+
+
+def test_clockwork_small_batches_under_tight_slo(stack):
+    spec, profile, _pred, _cat, executor = stack
+    platform = ClockworkPlatform(profile, max_batch_size=16, drop_expired=False)
+    metrics = platform.run(burst_requests(stack, n=32, slo_ms=spec.bs1_latency_ms * 1.2),
+                           VanillaExecutor(executor))
+    assert metrics.average_batch_size() < 4
+
+
+def test_clockwork_serves_every_request_without_drops(stack):
+    spec, profile, _pred, _cat, executor = stack
+    platform = ClockworkPlatform(profile, max_batch_size=16, drop_expired=False)
+    requests = paced_requests(stack, n=64)
+    metrics = platform.run(requests, VanillaExecutor(executor))
+    assert len(metrics.served()) == 64
+    assert metrics.drop_rate() == 0.0
+
+
+def test_clockwork_drops_expired_requests_under_overload(stack):
+    spec, profile, _pred, _cat, executor = stack
+    platform = ClockworkPlatform(profile, max_batch_size=2, drop_expired=True)
+    # Arrivals far above capacity with a tight SLO: some requests must expire.
+    requests = paced_requests(stack, n=200, rate_qps=200.0, slo_ms=spec.default_slo_ms)
+    metrics = platform.run(requests, VanillaExecutor(executor))
+    assert metrics.drop_rate() > 0.0
+    assert len(metrics.responses) == 200
+
+
+def test_latencies_include_queueing(stack):
+    spec, profile, _pred, _cat, executor = stack
+    platform = ClockworkPlatform(profile, max_batch_size=4, drop_expired=False)
+    metrics = platform.run(burst_requests(stack, n=16, slo_ms=10_000.0),
+                           VanillaExecutor(executor))
+    latencies = sorted(r.latency_ms for r in metrics.served())
+    # Later batches wait behind earlier ones, so latency spreads out.
+    assert latencies[-1] > latencies[0] * 2
+
+
+def test_tfserve_full_batch_dispatch(stack):
+    spec, profile, _pred, _cat, executor = stack
+    platform = TFServingPlatform(max_batch_size=8, batch_timeout_ms=50.0)
+    metrics = platform.run(burst_requests(stack, n=16, slo_ms=10_000.0),
+                           VanillaExecutor(executor))
+    assert metrics.average_batch_size() == pytest.approx(8.0)
+
+
+def test_tfserve_timeout_flushes_partial_batch(stack):
+    spec, profile, _pred, _cat, executor = stack
+    platform = TFServingPlatform(max_batch_size=64, batch_timeout_ms=5.0)
+    requests = paced_requests(stack, n=20, rate_qps=30.0, slo_ms=1000.0)
+    metrics = platform.run(requests, VanillaExecutor(executor))
+    assert len(metrics.served()) == 20
+    assert metrics.average_batch_size() < 64
+
+
+def test_tfserve_larger_max_batch_trades_latency_for_throughput(stack):
+    """Figure 2: bigger batches help throughput but hurt per-request latency."""
+    spec, profile, _pred, _cat, executor = stack
+    requests = paced_requests(stack, n=300, rate_qps=120.0, slo_ms=10_000.0)
+    small = TFServingPlatform(max_batch_size=2, batch_timeout_ms=2.0).run(
+        requests, VanillaExecutor(executor))
+    large = TFServingPlatform(max_batch_size=16, batch_timeout_ms=2.0).run(
+        requests, VanillaExecutor(executor))
+    assert large.average_batch_size() > small.average_batch_size()
+    assert large.throughput_qps() >= small.throughput_qps() * 0.95
+
+
+def test_invalid_parameters_rejected(stack):
+    _spec, profile, _pred, _cat, _exec = stack
+    with pytest.raises(ValueError):
+        ClockworkPlatform(profile, max_batch_size=0)
+    with pytest.raises(ValueError):
+        TFServingPlatform(batch_timeout_ms=-1.0)
+
+
+def test_empty_request_list(stack):
+    _spec, profile, _pred, _cat, executor = stack
+    platform = ClockworkPlatform(profile)
+    metrics = platform.run([], VanillaExecutor(executor))
+    assert len(metrics.responses) == 0
+
+
+def test_batch_result_defaults():
+    result = BatchResult(gpu_time_ms=5.0, result_offsets_ms=[5.0, 5.0])
+    assert result.exited == [False, False]
+    assert result.exit_depths == [None, None]
+    assert result.correct == [True, True]

@@ -1,0 +1,93 @@
+"""Tests for request records and serving metrics."""
+
+import numpy as np
+import pytest
+
+from repro.serving.metrics import ServingMetrics
+from repro.serving.request import Request, Response, make_requests
+from repro.workloads.video import make_video_workload
+
+
+def make_response(request_id=0, latency=10.0, correct=True, dropped=False,
+                  exited=False, queueing=2.0):
+    return Response(request_id=request_id, arrival_ms=0.0, scheduled_ms=queueing,
+                    completion_ms=latency, queueing_ms=queueing,
+                    serving_ms=latency - queueing, latency_ms=latency,
+                    batch_size=1, exited=exited, correct=correct, dropped=dropped)
+
+
+def test_make_requests_pairs_trace_and_arrivals():
+    workload = make_video_workload("urban-day", num_frames=50, seed=0)
+    requests = make_requests(workload.trace, workload.arrival_times_ms, slo_ms=20.0)
+    assert len(requests) == 50
+    assert requests[10].sample.index == 10
+    assert requests[10].deadline_ms() == pytest.approx(requests[10].arrival_ms + 20.0)
+
+
+def test_make_requests_length_mismatch():
+    workload = make_video_workload("urban-day", num_frames=50, seed=0)
+    with pytest.raises(ValueError):
+        make_requests(workload.trace, workload.arrival_times_ms[:10], slo_ms=20.0)
+
+
+def test_response_met_slo():
+    response = make_response(latency=15.0)
+    assert response.met_slo(20.0)
+    assert not response.met_slo(10.0)
+    dropped = make_response(dropped=True)
+    assert not dropped.met_slo(100.0)
+
+
+class TestServingMetrics:
+    def build(self):
+        metrics = ServingMetrics()
+        for i, (latency, correct, exited) in enumerate([
+                (10.0, True, True), (20.0, True, False), (30.0, False, True),
+                (40.0, True, False)]):
+            metrics.add_response(make_response(i, latency, correct, exited=exited))
+        metrics.add_response(make_response(99, 5.0, dropped=True))
+        metrics.add_batch(12.0)
+        metrics.add_batch(14.0)
+        metrics.makespan_ms = 100.0
+        return metrics
+
+    def test_served_and_dropped_partition(self):
+        metrics = self.build()
+        assert len(metrics.served()) == 4
+        assert len(metrics.dropped()) == 1
+        assert metrics.drop_rate() == pytest.approx(1 / 5)
+
+    def test_latency_summary(self):
+        metrics = self.build()
+        assert metrics.median_latency() == pytest.approx(25.0)
+        assert metrics.p95_latency() == pytest.approx(np.percentile([10, 20, 30, 40], 95))
+
+    def test_accuracy_and_exit_rate(self):
+        metrics = self.build()
+        assert metrics.accuracy() == pytest.approx(3 / 4)
+        assert metrics.exit_rate() == pytest.approx(2 / 4)
+
+    def test_throughput_and_batches(self):
+        metrics = self.build()
+        assert metrics.throughput_qps() == pytest.approx(1000.0 * 4 / 100.0)
+        assert metrics.average_batch_size() == pytest.approx(2.0)
+        assert metrics.gpu_utilization() == pytest.approx(26.0 / 100.0)
+
+    def test_goodput_counts_only_slo_compliant(self):
+        metrics = self.build()
+        assert metrics.goodput_qps(25.0) == pytest.approx(1000.0 * 2 / 100.0)
+
+    def test_slo_violation_rate(self):
+        metrics = self.build()
+        assert metrics.slo_violation_rate(25.0) == pytest.approx(0.5)
+
+    def test_empty_metrics_are_benign(self):
+        metrics = ServingMetrics()
+        assert metrics.accuracy() == 1.0
+        assert metrics.throughput_qps() == 0.0
+        assert metrics.latency_summary()["count"] == 0
+
+    def test_summary_keys(self):
+        summary = self.build().summary()
+        assert {"p25_ms", "p50_ms", "p95_ms", "throughput_qps", "accuracy",
+                "exit_rate", "avg_batch_size", "drop_rate"} <= set(summary)

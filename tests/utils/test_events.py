@@ -1,0 +1,58 @@
+"""Tests for the discrete-event primitives."""
+
+import pytest
+
+from repro.utils.events import EventQueue, SimClock
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        seen = []
+        queue.push(5.0, seen.append, "late")
+        queue.push(1.0, seen.append, "early")
+        queue.push(3.0, seen.append, "middle")
+        while queue:
+            event = queue.pop()
+            event.callback(event.payload)
+        assert seen == ["early", "middle", "late"]
+
+    def test_fifo_tie_breaking(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda _: None, "first")
+        queue.push(1.0, lambda _: None, "second")
+        assert queue.pop().payload == "first"
+        assert queue.pop().payload == "second"
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(2.5, lambda _: None)
+        assert queue.peek_time() == pytest.approx(2.5)
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(1.0, lambda _: None)
+        assert len(queue) == 1
+        assert queue
+
+
+class TestSimClock:
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_by(self):
+        clock = SimClock(start=5.0)
+        assert clock.advance_by(2.5) == 7.5
+
+    def test_cannot_move_backwards(self):
+        clock = SimClock(start=5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(1.0)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance_by(-1.0)

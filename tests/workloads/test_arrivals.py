@@ -1,0 +1,74 @@
+"""Tests for arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory
+from repro.workloads.arrivals import fixed_rate_arrivals, maf_trace_arrivals, poisson_arrivals
+
+
+def test_fixed_rate_spacing():
+    arrivals = fixed_rate_arrivals(10, rate_qps=20.0)
+    assert np.allclose(np.diff(arrivals), 50.0)
+
+
+def test_fixed_rate_start_offset():
+    arrivals = fixed_rate_arrivals(3, rate_qps=10.0, start_ms=500.0)
+    assert arrivals[0] == pytest.approx(500.0)
+
+
+def test_fixed_rate_rejects_non_positive_rate():
+    with pytest.raises(ValueError):
+        fixed_rate_arrivals(5, rate_qps=0.0)
+
+
+def test_poisson_mean_rate_close_to_target():
+    rng = RngFactory(0).generator("poisson")
+    arrivals = poisson_arrivals(20_000, rate_qps=50.0, rng=rng)
+    duration_s = (arrivals[-1] - arrivals[0]) / 1000.0
+    observed = len(arrivals) / duration_s
+    assert observed == pytest.approx(50.0, rel=0.1)
+
+
+def test_poisson_monotone_timestamps():
+    rng = RngFactory(1).generator("poisson")
+    arrivals = poisson_arrivals(1000, 10.0, rng)
+    assert np.all(np.diff(arrivals) >= 0)
+
+
+def test_maf_produces_requested_count():
+    rng = RngFactory(2).generator("maf")
+    arrivals = maf_trace_arrivals(5000, mean_rate_qps=30.0, rng=rng)
+    assert arrivals.shape == (5000,)
+    assert np.all(np.diff(arrivals) >= 0)
+
+
+def test_maf_mean_rate_in_reasonable_band():
+    rng = RngFactory(3).generator("maf")
+    arrivals = maf_trace_arrivals(30_000, mean_rate_qps=40.0, rng=rng)
+    duration_s = (arrivals[-1] - arrivals[0]) / 1000.0
+    observed = len(arrivals) / duration_s
+    assert 15.0 < observed < 120.0
+
+
+def test_maf_is_burstier_than_poisson():
+    """Azure-Functions-like traces have heavier per-second rate variation."""
+    rng = RngFactory(4)
+    maf = maf_trace_arrivals(20_000, 40.0, rng.generator("maf"))
+    poisson = poisson_arrivals(20_000, 40.0, rng.generator("poisson"))
+
+    def per_second_cv(arrivals):
+        seconds = np.floor(arrivals / 1000.0).astype(int)
+        counts = np.bincount(seconds - seconds.min())
+        counts = counts[counts > 0]
+        return counts.std() / counts.mean()
+
+    assert per_second_cv(maf) > per_second_cv(poisson)
+
+
+def test_rejects_non_positive_rates():
+    rng = RngFactory(5).generator("x")
+    with pytest.raises(ValueError):
+        poisson_arrivals(10, 0.0, rng)
+    with pytest.raises(ValueError):
+        maf_trace_arrivals(10, -1.0, rng)

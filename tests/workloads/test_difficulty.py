@@ -1,0 +1,103 @@
+"""Tests for the difficulty processes and traces."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory
+from repro.workloads.difficulty import (
+    DifficultyTrace,
+    RandomWalkDifficulty,
+    RegimeSwitchDifficulty,
+)
+
+
+def make_trace(n=5):
+    return DifficultyTrace(name="t", raw_difficulty=np.linspace(0, 1, n),
+                           sharpness=np.full(n, 0.05))
+
+
+def test_trace_defaults_confidence_shift_to_zeros():
+    trace = make_trace()
+    assert np.allclose(trace.confidence_shift, 0.0)
+
+
+def test_trace_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        DifficultyTrace(name="t", raw_difficulty=np.zeros(3), sharpness=np.zeros(2))
+
+
+def test_trace_clips_difficulty_to_unit_interval():
+    trace = DifficultyTrace(name="t", raw_difficulty=np.array([-0.5, 1.5]),
+                            sharpness=np.zeros(2))
+    assert trace.raw_difficulty.min() >= 0.0
+    assert trace.raw_difficulty.max() <= 1.0
+
+
+def test_trace_sample_and_iteration():
+    trace = make_trace(4)
+    samples = list(trace.samples())
+    assert len(samples) == 4
+    assert samples[2].index == 2
+    assert samples[2].raw_difficulty == pytest.approx(trace.raw_difficulty[2])
+
+
+def test_trace_slice_preserves_fields():
+    trace = make_trace(10)
+    piece = trace.slice(2, 6)
+    assert len(piece) == 4
+    assert piece.raw_difficulty[0] == pytest.approx(trace.raw_difficulty[2])
+    assert piece.confidence_shift.shape == (4,)
+
+
+def test_random_walk_values_in_unit_interval():
+    rng = RngFactory(0).generator("walk")
+    trace = RandomWalkDifficulty(mean=0.3).generate(2000, rng)
+    assert trace.raw_difficulty.min() >= 0.0
+    assert trace.raw_difficulty.max() <= 1.0
+
+
+def test_random_walk_has_temporal_continuity():
+    """Adjacent video frames should be much closer than random pairs."""
+    rng = RngFactory(1).generator("walk")
+    trace = RandomWalkDifficulty(mean=0.3, volatility=0.02).generate(3000, rng)
+    d = trace.raw_difficulty
+    adjacent = np.abs(np.diff(d)).mean()
+    shuffled = np.abs(np.diff(np.random.default_rng(0).permutation(d))).mean()
+    assert adjacent < shuffled / 3
+
+
+def test_random_walk_reproducible():
+    a = RandomWalkDifficulty().generate(500, RngFactory(5).generator("x"))
+    b = RandomWalkDifficulty().generate(500, RngFactory(5).generator("x"))
+    assert np.allclose(a.raw_difficulty, b.raw_difficulty)
+
+
+def test_regime_switch_low_continuity():
+    """Review streams have far less adjacent-request correlation than video."""
+    rng = RngFactory(2).generator("regime")
+    trace = RegimeSwitchDifficulty().generate(3000, rng)
+    video = RandomWalkDifficulty(volatility=0.02).generate(3000, RngFactory(2).generator("v"))
+    nlp_adjacent = np.abs(np.diff(trace.raw_difficulty)).mean()
+    video_adjacent = np.abs(np.diff(video.raw_difficulty)).mean()
+    assert nlp_adjacent > 3 * video_adjacent
+
+
+def test_regime_switch_mean_near_base_mean():
+    rng = RngFactory(3).generator("regime")
+    trace = RegimeSwitchDifficulty(base_mean=0.5, regime_spread=0.1).generate(5000, rng)
+    assert 0.35 < trace.mean_difficulty() < 0.65
+
+
+def test_confidence_shift_bounded():
+    rng = RngFactory(4).generator("walk")
+    trace = RandomWalkDifficulty(confidence_noise=0.02).generate(4000, rng)
+    assert np.abs(trace.confidence_shift).max() < 0.25
+
+
+def test_nlp_confidence_noise_larger_than_cv():
+    cv = RandomWalkDifficulty().generate(4000, RngFactory(6).generator("cv"))
+    nlp = RegimeSwitchDifficulty().generate(4000, RngFactory(6).generator("nlp"))
+    # Remove the smooth component by differencing: noise dominates diffs.
+    cv_noise = np.abs(np.diff(cv.confidence_shift)).mean()
+    nlp_noise = np.abs(np.diff(nlp.confidence_shift)).mean()
+    assert nlp_noise > cv_noise
