@@ -22,9 +22,13 @@ from repro.core import (
     ApparateDeployment,
     ApparateController,
     ApparateRunResult,
+    ApparateClusterRunResult,
+    FleetController,
     GenerativeRunResult,
     run_apparate,
     run_vanilla,
+    run_apparate_cluster,
+    run_vanilla_cluster,
     run_generative_apparate,
     run_generative_vanilla,
 )
@@ -37,9 +41,13 @@ __all__ = [
     "ApparateDeployment",
     "ApparateController",
     "ApparateRunResult",
+    "ApparateClusterRunResult",
+    "FleetController",
     "GenerativeRunResult",
     "run_apparate",
     "run_vanilla",
+    "run_apparate_cluster",
+    "run_vanilla_cluster",
     "run_generative_apparate",
     "run_generative_vanilla",
     "ModelSpec",

@@ -7,7 +7,9 @@ Three subcommands cover the common flows without writing any Python:
 
 ``repro-apparate classify --model resnet50 --workload video:urban-day``
     Serve a classification workload with and without Apparate and print the
-    latency/accuracy/throughput comparison.
+    latency/accuracy/throughput comparison.  With ``--replicas N`` (plus
+    ``--balancer`` and ``--fleet-mode``) the same comparison runs on an
+    N-replica cluster behind a load balancer.
 
 ``repro-apparate generate --model t5-large --dataset cnn-dailymail``
     Serve a generative workload with Apparate, FREE and the optimal oracle and
@@ -26,7 +28,9 @@ from typing import List, Optional, Sequence
 from repro.baselines.free import run_free_generative
 from repro.baselines.oracle import run_optimal_generative
 from repro.core.generative import run_generative_apparate, run_generative_vanilla
-from repro.core.pipeline import run_apparate, run_vanilla
+from repro.core.pipeline import (run_apparate, run_apparate_cluster,
+                                 run_vanilla, run_vanilla_cluster)
+from repro.serving.cluster import BALANCER_NAMES
 from repro.generative.sequences import make_generative_workload
 from repro.models.zoo import Task, get_model, list_models
 from repro.workloads.nlp import make_nlp_workload
@@ -58,6 +62,17 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--accuracy-constraint", type=float, default=0.01)
     classify.add_argument("--ramp-budget", type=float, default=0.02)
     classify.add_argument("--seed", type=int, default=0)
+    classify.add_argument("--replicas", type=int, default=1,
+                          help="number of model replicas (>1 enables cluster serving)")
+    classify.add_argument("--balancer", default=None,
+                          choices=list(BALANCER_NAMES),
+                          help="load-balancing policy for cluster serving "
+                               "(default: round_robin)")
+    classify.add_argument("--fleet-mode", default=None,
+                          choices=["independent", "shared"],
+                          help="EE control topology: one controller per replica "
+                               "(independent, the default) or one shared fleet "
+                               "controller with periodic sync")
 
     generate = sub.add_parser("generate", help="serve a generative workload")
     generate.add_argument("--model", default="t5-large")
@@ -94,11 +109,51 @@ def _build_classification_workload(args: argparse.Namespace):
     raise SystemExit(f"unknown workload kind {kind!r}; use 'video:<scene>' or 'nlp:<dataset>'")
 
 
+def _cmd_classify_cluster(args: argparse.Namespace, spec, workload) -> int:
+    balancer = args.balancer or "round_robin"
+    fleet_mode = args.fleet_mode or "independent"
+    vanilla = run_vanilla_cluster(spec, workload, replicas=args.replicas,
+                                  balancer=balancer, platform=args.platform,
+                                  seed=args.seed)
+    apparate = run_apparate_cluster(spec, workload, replicas=args.replicas,
+                                    balancer=balancer,
+                                    fleet_mode=fleet_mode,
+                                    platform=args.platform, seed=args.seed,
+                                    accuracy_constraint=args.accuracy_constraint,
+                                    ramp_budget=args.ramp_budget)
+    v, a = vanilla.summary(), apparate.metrics.summary()
+    print(f"model={spec.name} workload={args.workload} platform={args.platform} "
+          f"replicas={args.replicas} balancer={balancer} "
+          f"fleet-mode={fleet_mode} requests={args.requests}")
+    print(f"{'fleet metric':<22s} {'vanilla':>12s} {'Apparate':>12s}")
+    for key, label in [("p50_ms", "median latency"), ("p95_ms", "p95 latency"),
+                       ("p99_ms", "p99 latency"), ("throughput_qps", "fleet throughput"),
+                       ("accuracy", "accuracy"), ("drop_rate", "drop rate"),
+                       ("dispatch_imbalance", "dispatch imbalance")]:
+        print(f"{label:<22s} {v[key]:12.3f} {a[key]:12.3f}")
+    print(f"{'exit rate':<22s} {'-':>12s} {a['exit_rate']:12.3f}")
+    for i, (vc, ac) in enumerate(zip(vanilla.dispatch_counts,
+                                     apparate.metrics.dispatch_counts)):
+        print(f"replica {i}: vanilla={vc} apparate={ac} requests dispatched")
+    stats = apparate.fleet.stats_summary()
+    print(f"fleet controllers: {stats['num_controllers']:.0f} "
+          f"({fleet_mode}), {stats['threshold_tunings']:.0f} threshold tunings, "
+          f"{stats['ramp_adjustments']:.0f} ramp adjustments")
+    return 0
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
     spec = get_model(args.model)
     if spec.task is Task.GENERATIVE:
         raise SystemExit(f"{spec.name} is generative; use the 'generate' command")
+    if args.replicas < 1:
+        raise SystemExit("--replicas must be >= 1")
+    if args.replicas == 1 and (args.balancer or args.fleet_mode):
+        print("note: --balancer/--fleet-mode only apply to cluster serving; "
+              "pass --replicas N (N > 1) to enable it", file=sys.stderr)
     workload = _build_classification_workload(args)
+    if args.replicas > 1:
+        return _cmd_classify_cluster(args, spec, workload)
     vanilla = run_vanilla(spec, workload, platform=args.platform, seed=args.seed)
     apparate = run_apparate(spec, workload, platform=args.platform, seed=args.seed,
                             accuracy_constraint=args.accuracy_constraint,

@@ -8,12 +8,18 @@ The public entry points are:
   — one-call classification serving runs used by the examples and benchmarks;
 * :func:`repro.core.generative.run_generative_vanilla` /
   :func:`repro.core.generative.run_generative_apparate` — the generative
-  counterparts (§3.4, §4.3).
+  counterparts (§3.4, §4.3);
+* :func:`repro.core.pipeline.run_vanilla_cluster` /
+  :func:`repro.core.pipeline.run_apparate_cluster` — fleet-scale serving
+  across N replicas behind a load balancer, with EE control per replica or
+  shared fleet-wide (:class:`repro.core.controller.FleetController`).
 """
 
 from repro.core.apparate import Apparate, ApparateDeployment, PreparationReport
-from repro.core.controller import ApparateController, ControllerStats
-from repro.core.pipeline import ApparateRunResult, run_apparate, run_vanilla
+from repro.core.controller import ApparateController, ControllerStats, FleetController
+from repro.core.pipeline import (ApparateClusterRunResult, ApparateRunResult,
+                                 run_apparate, run_apparate_cluster,
+                                 run_vanilla, run_vanilla_cluster)
 from repro.core.generative import (
     ApparateTokenPolicy,
     GenerativeRunResult,
@@ -27,9 +33,13 @@ __all__ = [
     "PreparationReport",
     "ApparateController",
     "ControllerStats",
+    "FleetController",
     "ApparateRunResult",
+    "ApparateClusterRunResult",
     "run_apparate",
     "run_vanilla",
+    "run_apparate_cluster",
+    "run_vanilla_cluster",
     "ApparateTokenPolicy",
     "GenerativeRunResult",
     "run_generative_apparate",

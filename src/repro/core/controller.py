@@ -33,7 +33,7 @@ from repro.models.latency import LatencyProfile
 from repro.models.zoo import ModelSpec
 from repro.utils.stats import WindowedAccuracy
 
-__all__ = ["ControllerStats", "ApparateController"]
+__all__ = ["ControllerStats", "ApparateController", "FleetController"]
 
 
 @dataclass
@@ -171,3 +171,119 @@ class ApparateController:
             self.window.rebuild(self.config.active_ramp_ids)
             self.stats.ramp_set_changes += 1
             self.stats.record_config(self.stats.samples_seen, self.config.active_ramp_ids)
+
+
+# ---------------------------------------------------------------------------
+# Fleet-scale control (cluster serving).
+# ---------------------------------------------------------------------------
+
+class _SyncedReplicaController:
+    """Replica-side view of a shared fleet controller.
+
+    Reads (``deployed_config``) always reflect the shared controller's latest
+    decision — configuration changes propagate to every replica immediately.
+    Writes (``observe_batch``) are buffered locally and flushed to the shared
+    controller every ``sync_period`` samples, modelling the periodic feedback
+    sync a real fleet would run instead of a per-batch RPC per replica.
+    """
+
+    def __init__(self, shared: ApparateController, sync_period: int) -> None:
+        if sync_period < 1:
+            raise ValueError("sync_period must be >= 1")
+        self.shared = shared
+        self.sync_period = int(sync_period)
+        self._buffer: List[BatchExecution] = []
+        self._buffered_samples = 0
+
+    def deployed_config(self) -> Tuple[List[int], List[float], List[float], List[float]]:
+        return self.shared.deployed_config()
+
+    def observe_batch(self, execution: BatchExecution) -> None:
+        self._buffer.append(execution)
+        self._buffered_samples += len(execution.results)
+        if self._buffered_samples >= self.sync_period:
+            self.flush()
+
+    def flush(self) -> None:
+        """Replay buffered feedback into the shared controller."""
+        for execution in self._buffer:
+            self.shared.observe_batch(execution)
+        self._buffer.clear()
+        self._buffered_samples = 0
+
+
+class FleetController:
+    """EE control for a fleet of replicas serving the same model.
+
+    Two modes reproduce the paper's controller at cluster scale:
+
+    ``independent``
+        One :class:`ApparateController` per replica.  Each replica adapts its
+        thresholds/ramps to the slice of traffic the balancer routes to it —
+        robust to skewed dispatch, but every controller pays its own warm-up.
+    ``shared``
+        One controller for the whole fleet.  Every replica serves the shared
+        deployed configuration; profiling feedback is aggregated across
+        replicas with a periodic sync (every ``sync_period`` samples per
+        replica), so the controller tunes on fleet-wide evidence and converges
+        with N× the sample rate of a single replica.
+    """
+
+    MODES = ("independent", "shared")
+
+    def __init__(self, spec: ModelSpec, catalog: RampCatalog, profile: LatencyProfile,
+                 num_replicas: int, mode: str = "independent",
+                 sync_period: int = 64, **controller_kwargs) -> None:
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        mode = mode.lower()
+        if mode not in self.MODES:
+            raise ValueError(f"unknown fleet mode {mode!r}; choose from {self.MODES}")
+        self.mode = mode
+        self.num_replicas = int(num_replicas)
+        self.sync_period = int(sync_period)
+
+        if mode == "independent":
+            self.shared: Optional[ApparateController] = None
+            self.controllers: List[ApparateController] = [
+                ApparateController(spec, catalog, profile, **controller_kwargs)
+                for _ in range(self.num_replicas)]
+            self._replica_views: List[object] = list(self.controllers)
+        else:
+            self.shared = ApparateController(spec, catalog, profile, **controller_kwargs)
+            self.controllers = [self.shared]
+            self._replica_views = [
+                _SyncedReplicaController(self.shared, sync_period)
+                for _ in range(self.num_replicas)]
+
+    def replica_controller(self, index: int):
+        """The controller-like object replica ``index`` should serve through."""
+        return self._replica_views[index]
+
+    def primary(self) -> ApparateController:
+        """The controller used for fleet-level reporting."""
+        return self.shared if self.shared is not None else self.controllers[0]
+
+    def flush(self) -> None:
+        """Drain any buffered feedback (call once at the end of a run)."""
+        if self.shared is not None:
+            for view in self._replica_views:
+                view.flush()
+
+    # ------------------------------------------------------------- reporting
+    def total_samples_seen(self) -> int:
+        return sum(c.stats.samples_seen for c in self.controllers)
+
+    def stats_summary(self) -> Dict[str, float]:
+        """Fleet-wide controller activity, summed across controllers."""
+        return {
+            "fleet_mode": float(self.MODES.index(self.mode)),
+            "num_controllers": float(len(self.controllers)),
+            "samples_seen": float(self.total_samples_seen()),
+            "threshold_tunings": float(sum(c.stats.threshold_tunings
+                                           for c in self.controllers)),
+            "ramp_adjustments": float(sum(c.stats.ramp_adjustments
+                                          for c in self.controllers)),
+            "ramp_set_changes": float(sum(c.stats.ramp_set_changes
+                                          for c in self.controllers)),
+        }

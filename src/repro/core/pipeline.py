@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.controller import ApparateController
+from repro.core.controller import ApparateController, FleetController
 from repro.exits.placement import RampCatalog, build_ramp_catalog
 from repro.exits.ramps import RampStyle
 from repro.graph.builders import build_graph_for_model
@@ -23,15 +23,17 @@ from repro.models.latency import LatencyProfile, build_latency_profile
 from repro.models.prediction import PredictionModel
 from repro.models.zoo import ModelSpec, get_model
 from repro.serving.clockwork import ClockworkPlatform
-from repro.serving.metrics import ServingMetrics
+from repro.serving.cluster import ClusterPlatform, LoadBalancer
+from repro.serving.metrics import ClusterMetrics, ServingMetrics
 from repro.serving.platform import BatchResult, ServingPlatform, VanillaExecutor
 from repro.serving.request import Request, make_requests
 from repro.serving.tfserve import TFServingPlatform
 from repro.workloads.nlp import NLPWorkload
 from repro.workloads.video import VideoWorkload
 
-__all__ = ["ApparateExecutor", "ApparateRunResult", "build_platform",
-           "run_vanilla", "run_apparate", "model_stack"]
+__all__ = ["ApparateExecutor", "ApparateRunResult", "ApparateClusterRunResult",
+           "build_platform", "build_cluster", "run_vanilla", "run_apparate",
+           "run_vanilla_cluster", "run_apparate_cluster", "model_stack"]
 
 Workload = Union[VideoWorkload, NLPWorkload]
 
@@ -54,10 +56,28 @@ class ApparateRunResult:
         return data
 
 
-class ApparateExecutor:
-    """Batch executor that serves through the deployed EE configuration."""
+@dataclass
+class ApparateClusterRunResult:
+    """Outcome of one Apparate cluster serving run."""
 
-    def __init__(self, executor: ModelExecutor, controller: ApparateController) -> None:
+    metrics: ClusterMetrics
+    fleet: FleetController
+
+    def summary(self) -> Dict[str, float]:
+        data = self.metrics.summary()
+        data.update(self.fleet.stats_summary())
+        return data
+
+
+class ApparateExecutor:
+    """Batch executor that serves through the deployed EE configuration.
+
+    ``controller`` may be an :class:`ApparateController` or any object with
+    the same ``deployed_config()`` / ``observe_batch()`` surface (e.g. the
+    per-replica views handed out by a :class:`FleetController`).
+    """
+
+    def __init__(self, executor: ModelExecutor, controller) -> None:
         self.executor = executor
         self.controller = controller
 
@@ -116,8 +136,23 @@ def build_platform(platform: str, profile: LatencyProfile, max_batch_size: int =
     if platform in ("tfserve", "tf-serving", "tensorflow-serving"):
         return TFServingPlatform(max_batch_size=max_batch_size,
                                  batch_timeout_ms=batch_timeout_ms,
-                                 drop_expired=drop_expired)
+                                 drop_expired=drop_expired,
+                                 profile=profile)
     raise ValueError(f"unknown platform {platform!r}")
+
+
+def build_cluster(platform: str, profile: LatencyProfile, replicas: int,
+                  balancer: Union[str, LoadBalancer] = "round_robin",
+                  max_batch_size: int = 16, batch_timeout_ms: float = 5.0,
+                  drop_expired: bool = True, seed: int = 0) -> ClusterPlatform:
+    """Construct ``replicas`` identical platforms behind a load balancer."""
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    fleet = [build_platform(platform, profile, max_batch_size=max_batch_size,
+                            batch_timeout_ms=batch_timeout_ms,
+                            drop_expired=drop_expired)
+             for _ in range(replicas)]
+    return ClusterPlatform(fleet, balancer=balancer, seed=seed)
 
 
 # ---------------------------------------------------------------------------
@@ -166,3 +201,60 @@ def run_apparate(model: Union[str, ModelSpec], workload: Workload,
                             drop_expired=drop_expired)
     metrics = engine.run(requests, ApparateExecutor(executor, controller))
     return ApparateRunResult(metrics=metrics, controller=controller)
+
+
+# ---------------------------------------------------------------------------
+# Cluster serving runs (N replicas behind a load balancer).
+# ---------------------------------------------------------------------------
+
+def run_vanilla_cluster(model: Union[str, ModelSpec], workload: Workload,
+                        replicas: int = 2, balancer: Union[str, LoadBalancer] = "round_robin",
+                        platform: str = "clockwork", slo_ms: Optional[float] = None,
+                        max_batch_size: int = 16, seed: int = 0,
+                        drop_expired: bool = True) -> ClusterMetrics:
+    """Serve ``workload`` with ``replicas`` copies of the original (non-EE) model."""
+    spec, profile, _prediction, _catalog, executor = model_stack(model, seed=seed)
+    slo = slo_ms if slo_ms is not None else spec.default_slo_ms
+    requests = _workload_requests(workload, slo)
+    cluster = build_cluster(platform, profile, replicas, balancer=balancer,
+                            max_batch_size=max_batch_size,
+                            drop_expired=drop_expired, seed=seed)
+    # The vanilla executor is stateless, so every replica can share it.
+    return cluster.run(requests, VanillaExecutor(executor))
+
+
+def run_apparate_cluster(model: Union[str, ModelSpec], workload: Workload,
+                         replicas: int = 2,
+                         balancer: Union[str, LoadBalancer] = "round_robin",
+                         fleet_mode: str = "independent", sync_period: int = 64,
+                         platform: str = "clockwork", slo_ms: Optional[float] = None,
+                         accuracy_constraint: float = 0.01, ramp_budget: float = 0.02,
+                         ramp_style: RampStyle = RampStyle.LIGHTWEIGHT,
+                         max_batch_size: int = 16, seed: int = 0,
+                         drop_expired: bool = True,
+                         initial_ramp_ids: Optional[Sequence[int]] = None
+                         ) -> ApparateClusterRunResult:
+    """Serve ``workload`` across a fleet of Apparate-managed replicas.
+
+    ``fleet_mode`` selects the EE control topology: ``independent`` gives each
+    replica its own :class:`ApparateController`; ``shared`` aggregates the
+    fleet's profiling feedback into one controller with a periodic sync of
+    ``sync_period`` samples per replica (see :class:`FleetController`).
+    """
+    spec, profile, _prediction, catalog, executor = model_stack(
+        model, seed=seed, ramp_budget=ramp_budget, ramp_style=ramp_style)
+    slo = slo_ms if slo_ms is not None else spec.default_slo_ms
+    requests = _workload_requests(workload, slo)
+
+    fleet = FleetController(spec, catalog, profile, replicas, mode=fleet_mode,
+                            sync_period=sync_period,
+                            accuracy_constraint=accuracy_constraint,
+                            initial_ramp_ids=initial_ramp_ids)
+    executors = [ApparateExecutor(executor, fleet.replica_controller(i))
+                 for i in range(replicas)]
+    cluster = build_cluster(platform, profile, replicas, balancer=balancer,
+                            max_batch_size=max_batch_size,
+                            drop_expired=drop_expired, seed=seed)
+    metrics = cluster.run(requests, executors)
+    fleet.flush()
+    return ApparateClusterRunResult(metrics=metrics, fleet=fleet)

@@ -8,7 +8,10 @@ simulators of those platforms with the same external behaviour:
 * :class:`ClockworkPlatform` — work-conserving, SLO-aware max-batch selection;
 * :class:`TFServingPlatform` — ``max_batch_size`` / ``batch_timeout`` knobs;
 * :class:`ContinuousBatchingEngine` — generative serving with continuous
-  batching (new sequences join as others finish).
+  batching (new sequences join as others finish);
+* :class:`ClusterPlatform` — N replica platforms behind a pluggable load
+  balancer (round-robin, JSQ, least-work-left, power-of-two-choices),
+  interleaved on one global clock via the steppable event-loop phases.
 
 Platforms are agnostic to early exits: they hand formed batches to an executor
 callback and collect per-request result-release times, which is exactly the
@@ -16,21 +19,38 @@ interface Apparate needs to sit on top.
 """
 
 from repro.serving.request import Request, Response, make_requests
-from repro.serving.metrics import ServingMetrics
-from repro.serving.platform import BatchExecutorFn, ServingPlatform, VanillaExecutor
+from repro.serving.metrics import ClusterMetrics, ServingMetrics
+from repro.serving.platform import (BatchExecutorFn, ReplicaState,
+                                    ServingPlatform, VanillaExecutor)
 from repro.serving.clockwork import ClockworkPlatform
 from repro.serving.tfserve import TFServingPlatform
 from repro.serving.hf_pipelines import ContinuousBatchingEngine
+from repro.serving.cluster import (BALANCER_NAMES, ClusterPlatform,
+                                   JoinShortestQueueBalancer,
+                                   LeastWorkLeftBalancer, LoadBalancer,
+                                   PowerOfTwoChoicesBalancer, ReplicaHandle,
+                                   RoundRobinBalancer, build_balancer)
 
 __all__ = [
     "Request",
     "Response",
     "make_requests",
     "ServingMetrics",
+    "ClusterMetrics",
     "BatchExecutorFn",
+    "ReplicaState",
     "ServingPlatform",
     "VanillaExecutor",
     "ClockworkPlatform",
     "TFServingPlatform",
     "ContinuousBatchingEngine",
+    "ClusterPlatform",
+    "LoadBalancer",
+    "RoundRobinBalancer",
+    "JoinShortestQueueBalancer",
+    "LeastWorkLeftBalancer",
+    "PowerOfTwoChoicesBalancer",
+    "ReplicaHandle",
+    "build_balancer",
+    "BALANCER_NAMES",
 ]

@@ -28,6 +28,7 @@ class ClockworkPlatform(ServingPlatform):
         self.profile = profile
 
     def predicted_batch_time_ms(self, batch_size: int) -> float:
+        """Profile-backed estimate (also feeds work-aware cluster balancers)."""
         return self.profile.total_latency_ms(batch_size)
 
     def select_batch(self, queue: List[Request], now_ms: float) -> Tuple[List[Request], float]:

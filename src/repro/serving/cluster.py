@@ -1,0 +1,320 @@
+"""Multi-replica cluster serving: N platforms behind a pluggable balancer.
+
+A :class:`ClusterPlatform` owns one :class:`~repro.serving.platform.ServingPlatform`
+per replica and dispatches a single arrival stream across them.  Replicas keep
+their own queues, accelerators and batching policies — the cluster only decides
+*where* each request goes (the load-balancing policy) and interleaves the
+replica timelines on one global clock using the steppable event-loop phases
+exposed by ``ServingPlatform`` (``admit`` / ``expire`` / ``select`` /
+``dispatch`` / ``complete``).
+
+Balancing policies
+------------------
+``round_robin``
+    Cycle through replicas in dispatch order.  Zero state inspection; fair in
+    count but blind to queue skew from batching.
+``join_shortest_queue``
+    Route to the replica with the fewest jobs in system — queued plus the
+    in-flight batch (classic JSQ).
+``least_work_left``
+    Route to the replica with the least *expected* work: current accelerator
+    backlog plus the queued requests translated into milliseconds via the
+    platform's latency profile.  Sees through queues of unequal cost.
+``power_of_two_choices``
+    Sample two replicas uniformly at random and pick the shorter queue —
+    near-JSQ balance with O(1) state inspection (Mitzenmacher '01).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.serving.metrics import ClusterMetrics
+from repro.serving.platform import (BatchExecutorFn, ReplicaState,
+                                    ServingPlatform)
+from repro.serving.request import Request
+
+__all__ = [
+    "ReplicaHandle",
+    "LoadBalancer",
+    "RoundRobinBalancer",
+    "JoinShortestQueueBalancer",
+    "LeastWorkLeftBalancer",
+    "PowerOfTwoChoicesBalancer",
+    "build_balancer",
+    "BALANCER_NAMES",
+    "ClusterPlatform",
+]
+
+
+class ReplicaHandle:
+    """Read-only view of one replica that balancers may inspect."""
+
+    def __init__(self, index: int, platform: ServingPlatform, state: ReplicaState) -> None:
+        self.index = index
+        self.platform = platform
+        self.state = state
+
+    def queue_length(self) -> int:
+        return self.state.queue_length()
+
+    def jobs_in_system(self, now_ms: float) -> int:
+        """Waiting requests plus the batch currently on the accelerator.
+
+        This is the classic JSQ load signal: a replica that just drained its
+        queue into a 16-request batch is *not* empty — ignoring the in-flight
+        batch would funnel every arrival to whichever replica dispatched last.
+        """
+        in_flight = self.state.serving_batch_size if not self.state.idle_at(now_ms) else 0
+        return self.state.queue_length() + in_flight
+
+    def backlog_ms(self, now_ms: float) -> float:
+        """Remaining accelerator time of the in-flight batch."""
+        return max(0.0, self.state.busy_until_ms - now_ms)
+
+    def work_left_ms(self, now_ms: float) -> float:
+        """Expected milliseconds until this replica would drain its queue.
+
+        Queued requests are costed with the platform's latency model (batched
+        at ``max_batch_size``); platforms without a profile fall back to one
+        unit per request, which degrades gracefully to queue-length ordering.
+        """
+        work = self.backlog_ms(now_ms)
+        queued = self.queue_length()
+        if queued == 0:
+            return work
+        full = self.platform.max_batch_size
+        per_batch = self.platform.predicted_batch_time_ms(min(queued, full))
+        if per_batch is None:
+            return work + float(queued)
+        return work + per_batch * math.ceil(queued / full)
+
+
+class LoadBalancer(abc.ABC):
+    """Dispatch policy: pick the replica that receives an arriving request."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def choose(self, request: Request, replicas: Sequence[ReplicaHandle],
+               now_ms: float) -> int:
+        """Return the index of the replica that should serve ``request``."""
+
+    def reset(self) -> None:
+        """Clear any dispatch state before a fresh run (default: nothing)."""
+
+
+class RoundRobinBalancer(LoadBalancer):
+    """Cycle through replicas in dispatch order."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, request: Request, replicas: Sequence[ReplicaHandle],
+               now_ms: float) -> int:
+        index = self._next % len(replicas)
+        self._next += 1
+        return index
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+class JoinShortestQueueBalancer(LoadBalancer):
+    """Route to the replica with the fewest jobs in system (ties: lowest index)."""
+
+    name = "join_shortest_queue"
+
+    def choose(self, request: Request, replicas: Sequence[ReplicaHandle],
+               now_ms: float) -> int:
+        return min(range(len(replicas)),
+                   key=lambda i: (replicas[i].jobs_in_system(now_ms), i))
+
+
+class LeastWorkLeftBalancer(LoadBalancer):
+    """Route to the replica with the least expected work (profile-costed)."""
+
+    name = "least_work_left"
+
+    def choose(self, request: Request, replicas: Sequence[ReplicaHandle],
+               now_ms: float) -> int:
+        return min(range(len(replicas)),
+                   key=lambda i: (replicas[i].work_left_ms(now_ms), i))
+
+
+class PowerOfTwoChoicesBalancer(LoadBalancer):
+    """Sample two replicas at random, join the shorter queue."""
+
+    name = "power_of_two_choices"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(self.seed)
+
+    def choose(self, request: Request, replicas: Sequence[ReplicaHandle],
+               now_ms: float) -> int:
+        n = len(replicas)
+        if n == 1:
+            return 0
+        first, second = self._rng.choice(n, size=2, replace=False)
+        candidates = sorted((int(first), int(second)))
+        return min(candidates, key=lambda i: (replicas[i].jobs_in_system(now_ms), i))
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+
+_BALANCERS = {
+    "round_robin": lambda seed: RoundRobinBalancer(),
+    "join_shortest_queue": lambda seed: JoinShortestQueueBalancer(),
+    "least_work_left": lambda seed: LeastWorkLeftBalancer(),
+    "power_of_two_choices": lambda seed: PowerOfTwoChoicesBalancer(seed=seed),
+}
+
+_ALIASES = {
+    "rr": "round_robin",
+    "jsq": "join_shortest_queue",
+    "lwl": "least_work_left",
+    "p2c": "power_of_two_choices",
+    "power_of_two": "power_of_two_choices",
+}
+
+BALANCER_NAMES = tuple(sorted(_BALANCERS))
+
+
+def build_balancer(name: Union[str, LoadBalancer], seed: int = 0) -> LoadBalancer:
+    """Construct a balancer by name (``round_robin``, ``join_shortest_queue``,
+    ``least_work_left``, ``power_of_two_choices``; short aliases accepted)."""
+    if isinstance(name, LoadBalancer):
+        return name
+    key = _ALIASES.get(name.lower().replace("-", "_"), name.lower().replace("-", "_"))
+    if key not in _BALANCERS:
+        raise ValueError(f"unknown balancer {name!r}; choose from {BALANCER_NAMES}")
+    return _BALANCERS[key](seed)
+
+
+class ClusterPlatform:
+    """N replica platforms behind one load balancer, on one global clock.
+
+    The run loop mirrors the single-replica ``ServingPlatform.run`` semantics
+    per replica (including the forced-progress livelock guard) while advancing
+    a shared clock: at each step it admits-and-dispatches every arrival due by
+    ``now``, lets each idle replica expire/select/serve, then jumps to the
+    earliest future event (next arrival, batch completion or policy wake-up).
+    """
+
+    def __init__(self, replicas: Sequence[ServingPlatform],
+                 balancer: Union[str, LoadBalancer] = "round_robin",
+                 seed: int = 0) -> None:
+        self.platforms = list(replicas)
+        if not self.platforms:
+            raise ValueError("a cluster needs at least one replica")
+        self.balancer = build_balancer(balancer, seed=seed)
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.platforms)
+
+    def _executors(self, executors: Union[BatchExecutorFn, Sequence[BatchExecutorFn]]
+                   ) -> List[BatchExecutorFn]:
+        if callable(executors):
+            return [executors] * self.num_replicas
+        executors = list(executors)
+        if len(executors) != self.num_replicas:
+            raise ValueError(f"got {len(executors)} executors for "
+                             f"{self.num_replicas} replicas")
+        return executors
+
+    # --------------------------------------------------------------- main loop
+    def run(self, requests: Sequence[Request],
+            executors: Union[BatchExecutorFn, Sequence[BatchExecutorFn]]
+            ) -> ClusterMetrics:
+        """Serve all requests across the fleet and return per-replica + fleet metrics."""
+        executor_list = self._executors(executors)
+        self.balancer.reset()
+
+        states = [platform.new_state() for platform in self.platforms]
+        handles = [ReplicaHandle(i, platform, state)
+                   for i, (platform, state) in enumerate(zip(self.platforms, states))]
+        dispatch_counts = [0] * self.num_replicas
+
+        pending = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
+        num_requests = len(pending)
+        if num_requests == 0:
+            return ClusterMetrics(replicas=[s.metrics for s in states],
+                                  dispatch_counts=dispatch_counts)
+
+        next_arrival = 0
+        now = pending[0].arrival_ms
+
+        while next_arrival < num_requests or any(state.queue for state in states):
+            # Phase 1: admit + dispatch everything that has arrived by now.
+            while next_arrival < num_requests and pending[next_arrival].arrival_ms <= now + 1e-9:
+                request = pending[next_arrival]
+                index = int(self.balancer.choose(request, handles, now))
+                if not 0 <= index < self.num_replicas:
+                    raise ValueError(f"balancer {self.balancer.name!r} chose replica "
+                                     f"{index} of {self.num_replicas}")
+                self.platforms[index].admit(states[index], request)
+                dispatch_counts[index] += 1
+                next_arrival += 1
+
+            next_arrival_ms = (pending[next_arrival].arrival_ms
+                               if next_arrival < num_requests else np.inf)
+            wake_times: List[float] = []
+            progressed = False
+
+            # Phases 2-5 per replica: expire, select, serve (when idle).
+            for index, (platform, state) in enumerate(zip(self.platforms, states)):
+                if not state.idle_at(now):
+                    wake_times.append(state.busy_until_ms)
+                    continue
+                if not state.queue:
+                    continue
+                platform.expire(state, now)
+                if not state.queue:
+                    continue
+                batch, wake_up = platform.select(state, now)
+                if not batch:
+                    target = min(wake_up, next_arrival_ms)
+                    if not np.isfinite(target) or target <= now + 1e-9:
+                        batch = platform.force_batch(state)
+                    else:
+                        wake_times.append(wake_up)
+                        continue
+                platform.dispatch(state, batch)
+                result = executor_list[index](batch, now)
+                platform.complete(state, batch, result, now)
+                wake_times.append(state.busy_until_ms)
+                progressed = True
+
+            if progressed:
+                # A replica may have finished instantly; re-evaluate at the
+                # same timestamp before advancing the clock.
+                continue
+
+            # Advance the global clock to the earliest future event.
+            if next_arrival < num_requests:
+                wake_times.append(next_arrival_ms)
+            future = [t for t in wake_times if np.isfinite(t) and t > now + 1e-9]
+            if not future:
+                break  # nothing can happen anymore (all queues drained)
+            now = min(future)
+
+        for state in states:
+            state.finalize_makespan()
+
+        first_arrival = pending[0].arrival_ms
+        last_event = max((s.last_event_ms for s in states
+                          if np.isfinite(s.last_event_ms)), default=first_arrival)
+        return ClusterMetrics(
+            replicas=[s.metrics for s in states],
+            dispatch_counts=dispatch_counts,
+            makespan_ms=max(last_event - first_arrival, 1e-9),
+        )

@@ -1,4 +1,10 @@
-"""Serving metrics: latency distributions, throughput and accuracy accounting."""
+"""Serving metrics: latency distributions, throughput and accuracy accounting.
+
+Two granularities are provided: :class:`ServingMetrics` aggregates one
+replica's run, and :class:`ClusterMetrics` holds one ``ServingMetrics`` per
+replica plus fleet-wide rollups (goodput, SLO violations, dispatch balance)
+computed over the merged response stream on the cluster's global clock.
+"""
 
 from __future__ import annotations
 
@@ -10,7 +16,7 @@ import numpy as np
 from repro.serving.request import Response
 from repro.utils.stats import summarize_latencies
 
-__all__ = ["ServingMetrics"]
+__all__ = ["ServingMetrics", "ClusterMetrics"]
 
 
 @dataclass
@@ -59,6 +65,9 @@ class ServingMetrics:
 
     def p95_latency(self) -> float:
         return self.latency_summary()["p95"]
+
+    def p99_latency(self) -> float:
+        return self.latency_summary()["p99"]
 
     def accuracy(self) -> float:
         """Fraction of served requests whose released result matched the
@@ -114,6 +123,7 @@ class ServingMetrics:
             "p25_ms": lat["p25"],
             "p50_ms": lat["p50"],
             "p95_ms": lat["p95"],
+            "p99_ms": lat["p99"],
             "mean_ms": lat["mean"],
             "throughput_qps": self.throughput_qps(),
             "avg_batch_size": self.average_batch_size(),
@@ -122,3 +132,95 @@ class ServingMetrics:
             "drop_rate": self.drop_rate(),
             "num_served": float(len(self.served())),
         }
+
+    # ----------------------------------------------------------------- merge
+    @classmethod
+    def merged(cls, parts: Sequence["ServingMetrics"],
+               makespan_ms: Optional[float] = None) -> "ServingMetrics":
+        """Combine several runs into one aggregate view.
+
+        Responses and accelerator busy time add up; the makespan defaults to
+        the longest part (parallel replicas) unless the caller supplies the
+        fleet's global wall-clock span.
+        """
+        out = cls()
+        for metrics in parts:
+            out.responses.extend(metrics.responses)
+            out.gpu_busy_ms += metrics.gpu_busy_ms
+            out.num_batches += metrics.num_batches
+            out.makespan_ms = max(out.makespan_ms, metrics.makespan_ms)
+        if makespan_ms is not None:
+            out.makespan_ms = makespan_ms
+        return out
+
+
+@dataclass
+class ClusterMetrics:
+    """Per-replica metrics plus fleet-wide rollups for one cluster run."""
+
+    replicas: List[ServingMetrics] = field(default_factory=list)
+    #: how many requests the balancer routed to each replica.
+    dispatch_counts: List[int] = field(default_factory=list)
+    #: global wall-clock span (first arrival to last completion) in ms.
+    makespan_ms: float = 0.0
+    _aggregate: Optional[ServingMetrics] = field(default=None, init=False,
+                                                 repr=False, compare=False)
+
+    def num_replicas(self) -> int:
+        return len(self.replicas)
+
+    # ------------------------------------------------------------- aggregate
+    def aggregate(self) -> ServingMetrics:
+        """Merged response stream measured on the cluster's global clock.
+
+        Cached: a ClusterMetrics records a finished run, so the merge is
+        computed once and shared by every fleet rollup.
+        """
+        if self._aggregate is None:
+            self._aggregate = ServingMetrics.merged(self.replicas,
+                                                    makespan_ms=self.makespan_ms)
+        return self._aggregate
+
+    def fleet_throughput_qps(self) -> float:
+        return self.aggregate().throughput_qps()
+
+    def fleet_goodput_qps(self, slo_ms: Optional[float] = None) -> float:
+        return self.aggregate().goodput_qps(slo_ms)
+
+    def fleet_slo_violation_rate(self, slo_ms: float) -> float:
+        return self.aggregate().slo_violation_rate(slo_ms)
+
+    def fleet_drop_rate(self) -> float:
+        return self.aggregate().drop_rate()
+
+    def fleet_gpu_utilization(self) -> float:
+        """Mean accelerator utilization across the fleet's wall-clock span."""
+        if self.makespan_ms <= 0 or not self.replicas:
+            return 0.0
+        busy = sum(m.gpu_busy_ms for m in self.replicas)
+        return min(1.0, busy / (self.makespan_ms * len(self.replicas)))
+
+    def dispatch_imbalance(self) -> float:
+        """Max/mean ratio of per-replica dispatch counts (1.0 = perfectly even)."""
+        counts = self.dispatch_counts
+        if not counts or sum(counts) == 0:
+            return 1.0
+        return max(counts) * len(counts) / sum(counts)
+
+    # -------------------------------------------------------------- summaries
+    def per_replica_summaries(self) -> List[Dict[str, float]]:
+        return [m.summary() for m in self.replicas]
+
+    def summary(self, slo_ms: Optional[float] = None) -> Dict[str, float]:
+        """Fleet rollup: aggregate latency stats plus cluster-only metrics."""
+        aggregate = self.aggregate()
+        data = aggregate.summary()
+        data.update({
+            "num_replicas": float(self.num_replicas()),
+            "fleet_gpu_utilization": self.fleet_gpu_utilization(),
+            "dispatch_imbalance": self.dispatch_imbalance(),
+        })
+        if slo_ms is not None:
+            data["fleet_goodput_qps"] = aggregate.goodput_qps(slo_ms)
+            data["fleet_slo_violation_rate"] = aggregate.slo_violation_rate(slo_ms)
+        return data

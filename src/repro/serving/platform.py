@@ -10,13 +10,19 @@ The executor receives the formed batch and must return the accelerator
 occupancy time plus, for every request in the batch, the offset (from batch
 start) at which its *result* is released and bookkeeping about exits.  For a
 vanilla model every result is released when the batch finishes.
+
+The event loop is *steppable*: the ``admit`` / ``expire`` / ``select`` /
+``dispatch`` / ``complete`` phases operate on an explicit :class:`ReplicaState`
+so that a fleet scheduler can interleave many replica timelines on one global
+clock (see :mod:`repro.serving.cluster`).  :meth:`ServingPlatform.run` composes
+the same phases for the single-replica case.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -24,7 +30,8 @@ from repro.models.execution import ModelExecutor
 from repro.serving.metrics import ServingMetrics
 from repro.serving.request import Request, Response
 
-__all__ = ["BatchResult", "BatchExecutorFn", "ServingPlatform", "VanillaExecutor"]
+__all__ = ["BatchResult", "BatchExecutorFn", "ReplicaState", "ServingPlatform",
+           "VanillaExecutor"]
 
 
 @dataclass
@@ -43,6 +50,12 @@ class BatchResult:
 
     def __post_init__(self) -> None:
         n = len(self.result_offsets_ms)
+        for name in ("exited", "exit_depths", "correct"):
+            values = getattr(self, name)
+            if values and len(values) != n:
+                raise ValueError(
+                    f"BatchResult.{name} has {len(values)} entries for a batch of "
+                    f"{n} results; per-request fields must match result_offsets_ms")
         if not self.exited:
             self.exited = [False] * n
         if not self.exit_depths:
@@ -70,6 +83,41 @@ class VanillaExecutor:
                            result_offsets_ms=[gpu_time] * len(batch))
 
 
+@dataclass
+class ReplicaState:
+    """Mutable serving state of one replica's queue and accelerator.
+
+    The single-replica :meth:`ServingPlatform.run` loop owns one of these; a
+    cluster scheduler owns one per replica and steps them on a shared clock.
+    ``responded_ids`` guards the conservation invariant: every request is
+    answered (served or dropped) exactly once.
+    """
+
+    queue: List[Request] = field(default_factory=list)
+    metrics: ServingMetrics = field(default_factory=ServingMetrics)
+    #: time at which the accelerator finishes its current batch.
+    busy_until_ms: float = -np.inf
+    #: arrival time of the first request routed to this replica.
+    first_arrival_ms: Optional[float] = None
+    #: time of the last completion or drop on this replica.
+    last_event_ms: float = -np.inf
+    #: size of the batch currently occupying the accelerator (until busy_until_ms).
+    serving_batch_size: int = 0
+    responded_ids: Set[int] = field(default_factory=set)
+
+    def queue_length(self) -> int:
+        return len(self.queue)
+
+    def idle_at(self, now_ms: float) -> bool:
+        return self.busy_until_ms <= now_ms + 1e-9
+
+    def finalize_makespan(self) -> None:
+        """Stamp the replica's metrics with its observed wall-clock span."""
+        if self.first_arrival_ms is None or not np.isfinite(self.last_event_ms):
+            return
+        self.metrics.makespan_ms = max(self.last_event_ms - self.first_arrival_ms, 1e-9)
+
+
 class ServingPlatform(abc.ABC):
     """Common machinery of the event-driven platform simulators.
 
@@ -94,81 +142,136 @@ class ServingPlatform(abc.ABC):
         non-empty (the run loop guards against livelock by forcing progress).
         """
 
+    def predicted_batch_time_ms(self, batch_size: int) -> Optional[float]:
+        """Estimated accelerator time for a batch, or None without a latency model.
+
+        Load balancers use this to translate queue depth into expected work
+        (the ``least_work_left`` policy); platforms without a profile fall
+        back to queue-length comparisons.
+        """
+        return None
+
+    # ------------------------------------------------------------ event phases
+    def new_state(self) -> ReplicaState:
+        """Fresh per-replica state for one serving run."""
+        return ReplicaState()
+
+    def admit(self, state: ReplicaState, request: Request) -> None:
+        """Phase 1: a request arrives (or is routed here) and joins the queue."""
+        if state.first_arrival_ms is None or request.arrival_ms < state.first_arrival_ms:
+            state.first_arrival_ms = request.arrival_ms
+        state.queue.append(request)
+
+    def expire(self, state: ReplicaState, now_ms: float) -> None:
+        """Phase 2: drop queued requests whose SLO already expired.
+
+        Each dropped request is recorded exactly once (``responded_ids``) and
+        removed from the queue, so it can never also be served.
+        """
+        if not self.drop_expired:
+            return
+        still_valid: List[Request] = []
+        for request in state.queue:
+            if now_ms > request.deadline_ms():
+                if request.request_id in state.responded_ids:
+                    continue
+                state.responded_ids.add(request.request_id)
+                state.metrics.add_response(Response(
+                    request_id=request.request_id,
+                    arrival_ms=request.arrival_ms,
+                    scheduled_ms=now_ms, completion_ms=now_ms,
+                    queueing_ms=now_ms - request.arrival_ms,
+                    serving_ms=0.0, latency_ms=now_ms - request.arrival_ms,
+                    batch_size=0, dropped=True))
+                state.last_event_ms = max(state.last_event_ms, now_ms)
+            else:
+                still_valid.append(request)
+        state.queue = still_valid
+
+    def select(self, state: ReplicaState, now_ms: float) -> Tuple[List[Request], float]:
+        """Phase 3: ask the batching policy what to serve (or when to wake)."""
+        return self.select_batch(state.queue, now_ms)
+
+    def force_batch(self, state: ReplicaState) -> List[Request]:
+        """Livelock guard: nothing left to wait for, serve what we have."""
+        return state.queue[: self.max_batch_size]
+
+    def dispatch(self, state: ReplicaState, batch: Sequence[Request]) -> None:
+        """Phase 4: move a selected batch out of the queue onto the accelerator."""
+        batch_ids = {r.request_id for r in batch}
+        state.queue = [r for r in state.queue if r.request_id not in batch_ids]
+
+    def complete(self, state: ReplicaState, batch: Sequence[Request],
+                 result: BatchResult, start_ms: float) -> None:
+        """Phase 5: record the executor's outcome for one batch."""
+        state.metrics.add_batch(result.gpu_time_ms)
+        for idx, request in enumerate(batch):
+            if request.request_id in state.responded_ids:
+                raise RuntimeError(
+                    f"request {request.request_id} answered twice (conservation violation)")
+            state.responded_ids.add(request.request_id)
+            offset = float(result.result_offsets_ms[idx])
+            completion = start_ms + offset
+            state.metrics.add_response(Response(
+                request_id=request.request_id,
+                arrival_ms=request.arrival_ms,
+                scheduled_ms=start_ms,
+                completion_ms=completion,
+                queueing_ms=start_ms - request.arrival_ms,
+                serving_ms=offset,
+                latency_ms=completion - request.arrival_ms,
+                batch_size=len(batch),
+                exited=bool(result.exited[idx]),
+                exit_depth=result.exit_depths[idx],
+                correct=bool(result.correct[idx]),
+            ))
+        state.busy_until_ms = start_ms + result.gpu_time_ms
+        state.serving_batch_size = len(batch)
+        state.last_event_ms = max(state.last_event_ms, state.busy_until_ms)
+
     # --------------------------------------------------------------- main loop
     def run(self, requests: Sequence[Request], executor: BatchExecutorFn) -> ServingMetrics:
         """Serve all requests and return the aggregated metrics."""
-        metrics = ServingMetrics()
+        state = self.new_state()
         pending = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
         num_requests = len(pending)
         if num_requests == 0:
-            return metrics
+            return state.metrics
 
-        queue: List[Request] = []
         next_arrival = 0
         now = pending[0].arrival_ms
 
-        while next_arrival < num_requests or queue:
+        while next_arrival < num_requests or state.queue:
             # Admit everything that has arrived by now.
             while next_arrival < num_requests and pending[next_arrival].arrival_ms <= now + 1e-9:
-                queue.append(pending[next_arrival])
+                self.admit(state, pending[next_arrival])
                 next_arrival += 1
 
-            if not queue:
+            if not state.queue:
                 now = pending[next_arrival].arrival_ms
                 continue
 
-            if self.drop_expired:
-                still_valid: List[Request] = []
-                for request in queue:
-                    if now > request.deadline_ms():
-                        metrics.add_response(Response(
-                            request_id=request.request_id,
-                            arrival_ms=request.arrival_ms,
-                            scheduled_ms=now, completion_ms=now,
-                            queueing_ms=now - request.arrival_ms,
-                            serving_ms=0.0, latency_ms=now - request.arrival_ms,
-                            batch_size=0, dropped=True))
-                    else:
-                        still_valid.append(request)
-                queue = still_valid
-                if not queue:
-                    continue
+            self.expire(state, now)
+            if not state.queue:
+                continue
 
-            batch, wake_up = self.select_batch(queue, now)
+            batch, wake_up = self.select(state, now)
             if not batch:
                 # The policy wants to wait for more requests (or a timeout).
                 next_event = pending[next_arrival].arrival_ms if next_arrival < num_requests else np.inf
                 target = min(wake_up, next_event)
                 if not np.isfinite(target) or target <= now + 1e-9:
                     # Nothing left to wait for: force progress with what we have.
-                    batch = queue[: self.max_batch_size]
+                    batch = self.force_batch(state)
                 else:
                     now = target
                     continue
 
-            batch_ids = {r.request_id for r in batch}
-            queue = [r for r in queue if r.request_id not in batch_ids]
-
+            self.dispatch(state, batch)
             result = executor(batch, now)
-            metrics.add_batch(result.gpu_time_ms)
-            for idx, request in enumerate(batch):
-                offset = float(result.result_offsets_ms[idx])
-                completion = now + offset
-                metrics.add_response(Response(
-                    request_id=request.request_id,
-                    arrival_ms=request.arrival_ms,
-                    scheduled_ms=now,
-                    completion_ms=completion,
-                    queueing_ms=now - request.arrival_ms,
-                    serving_ms=offset,
-                    latency_ms=completion - request.arrival_ms,
-                    batch_size=len(batch),
-                    exited=bool(result.exited[idx]),
-                    exit_depth=result.exit_depths[idx],
-                    correct=bool(result.correct[idx]),
-                ))
+            self.complete(state, batch, result, now)
             now += result.gpu_time_ms
 
         first_arrival = pending[0].arrival_ms
-        metrics.makespan_ms = max(now - first_arrival, 1e-9)
-        return metrics
+        state.metrics.makespan_ms = max(now - first_arrival, 1e-9)
+        return state.metrics

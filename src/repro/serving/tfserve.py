@@ -9,8 +9,9 @@ by walking a harsh trade-off curve.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
+from repro.models.latency import LatencyProfile
 from repro.serving.platform import ServingPlatform
 from repro.serving.request import Request
 
@@ -18,14 +19,27 @@ __all__ = ["TFServingPlatform"]
 
 
 class TFServingPlatform(ServingPlatform):
-    """Knob-driven batching (max size + timeout)."""
+    """Knob-driven batching (max size + timeout).
+
+    The optional latency ``profile`` is never consulted by the batching policy
+    (TF-Serving's scheduler is knob-driven, not model-aware); it only feeds
+    :meth:`predicted_batch_time_ms` so that work-aware cluster balancers can
+    cost this replica's queue.
+    """
 
     def __init__(self, max_batch_size: int = 16, batch_timeout_ms: float = 5.0,
-                 drop_expired: bool = False) -> None:
+                 drop_expired: bool = False,
+                 profile: Optional[LatencyProfile] = None) -> None:
         super().__init__(max_batch_size=max_batch_size, drop_expired=drop_expired)
         if batch_timeout_ms < 0:
             raise ValueError("batch_timeout_ms must be non-negative")
         self.batch_timeout_ms = float(batch_timeout_ms)
+        self.profile = profile
+
+    def predicted_batch_time_ms(self, batch_size: int) -> Optional[float]:
+        if self.profile is None:
+            return None
+        return self.profile.total_latency_ms(batch_size)
 
     def select_batch(self, queue: List[Request], now_ms: float) -> Tuple[List[Request], float]:
         ordered = sorted(queue, key=lambda r: (r.arrival_ms, r.request_id))

@@ -27,15 +27,16 @@ def summarize_latencies(values: Sequence[float]) -> Dict[str, float]:
     """Return the latency summary used throughout the evaluation.
 
     Keys mirror the statistics the paper reports: 25th percentile, median,
-    95th percentile, mean and count.
+    95th/99th percentile, mean and count.
     """
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
-        return {"p25": 0.0, "p50": 0.0, "p95": 0.0, "mean": 0.0, "count": 0}
+        return {"p25": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "count": 0}
     return {
         "p25": float(np.percentile(arr, 25)),
         "p50": float(np.percentile(arr, 50)),
         "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
         "mean": float(arr.mean()),
         "count": int(arr.size),
     }

@@ -52,6 +52,30 @@ def test_generate_command_rejects_classification_model():
         main(["generate", "--model", "resnet50", "--sequences", "10"])
 
 
+def test_classify_command_cluster_mode(capsys):
+    code = main(["classify", "--model", "resnet50", "--workload", "video:urban-day",
+                 "--requests", "600", "--seed", "5", "--replicas", "2",
+                 "--balancer", "join_shortest_queue", "--fleet-mode", "shared"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "replicas=2" in out
+    assert "balancer=join_shortest_queue" in out
+    assert "fleet throughput" in out
+    assert "replica 0" in out and "replica 1" in out
+
+
+def test_classify_command_rejects_bad_replicas():
+    with pytest.raises(SystemExit):
+        main(["classify", "--model", "resnet50", "--requests", "100",
+              "--replicas", "0"])
+
+
+def test_classify_command_rejects_unknown_balancer():
+    with pytest.raises(SystemExit):
+        main(["classify", "--model", "resnet50", "--requests", "100",
+              "--replicas", "2", "--balancer", "coin-flip"])
+
+
 def test_nlp_workload_parsing(capsys):
     code = main(["classify", "--model", "distilbert-base", "--workload", "nlp:imdb",
                  "--requests", "600", "--rate", "25", "--seed", "6"])

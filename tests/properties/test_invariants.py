@@ -7,8 +7,13 @@ from hypothesis import given, settings, strategies as st
 from repro.exits.evaluation import evaluate_thresholds
 from repro.exits.thresholds import tune_thresholds_greedy
 from repro.models.prediction import effective_difficulty, ramp_error_score
+from repro.serving.cluster import BALANCER_NAMES, ClusterPlatform
+from repro.serving.platform import BatchResult
+from repro.serving.request import Request
+from repro.serving.tfserve import TFServingPlatform
 from repro.utils.stats import WindowedAccuracy, summarize_latencies
 from repro.workloads.arrivals import fixed_rate_arrivals, poisson_arrivals
+from repro.workloads.difficulty import InputSample
 
 # Hypothesis settings: keep examples modest so the suite stays fast.
 FAST = settings(max_examples=50, deadline=None)
@@ -114,6 +119,102 @@ def test_poisson_arrivals_sorted(n, rate, seed):
     arrivals = poisson_arrivals(n, rate, np.random.default_rng(seed))
     assert arrivals.shape == (n,)
     assert np.all(np.diff(arrivals) >= 0)
+
+
+# --------------------------------------------------------------------- cluster
+
+def _cluster_requests(arrival_gaps, slo_ms):
+    arrivals = np.cumsum(np.asarray(arrival_gaps, dtype=float))
+    return [Request(request_id=i, arrival_ms=float(arrivals[i]),
+                    sample=InputSample(index=i, raw_difficulty=0.3, sharpness=0.05),
+                    slo_ms=slo_ms)
+            for i in range(len(arrivals))]
+
+
+def _fixed_executor(gpu_time_ms):
+    def executor(batch, batch_start_ms):
+        return BatchResult(gpu_time_ms=gpu_time_ms,
+                           result_offsets_ms=[gpu_time_ms] * len(batch))
+    return executor
+
+
+def _run_cluster(num_replicas, balancer, arrival_gaps, seed=0, slo_ms=1e9,
+                 drop_expired=False, gpu_time_ms=5.0):
+    replicas = [TFServingPlatform(max_batch_size=4, batch_timeout_ms=1.0,
+                                  drop_expired=drop_expired)
+                for _ in range(num_replicas)]
+    cluster = ClusterPlatform(replicas, balancer=balancer, seed=seed)
+    return cluster.run(_cluster_requests(arrival_gaps, slo_ms),
+                       _fixed_executor(gpu_time_ms))
+
+
+@FAST
+@given(gaps=st.lists(st.floats(0.0, 20.0), min_size=1, max_size=60),
+       num_replicas=st.integers(1, 4),
+       balancer=st.sampled_from(sorted(BALANCER_NAMES)),
+       seed=st.integers(0, 10))
+def test_cluster_conserves_requests(gaps, num_replicas, balancer, seed):
+    """Every request is answered exactly once — no losses, no duplicates."""
+    fleet = _run_cluster(num_replicas, balancer, gaps, seed=seed)
+    responses = fleet.aggregate().responses
+    assert sorted(r.request_id for r in responses) == list(range(len(gaps)))
+    assert sum(fleet.dispatch_counts) == len(gaps)
+    # Each replica saw a disjoint slice of the stream.
+    seen = [set(r.request_id for r in m.responses) for m in fleet.replicas]
+    for i in range(len(seen)):
+        for j in range(i + 1, len(seen)):
+            assert seen[i].isdisjoint(seen[j])
+
+
+@FAST
+@given(gaps=st.lists(st.floats(0.0, 5.0), min_size=1, max_size=60),
+       num_replicas=st.integers(1, 4),
+       balancer=st.sampled_from(sorted(BALANCER_NAMES)),
+       seed=st.integers(0, 10))
+def test_cluster_conserves_requests_under_drops(gaps, num_replicas, balancer, seed):
+    """Conservation also holds when expired requests are dropped: a request is
+    either served or dropped, never both and never twice."""
+    fleet = _run_cluster(num_replicas, balancer, gaps, seed=seed,
+                         slo_ms=8.0, drop_expired=True, gpu_time_ms=6.0)
+    agg = fleet.aggregate()
+    assert sorted(r.request_id for r in agg.responses) == list(range(len(gaps)))
+    dropped = {r.request_id for r in agg.dropped()}
+    served = {r.request_id for r in agg.served()}
+    assert dropped.isdisjoint(served)
+    assert len(dropped) + len(served) == len(gaps)
+
+
+@FAST
+@given(gaps=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=50),
+       num_replicas=st.integers(1, 4),
+       balancer=st.sampled_from(sorted(BALANCER_NAMES)),
+       seed=st.integers(0, 10))
+def test_cluster_deterministic_under_fixed_seed(gaps, num_replicas, balancer, seed):
+    first = _run_cluster(num_replicas, balancer, gaps, seed=seed)
+    second = _run_cluster(num_replicas, balancer, gaps, seed=seed)
+    assert first.dispatch_counts == second.dispatch_counts
+    assert first.makespan_ms == second.makespan_ms
+    a, b = first.aggregate(), second.aggregate()
+    assert [(r.request_id, r.completion_ms, r.batch_size) for r in a.responses] \
+        == [(r.request_id, r.completion_ms, r.batch_size) for r in b.responses]
+
+
+@FAST
+@given(gaps=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=50),
+       num_replicas=st.integers(1, 4),
+       balancer=st.sampled_from(sorted(BALANCER_NAMES)))
+def test_cluster_per_replica_and_aggregate_metrics_agree(gaps, num_replicas, balancer):
+    fleet = _run_cluster(num_replicas, balancer, gaps)
+    agg = fleet.aggregate()
+    assert len(agg.responses) == sum(len(m.responses) for m in fleet.replicas)
+    assert len(agg.served()) == sum(len(m.served()) for m in fleet.replicas)
+    assert agg.num_batches == sum(m.num_batches for m in fleet.replicas)
+    assert agg.gpu_busy_ms == pytest.approx(sum(m.gpu_busy_ms for m in fleet.replicas))
+    # The fleet's clock spans every replica's run.
+    assert fleet.makespan_ms >= max(m.makespan_ms for m in fleet.replicas) - 1e-9
+    # Responses per replica match what the balancer dispatched there.
+    for metrics, dispatched in zip(fleet.replicas, fleet.dispatch_counts):
+        assert len(metrics.responses) == dispatched
 
 
 # ----------------------------------------------------------------------- stats

@@ -125,3 +125,102 @@ def test_batch_result_defaults():
     assert result.exited == [False, False]
     assert result.exit_depths == [None, None]
     assert result.correct == [True, True]
+
+
+def test_batch_result_rejects_mismatched_lengths():
+    with pytest.raises(ValueError, match="exited"):
+        BatchResult(gpu_time_ms=5.0, result_offsets_ms=[5.0, 5.0],
+                    exited=[True])
+    with pytest.raises(ValueError, match="exit_depths"):
+        BatchResult(gpu_time_ms=5.0, result_offsets_ms=[5.0, 5.0],
+                    exit_depths=[0.5, 0.5, 0.5])
+    with pytest.raises(ValueError, match="correct"):
+        BatchResult(gpu_time_ms=5.0, result_offsets_ms=[5.0, 5.0],
+                    correct=[True, False, True])
+
+
+def test_batch_result_accepts_matching_lengths():
+    result = BatchResult(gpu_time_ms=5.0, result_offsets_ms=[3.0, 5.0],
+                         exited=[True, False], exit_depths=[0.4, None],
+                         correct=[True, True])
+    assert result.exited == [True, False]
+
+
+# ------------------------------------------------------- run-loop regressions
+
+class LazyPlatform(ClockworkPlatform):
+    """Policy that always asks to wait 'until now' despite a non-empty queue.
+
+    The contract forbids this (empty batch with ``wake_up <= now``), so the
+    run loop's forced-progress guard must serve the queue anyway instead of
+    livelocking.
+    """
+
+    def select_batch(self, queue, now_ms):
+        return [], now_ms
+
+
+class SleepyPlatform(ClockworkPlatform):
+    """Policy that always asks to wait forever."""
+
+    def select_batch(self, queue, now_ms):
+        return [], float("inf")
+
+
+@pytest.mark.parametrize("platform_cls", [LazyPlatform, SleepyPlatform])
+def test_forced_progress_serves_stalling_policies(stack, platform_cls):
+    _spec, profile, _pred, _cat, executor = stack
+    platform = platform_cls(profile, max_batch_size=4, drop_expired=False)
+    requests = paced_requests(stack, n=24, rate_qps=50.0, slo_ms=10_000.0)
+    metrics = platform.run(requests, VanillaExecutor(executor))
+    assert len(metrics.served()) == 24
+    assert metrics.drop_rate() == 0.0
+    # Forced batches are capped at max_batch_size.
+    assert all(r.batch_size <= 4 for r in metrics.served())
+
+
+def test_forced_progress_on_burst_with_infinite_wait(stack):
+    _spec, profile, _pred, _cat, executor = stack
+    platform = SleepyPlatform(profile, max_batch_size=8, drop_expired=False)
+    metrics = platform.run(burst_requests(stack, n=20, slo_ms=10_000.0),
+                           VanillaExecutor(executor))
+    assert len(metrics.served()) == 20
+
+
+def test_drop_expired_counts_each_request_exactly_once(stack):
+    spec, profile, _pred, _cat, executor = stack
+    platform = ClockworkPlatform(profile, max_batch_size=2, drop_expired=True)
+    requests = paced_requests(stack, n=150, rate_qps=300.0, slo_ms=spec.default_slo_ms)
+    metrics = platform.run(requests, VanillaExecutor(executor))
+    # Overloaded: some requests expire, but every request is answered exactly
+    # once and a dropped request is never also served.
+    assert metrics.drop_rate() > 0.0
+    ids = sorted(r.request_id for r in metrics.responses)
+    assert ids == list(range(150))
+    dropped = {r.request_id for r in metrics.dropped()}
+    served = {r.request_id for r in metrics.served()}
+    assert dropped.isdisjoint(served)
+    for response in metrics.dropped():
+        assert response.batch_size == 0
+        assert response.serving_ms == 0.0
+
+
+def test_completed_batch_is_removed_from_queue_state(stack):
+    """The steppable phases keep queue/responded bookkeeping consistent."""
+    _spec, profile, _pred, _cat, executor = stack
+    platform = ClockworkPlatform(profile, max_batch_size=4, drop_expired=False)
+    state = platform.new_state()
+    requests = burst_requests(stack, n=6, slo_ms=10_000.0)
+    for request in requests:
+        platform.admit(state, request)
+    batch, _wake = platform.select(state, 0.0)
+    assert batch
+    platform.dispatch(state, batch)
+    assert len(state.queue) == 6 - len(batch)
+    result = VanillaExecutor(executor)(batch, 0.0)
+    platform.complete(state, batch, result, 0.0)
+    assert state.busy_until_ms == pytest.approx(result.gpu_time_ms)
+    assert state.serving_batch_size == len(batch)
+    # Serving the same batch again must trip the conservation guard.
+    with pytest.raises(RuntimeError, match="answered twice"):
+        platform.complete(state, batch, result, 0.0)

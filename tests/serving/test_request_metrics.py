@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.serving.metrics import ServingMetrics
+from repro.serving.metrics import ClusterMetrics, ServingMetrics
 from repro.serving.request import Request, Response, make_requests
 from repro.workloads.video import make_video_workload
 
@@ -89,5 +89,108 @@ class TestServingMetrics:
 
     def test_summary_keys(self):
         summary = self.build().summary()
-        assert {"p25_ms", "p50_ms", "p95_ms", "throughput_qps", "accuracy",
-                "exit_rate", "avg_batch_size", "drop_rate"} <= set(summary)
+        assert {"p25_ms", "p50_ms", "p95_ms", "p99_ms", "throughput_qps",
+                "accuracy", "exit_rate", "avg_batch_size", "drop_rate"} <= set(summary)
+
+
+class TestServingMetricsEdgeCases:
+    def test_empty_run_summary_is_all_zero_and_safe(self):
+        metrics = ServingMetrics()
+        summary = metrics.summary()
+        for key in ("p25_ms", "p50_ms", "p95_ms", "p99_ms", "mean_ms",
+                    "throughput_qps", "avg_batch_size", "drop_rate", "num_served"):
+            assert summary[key] == 0.0
+        assert summary["accuracy"] == 1.0  # vacuous: no served requests
+        assert metrics.exit_rate() == 0.0
+        assert metrics.slo_violation_rate(10.0) == 0.0
+        assert metrics.goodput_qps(10.0) == 0.0
+        assert metrics.latencies().shape == (0,)
+
+    def test_all_dropped_run(self):
+        metrics = ServingMetrics()
+        for i in range(5):
+            metrics.add_response(make_response(i, latency=50.0, dropped=True))
+        metrics.makespan_ms = 100.0
+        assert metrics.drop_rate() == 1.0
+        assert len(metrics.served()) == 0
+        # Percentiles are computed over *served* responses only.
+        summary = metrics.summary()
+        assert summary["p50_ms"] == 0.0 and summary["p99_ms"] == 0.0
+        assert summary["throughput_qps"] == 0.0
+        assert metrics.goodput_qps(1000.0) == 0.0
+        assert metrics.accuracy() == 1.0
+        assert metrics.slo_violation_rate(10.0) == 0.0
+
+    def test_single_response_run(self):
+        metrics = ServingMetrics()
+        metrics.add_response(make_response(0, latency=12.0))
+        metrics.add_batch(10.0)
+        metrics.makespan_ms = 12.0
+        summary = metrics.summary()
+        # Every percentile of a singleton distribution is that value.
+        for key in ("p25_ms", "p50_ms", "p95_ms", "p99_ms", "mean_ms"):
+            assert summary[key] == pytest.approx(12.0)
+        assert summary["num_served"] == 1.0
+        assert metrics.average_batch_size() == pytest.approx(1.0)
+        assert metrics.throughput_qps() == pytest.approx(1000.0 / 12.0)
+
+    def test_zero_makespan_guards(self):
+        metrics = ServingMetrics()
+        metrics.add_response(make_response(0, latency=12.0))
+        assert metrics.throughput_qps() == 0.0
+        assert metrics.gpu_utilization() == 0.0
+
+
+class TestClusterMetrics:
+    def build(self):
+        replicas = []
+        for offset in (0.0, 20.0):
+            m = ServingMetrics()
+            for i in range(4):
+                m.add_response(make_response(int(offset) + i, latency=10.0 + offset + i))
+            m.add_batch(30.0 + offset)
+            m.makespan_ms = 80.0 + offset
+            replicas.append(m)
+        return ClusterMetrics(replicas=replicas, dispatch_counts=[4, 4],
+                              makespan_ms=120.0)
+
+    def test_aggregate_merges_all_responses(self):
+        cluster = self.build()
+        agg = cluster.aggregate()
+        assert len(agg.responses) == 8
+        assert agg.num_batches == 2
+        assert agg.gpu_busy_ms == pytest.approx(80.0)
+        # Fleet throughput is measured on the global clock, not per-replica.
+        assert agg.makespan_ms == pytest.approx(120.0)
+        assert cluster.fleet_throughput_qps() == pytest.approx(1000.0 * 8 / 120.0)
+
+    def test_per_replica_vs_aggregate_consistency(self):
+        cluster = self.build()
+        agg = cluster.aggregate()
+        assert len(agg.served()) == sum(len(m.served()) for m in cluster.replicas)
+        assert agg.gpu_busy_ms == pytest.approx(sum(m.gpu_busy_ms for m in cluster.replicas))
+        assert len(cluster.per_replica_summaries()) == 2
+
+    def test_fleet_rollups(self):
+        cluster = self.build()
+        assert cluster.num_replicas() == 2
+        assert cluster.dispatch_imbalance() == pytest.approx(1.0)
+        # busy = 80ms over 2 replicas x 120ms of wall clock.
+        assert cluster.fleet_gpu_utilization() == pytest.approx(80.0 / 240.0)
+        summary = cluster.summary(slo_ms=15.0)
+        assert summary["num_replicas"] == 2.0
+        assert "fleet_goodput_qps" in summary and "fleet_slo_violation_rate" in summary
+        # Requests with latency <= 15ms: 10,11,12,13 -> 4 of 8.
+        assert cluster.fleet_slo_violation_rate(15.0) == pytest.approx(0.5)
+
+    def test_empty_cluster_metrics(self):
+        cluster = ClusterMetrics()
+        assert cluster.fleet_throughput_qps() == 0.0
+        assert cluster.fleet_gpu_utilization() == 0.0
+        assert cluster.dispatch_imbalance() == 1.0
+
+    def test_merged_respects_explicit_makespan(self):
+        a, b = ServingMetrics(), ServingMetrics()
+        a.makespan_ms, b.makespan_ms = 50.0, 70.0
+        assert ServingMetrics.merged([a, b]).makespan_ms == pytest.approx(70.0)
+        assert ServingMetrics.merged([a, b], makespan_ms=90.0).makespan_ms == pytest.approx(90.0)

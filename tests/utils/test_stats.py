@@ -22,16 +22,18 @@ def test_percentile_median_of_known_values():
 
 def test_summarize_latencies_keys_and_values():
     summary = summarize_latencies([10.0, 20.0, 30.0, 40.0])
-    assert set(summary) == {"p25", "p50", "p95", "mean", "count"}
+    assert set(summary) == {"p25", "p50", "p95", "p99", "mean", "count"}
     assert summary["count"] == 4
     assert summary["mean"] == pytest.approx(25.0)
     assert summary["p50"] == pytest.approx(25.0)
+    assert summary["p95"] <= summary["p99"] <= 40.0
 
 
 def test_summarize_latencies_empty():
     summary = summarize_latencies([])
     assert summary["count"] == 0
     assert summary["p95"] == 0.0
+    assert summary["p99"] == 0.0
 
 
 class TestWindowedAccuracy:
