@@ -3,15 +3,18 @@
 Not a paper figure — this extends the reproduction toward the ROADMAP's
 production-scale target.  A saturating arrival trace (arrivals far above one
 replica's capacity) is served by fleets of 1, 2 and 4 replicas under each
-load-balancing policy.  Expected shape: fleet throughput grows monotonically
-with replica count (the service, not the arrival stream, is the bottleneck),
-and the queue-aware balancers keep tail latency at or below round-robin's.
+load-balancing policy, driven through the declarative ``Experiment`` facade:
+one ``sweep(replicas=[...])`` call per balancer, with every metric consumed
+from the uniform ``RunResult.to_json()`` schema rather than ad-hoc result
+attributes.  Expected shape: fleet throughput grows monotonically with
+replica count (the service, not the arrival stream, is the bottleneck), and
+the queue-aware balancers keep tail latency at or below round-robin's.
 """
 
 import pytest
 
 from bench_common import print_table, run_once
-from repro.core.pipeline import run_vanilla_cluster
+from repro.api import ClusterSpec, Experiment
 from repro.serving.cluster import BALANCER_NAMES
 from repro.workloads.video import make_video_workload
 
@@ -28,50 +31,57 @@ def saturating_workload():
                                fps=SATURATING_FPS, seed=7)
 
 
+def _fleet_experiment(workload, balancer: str) -> Experiment:
+    return Experiment(model="resnet50", workload=workload,
+                      cluster=ClusterSpec(replicas=1, balancer=balancer),
+                      drop_expired=False, seed=0)
+
+
 @pytest.mark.parametrize("balancer", sorted(BALANCER_NAMES))
 def test_cluster_scaling_throughput(benchmark, balancer, saturating_workload):
     def sweep():
-        return {n: run_vanilla_cluster("resnet50", saturating_workload,
-                                       replicas=n, balancer=balancer,
-                                       drop_expired=False, seed=0)
-                for n in REPLICA_COUNTS}
+        return _fleet_experiment(saturating_workload, balancer) \
+            .sweep(systems=["vanilla"], replicas=REPLICA_COUNTS)
 
-    results = run_once(benchmark, sweep)
-    rows = []
-    for n in REPLICA_COUNTS:
-        summary = results[n].summary()
-        rows.append({"balancer": balancer, "replicas": n,
-                     "tput_qps": summary["throughput_qps"],
-                     "p50_ms": summary["p50_ms"], "p99_ms": summary["p99_ms"],
-                     "gpu_util": summary["fleet_gpu_utilization"],
-                     "imbalance": summary["dispatch_imbalance"]})
-    print_table(f"Cluster scaling — {balancer}", rows)
+    report = run_once(benchmark, sweep)
+    # Every metric below comes from the shared RunResult.to_json() schema.
+    summaries = {point.params["replicas"]:
+                 point.report.result("vanilla").to_json()["summary"]
+                 for point in report}
+    print_table(f"Cluster scaling — {balancer}",
+                [{"balancer": balancer, "replicas": n,
+                  "tput_qps": s["throughput_qps"],
+                  "p50_ms": s["p50_ms"], "p99_ms": s["p99_ms"],
+                  "gpu_util": s["fleet_gpu_utilization"],
+                  "imbalance": s["dispatch_imbalance"]}
+                 for n, s in summaries.items()])
 
     # Conservation: every request answered on every fleet size.
     for n in REPLICA_COUNTS:
-        assert len(results[n].aggregate().served()) == NUM_FRAMES
+        assert summaries[n]["num_served"] == NUM_FRAMES
 
     # Shape: monotone throughput improvement from 1 -> 4 replicas under a
     # saturating trace, with a clear (>1.5x) win for the full fan-out.
-    tputs = [results[n].fleet_throughput_qps() for n in REPLICA_COUNTS]
+    tputs = [summaries[n]["throughput_qps"] for n in REPLICA_COUNTS]
     assert tputs[0] <= tputs[1] * 1.02 and tputs[1] <= tputs[2] * 1.02, \
         f"{balancer}: throughput not monotone across {REPLICA_COUNTS}: {tputs}"
     assert tputs[2] > tputs[0] * 1.5, \
         f"{balancer}: 4 replicas should clearly out-serve 1 ({tputs})"
 
     # More replicas must not make the tail worse.
-    p99s = [results[n].aggregate().p99_latency() for n in REPLICA_COUNTS]
+    p99s = [summaries[n]["p99_ms"] for n in REPLICA_COUNTS]
     assert p99s[2] <= p99s[0]
 
 
 def test_queue_aware_balancers_beat_round_robin_tail(saturating_workload):
     """JSQ/least-work should not lose to round-robin on p99 at equal fleet size."""
-    results = {balancer: run_vanilla_cluster("resnet50", saturating_workload,
-                                             replicas=4, balancer=balancer,
-                                             drop_expired=False, seed=0)
-               for balancer in ("round_robin", "join_shortest_queue",
-                                "least_work_left")}
-    p99 = {name: fleet.aggregate().p99_latency() for name, fleet in results.items()}
+    p99 = {}
+    for balancer in ("round_robin", "join_shortest_queue", "least_work_left"):
+        experiment = Experiment(model="resnet50", workload=saturating_workload,
+                                cluster=ClusterSpec(replicas=4, balancer=balancer),
+                                drop_expired=False, seed=0)
+        result = experiment.run(["vanilla"]).result("vanilla")
+        p99[balancer] = result.to_json()["summary"]["p99_ms"]
     print_table("4-replica tail latency by balancer",
                 [{"balancer": name, "p99_ms": value} for name, value in p99.items()])
     assert p99["join_shortest_queue"] <= p99["round_robin"] * 1.10

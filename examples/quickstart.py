@@ -1,57 +1,62 @@
 #!/usr/bin/env python3
-"""Quickstart: register a model with Apparate and serve a video workload.
+"""Quickstart: declare one Experiment, compare every system on it.
 
-This mirrors the workflow of Figure 6 in the paper:
+The ``repro.api`` facade is the front door to the reproduction: an
+:class:`~repro.api.Experiment` declares the model, the workload and the exit
+policy once, and any set of registered systems (``vanilla``, ``apparate``,
+``static_ee``, ``two_layer``, ``optimal``, …) runs on exactly that
+configuration:
 
-1. register a model (ResNet50) with an SLO, an accuracy constraint and a ramp
-   budget — Apparate analyzes the graph, places lightweight ramps at cut
-   vertices and calibrates them on bootstrap data;
-2. serve a live video-analytics workload on a Clockwork-like platform;
-3. compare latencies, accuracy and throughput against vanilla serving.
+1. declare a video-analytics experiment on ResNet50 with the paper's default
+   knobs (1% accuracy constraint, 2% ramp budget);
+2. ``run`` vanilla serving, Apparate and the optimal oracle and print the
+   cross-system comparison table;
+3. ``sweep`` replica counts to see fleet scaling in one extra line.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Apparate
-from repro.workloads import make_video_workload
+from repro.api import Experiment, ExitPolicySpec, WorkloadSpec, list_systems
 
 
 def main() -> None:
-    system = Apparate(seed=0)
-    workload = make_video_workload("urban-day", num_frames=6000, fps=30.0, seed=1)
-
-    deployment = system.register(
-        "resnet50",
-        accuracy_constraint=0.01,   # at most 1% accuracy loss vs the original model
-        ramp_budget=0.02,           # ramps may inflate worst-case latency by at most 2%
-        bootstrap_workload=workload,
+    experiment = Experiment(
+        model="resnet50",
+        workload=WorkloadSpec("video", "urban-day", requests=6000, rate=30.0),
+        ee=ExitPolicySpec(
+            accuracy_constraint=0.01,   # at most 1% accuracy loss vs the original
+            ramp_budget=0.02,           # ramps may inflate worst-case latency <= 2%
+        ),
+        seed=0,
     )
-    prep = deployment.preparation
-    print(f"Prepared {prep.model_name}: {prep.num_candidate_ramps} candidate ramps, "
-          f"{prep.num_initial_ramps} initially active, "
-          f"ramp params = {100 * prep.ramp_params_fraction:.2f}% of the model")
+    print(f"registered systems: {', '.join(list_systems())}")
 
-    vanilla = deployment.serve_vanilla(workload, platform="clockwork")
-    apparate = deployment.serve(workload, platform="clockwork")
+    # One call, three systems, one comparison table.
+    report = experiment.run(systems=["vanilla", "apparate", "optimal"])
+    print(f"\nmodel=resnet50 workload=video:urban-day "
+          f"requests={report.params['workload']['requests']}")
+    print(report.format_table())
 
-    v, a = vanilla.summary(), apparate.summary()
-    print("\n                vanilla     Apparate")
-    print(f"median latency  {v['p50_ms']:8.2f} ms {a['p50_ms']:8.2f} ms"
-          f"   ({100 * (v['p50_ms'] - a['p50_ms']) / v['p50_ms']:.1f}% lower)")
-    print(f"p25 latency     {v['p25_ms']:8.2f} ms {a['p25_ms']:8.2f} ms")
-    print(f"p95 latency     {v['p95_ms']:8.2f} ms {a['p95_ms']:8.2f} ms"
-          "   (bounded by the 2% ramp budget)")
-    print(f"throughput      {v['throughput_qps']:8.2f} qps {a['throughput_qps']:8.2f} qps")
-    print(f"accuracy        {v['accuracy']:8.3f}    {a['accuracy']:8.3f}"
-          "   (relative to the original model)")
-    print(f"exit rate                      {a['exit_rate']:8.2%}")
+    v = report.result("vanilla").summary
+    a = report.result("apparate").summary
+    win = 100.0 * (v["p50_ms"] - a["p50_ms"]) / v["p50_ms"]
+    print(f"\nApparate median latency win over vanilla: {win:.1f}% "
+          f"(exit rate {a['exit_rate']:.0%}, accuracy {a['accuracy']:.3f})")
 
-    stats = apparate.controller.stats
-    print(f"\ncontroller: {stats.threshold_tunings} threshold tunings "
-          f"({stats.accuracy_triggered_tunings} accuracy-triggered), "
-          f"{stats.ramp_adjustments} ramp adjustments, "
-          f"{stats.ramp_set_changes} ramp-set changes")
-    print(f"final configuration: {apparate.controller.config.describe()}")
+    # The controller's runtime adaptation stats ride along on the result.
+    controller = report.result("apparate").raw.controller
+    print(f"controller: {controller.stats.threshold_tunings} threshold tunings, "
+          f"{controller.stats.ramp_adjustments} ramp adjustments")
+    print(f"final configuration: {controller.config.describe()}")
+
+    # Fleet scaling is one more line: sweep replica counts behind a balancer.
+    sweep = experiment.sweep(systems=["vanilla"], replicas=[1, 2],
+                             balancer="join_shortest_queue")
+    print("\nfleet scaling (join_shortest_queue):")
+    print(sweep.format_table(metrics=["p50_ms", "p99_ms", "throughput_qps"]))
+
+    # Everything is JSON-serializable for downstream tooling:
+    # json.dumps(report.to_json()) / json.dumps(sweep.to_json()).
 
 
 if __name__ == "__main__":

@@ -8,13 +8,18 @@ DESIGN.md for the substitution rationale).
 
 Quickstart
 ----------
->>> from repro import Apparate
->>> from repro.workloads import make_video_workload
->>> system = Apparate(seed=0)
->>> deployment = system.register("resnet50", accuracy_constraint=0.01, ramp_budget=0.02)
->>> workload = make_video_workload("urban-day", num_frames=2000)
->>> result = deployment.serve(workload, platform="clockwork")
->>> vanilla = deployment.serve_vanilla(workload, platform="clockwork")
+The declarative :class:`Experiment` facade runs any set of registered
+systems — Apparate, vanilla serving, and the paper's baselines — on one
+configuration and compares them:
+
+>>> from repro import Experiment, WorkloadSpec
+>>> exp = Experiment(model="resnet50", workload=WorkloadSpec("video", "urban-day",
+...                                                          requests=2000))
+>>> report = exp.run(systems=["vanilla", "apparate"])
+>>> sweep = exp.sweep(replicas=[1, 2, 4])                  # doctest: +SKIP
+
+The object API (:class:`Apparate`) mirrors the paper's register/serve
+workflow, and the ``run_*`` helpers remain as shims over the registry.
 """
 
 from repro.core import (
@@ -33,10 +38,30 @@ from repro.core import (
     run_generative_vanilla,
 )
 from repro.models import ModelSpec, Task, get_model, list_models, register_model
+from repro.api import (
+    ClusterSpec,
+    Experiment,
+    ExitPolicySpec,
+    RunReport,
+    RunResult,
+    SweepReport,
+    WorkloadSpec,
+    list_systems,
+    register_system,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Experiment",
+    "WorkloadSpec",
+    "ClusterSpec",
+    "ExitPolicySpec",
+    "RunResult",
+    "RunReport",
+    "SweepReport",
+    "register_system",
+    "list_systems",
     "Apparate",
     "ApparateDeployment",
     "ApparateController",

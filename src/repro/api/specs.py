@@ -1,0 +1,194 @@
+"""Declarative experiment specs: workload, cluster and exit-policy configs.
+
+These small frozen dataclasses describe *what* to run without building any of
+it.  An :class:`~repro.api.experiment.Experiment` composes them and only
+materializes workloads/platforms when a run starts, which makes experiments
+cheap to copy (``dataclasses.replace``) — the mechanism behind
+``Experiment.sweep``.
+
+All validation happens at construction time and raises :class:`ValueError`
+naming the offending value, so a bad spec fails before any compute is spent
+and every front end (Python API, CLI, benchmarks) reports the same error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.controller import FleetController
+from repro.exits.ramps import RampStyle
+from repro.serving.cluster import LoadBalancer, canonical_balancer_name
+
+__all__ = ["WorkloadSpec", "ClusterSpec", "ExitPolicySpec", "WORKLOAD_KINDS"]
+
+#: Workload families an experiment can declare.
+WORKLOAD_KINDS = ("video", "nlp", "generative")
+
+#: Default per-kind sources and arrival rates (mirroring the CLI defaults).
+_KIND_DEFAULTS = {
+    "video": {"source": "urban-day", "rate": 30.0},
+    "nlp": {"source": "amazon", "rate": 20.0},
+    "generative": {"source": "cnn-dailymail", "rate": 2.0},
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A workload described by name, not yet generated.
+
+    Attributes
+    ----------
+    kind:
+        ``"video"``, ``"nlp"`` or ``"generative"``.
+    source:
+        Scene / dataset preset name; empty selects the kind's default
+        (``urban-day`` / ``amazon`` / ``cnn-dailymail``).
+    requests:
+        Stream length (frames, requests or sequences).
+    rate:
+        Arrival rate (fps for video, qps otherwise); ``None`` selects the
+        kind's default.
+    seed:
+        Workload seed; ``None`` inherits the experiment seed.
+    arrival_process:
+        NLP only: ``"maf"`` (bursty) or ``"poisson"``.
+    overrides:
+        Optional preset-parameter overrides forwarded to the workload factory.
+    """
+
+    kind: str
+    source: str = ""
+    requests: int = 4000
+    rate: Optional[float] = None
+    seed: Optional[int] = None
+    arrival_process: str = "maf"
+    overrides: Optional[Dict[str, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ValueError(f"unknown workload kind {self.kind!r}; "
+                             f"choose from {WORKLOAD_KINDS}")
+        if int(self.requests) < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+
+    @classmethod
+    def parse(cls, text: str, requests: int = 4000, rate: Optional[float] = None,
+              seed: Optional[int] = None) -> "WorkloadSpec":
+        """Parse ``"video:urban-day"`` / ``"nlp:imdb"`` / ``"generative:squad"``."""
+        kind, _, source = str(text).partition(":")
+        return cls(kind=kind, source=source, requests=requests, rate=rate, seed=seed)
+
+    @property
+    def is_generative(self) -> bool:
+        return self.kind == "generative"
+
+    def resolved_source(self) -> str:
+        return self.source or _KIND_DEFAULTS[self.kind]["source"]
+
+    def resolved_rate(self) -> float:
+        return self.rate if self.rate is not None else _KIND_DEFAULTS[self.kind]["rate"]
+
+    def build(self, default_seed: int = 0):
+        """Materialize the workload (the only place data is generated)."""
+        # Imported here to keep spec construction free of workload machinery.
+        from repro.generative.sequences import make_generative_workload
+        from repro.workloads.nlp import make_nlp_workload
+        from repro.workloads.video import make_video_workload
+
+        seed = self.seed if self.seed is not None else default_seed
+        source = self.resolved_source()
+        rate = self.resolved_rate()
+        if self.kind == "video":
+            return make_video_workload(source, num_frames=self.requests, fps=rate,
+                                       seed=seed, preset_overrides=self.overrides)
+        if self.kind == "nlp":
+            return make_nlp_workload(source, num_requests=self.requests, rate_qps=rate,
+                                     seed=seed, arrival_process=self.arrival_process,
+                                     preset_overrides=self.overrides)
+        return make_generative_workload(source, num_sequences=self.requests,
+                                        rate_qps=rate, seed=seed,
+                                        preset_overrides=self.overrides)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "source": self.resolved_source(),
+            "requests": int(self.requests),
+            "rate": self.resolved_rate(),
+        }
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Fleet shape and control topology for cluster serving.
+
+    ``replicas`` copies of the platform sit behind ``balancer``;
+    ``fleet_mode`` selects the EE control topology (one controller per
+    replica, or one shared controller syncing every ``sync_period`` samples).
+    """
+
+    replicas: int = 2
+    balancer: Union[str, LoadBalancer] = "round_robin"
+    fleet_mode: str = "independent"
+    sync_period: int = 64
+
+    def __post_init__(self) -> None:
+        if int(self.replicas) < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        canonical_balancer_name(self.balancer)   # raises on unknown names
+        if self.fleet_mode not in FleetController.MODES:
+            raise ValueError(f"unknown fleet mode {self.fleet_mode!r}; "
+                             f"choose from {tuple(FleetController.MODES)}")
+        if int(self.sync_period) < 1:
+            raise ValueError(f"sync_period must be >= 1, got {self.sync_period}")
+
+    def balancer_name(self) -> str:
+        return canonical_balancer_name(self.balancer)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "replicas": int(self.replicas),
+            "balancer": self.balancer_name(),
+            "fleet_mode": self.fleet_mode,
+            "sync_period": int(self.sync_period),
+        }
+
+
+@dataclass(frozen=True)
+class ExitPolicySpec:
+    """Early-exit policy knobs shared by every EE-capable system.
+
+    ``accuracy_constraint`` and ``ramp_budget`` are the paper's two user
+    inputs (§3); the remaining fields are ablation switches used by the
+    sensitivity studies.
+    """
+
+    accuracy_constraint: float = 0.01
+    ramp_budget: float = 0.02
+    ramp_style: RampStyle = RampStyle.LIGHTWEIGHT
+    initial_ramp_ids: Optional[Tuple[int, ...]] = None
+    ramp_adjustment_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= float(self.accuracy_constraint) < 1.0:
+            raise ValueError("accuracy_constraint must be in [0, 1), "
+                             f"got {self.accuracy_constraint}")
+        if float(self.ramp_budget) <= 0.0:
+            raise ValueError(f"ramp_budget must be positive, got {self.ramp_budget}")
+        if self.initial_ramp_ids is not None:
+            object.__setattr__(self, "initial_ramp_ids",
+                               tuple(int(r) for r in self.initial_ramp_ids))
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "accuracy_constraint": float(self.accuracy_constraint),
+            "ramp_budget": float(self.ramp_budget),
+            "ramp_style": self.ramp_style.value
+            if isinstance(self.ramp_style, RampStyle) else str(self.ramp_style),
+            "initial_ramp_ids": None if self.initial_ramp_ids is None
+            else list(self.initial_ramp_ids),
+            "ramp_adjustment_enabled": bool(self.ramp_adjustment_enabled),
+        }

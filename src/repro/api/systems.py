@@ -1,0 +1,229 @@
+"""Registered serving systems: every comparable system behind one interface.
+
+Each runner adapts one of the repo's serving implementations (Apparate,
+vanilla, and the paper's baselines) to the registry contract: take an
+:class:`~repro.api.experiment.Experiment`, dispatch on its kind
+(classification / cluster / generative), and return a
+:class:`~repro.api.result.RunResult` in the shared schema.  The legacy
+``run_*`` entry points are thin shims over these registrations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.api.registry import register_system
+from repro.api.result import (KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE,
+                              RunResult)
+from repro.baselines.free import _free_generative_impl
+from repro.baselines.oracle import (_optimal_classification_impl,
+                                    _optimal_generative_impl)
+from repro.baselines.static_ee import StaticEEVariant, _static_ee_impl
+from repro.baselines.two_layer import _two_layer_impl
+from repro.core.generative import (_generative_apparate_impl,
+                                   _generative_vanilla_impl)
+from repro.core.pipeline import (_apparate_cluster_impl, _apparate_impl,
+                                 _vanilla_cluster_impl, _vanilla_impl)
+
+__all__ = ["REGISTERED_SYSTEMS"]
+
+#: Canonical registry contents; tests assert the registry matches this set.
+REGISTERED_SYSTEMS = ("apparate", "free", "optimal", "static_ee", "two_layer",
+                      "vanilla")
+
+_CLASSIFY_BATCH = 16
+_GENERATIVE_BATCH = 8
+
+
+def _result(experiment, system: str, kind: str, summary: Dict[str, float],
+            raw: Any, details: Optional[Dict[str, Any]] = None) -> RunResult:
+    return RunResult(system=system, kind=kind, model=experiment.spec.name,
+                     summary=dict(summary), params=experiment.describe(),
+                     details=details or {}, raw=raw)
+
+
+def _cluster_kwargs(experiment) -> Dict[str, Any]:
+    cluster = experiment.cluster
+    return {
+        "replicas": cluster.replicas,
+        "balancer": cluster.balancer,
+        "platform": experiment.platform,
+        "slo_ms": experiment.slo_ms,
+        "max_batch_size": experiment.batch_size(_CLASSIFY_BATCH),
+        "seed": experiment.seed,
+        "drop_expired": experiment.drop_expired,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Core systems.
+# ---------------------------------------------------------------------------
+
+@register_system(
+    "vanilla",
+    kinds=(KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE),
+    description="the original model with no early exits (the paper's baseline)",
+    aliases=("baseline",))
+def _vanilla_system(experiment, **kw) -> RunResult:
+    if experiment.kind == KIND_GENERATIVE:
+        metrics = _generative_vanilla_impl(
+            experiment.spec, experiment.workload_obj(),
+            max_batch_size=experiment.batch_size(_GENERATIVE_BATCH),
+            seed=experiment.seed, **kw)
+        return _result(experiment, "vanilla", KIND_GENERATIVE, metrics.summary(),
+                       raw=metrics)
+    if experiment.kind == KIND_CLUSTER:
+        metrics = _vanilla_cluster_impl(experiment.spec, experiment.workload_obj(),
+                                        **_cluster_kwargs(experiment), **kw)
+        return _result(experiment, "vanilla", KIND_CLUSTER, metrics.summary(),
+                       raw=metrics,
+                       details={"dispatch_counts": list(metrics.dispatch_counts)})
+    metrics = _vanilla_impl(experiment.spec, experiment.workload_obj(),
+                            platform=experiment.platform, slo_ms=experiment.slo_ms,
+                            max_batch_size=experiment.batch_size(_CLASSIFY_BATCH),
+                            seed=experiment.seed,
+                            drop_expired=experiment.drop_expired, **kw)
+    return _result(experiment, "vanilla", KIND_CLASSIFICATION, metrics.summary(),
+                   raw=metrics)
+
+
+@register_system(
+    "apparate",
+    kinds=(KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE),
+    description="Apparate: adaptive early exits managed at runtime (the system)")
+def _apparate_system(experiment, **kw) -> RunResult:
+    ee = experiment.ee
+    if experiment.kind == KIND_GENERATIVE:
+        outcome = _generative_apparate_impl(
+            experiment.spec, experiment.workload_obj(),
+            accuracy_constraint=ee.accuracy_constraint,
+            max_batch_size=experiment.batch_size(_GENERATIVE_BATCH),
+            seed=experiment.seed, **kw)
+        return _result(experiment, "apparate", KIND_GENERATIVE, outcome.summary(),
+                       raw=outcome,
+                       details={"ramp_depth": outcome.policy.ramp_depth,
+                                "threshold": outcome.policy.threshold})
+    if experiment.kind == KIND_CLUSTER:
+        cluster = experiment.cluster
+        outcome = _apparate_cluster_impl(
+            experiment.spec, experiment.workload_obj(),
+            fleet_mode=cluster.fleet_mode, sync_period=cluster.sync_period,
+            accuracy_constraint=ee.accuracy_constraint,
+            ramp_budget=ee.ramp_budget, ramp_style=ee.ramp_style,
+            initial_ramp_ids=ee.initial_ramp_ids,
+            **_cluster_kwargs(experiment), **kw)
+        return _result(
+            experiment, "apparate", KIND_CLUSTER, outcome.summary(), raw=outcome,
+            details={"dispatch_counts": list(outcome.metrics.dispatch_counts),
+                     "fleet_mode": cluster.fleet_mode})
+    outcome = _apparate_impl(experiment.spec, experiment.workload_obj(),
+                             platform=experiment.platform, slo_ms=experiment.slo_ms,
+                             accuracy_constraint=ee.accuracy_constraint,
+                             ramp_budget=ee.ramp_budget, ramp_style=ee.ramp_style,
+                             max_batch_size=experiment.batch_size(_CLASSIFY_BATCH),
+                             seed=experiment.seed,
+                             drop_expired=experiment.drop_expired,
+                             ramp_adjustment_enabled=ee.ramp_adjustment_enabled,
+                             initial_ramp_ids=ee.initial_ramp_ids, **kw)
+    return _result(experiment, "apparate", KIND_CLASSIFICATION, outcome.summary(),
+                   raw=outcome,
+                   details={"final_config": outcome.controller.config.describe()})
+
+
+# ---------------------------------------------------------------------------
+# Paper baselines.
+# ---------------------------------------------------------------------------
+
+@register_system(
+    "static_ee",
+    kinds=(KIND_CLASSIFICATION,),
+    description="BranchyNet/DeeBERT-style static early exits, one-time tuning",
+    aliases=("static",))
+def _static_ee_system(experiment, variant=StaticEEVariant.SHARED,
+                      **kw) -> RunResult:
+    outcome = _static_ee_impl(experiment.spec, experiment.workload_obj(),
+                              variant=StaticEEVariant(variant),
+                              ramp_style=experiment.ee.ramp_style,
+                              platform=experiment.platform,
+                              slo_ms=experiment.slo_ms,
+                              accuracy_constraint=experiment.ee.accuracy_constraint,
+                              max_batch_size=experiment.batch_size(_CLASSIFY_BATCH),
+                              seed=experiment.seed, **kw)
+    return _result(experiment, "static_ee", KIND_CLASSIFICATION, outcome.summary(),
+                   raw=outcome,
+                   details={"variant": StaticEEVariant(variant).value,
+                            "thresholds": list(outcome.thresholds),
+                            "ramp_depths": list(outcome.ramp_depths)})
+
+
+@register_system(
+    "two_layer",
+    kinds=(KIND_CLASSIFICATION,),
+    description="two-layer cascade (Tabi/FilterForward): compressed model + escalation")
+def _two_layer_system(experiment, **kw) -> RunResult:
+    outcome = _two_layer_impl(experiment.spec, experiment.workload_obj(),
+                              platform=experiment.platform,
+                              slo_ms=experiment.slo_ms,
+                              accuracy_constraint=experiment.ee.accuracy_constraint,
+                              max_batch_size=experiment.batch_size(_CLASSIFY_BATCH),
+                              seed=experiment.seed, **kw)
+    return _result(experiment, "two_layer", KIND_CLASSIFICATION, outcome.summary(),
+                   raw=outcome)
+
+
+@register_system(
+    "free",
+    kinds=(KIND_GENERATIVE,),
+    description="FREE (Bae et al.): one fixed generative ramp, no runtime adaptation")
+def _free_system(experiment, **kw) -> RunResult:
+    metrics = _free_generative_impl(
+        experiment.spec, experiment.workload_obj(),
+        accuracy_constraint=experiment.ee.accuracy_constraint,
+        max_batch_size=experiment.batch_size(_GENERATIVE_BATCH),
+        seed=experiment.seed, **kw)
+    return _result(experiment, "free", KIND_GENERATIVE, metrics.summary(),
+                   raw=metrics)
+
+
+@register_system(
+    "optimal",
+    kinds=(KIND_CLASSIFICATION, KIND_GENERATIVE),
+    description="optimal oracle: every input exits at its earliest correct ramp",
+    aliases=("oracle",))
+def _optimal_system(experiment, **kw) -> RunResult:
+    if experiment.kind == KIND_GENERATIVE:
+        metrics = _optimal_generative_impl(
+            experiment.spec, experiment.workload_obj(),
+            max_batch_size=experiment.batch_size(_GENERATIVE_BATCH),
+            seed=experiment.seed, **kw)
+        return _result(experiment, "optimal", KIND_GENERATIVE, metrics.summary(),
+                       raw=metrics)
+    latencies = _optimal_classification_impl(
+        experiment.spec, experiment.workload_obj(),
+        platform=experiment.platform, slo_ms=experiment.slo_ms,
+        max_batch_size=experiment.batch_size(_CLASSIFY_BATCH),
+        seed=experiment.seed, drop_expired=experiment.drop_expired, **kw)
+    summary = _latency_summary(latencies)
+    return _result(experiment, "optimal", KIND_CLASSIFICATION, summary,
+                   raw=latencies)
+
+
+def _latency_summary(latencies: np.ndarray) -> Dict[str, float]:
+    """Shared-schema summary for the oracle's bare latency array."""
+    arr = np.asarray(latencies, dtype=float)
+    if arr.size == 0:
+        return {"p25_ms": 0.0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
+                "mean_ms": 0.0, "accuracy": 1.0, "num_served": 0.0}
+    return {
+        "p25_ms": float(np.percentile(arr, 25)),
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p95_ms": float(np.percentile(arr, 95)),
+        "p99_ms": float(np.percentile(arr, 99)),
+        "mean_ms": float(arr.mean()),
+        # The oracle exits where the prediction already matches the original
+        # model, so it is lossless by construction.
+        "accuracy": 1.0,
+        "num_served": float(arr.size),
+    }

@@ -86,17 +86,32 @@ def calibrate_free_policy(prediction: PredictionModel, workload: GenerativeWorkl
     return best_depth, best_threshold
 
 
-def run_free_generative(model: Union[str, ModelSpec], workload: GenerativeWorkload,
-                        accuracy_constraint: float = 0.01, max_batch_size: int = 8,
-                        seed: int = 0) -> GenerativeMetrics:
-    """Serve a generative workload with the FREE baseline."""
+def _free_generative_impl(model: Union[str, ModelSpec], workload: GenerativeWorkload,
+                          accuracy_constraint: float = 0.01, max_batch_size: int = 8,
+                          calibration_fraction: float = 0.03,
+                          seed: int = 0) -> GenerativeMetrics:
     spec = get_model(model) if isinstance(model, str) else model
     prediction = PredictionModel(spec, seed=seed)
     depths = generative_ramp_depths(spec, seed=seed)
     depth, threshold = calibrate_free_policy(prediction, workload, depths,
-                                             accuracy_constraint=accuracy_constraint)
+                                             accuracy_constraint=accuracy_constraint,
+                                             calibration_fraction=calibration_fraction)
     policy = FreeTokenPolicy(prediction=prediction, ramp_depth=depth, threshold=threshold)
     overhead = ramp_overhead_fraction(spec, RampStyle.DECODE_HEAD)
     timing = DecodeTimingModel(spec, ramp_overhead_fraction=overhead)
     engine = ContinuousBatchingEngine(timing, max_batch_size=max_batch_size)
     return engine.run(workload, policy)
+
+
+def run_free_generative(model: Union[str, ModelSpec], workload: GenerativeWorkload,
+                        accuracy_constraint: float = 0.01, max_batch_size: int = 8,
+                        seed: int = 0) -> GenerativeMetrics:
+    """Serve a generative workload with the FREE baseline.
+
+    Equivalent to ``Experiment(...).run(systems=["free"])``.
+    """
+    from repro.api import Experiment, ExitPolicySpec
+    experiment = Experiment(model=model, workload=workload,
+                            ee=ExitPolicySpec(accuracy_constraint=accuracy_constraint),
+                            max_batch_size=max_batch_size, seed=seed)
+    return experiment.run(["free"]).result("free").raw

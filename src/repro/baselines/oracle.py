@@ -16,7 +16,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.pipeline import Workload, model_stack, run_vanilla
+from repro.core.pipeline import Workload, _vanilla_impl, model_stack
 from repro.generative.parallel import TokenFeedback
 from repro.generative.sequences import GenerativeWorkload
 from repro.generative.decoding import DecodeTimingModel
@@ -67,15 +67,30 @@ def optimal_latencies(vanilla: ServingMetrics, trace: DifficultyTrace,
     return np.asarray(latencies, dtype=float)
 
 
+def _optimal_classification_impl(model: Union[str, ModelSpec], workload: Workload,
+                                 platform: str = "clockwork",
+                                 slo_ms: Optional[float] = None,
+                                 max_batch_size: int = 16, seed: int = 0,
+                                 drop_expired: bool = True) -> np.ndarray:
+    spec, _profile, prediction, catalog, _executor = model_stack(model, seed=seed)
+    vanilla = _vanilla_impl(spec, workload, platform=platform, slo_ms=slo_ms,
+                            max_batch_size=max_batch_size, seed=seed,
+                            drop_expired=drop_expired)
+    return optimal_latencies(vanilla, workload.trace, prediction,
+                             [r.depth_fraction for r in catalog.ramps])
+
+
 def run_optimal_classification(model: Union[str, ModelSpec], workload: Workload,
                                platform: str = "clockwork", slo_ms: Optional[float] = None,
                                max_batch_size: int = 16, seed: int = 0) -> np.ndarray:
-    """Run vanilla serving and return per-request latencies under optimal exits."""
-    spec, _profile, prediction, catalog, _executor = model_stack(model, seed=seed)
-    vanilla = run_vanilla(spec, workload, platform=platform, slo_ms=slo_ms,
-                          max_batch_size=max_batch_size, seed=seed)
-    return optimal_latencies(vanilla, workload.trace, prediction,
-                             [r.depth_fraction for r in catalog.ramps])
+    """Run vanilla serving and return per-request latencies under optimal exits.
+
+    Equivalent to ``Experiment(...).run(systems=["optimal"])``.
+    """
+    from repro.api import Experiment
+    experiment = Experiment(model=model, workload=workload, platform=platform,
+                            slo_ms=slo_ms, max_batch_size=max_batch_size, seed=seed)
+    return experiment.run(["optimal"]).result("optimal").raw
 
 
 class OracleTokenPolicy:
@@ -98,9 +113,8 @@ class OracleTokenPolicy:
         return None
 
 
-def run_optimal_generative(model: Union[str, ModelSpec], workload: GenerativeWorkload,
-                           max_batch_size: int = 8, seed: int = 0) -> GenerativeMetrics:
-    """Serve a generative workload with the oracle exit policy (zero overhead)."""
+def _optimal_generative_impl(model: Union[str, ModelSpec], workload: GenerativeWorkload,
+                             max_batch_size: int = 8, seed: int = 0) -> GenerativeMetrics:
     spec = get_model(model) if isinstance(model, str) else model
     prediction = PredictionModel(spec, seed=seed)
     _spec, _profile, _prediction, catalog, _executor = model_stack(spec, seed=seed)
@@ -108,3 +122,15 @@ def run_optimal_generative(model: Union[str, ModelSpec], workload: GenerativeWor
     timing = DecodeTimingModel(spec, ramp_overhead_fraction=0.0)
     engine = ContinuousBatchingEngine(timing, max_batch_size=max_batch_size)
     return engine.run(workload, policy)
+
+
+def run_optimal_generative(model: Union[str, ModelSpec], workload: GenerativeWorkload,
+                           max_batch_size: int = 8, seed: int = 0) -> GenerativeMetrics:
+    """Serve a generative workload with the oracle exit policy (zero overhead).
+
+    Equivalent to ``Experiment(...).run(systems=["optimal"])``.
+    """
+    from repro.api import Experiment
+    experiment = Experiment(model=model, workload=workload,
+                            max_batch_size=max_batch_size, seed=seed)
+    return experiment.run(["optimal"]).result("optimal").raw

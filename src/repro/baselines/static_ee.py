@@ -123,18 +123,12 @@ class _StaticEEExecutor:
         )
 
 
-def run_static_ee(model: Union[str, ModelSpec], workload: Workload,
-                  variant: StaticEEVariant = StaticEEVariant.SHARED,
-                  ramp_style: RampStyle = RampStyle.LIGHTWEIGHT,
-                  platform: str = "clockwork", slo_ms: Optional[float] = None,
-                  accuracy_constraint: float = 0.01, calibration_fraction: float = 0.10,
-                  max_batch_size: int = 16, seed: int = 0) -> StaticEEResult:
-    """Serve ``workload`` with a BranchyNet/DeeBERT-style static EE model.
-
-    ``ramp_style`` selects BranchyNet-like lightweight ramps (CV) or
-    DeeBERT-like deep-pooler ramps (NLP).  ``variant`` selects the tuning
-    strategy; the ``oracle`` variant calibrates on the full test stream.
-    """
+def _static_ee_impl(model: Union[str, ModelSpec], workload: Workload,
+                    variant: StaticEEVariant = StaticEEVariant.SHARED,
+                    ramp_style: RampStyle = RampStyle.LIGHTWEIGHT,
+                    platform: str = "clockwork", slo_ms: Optional[float] = None,
+                    accuracy_constraint: float = 0.01, calibration_fraction: float = 0.10,
+                    max_batch_size: int = 16, seed: int = 0) -> StaticEEResult:
     spec, profile, prediction, catalog, executor = model_stack(
         model, seed=seed, ramp_budget=1.0, ramp_style=ramp_style)
     slo = slo_ms if slo_ms is not None else spec.default_slo_ms
@@ -164,3 +158,30 @@ def run_static_ee(model: Union[str, ModelSpec], workload: Workload,
                                         overhead_fractions)
     metrics = engine.run(requests, static_executor)
     return StaticEEResult(metrics=metrics, thresholds=thresholds, ramp_depths=depths)
+
+
+def run_static_ee(model: Union[str, ModelSpec], workload: Workload,
+                  variant: StaticEEVariant = StaticEEVariant.SHARED,
+                  ramp_style: RampStyle = RampStyle.LIGHTWEIGHT,
+                  platform: str = "clockwork", slo_ms: Optional[float] = None,
+                  accuracy_constraint: float = 0.01, calibration_fraction: float = 0.10,
+                  max_batch_size: int = 16, seed: int = 0) -> StaticEEResult:
+    """Serve ``workload`` with a BranchyNet/DeeBERT-style static EE model.
+
+    ``ramp_style`` selects BranchyNet-like lightweight ramps (CV) or
+    DeeBERT-like deep-pooler ramps (NLP).  ``variant`` selects the tuning
+    strategy; the ``oracle`` variant calibrates on the full test stream.
+
+    Equivalent to ``Experiment(...).run(systems=["static_ee"])`` with the
+    variant/calibration knobs passed as per-system overrides.
+    """
+    from repro.api import Experiment, ExitPolicySpec
+    experiment = Experiment(
+        model=model, workload=workload,
+        ee=ExitPolicySpec(accuracy_constraint=accuracy_constraint,
+                          ramp_style=ramp_style),
+        platform=platform, slo_ms=slo_ms, max_batch_size=max_batch_size,
+        seed=seed,
+        overrides={"static_ee": {"variant": variant,
+                                 "calibration_fraction": calibration_fraction}})
+    return experiment.run(["static_ee"]).result("static_ee").raw

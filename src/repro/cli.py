@@ -1,42 +1,62 @@
 """Command-line interface for the Apparate reproduction.
 
-Three subcommands cover the common flows without writing any Python:
+The CLI is a thin shell over the declarative :class:`repro.api.Experiment`
+facade: each subcommand assembles an ``Experiment`` (model + workload spec +
+optional cluster spec) and runs any set of registered systems through the
+system registry (``repro.api.list_systems()``).
 
 ``repro-apparate models``
     List the registered model zoo (Table 5 latencies, SLOs, tasks).
 
 ``repro-apparate classify --model resnet50 --workload video:urban-day``
-    Serve a classification workload with and without Apparate and print the
-    latency/accuracy/throughput comparison.  With ``--replicas N`` (plus
-    ``--balancer`` and ``--fleet-mode``) the same comparison runs on an
-    N-replica cluster behind a load balancer.
+    Serve a classification workload and print the cross-system comparison.
+    ``--systems`` picks the systems (default ``vanilla,apparate``; the
+    baselines ``static_ee``, ``two_layer`` and ``optimal`` are also
+    registered).  With ``--replicas N`` (plus ``--balancer`` and
+    ``--fleet-mode``) the same comparison runs on an N-replica cluster.
 
 ``repro-apparate generate --model t5-large --dataset cnn-dailymail``
-    Serve a generative workload with Apparate, FREE and the optimal oracle and
-    print the time-per-token comparison.
+    Serve a generative workload; ``--systems`` may add ``free`` and
+    ``optimal`` (``--with-baselines`` is a shorthand for both).
 
-The CLI is intentionally a thin veneer over the public API (`repro.core.*`);
-every option maps one-to-one to a keyword argument documented there.
+``repro-apparate sweep --replicas 1,2,4 --balancer round_robin,jsq``
+    Run a parameter grid over replica counts / balancers / fleet modes in one
+    command and print one row per grid point and system.
+
+Every subcommand accepts ``--json`` for machine-readable output
+(``RunReport.to_json()`` / ``SweepReport.to_json()``).  Validation errors
+raise :class:`ValueError` inside the API and are converted to ``SystemExit``
+only here, at the process boundary.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
-from repro.baselines.free import run_free_generative
-from repro.baselines.oracle import run_optimal_generative
-from repro.core.generative import run_generative_apparate, run_generative_vanilla
-from repro.core.pipeline import (run_apparate, run_apparate_cluster,
-                                 run_vanilla, run_vanilla_cluster)
-from repro.serving.cluster import BALANCER_NAMES
-from repro.generative.sequences import make_generative_workload
+from repro.api import (ClusterSpec, Experiment, ExitPolicySpec, RunReport,
+                       WorkloadSpec, list_systems)
 from repro.models.zoo import Task, get_model, list_models
-from repro.workloads.nlp import make_nlp_workload
-from repro.workloads.video import make_video_workload
+from repro.serving.cluster import BALANCER_NAMES
 
 __all__ = ["build_parser", "main"]
+
+
+def _split_csv(text: str) -> List[str]:
+    return [item.strip() for item in str(text).split(",") if item.strip()]
+
+
+def _parse_int_list(text: str, option: str) -> List[int]:
+    try:
+        values = [int(item) for item in _split_csv(text)]
+    except ValueError as exc:
+        raise ValueError(f"{option} expects a comma-separated list of integers, "
+                         f"got {text!r}") from exc
+    if not values:
+        raise ValueError(f"{option} expects at least one value, got {text!r}")
+    return values
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,6 +73,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="registered model name (see the 'models' command)")
     classify.add_argument("--workload", default="video:urban-day",
                           help="'video:<scene>' or 'nlp:<dataset>'")
+    classify.add_argument("--systems", default="vanilla,apparate",
+                          help="comma-separated registered systems to compare "
+                               f"(classification systems: "
+                               f"{','.join(list_systems('classification'))})")
     classify.add_argument("--requests", type=int, default=4000,
                           help="number of requests to serve")
     classify.add_argument("--rate", type=float, default=None,
@@ -73,17 +97,50 @@ def build_parser() -> argparse.ArgumentParser:
                           help="EE control topology: one controller per replica "
                                "(independent, the default) or one shared fleet "
                                "controller with periodic sync")
+    classify.add_argument("--json", action="store_true",
+                          help="print the RunReport as JSON instead of a table")
 
     generate = sub.add_parser("generate", help="serve a generative workload")
     generate.add_argument("--model", default="t5-large")
     generate.add_argument("--dataset", default="cnn-dailymail",
                           choices=["cnn-dailymail", "squad"])
+    generate.add_argument("--systems", default="vanilla,apparate",
+                          help="comma-separated registered systems to compare "
+                               f"(generative systems: "
+                               f"{','.join(list_systems('generative'))})")
     generate.add_argument("--sequences", type=int, default=150)
     generate.add_argument("--rate", type=float, default=2.0)
     generate.add_argument("--accuracy-constraint", type=float, default=0.01)
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--with-baselines", action="store_true",
                           help="also run the FREE baseline and the optimal oracle")
+    generate.add_argument("--json", action="store_true",
+                          help="print the RunReport as JSON instead of a table")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a parameter grid (replicas x balancer x fleet mode)")
+    sweep.add_argument("--model", default="resnet50")
+    sweep.add_argument("--workload", default="video:urban-day",
+                       help="'video:<scene>' or 'nlp:<dataset>'")
+    sweep.add_argument("--systems", default="vanilla,apparate",
+                       help="comma-separated registered systems to run at "
+                            "every grid point")
+    sweep.add_argument("--requests", type=int, default=2000)
+    sweep.add_argument("--rate", type=float, default=None)
+    sweep.add_argument("--platform", default="clockwork",
+                       choices=["clockwork", "tfserve"])
+    sweep.add_argument("--replicas", default="1,2,4",
+                       help="comma-separated replica counts (e.g. 1,2,4)")
+    sweep.add_argument("--balancer", default=None,
+                       help="comma-separated balancer names to sweep")
+    sweep.add_argument("--fleet-mode", default=None,
+                       help="comma-separated fleet modes to sweep "
+                            "(independent,shared)")
+    sweep.add_argument("--accuracy-constraint", type=float, default=0.01)
+    sweep.add_argument("--ramp-budget", type=float, default=0.02)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--json", action="store_true",
+                       help="print the SweepReport as JSON instead of a table")
     return parser
 
 
@@ -96,120 +153,157 @@ def _cmd_models(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_classification_workload(args: argparse.Namespace):
-    kind, _, source = args.workload.partition(":")
-    source = source or ("urban-day" if kind == "video" else "amazon")
-    if kind == "video":
-        fps = args.rate if args.rate else 30.0
-        return make_video_workload(source, num_frames=args.requests, fps=fps, seed=args.seed)
-    if kind == "nlp":
-        rate = args.rate if args.rate else 20.0
-        return make_nlp_workload(source, num_requests=args.requests, rate_qps=rate,
-                                 seed=args.seed)
-    raise SystemExit(f"unknown workload kind {kind!r}; use 'video:<scene>' or 'nlp:<dataset>'")
+def _print_win_line(report: RunReport) -> None:
+    """Print the headline vanilla-vs-Apparate win when both systems ran."""
+    systems = report.systems()
+    if "vanilla" not in systems or "apparate" not in systems:
+        return
+    v, a = report.result("vanilla").summary, report.result("apparate").summary
+    if report.kind == "generative":
+        win = 100.0 * (v["tpt_p50_ms"] - a["tpt_p50_ms"]) / max(v["tpt_p50_ms"], 1e-9)
+        details = report.result("apparate").details
+        print(f"median TPT win: {win:.1f}%  (ramp depth {details['ramp_depth']:.2f}, "
+              f"threshold {details['threshold']:.2f})")
+    else:
+        win = 100.0 * (v["p50_ms"] - a["p50_ms"]) / max(v["p50_ms"], 1e-9)
+        print(f"median latency win: {win:.1f}%")
 
 
-def _cmd_classify_cluster(args: argparse.Namespace, spec, workload) -> int:
-    balancer = args.balancer or "round_robin"
-    fleet_mode = args.fleet_mode or "independent"
-    vanilla = run_vanilla_cluster(spec, workload, replicas=args.replicas,
-                                  balancer=balancer, platform=args.platform,
-                                  seed=args.seed)
-    apparate = run_apparate_cluster(spec, workload, replicas=args.replicas,
-                                    balancer=balancer,
-                                    fleet_mode=fleet_mode,
-                                    platform=args.platform, seed=args.seed,
-                                    accuracy_constraint=args.accuracy_constraint,
-                                    ramp_budget=args.ramp_budget)
-    v, a = vanilla.summary(), apparate.metrics.summary()
-    print(f"model={spec.name} workload={args.workload} platform={args.platform} "
-          f"replicas={args.replicas} balancer={balancer} "
-          f"fleet-mode={fleet_mode} requests={args.requests}")
-    print(f"{'fleet metric':<22s} {'vanilla':>12s} {'Apparate':>12s}")
-    for key, label in [("p50_ms", "median latency"), ("p95_ms", "p95 latency"),
-                       ("p99_ms", "p99 latency"), ("throughput_qps", "fleet throughput"),
-                       ("accuracy", "accuracy"), ("drop_rate", "drop rate"),
-                       ("dispatch_imbalance", "dispatch imbalance")]:
-        print(f"{label:<22s} {v[key]:12.3f} {a[key]:12.3f}")
-    print(f"{'exit rate':<22s} {'-':>12s} {a['exit_rate']:12.3f}")
-    for i, (vc, ac) in enumerate(zip(vanilla.dispatch_counts,
-                                     apparate.metrics.dispatch_counts)):
-        print(f"replica {i}: vanilla={vc} apparate={ac} requests dispatched")
-    stats = apparate.fleet.stats_summary()
-    print(f"fleet controllers: {stats['num_controllers']:.0f} "
-          f"({fleet_mode}), {stats['threshold_tunings']:.0f} threshold tunings, "
-          f"{stats['ramp_adjustments']:.0f} ramp adjustments")
-    return 0
+def _print_dispatch_lines(report: RunReport) -> None:
+    """Per-replica dispatch counts for every cluster system that reports them."""
+    counts = {r.system: r.details["dispatch_counts"] for r in report.results
+              if r.details.get("dispatch_counts")}
+    if not counts:
+        return
+    replicas = max(len(c) for c in counts.values())
+    for i in range(replicas):
+        cells = " ".join(f"{system}={c[i]}" for system, c in counts.items()
+                         if i < len(c))
+        print(f"replica {i}: {cells} requests dispatched")
+
+
+def _print_fleet_stats(report: RunReport) -> None:
+    """EE-control adaptation stats for cluster systems that carry them."""
+    for result in report.results:
+        summary = result.summary
+        if "num_controllers" not in summary:
+            continue
+        mode = result.details.get("fleet_mode", "independent")
+        print(f"fleet controllers: {summary['num_controllers']:.0f} ({mode}), "
+              f"{summary['threshold_tunings']:.0f} threshold tunings, "
+              f"{summary['ramp_adjustments']:.0f} ramp adjustments")
+
+
+def _classification_experiment(args: argparse.Namespace) -> Experiment:
+    spec = get_model(args.model)
+    if spec.task is Task.GENERATIVE:
+        raise ValueError(f"{spec.name} is generative; use the 'generate' command")
+    workload = WorkloadSpec.parse(args.workload, requests=args.requests,
+                                  rate=args.rate)
+    ee = ExitPolicySpec(accuracy_constraint=args.accuracy_constraint,
+                        ramp_budget=args.ramp_budget)
+    replicas = int(args.replicas)
+    cluster: Optional[ClusterSpec] = None
+    if replicas != 1:
+        cluster = ClusterSpec(replicas=replicas,
+                              balancer=args.balancer or "round_robin",
+                              fleet_mode=args.fleet_mode or "independent")
+    elif args.balancer or args.fleet_mode:
+        print("note: --balancer/--fleet-mode only apply to cluster serving; "
+              "pass --replicas N (N > 1) to enable it", file=sys.stderr)
+    return Experiment(model=spec, workload=workload, cluster=cluster, ee=ee,
+                      platform=args.platform, seed=args.seed)
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
-    spec = get_model(args.model)
-    if spec.task is Task.GENERATIVE:
-        raise SystemExit(f"{spec.name} is generative; use the 'generate' command")
-    if args.replicas < 1:
-        raise SystemExit("--replicas must be >= 1")
-    if args.replicas == 1 and (args.balancer or args.fleet_mode):
-        print("note: --balancer/--fleet-mode only apply to cluster serving; "
-              "pass --replicas N (N > 1) to enable it", file=sys.stderr)
-    workload = _build_classification_workload(args)
-    if args.replicas > 1:
-        return _cmd_classify_cluster(args, spec, workload)
-    vanilla = run_vanilla(spec, workload, platform=args.platform, seed=args.seed)
-    apparate = run_apparate(spec, workload, platform=args.platform, seed=args.seed,
-                            accuracy_constraint=args.accuracy_constraint,
-                            ramp_budget=args.ramp_budget)
-    v, a = vanilla.summary(), apparate.summary()
-    win = 100.0 * (v["p50_ms"] - a["p50_ms"]) / max(v["p50_ms"], 1e-9)
-    print(f"model={spec.name} workload={args.workload} platform={args.platform} "
-          f"requests={args.requests}")
-    print(f"{'metric':<18s} {'vanilla':>12s} {'Apparate':>12s}")
-    for key, label in [("p25_ms", "p25 latency"), ("p50_ms", "median latency"),
-                       ("p95_ms", "p95 latency"), ("throughput_qps", "throughput"),
-                       ("accuracy", "accuracy")]:
-        print(f"{label:<18s} {v[key]:12.3f} {a[key]:12.3f}")
-    print(f"{'exit rate':<18s} {'-':>12s} {a['exit_rate']:12.3f}")
-    print(f"median latency win: {win:.1f}%")
+    experiment = _classification_experiment(args)
+    report = experiment.run(_split_csv(args.systems))
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+        return 0
+    header = (f"model={experiment.spec.name} workload={args.workload} "
+              f"platform={args.platform} requests={args.requests}")
+    if experiment.cluster is not None:
+        cluster = experiment.cluster
+        header += (f" replicas={cluster.replicas} balancer={cluster.balancer_name()} "
+                   f"fleet-mode={cluster.fleet_mode}")
+    print(header)
+    print(report.format_table())
+    _print_dispatch_lines(report)
+    _print_fleet_stats(report)
+    _print_win_line(report)
     return 0
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     spec = get_model(args.model)
     if not spec.is_generative:
-        raise SystemExit(f"{spec.name} is not generative; use the 'classify' command")
-    workload = make_generative_workload(args.dataset, num_sequences=args.sequences,
-                                        rate_qps=args.rate, seed=args.seed)
-    vanilla = run_generative_vanilla(spec, workload, seed=args.seed)
-    apparate = run_generative_apparate(spec, workload, seed=args.seed,
-                                       accuracy_constraint=args.accuracy_constraint)
-    rows = [("vanilla", vanilla), ("Apparate", apparate.metrics)]
+        raise ValueError(f"{spec.name} is not generative; use the 'classify' command")
+    systems = _split_csv(args.systems)
     if args.with_baselines:
-        rows.append(("FREE", run_free_generative(spec, workload, seed=args.seed)))
-        rows.append(("optimal", run_optimal_generative(spec, workload, seed=args.seed)))
+        systems += [name for name in ("free", "optimal") if name not in systems]
+    workload = WorkloadSpec(kind="generative", source=args.dataset,
+                            requests=args.sequences, rate=args.rate)
+    experiment = Experiment(
+        model=spec, workload=workload,
+        ee=ExitPolicySpec(accuracy_constraint=args.accuracy_constraint),
+        seed=args.seed)
+    report = experiment.run(systems)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+        return 0
     print(f"model={spec.name} dataset={args.dataset} sequences={args.sequences}")
-    print(f"{'system':<10s} {'TPT p25':>9s} {'TPT p50':>9s} {'TPT p95':>9s} "
-          f"{'seq accuracy':>13s} {'exit rate':>10s}")
-    for name, metrics in rows:
-        summary = metrics.summary()
-        print(f"{name:<10s} {summary['tpt_p25_ms']:9.2f} {summary['tpt_p50_ms']:9.2f} "
-              f"{summary['tpt_p95_ms']:9.2f} {summary['sequence_accuracy']:13.3f} "
-              f"{summary['exit_rate']:10.2%}")
-    win = 100.0 * (vanilla.median_tpt() - apparate.metrics.median_tpt()) \
-        / max(vanilla.median_tpt(), 1e-9)
-    print(f"median TPT win: {win:.1f}%  (ramp depth {apparate.policy.ramp_depth:.2f}, "
-          f"threshold {apparate.policy.threshold:.2f})")
+    print(report.format_table())
+    _print_win_line(report)
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = get_model(args.model)
+    if spec.task is Task.GENERATIVE:
+        raise ValueError(f"{spec.name} is generative; the sweep command currently "
+                         "covers classification fleets")
+    workload = WorkloadSpec.parse(args.workload, requests=args.requests,
+                                  rate=args.rate)
+    experiment = Experiment(
+        model=spec, workload=workload,
+        ee=ExitPolicySpec(accuracy_constraint=args.accuracy_constraint,
+                          ramp_budget=args.ramp_budget),
+        platform=args.platform, seed=args.seed)
+    grid = {"replicas": _parse_int_list(args.replicas, "--replicas")}
+    if args.balancer:
+        grid["balancer"] = _split_csv(args.balancer)
+    if args.fleet_mode:
+        grid["fleet_mode"] = _split_csv(args.fleet_mode)
+    sweep = experiment.sweep(systems=_split_csv(args.systems), **grid)
+    if args.json:
+        print(json.dumps(sweep.to_json(), indent=2))
+        return 0
+    print(f"model={spec.name} workload={args.workload} platform={args.platform} "
+          f"requests={args.requests} grid={'x'.join(str(len(v)) for v in grid.values())}")
+    print(sweep.format_table())
+    return 0
+
+
+_COMMANDS = {
+    "models": _cmd_models,
+    "classify": _cmd_classify,
+    "generate": _cmd_generate,
+    "sweep": _cmd_sweep,
+}
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point for the ``repro-apparate`` console script."""
+    """Entry point for the ``repro-apparate`` console script.
+
+    The API layer signals every invalid configuration with ``ValueError``;
+    this is the single place it becomes a ``SystemExit`` for the shell.
+    """
     args = build_parser().parse_args(argv)
-    if args.command == "models":
-        return _cmd_models(args)
-    if args.command == "classify":
-        return _cmd_classify(args)
-    if args.command == "generate":
-        return _cmd_generate(args)
-    raise SystemExit(f"unknown command {args.command!r}")   # pragma: no cover
+    try:
+        return _COMMANDS[args.command](args)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
 
 
 if __name__ == "__main__":   # pragma: no cover

@@ -2,17 +2,15 @@
 
 The public entry points are:
 
+* :class:`repro.api.Experiment` — the declarative facade: one configuration,
+  any set of registered systems (``vanilla``, ``apparate``, the baselines),
+  cross-system reports and parameter sweeps;
 * :class:`repro.core.apparate.Apparate` — register a model, let the system
   prepare it with early exits, and serve workloads on a chosen platform;
-* :func:`repro.core.pipeline.run_vanilla` / :func:`repro.core.pipeline.run_apparate`
-  — one-call classification serving runs used by the examples and benchmarks;
-* :func:`repro.core.generative.run_generative_vanilla` /
-  :func:`repro.core.generative.run_generative_apparate` — the generative
-  counterparts (§3.4, §4.3);
-* :func:`repro.core.pipeline.run_vanilla_cluster` /
-  :func:`repro.core.pipeline.run_apparate_cluster` — fleet-scale serving
-  across N replicas behind a load balancer, with EE control per replica or
-  shared fleet-wide (:class:`repro.core.controller.FleetController`).
+* the ``run_*`` helpers below — one-call serving runs kept as thin shims
+  over the system registry (classification, generative, and fleet-scale
+  cluster serving with EE control per replica or shared fleet-wide via
+  :class:`repro.core.controller.FleetController`).
 """
 
 from repro.core.apparate import Apparate, ApparateDeployment, PreparationReport

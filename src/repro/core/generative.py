@@ -184,22 +184,20 @@ class GenerativeRunResult:
 
 
 # ---------------------------------------------------------------------------
-# One-call generative runs.
+# Generative serving implementations (called through the system registry).
 # ---------------------------------------------------------------------------
 
-def run_generative_vanilla(model: Union[str, ModelSpec], workload: GenerativeWorkload,
-                           max_batch_size: int = 8, seed: int = 0) -> GenerativeMetrics:
-    """Serve a generative workload with the original model (no exits)."""
+def _generative_vanilla_impl(model: Union[str, ModelSpec], workload: GenerativeWorkload,
+                             max_batch_size: int = 8, seed: int = 0) -> GenerativeMetrics:
     spec = get_model(model) if isinstance(model, str) else model
     timing = DecodeTimingModel(spec, ramp_overhead_fraction=0.0)
     engine = ContinuousBatchingEngine(timing, max_batch_size=max_batch_size)
     return engine.run(workload, VanillaTokenPolicy())
 
 
-def run_generative_apparate(model: Union[str, ModelSpec], workload: GenerativeWorkload,
-                            accuracy_constraint: float = 0.01, max_batch_size: int = 8,
-                            flush_limit: int = 8, seed: int = 0) -> GenerativeRunResult:
-    """Serve a generative workload with Apparate's adaptive single ramp."""
+def _generative_apparate_impl(model: Union[str, ModelSpec], workload: GenerativeWorkload,
+                              accuracy_constraint: float = 0.01, max_batch_size: int = 8,
+                              flush_limit: int = 8, seed: int = 0) -> GenerativeRunResult:
     spec = get_model(model) if isinstance(model, str) else model
     prediction = PredictionModel(spec, seed=seed)
     depths = generative_ramp_depths(spec, seed=seed)
@@ -210,3 +208,34 @@ def run_generative_apparate(model: Union[str, ModelSpec], workload: GenerativeWo
                                       flush_limit=flush_limit)
     metrics = engine.run(workload, policy)
     return GenerativeRunResult(metrics=metrics, policy=policy)
+
+
+# ---------------------------------------------------------------------------
+# One-call generative runs: thin shims over the system registry.
+# ---------------------------------------------------------------------------
+
+def run_generative_vanilla(model: Union[str, ModelSpec], workload: GenerativeWorkload,
+                           max_batch_size: int = 8, seed: int = 0) -> GenerativeMetrics:
+    """Serve a generative workload with the original model (no exits).
+
+    Equivalent to ``Experiment(...).run(systems=["vanilla"])``.
+    """
+    from repro.api import Experiment
+    experiment = Experiment(model=model, workload=workload,
+                            max_batch_size=max_batch_size, seed=seed)
+    return experiment.run(["vanilla"]).result("vanilla").raw
+
+
+def run_generative_apparate(model: Union[str, ModelSpec], workload: GenerativeWorkload,
+                            accuracy_constraint: float = 0.01, max_batch_size: int = 8,
+                            flush_limit: int = 8, seed: int = 0) -> GenerativeRunResult:
+    """Serve a generative workload with Apparate's adaptive single ramp.
+
+    Equivalent to ``Experiment(...).run(systems=["apparate"])``.
+    """
+    from repro.api import Experiment, ExitPolicySpec
+    experiment = Experiment(model=model, workload=workload,
+                            ee=ExitPolicySpec(accuracy_constraint=accuracy_constraint),
+                            max_batch_size=max_batch_size, seed=seed,
+                            overrides={"apparate": {"flush_limit": flush_limit}})
+    return experiment.run(["apparate"]).result("apparate").raw

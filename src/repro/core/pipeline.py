@@ -5,6 +5,14 @@ model graph, latency profile and prediction model; construct the requested
 platform; and run the workload through either the vanilla executor or the
 Apparate executor (which consults the controller for the deployed EE
 configuration before every batch and streams feedback back afterwards).
+
+The public ``run_vanilla`` / ``run_apparate`` / ``run_*_cluster`` entry
+points are thin shims over the system registry: each builds a declarative
+:class:`repro.api.Experiment` and delegates to the registered system
+(``vanilla`` or ``apparate``), so new front ends (the CLI's ``--systems``
+flag, sweeps, benchmarks) and these legacy helpers all execute the exact
+same code path.  The serving logic itself lives in the private ``_*_impl``
+functions that the registry runners call.
 """
 
 from __future__ import annotations
@@ -156,18 +164,17 @@ def build_cluster(platform: str, profile: LatencyProfile, replicas: int,
 
 
 # ---------------------------------------------------------------------------
-# One-call serving runs.
+# Serving implementations (called through the system registry).
 # ---------------------------------------------------------------------------
 
 def _workload_requests(workload: Workload, slo_ms: float) -> List[Request]:
     return make_requests(workload.trace, workload.arrival_times_ms, slo_ms)
 
 
-def run_vanilla(model: Union[str, ModelSpec], workload: Workload,
-                platform: str = "clockwork", slo_ms: Optional[float] = None,
-                max_batch_size: int = 16, seed: int = 0,
-                drop_expired: bool = True) -> ServingMetrics:
-    """Serve ``workload`` with the original (non-EE) model."""
+def _vanilla_impl(model: Union[str, ModelSpec], workload: Workload,
+                  platform: str = "clockwork", slo_ms: Optional[float] = None,
+                  max_batch_size: int = 16, seed: int = 0,
+                  drop_expired: bool = True) -> ServingMetrics:
     spec, profile, _prediction, _catalog, executor = model_stack(model, seed=seed)
     slo = slo_ms if slo_ms is not None else spec.default_slo_ms
     requests = _workload_requests(workload, slo)
@@ -176,15 +183,14 @@ def run_vanilla(model: Union[str, ModelSpec], workload: Workload,
     return engine.run(requests, VanillaExecutor(executor))
 
 
-def run_apparate(model: Union[str, ModelSpec], workload: Workload,
-                 platform: str = "clockwork", slo_ms: Optional[float] = None,
-                 accuracy_constraint: float = 0.01, ramp_budget: float = 0.02,
-                 ramp_style: RampStyle = RampStyle.LIGHTWEIGHT,
-                 max_batch_size: int = 16, seed: int = 0,
-                 drop_expired: bool = True,
-                 ramp_adjustment_enabled: bool = True,
-                 initial_ramp_ids: Optional[Sequence[int]] = None) -> ApparateRunResult:
-    """Serve ``workload`` with Apparate managing early exits on top of the platform."""
+def _apparate_impl(model: Union[str, ModelSpec], workload: Workload,
+                   platform: str = "clockwork", slo_ms: Optional[float] = None,
+                   accuracy_constraint: float = 0.01, ramp_budget: float = 0.02,
+                   ramp_style: RampStyle = RampStyle.LIGHTWEIGHT,
+                   max_batch_size: int = 16, seed: int = 0,
+                   drop_expired: bool = True,
+                   ramp_adjustment_enabled: bool = True,
+                   initial_ramp_ids: Optional[Sequence[int]] = None) -> ApparateRunResult:
     spec, profile, _prediction, catalog, executor = model_stack(
         model, seed=seed, ramp_budget=ramp_budget, ramp_style=ramp_style)
     slo = slo_ms if slo_ms is not None else spec.default_slo_ms
@@ -203,16 +209,12 @@ def run_apparate(model: Union[str, ModelSpec], workload: Workload,
     return ApparateRunResult(metrics=metrics, controller=controller)
 
 
-# ---------------------------------------------------------------------------
-# Cluster serving runs (N replicas behind a load balancer).
-# ---------------------------------------------------------------------------
-
-def run_vanilla_cluster(model: Union[str, ModelSpec], workload: Workload,
-                        replicas: int = 2, balancer: Union[str, LoadBalancer] = "round_robin",
-                        platform: str = "clockwork", slo_ms: Optional[float] = None,
-                        max_batch_size: int = 16, seed: int = 0,
-                        drop_expired: bool = True) -> ClusterMetrics:
-    """Serve ``workload`` with ``replicas`` copies of the original (non-EE) model."""
+def _vanilla_cluster_impl(model: Union[str, ModelSpec], workload: Workload,
+                          replicas: int = 2,
+                          balancer: Union[str, LoadBalancer] = "round_robin",
+                          platform: str = "clockwork", slo_ms: Optional[float] = None,
+                          max_batch_size: int = 16, seed: int = 0,
+                          drop_expired: bool = True) -> ClusterMetrics:
     spec, profile, _prediction, _catalog, executor = model_stack(model, seed=seed)
     slo = slo_ms if slo_ms is not None else spec.default_slo_ms
     requests = _workload_requests(workload, slo)
@@ -221,6 +223,97 @@ def run_vanilla_cluster(model: Union[str, ModelSpec], workload: Workload,
                             drop_expired=drop_expired, seed=seed)
     # The vanilla executor is stateless, so every replica can share it.
     return cluster.run(requests, VanillaExecutor(executor))
+
+
+def _apparate_cluster_impl(model: Union[str, ModelSpec], workload: Workload,
+                           replicas: int = 2,
+                           balancer: Union[str, LoadBalancer] = "round_robin",
+                           fleet_mode: str = "independent", sync_period: int = 64,
+                           platform: str = "clockwork", slo_ms: Optional[float] = None,
+                           accuracy_constraint: float = 0.01, ramp_budget: float = 0.02,
+                           ramp_style: RampStyle = RampStyle.LIGHTWEIGHT,
+                           max_batch_size: int = 16, seed: int = 0,
+                           drop_expired: bool = True,
+                           initial_ramp_ids: Optional[Sequence[int]] = None
+                           ) -> ApparateClusterRunResult:
+    spec, profile, _prediction, catalog, executor = model_stack(
+        model, seed=seed, ramp_budget=ramp_budget, ramp_style=ramp_style)
+    slo = slo_ms if slo_ms is not None else spec.default_slo_ms
+    requests = _workload_requests(workload, slo)
+
+    fleet = FleetController(spec, catalog, profile, replicas, mode=fleet_mode,
+                            sync_period=sync_period,
+                            accuracy_constraint=accuracy_constraint,
+                            initial_ramp_ids=initial_ramp_ids)
+    executors = [ApparateExecutor(executor, fleet.replica_controller(i))
+                 for i in range(replicas)]
+    cluster = build_cluster(platform, profile, replicas, balancer=balancer,
+                            max_batch_size=max_batch_size,
+                            drop_expired=drop_expired, seed=seed)
+    metrics = cluster.run(requests, executors)
+    fleet.flush()
+    return ApparateClusterRunResult(metrics=metrics, fleet=fleet)
+
+
+# ---------------------------------------------------------------------------
+# One-call serving runs: thin shims over the system registry.
+# ---------------------------------------------------------------------------
+
+def run_vanilla(model: Union[str, ModelSpec], workload: Workload,
+                platform: str = "clockwork", slo_ms: Optional[float] = None,
+                max_batch_size: int = 16, seed: int = 0,
+                drop_expired: bool = True) -> ServingMetrics:
+    """Serve ``workload`` with the original (non-EE) model.
+
+    Equivalent to ``Experiment(...).run(systems=["vanilla"])``.
+    """
+    from repro.api import Experiment
+    experiment = Experiment(model=model, workload=workload, platform=platform,
+                            slo_ms=slo_ms, max_batch_size=max_batch_size,
+                            seed=seed, drop_expired=drop_expired)
+    return experiment.run(["vanilla"]).result("vanilla").raw
+
+
+def run_apparate(model: Union[str, ModelSpec], workload: Workload,
+                 platform: str = "clockwork", slo_ms: Optional[float] = None,
+                 accuracy_constraint: float = 0.01, ramp_budget: float = 0.02,
+                 ramp_style: RampStyle = RampStyle.LIGHTWEIGHT,
+                 max_batch_size: int = 16, seed: int = 0,
+                 drop_expired: bool = True,
+                 ramp_adjustment_enabled: bool = True,
+                 initial_ramp_ids: Optional[Sequence[int]] = None) -> ApparateRunResult:
+    """Serve ``workload`` with Apparate managing early exits on top of the platform.
+
+    Equivalent to ``Experiment(...).run(systems=["apparate"])``.
+    """
+    from repro.api import Experiment, ExitPolicySpec
+    ee = ExitPolicySpec(accuracy_constraint=accuracy_constraint,
+                        ramp_budget=ramp_budget, ramp_style=ramp_style,
+                        initial_ramp_ids=initial_ramp_ids,
+                        ramp_adjustment_enabled=ramp_adjustment_enabled)
+    experiment = Experiment(model=model, workload=workload, ee=ee,
+                            platform=platform, slo_ms=slo_ms,
+                            max_batch_size=max_batch_size, seed=seed,
+                            drop_expired=drop_expired)
+    return experiment.run(["apparate"]).result("apparate").raw
+
+
+def run_vanilla_cluster(model: Union[str, ModelSpec], workload: Workload,
+                        replicas: int = 2, balancer: Union[str, LoadBalancer] = "round_robin",
+                        platform: str = "clockwork", slo_ms: Optional[float] = None,
+                        max_batch_size: int = 16, seed: int = 0,
+                        drop_expired: bool = True) -> ClusterMetrics:
+    """Serve ``workload`` with ``replicas`` copies of the original (non-EE) model.
+
+    Equivalent to ``Experiment(..., cluster=ClusterSpec(...)).run(["vanilla"])``.
+    """
+    from repro.api import ClusterSpec, Experiment
+    experiment = Experiment(model=model, workload=workload,
+                            cluster=ClusterSpec(replicas=replicas, balancer=balancer),
+                            platform=platform, slo_ms=slo_ms,
+                            max_batch_size=max_batch_size, seed=seed,
+                            drop_expired=drop_expired)
+    return experiment.run(["vanilla"]).result("vanilla").raw
 
 
 def run_apparate_cluster(model: Union[str, ModelSpec], workload: Workload,
@@ -240,21 +333,17 @@ def run_apparate_cluster(model: Union[str, ModelSpec], workload: Workload,
     replica its own :class:`ApparateController`; ``shared`` aggregates the
     fleet's profiling feedback into one controller with a periodic sync of
     ``sync_period`` samples per replica (see :class:`FleetController`).
-    """
-    spec, profile, _prediction, catalog, executor = model_stack(
-        model, seed=seed, ramp_budget=ramp_budget, ramp_style=ramp_style)
-    slo = slo_ms if slo_ms is not None else spec.default_slo_ms
-    requests = _workload_requests(workload, slo)
 
-    fleet = FleetController(spec, catalog, profile, replicas, mode=fleet_mode,
-                            sync_period=sync_period,
-                            accuracy_constraint=accuracy_constraint,
-                            initial_ramp_ids=initial_ramp_ids)
-    executors = [ApparateExecutor(executor, fleet.replica_controller(i))
-                 for i in range(replicas)]
-    cluster = build_cluster(platform, profile, replicas, balancer=balancer,
-                            max_batch_size=max_batch_size,
-                            drop_expired=drop_expired, seed=seed)
-    metrics = cluster.run(requests, executors)
-    fleet.flush()
-    return ApparateClusterRunResult(metrics=metrics, fleet=fleet)
+    Equivalent to ``Experiment(..., cluster=ClusterSpec(...)).run(["apparate"])``.
+    """
+    from repro.api import ClusterSpec, Experiment, ExitPolicySpec
+    cluster = ClusterSpec(replicas=replicas, balancer=balancer,
+                          fleet_mode=fleet_mode, sync_period=sync_period)
+    ee = ExitPolicySpec(accuracy_constraint=accuracy_constraint,
+                        ramp_budget=ramp_budget, ramp_style=ramp_style,
+                        initial_ramp_ids=initial_ramp_ids)
+    experiment = Experiment(model=model, workload=workload, cluster=cluster,
+                            ee=ee, platform=platform, slo_ms=slo_ms,
+                            max_batch_size=max_batch_size, seed=seed,
+                            drop_expired=drop_expired)
+    return experiment.run(["apparate"]).result("apparate").raw

@@ -46,6 +46,7 @@ __all__ = [
     "LeastWorkLeftBalancer",
     "PowerOfTwoChoicesBalancer",
     "build_balancer",
+    "canonical_balancer_name",
     "BALANCER_NAMES",
     "ClusterPlatform",
 ]
@@ -188,15 +189,28 @@ _ALIASES = {
 BALANCER_NAMES = tuple(sorted(_BALANCERS))
 
 
+def canonical_balancer_name(name: Union[str, LoadBalancer]) -> str:
+    """Resolve a balancer name or alias to its canonical registry key.
+
+    Raises :class:`ValueError` naming the offending value when the name is
+    unknown — the single validation used by ``build_balancer``, the cluster
+    spec and the CLI, so every layer reports the same error.
+    """
+    if isinstance(name, LoadBalancer):
+        return name.name
+    key = str(name).lower().replace("-", "_")
+    key = _ALIASES.get(key, key)
+    if key not in _BALANCERS:
+        raise ValueError(f"unknown balancer {name!r}; choose from {BALANCER_NAMES}")
+    return key
+
+
 def build_balancer(name: Union[str, LoadBalancer], seed: int = 0) -> LoadBalancer:
     """Construct a balancer by name (``round_robin``, ``join_shortest_queue``,
     ``least_work_left``, ``power_of_two_choices``; short aliases accepted)."""
     if isinstance(name, LoadBalancer):
         return name
-    key = _ALIASES.get(name.lower().replace("-", "_"), name.lower().replace("-", "_"))
-    if key not in _BALANCERS:
-        raise ValueError(f"unknown balancer {name!r}; choose from {BALANCER_NAMES}")
-    return _BALANCERS[key](seed)
+    return _BALANCERS[canonical_balancer_name(name)](seed)
 
 
 class ClusterPlatform:

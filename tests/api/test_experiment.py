@@ -1,0 +1,272 @@
+"""Tests for the declarative Experiment facade: runs, shims, sweeps, JSON."""
+
+import json
+
+import pytest
+
+from repro.api import (ClusterSpec, Experiment, ExitPolicySpec, WorkloadSpec,
+                       KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE)
+from repro.core.generative import run_generative_apparate
+from repro.core.pipeline import run_apparate, run_apparate_cluster, run_vanilla
+from repro.baselines.static_ee import StaticEEVariant, run_static_ee
+
+
+WORKLOAD = WorkloadSpec("video", "urban-day", requests=500)
+
+
+# ------------------------------------------------------------------- basics
+
+def test_kind_dispatch():
+    assert Experiment(model="resnet50", workload=WORKLOAD).kind == KIND_CLASSIFICATION
+    assert Experiment(model="resnet50", workload=WORKLOAD,
+                      cluster=ClusterSpec(replicas=2)).kind == KIND_CLUSTER
+    generative = Experiment(model="t5-large",
+                            workload=WorkloadSpec("generative", requests=10))
+    assert generative.kind == KIND_GENERATIVE
+
+
+def test_run_produces_report_with_named_metrics():
+    report = Experiment(model="resnet50", workload=WORKLOAD, seed=3) \
+        .run(["vanilla", "apparate"])
+    assert report.systems() == ["vanilla", "apparate"]
+    for system in ("vanilla", "apparate"):
+        summary = report.result(system).summary
+        assert {"p50_ms", "p95_ms", "throughput_qps", "accuracy"} <= set(summary)
+    assert report.result("apparate").metric("exit_rate") > 0.0
+
+
+def test_run_rejects_mismatched_workload_kind():
+    with pytest.raises(ValueError, match="generative"):
+        Experiment(model="t5-large", workload=WORKLOAD).run(["vanilla"])
+    with pytest.raises(ValueError, match="resnet50"):
+        Experiment(model="resnet50",
+                   workload=WorkloadSpec("generative", requests=10)).run(["vanilla"])
+
+
+def test_run_rejects_unsupported_system_for_kind():
+    with pytest.raises(ValueError, match="free"):
+        Experiment(model="resnet50", workload=WORKLOAD).run(["free"])
+    with pytest.raises(ValueError, match="static_ee"):
+        Experiment(model="resnet50", workload=WORKLOAD,
+                   cluster=ClusterSpec(replicas=2)).run(["static_ee"])
+
+
+def test_spec_validation_names_the_offending_value():
+    with pytest.raises(ValueError, match="-3"):
+        ClusterSpec(replicas=-3)
+    with pytest.raises(ValueError, match="coin_flip"):
+        ClusterSpec(balancer="coin_flip")
+    with pytest.raises(ValueError, match="anarchic"):
+        ClusterSpec(fleet_mode="anarchic")
+    with pytest.raises(ValueError, match="audio"):
+        WorkloadSpec("audio")
+    with pytest.raises(ValueError, match="-0.5"):
+        ExitPolicySpec(accuracy_constraint=-0.5)
+
+
+# ---------------------------------------------------------------- shim parity
+
+def test_run_vanilla_shim_equals_experiment(small_video_workload):
+    shim = run_vanilla("resnet50", small_video_workload, seed=4)
+    report = Experiment(model="resnet50", workload=small_video_workload,
+                        seed=4).run(["vanilla"])
+    assert shim.summary() == report.result("vanilla").summary
+
+
+def test_run_apparate_shim_equals_experiment(small_video_workload):
+    shim = run_apparate("resnet50", small_video_workload, seed=4,
+                        accuracy_constraint=0.02)
+    report = Experiment(model="resnet50", workload=small_video_workload, seed=4,
+                        ee=ExitPolicySpec(accuracy_constraint=0.02)) \
+        .run(["apparate"])
+    assert shim.summary() == report.result("apparate").summary
+
+
+def test_cluster_shim_equals_experiment(small_video_workload):
+    shim = run_apparate_cluster("resnet50", small_video_workload, replicas=2,
+                                balancer="join_shortest_queue",
+                                fleet_mode="shared", seed=4)
+    cluster = ClusterSpec(replicas=2, balancer="join_shortest_queue",
+                          fleet_mode="shared")
+    report = Experiment(model="resnet50", workload=small_video_workload,
+                        cluster=cluster, seed=4).run(["apparate"])
+    assert shim.summary() == report.result("apparate").summary
+
+
+def test_generative_shim_equals_experiment(small_generative_workload):
+    shim = run_generative_apparate("t5-large", small_generative_workload, seed=4)
+    report = Experiment(model="t5-large", workload=small_generative_workload,
+                        seed=4).run(["apparate"])
+    assert shim.summary() == report.result("apparate").summary
+
+
+def test_system_overrides_reach_the_runner(small_video_workload):
+    """Per-system overrides carry knobs only one system understands."""
+    shim = run_static_ee("resnet50", small_video_workload,
+                         variant=StaticEEVariant.PER_RAMP, seed=4)
+    report = Experiment(
+        model="resnet50", workload=small_video_workload, seed=4,
+        overrides={"static_ee": {"variant": StaticEEVariant.PER_RAMP}}) \
+        .run(["static_ee"])
+    result = report.result("static_ee")
+    assert result.details["variant"] == "per_ramp"
+    assert shim.summary() == result.summary
+
+
+def test_generative_cluster_is_rejected_not_ignored():
+    """A cluster spec on a generative model must error, not silently drop."""
+    experiment = Experiment(model="t5-large",
+                            workload=WorkloadSpec("generative", requests=5),
+                            cluster=ClusterSpec(replicas=4))
+    with pytest.raises(ValueError, match="not yet supported"):
+        experiment.run(["vanilla"])
+
+
+def test_optimal_runs_on_the_experiment_drop_policy():
+    """The oracle must be computed on the same drop_expired configuration."""
+    workload = WorkloadSpec("video", requests=400, rate=240.0)
+    report = Experiment(model="resnet50", workload=workload,
+                        drop_expired=False, seed=0).run(["vanilla", "optimal"])
+    assert report.result("vanilla").metric("num_served") == 400.0
+    assert report.result("optimal").metric("num_served") == 400.0
+
+
+def test_describe_records_all_run_shaping_knobs():
+    experiment = Experiment(model="resnet50", workload=WORKLOAD,
+                            drop_expired=False, max_batch_size=8,
+                            ee=ExitPolicySpec(ramp_adjustment_enabled=False,
+                                              initial_ramp_ids=(2, 5)))
+    params = experiment.describe()
+    assert params["drop_expired"] is False
+    assert params["max_batch_size"] == 8
+    assert params["ee"]["ramp_adjustment_enabled"] is False
+    assert params["ee"]["initial_ramp_ids"] == [2, 5]
+
+
+def test_overrides_keyed_by_alias_reach_the_canonical_system():
+    experiment = Experiment(model="resnet50",
+                            workload=WorkloadSpec("video", requests=100),
+                            overrides={"static": {"variant": "per_ramp"}})
+    result = experiment.run(["static_ee"]).result("static_ee")
+    assert result.details["variant"] == "per_ramp"
+
+
+def test_overrides_for_unknown_system_raise():
+    experiment = Experiment(model="resnet50",
+                            workload=WorkloadSpec("video", requests=100),
+                            overrides={"static_eee": {"variant": "per_ramp"}})
+    with pytest.raises(ValueError, match="static_eee"):
+        experiment.run(["static_ee"])
+
+
+def test_unknown_override_keyword_raises_value_error():
+    experiment = Experiment(model="resnet50",
+                            workload=WorkloadSpec("video", requests=100),
+                            overrides={"vanilla": {"bogus_knob": 1}})
+    with pytest.raises(ValueError, match="bogus_knob"):
+        experiment.run(["vanilla"])
+
+
+# -------------------------------------------------------------------- sweeps
+
+def test_sweep_over_replicas_and_balancer():
+    experiment = Experiment(model="resnet50",
+                            workload=WorkloadSpec("video", requests=300))
+    sweep = experiment.sweep(systems=["vanilla"], replicas=[1, 2],
+                             balancer=["round_robin", "join_shortest_queue"])
+    assert len(sweep) == 4
+    assert [p.params for p in sweep][:2] == [
+        {"replicas": 1, "balancer": "round_robin"},
+        {"replicas": 1, "balancer": "join_shortest_queue"},
+    ]
+    for point in sweep:
+        assert point.report.result("vanilla").kind == KIND_CLUSTER
+        assert point.report.result("vanilla").metric("num_served") == 300.0
+
+
+def test_sweep_is_deterministic():
+    experiment = Experiment(model="resnet50",
+                            workload=WorkloadSpec("video", requests=300), seed=9)
+    first = experiment.sweep(systems=["vanilla", "apparate"], replicas=[1, 2])
+    second = experiment.sweep(systems=["vanilla", "apparate"], replicas=[1, 2])
+    assert first.to_json() == second.to_json()
+
+
+def test_sweep_rejects_unknown_parameter():
+    experiment = Experiment(model="resnet50", workload=WORKLOAD)
+    with pytest.raises(ValueError, match="voltage"):
+        experiment.sweep(voltage=[1, 2])
+
+
+def test_sweep_validates_whole_grid_before_running(monkeypatch):
+    """A bad value anywhere in the grid must fail before any point runs."""
+    import repro.api.registry as registry
+    ran = []
+    monkeypatch.setattr(
+        registry.SystemRunner, "run",
+        lambda self, experiment, **kw: ran.append(self.name))
+    experiment = Experiment(model="resnet50",
+                            workload=WorkloadSpec("video", requests=100))
+    with pytest.raises(ValueError, match="coin_flip"):
+        experiment.sweep(systems=["vanilla"],
+                         balancer=["round_robin", "coin_flip"])
+    assert ran == [], "grid points ran before the grid was fully validated"
+
+
+def test_sweep_workload_axis_requires_spec(small_video_workload):
+    experiment = Experiment(model="resnet50", workload=small_video_workload)
+    with pytest.raises(ValueError, match="WorkloadSpec"):
+        experiment.sweep(requests=[100, 200])
+
+
+def test_sweep_shares_workload_when_no_workload_axis(monkeypatch):
+    """Sweeping replicas must not regenerate the identical workload per point."""
+    builds = []
+    original_build = WorkloadSpec.build
+
+    def counting_build(self, default_seed=0):
+        builds.append(default_seed)
+        return original_build(self, default_seed)
+
+    monkeypatch.setattr(WorkloadSpec, "build", counting_build)
+    experiment = Experiment(model="resnet50",
+                            workload=WorkloadSpec("video", requests=100))
+    experiment.sweep(systems=["vanilla"], replicas=[1, 2, 4])
+    assert len(builds) == 1
+    # Sweeping the seed must rebuild, since the trace depends on it.
+    builds.clear()
+    experiment2 = Experiment(model="resnet50",
+                             workload=WorkloadSpec("video", requests=100))
+    experiment2.sweep(systems=["vanilla"], replicas=[1], seed=[0, 1])
+    assert len(builds) == 2
+
+
+def test_sweep_scalar_values_are_promoted_to_axes():
+    experiment = Experiment(model="resnet50",
+                            workload=WorkloadSpec("video", requests=200))
+    sweep = experiment.sweep(systems=["vanilla"], replicas=2, seed=5)
+    assert len(sweep) == 1
+    assert sweep.points[0].params == {"replicas": 2, "seed": 5}
+
+
+# ---------------------------------------------------------------------- JSON
+
+def test_report_to_json_round_trips():
+    report = Experiment(model="resnet50",
+                        workload=WorkloadSpec("video", requests=200), seed=1) \
+        .run(["vanilla", "apparate"])
+    payload = json.loads(json.dumps(report.to_json()))
+    assert payload["schema"] == "repro.run_report/v1"
+    assert [r["system"] for r in payload["results"]] == ["vanilla", "apparate"]
+    assert payload["results"][0]["summary"]["num_served"] == 200.0
+    assert payload["params"]["model"] == "resnet50"
+
+
+def test_format_table_renders_missing_metrics_as_dash():
+    report = Experiment(model="resnet50",
+                        workload=WorkloadSpec("video", requests=150), seed=1) \
+        .run(["vanilla", "two_layer"])
+    table = report.format_table()
+    assert "two-layer" in table
+    assert "-" in table          # two_layer reports no drop_rate/throughput
+    assert "median latency" in table

@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro.api import get_system, list_systems
 from repro.cli import build_parser, main
 
 
@@ -62,6 +65,7 @@ def test_classify_command_cluster_mode(capsys):
     assert "balancer=join_shortest_queue" in out
     assert "fleet throughput" in out
     assert "replica 0" in out and "replica 1" in out
+    assert "fleet controllers: " in out and "(shared)" in out
 
 
 def test_classify_command_rejects_bad_replicas():
@@ -81,3 +85,91 @@ def test_nlp_workload_parsing(capsys):
                  "--requests", "600", "--rate", "25", "--seed", "6"])
     assert code == 0
     assert "distilbert-base" in capsys.readouterr().out
+
+
+# ------------------------------------------------------------ systems / json
+
+
+@pytest.mark.parametrize("system", sorted(list_systems()))
+def test_every_registered_system_is_cli_reachable(system, capsys):
+    """Regression guard: no registered system may be unreachable from the CLI.
+
+    Classification-capable systems run through ``classify --systems``,
+    generative-capable ones through ``generate --systems`` — every system
+    supports at least one of the two.
+    """
+    runner = get_system(system)
+    ran = False
+    if runner.supports("classification"):
+        assert main(["classify", "--model", "resnet50", "--requests", "120",
+                     "--systems", system, "--seed", "3"]) == 0
+        ran = True
+    if runner.supports("generative"):
+        assert main(["generate", "--model", "t5-large", "--dataset", "squad",
+                     "--sequences", "8", "--systems", system, "--seed", "3"]) == 0
+        ran = True
+    assert ran, f"system {system!r} is reachable from no CLI subcommand"
+    from repro.api.result import SYSTEM_DISPLAY_NAMES
+    assert SYSTEM_DISPLAY_NAMES.get(system, system) in capsys.readouterr().out
+
+
+def test_classify_rejects_unknown_system():
+    with pytest.raises(SystemExit):
+        main(["classify", "--requests", "50", "--systems", "warp-drive"])
+
+
+def test_classify_rejects_system_without_kind_support():
+    with pytest.raises(SystemExit):
+        main(["classify", "--requests", "50", "--systems", "free"])
+
+
+def test_classify_json_output_is_machine_readable(capsys):
+    code = main(["classify", "--model", "resnet50", "--requests", "150",
+                 "--seed", "4", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro.run_report/v1"
+    assert [r["system"] for r in payload["results"]] == ["vanilla", "apparate"]
+    assert payload["results"][0]["summary"]["num_served"] == 150.0
+
+
+def test_generate_json_output(capsys):
+    code = main(["generate", "--model", "t5-large", "--dataset", "squad",
+                 "--sequences", "8", "--seed", "4", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert {r["kind"] for r in payload["results"]} == {"generative"}
+    assert "tpt_p50_ms" in payload["results"][0]["summary"]
+
+
+# ------------------------------------------------------------------- sweeps
+
+
+def test_sweep_command_runs_grid(capsys):
+    code = main(["sweep", "--model", "resnet50", "--requests", "150",
+                 "--replicas", "1,2", "--balancer", "round_robin",
+                 "--systems", "vanilla", "--seed", "4"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "replicas" in out and "vanilla" in out
+    assert out.count("vanilla") >= 2   # one row per grid point
+
+
+def test_sweep_command_json(capsys):
+    code = main(["sweep", "--model", "resnet50", "--requests", "120",
+                 "--replicas", "1,2", "--systems", "vanilla", "--seed", "4",
+                 "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro.sweep_report/v1"
+    assert [p["params"]["replicas"] for p in payload["points"]] == [1, 2]
+
+
+def test_sweep_command_rejects_generative_model():
+    with pytest.raises(SystemExit):
+        main(["sweep", "--model", "t5-large", "--replicas", "1,2"])
+
+
+def test_sweep_command_rejects_malformed_replica_list():
+    with pytest.raises(SystemExit):
+        main(["sweep", "--replicas", "1,two"])
