@@ -33,6 +33,15 @@ Choosing a balancer — the trade-offs in one paragraph each
     only two queue probes per arrival, and no global view.  The default pick
     when the dispatcher itself must scale.
 
+``weighted_round_robin`` / ``weighted_join_shortest_queue``
+    The same policies made speed-aware for heterogeneous fleets: dispatch
+    shares (WRR) or queue lengths (WJSQ) are scaled by each replica's
+    ``ReplicaProfile.speed``, so an int8 replica beside an fp32 one receives
+    its fair multiple of the traffic.  (``least_work_left`` needs no variant —
+    it already costs queues in milliseconds through each replica's scaled
+    latency profile.)  See ``examples/autoscaling.py`` for the elastic-fleet
+    side of the control plane.
+
 Fleet-wide early-exit control comes in two modes: ``independent`` (one
 ApparateController per replica, each adapting to its own traffic slice) and
 ``shared`` (one controller aggregating the whole fleet's profiling feedback

@@ -11,12 +11,17 @@ configuration:
    knobs (1% accuracy constraint, 2% ramp budget);
 2. ``run`` vanilla serving, Apparate and the optimal oracle and print the
    cross-system comparison table;
-3. ``sweep`` replica counts to see fleet scaling in one extra line.
+3. put the same experiment on a **fleet**: the cluster layer is a dynamic
+   control plane — ``ClusterSpec`` declares the replica set (and optionally
+   an autoscaler band plus heterogeneous replica profiles), a pluggable
+   balancer dispatches over the live membership, and ``sweep`` compares
+   fleet shapes in one call.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.api import Experiment, ExitPolicySpec, WorkloadSpec, list_systems
+from repro.api import (ClusterSpec, Experiment, ExitPolicySpec, WorkloadSpec,
+                       list_systems)
 
 
 def main() -> None:
@@ -49,11 +54,35 @@ def main() -> None:
           f"{controller.stats.ramp_adjustments} ramp adjustments")
     print(f"final configuration: {controller.config.describe()}")
 
-    # Fleet scaling is one more line: sweep replica counts behind a balancer.
+    # --- the fleet control plane ------------------------------------------
+    # Cluster serving is declarative too: a ClusterSpec describes the fleet
+    # (size, balancer, EE control topology) and the same systems run on it.
+    # Sweeping fleet shapes is one call:
     sweep = experiment.sweep(systems=["vanilla"], replicas=[1, 2],
                              balancer="join_shortest_queue")
     print("\nfleet scaling (join_shortest_queue):")
     print(sweep.format_table(metrics=["p50_ms", "p99_ms", "throughput_qps"]))
+
+    # The replica set is dynamic fleet state, not a frozen list: declare an
+    # autoscaler and a [min, max] band and the fleet grows under queue/SLO
+    # pressure and drains back during lulls (drained replicas finish their
+    # in-flight work; every request is still answered exactly once).
+    elastic = Experiment(
+        model="resnet50",
+        workload=WorkloadSpec("video", "urban-day", requests=3000, rate=90.0),
+        cluster=ClusterSpec(replicas=1, balancer="least_work_left",
+                            autoscaler="reactive",
+                            min_replicas=1, max_replicas=4),
+        seed=0)
+    result = elastic.run(systems=["vanilla"]).result("vanilla")
+    print(f"\nelastic fleet: peak {result.summary['peak_replicas']:.0f} replicas, "
+          f"{result.summary['replica_seconds']:.1f} replica-seconds, "
+          f"{result.summary['rerouted']:.0f} doomed requests salvaged")
+    print(f"fleet-size timeline: {result.details['fleet_timeline']}")
+    # Heterogeneous fleets ride the same spec: profiles="2,1,0.5" declares a
+    # 2x replica beside a base and a half-speed one, and the work-aware
+    # balancers (least_work_left, weighted_* variants) cost them correctly.
+    # See examples/autoscaling.py for the full diurnal 2 -> 6 -> 2 story.
 
     # Everything is JSON-serializable for downstream tooling:
     # json.dumps(report.to_json()) / json.dumps(sweep.to_json()).

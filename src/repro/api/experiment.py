@@ -34,7 +34,8 @@ __all__ = ["Experiment", "DEFAULT_SYSTEMS"]
 DEFAULT_SYSTEMS = ("vanilla", "apparate")
 
 #: Sweepable parameter names, grouped by the spec they modify.
-_CLUSTER_KEYS = ("replicas", "balancer", "fleet_mode", "sync_period")
+_CLUSTER_KEYS = ("replicas", "balancer", "fleet_mode", "sync_period",
+                 "autoscaler", "min_replicas", "max_replicas", "profiles")
 _EE_KEYS = ("accuracy_constraint", "ramp_budget", "ramp_style",
             "initial_ramp_ids", "ramp_adjustment_enabled")
 _WORKLOAD_KEYS = ("requests", "rate", "source")

@@ -14,11 +14,13 @@ and every front end (Python API, CLI, benchmarks) reports the same error.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.core.controller import FleetController
 from repro.exits.ramps import RampStyle
-from repro.serving.cluster import LoadBalancer, canonical_balancer_name
+from repro.serving.autoscaler import Autoscaler, canonical_autoscaler_name
+from repro.serving.cluster import (LoadBalancer, ReplicaProfile,
+                                   canonical_balancer_name)
 
 __all__ = ["WorkloadSpec", "ClusterSpec", "ExitPolicySpec", "WORKLOAD_KINDS"]
 
@@ -123,17 +125,26 @@ class WorkloadSpec:
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """Fleet shape and control topology for cluster serving.
+    """Fleet shape, control topology and elasticity for cluster serving.
 
-    ``replicas`` copies of the platform sit behind ``balancer``;
-    ``fleet_mode`` selects the EE control topology (one controller per
-    replica, or one shared controller syncing every ``sync_period`` samples).
+    ``replicas`` platforms sit behind ``balancer``; ``fleet_mode`` selects the
+    EE control topology (one controller per replica, or one shared controller
+    syncing every ``sync_period`` samples).  ``autoscaler`` makes the fleet
+    elastic within ``[min_replicas, max_replicas]`` (defaults: 1 and
+    ``2 * replicas`` when a scaler is enabled, frozen at ``replicas``
+    otherwise), and ``profiles`` makes it heterogeneous — one
+    :class:`~repro.serving.fleet.ReplicaProfile` (or speed float /
+    ``"speed[:cost]"`` string, or one comma-separated string) per replica.
     """
 
     replicas: int = 2
     balancer: Union[str, LoadBalancer] = "round_robin"
     fleet_mode: str = "independent"
     sync_period: int = 64
+    autoscaler: Union[str, Autoscaler, None] = "none"
+    min_replicas: Optional[int] = None
+    max_replicas: Optional[int] = None
+    profiles: Optional[Union[str, Sequence[Union[ReplicaProfile, float, str]]]] = None
 
     def __post_init__(self) -> None:
         if int(self.replicas) < 1:
@@ -144,9 +155,43 @@ class ClusterSpec:
                              f"choose from {tuple(FleetController.MODES)}")
         if int(self.sync_period) < 1:
             raise ValueError(f"sync_period must be >= 1, got {self.sync_period}")
+        if self.autoscaler is None:
+            object.__setattr__(self, "autoscaler", "none")
+        canonical_autoscaler_name(self.autoscaler)   # raises on unknown names
+        if self.profiles is not None:
+            profiles = ReplicaProfile.parse_list(self.profiles) \
+                if isinstance(self.profiles, str) \
+                else tuple(ReplicaProfile.coerce(p) for p in self.profiles)
+            if len(profiles) != int(self.replicas):
+                raise ValueError(f"got {len(profiles)} replica profiles for "
+                                 f"{self.replicas} replicas")
+            object.__setattr__(self, "profiles", profiles)
+        if self.min_replicas is not None \
+                and not 1 <= int(self.min_replicas) <= int(self.replicas):
+            raise ValueError(f"min_replicas must be in [1, replicas="
+                             f"{self.replicas}], got {self.min_replicas}")
+        if self.max_replicas is not None and int(self.max_replicas) < int(self.replicas):
+            raise ValueError(f"max_replicas must be >= replicas="
+                             f"{self.replicas}, got {self.max_replicas}")
 
     def balancer_name(self) -> str:
         return canonical_balancer_name(self.balancer)
+
+    def autoscaler_name(self) -> str:
+        return canonical_autoscaler_name(self.autoscaler)
+
+    def resolved_min_replicas(self) -> int:
+        """The lower fleet bound (frozen at ``replicas`` without a scaler)."""
+        if self.min_replicas is not None:
+            return int(self.min_replicas)
+        return int(self.replicas) if self.autoscaler_name() == "none" else 1
+
+    def resolved_max_replicas(self) -> int:
+        """The upper fleet bound (defaults to ``2 * replicas`` with a scaler)."""
+        if self.max_replicas is not None:
+            return int(self.max_replicas)
+        return int(self.replicas) if self.autoscaler_name() == "none" \
+            else 2 * int(self.replicas)
 
     def describe(self) -> Dict[str, object]:
         return {
@@ -154,6 +199,11 @@ class ClusterSpec:
             "balancer": self.balancer_name(),
             "fleet_mode": self.fleet_mode,
             "sync_period": int(self.sync_period),
+            "autoscaler": self.autoscaler_name(),
+            "min_replicas": self.resolved_min_replicas(),
+            "max_replicas": self.resolved_max_replicas(),
+            "profiles": None if self.profiles is None
+            else [p.describe() for p in self.profiles],
         }
 
 

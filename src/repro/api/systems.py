@@ -54,6 +54,21 @@ def _cluster_kwargs(experiment) -> Dict[str, Any]:
         "max_batch_size": experiment.batch_size(_CLASSIFY_BATCH),
         "seed": experiment.seed,
         "drop_expired": experiment.drop_expired,
+        "autoscaler": cluster.autoscaler,
+        "min_replicas": cluster.resolved_min_replicas(),
+        "max_replicas": cluster.resolved_max_replicas(),
+        "profiles": cluster.profiles,
+    }
+
+
+def _fleet_details(metrics) -> Dict[str, Any]:
+    """Cluster extras every fleet system reports: dispatch balance plus the
+    autoscaling fleet-size timeline and replica-seconds consumed."""
+    return {
+        "dispatch_counts": list(metrics.dispatch_counts),
+        "fleet_timeline": [[float(t), int(n)] for t, n in metrics.fleet_timeline],
+        "replica_seconds": float(metrics.replica_seconds),
+        "rerouted": int(metrics.rerouted),
     }
 
 
@@ -78,8 +93,7 @@ def _vanilla_system(experiment, **kw) -> RunResult:
         metrics = _vanilla_cluster_impl(experiment.spec, experiment.workload_obj(),
                                         **_cluster_kwargs(experiment), **kw)
         return _result(experiment, "vanilla", KIND_CLUSTER, metrics.summary(),
-                       raw=metrics,
-                       details={"dispatch_counts": list(metrics.dispatch_counts)})
+                       raw=metrics, details=_fleet_details(metrics))
     metrics = _vanilla_impl(experiment.spec, experiment.workload_obj(),
                             platform=experiment.platform, slo_ms=experiment.slo_ms,
                             max_batch_size=experiment.batch_size(_CLASSIFY_BATCH),
@@ -114,10 +128,11 @@ def _apparate_system(experiment, **kw) -> RunResult:
             ramp_budget=ee.ramp_budget, ramp_style=ee.ramp_style,
             initial_ramp_ids=ee.initial_ramp_ids,
             **_cluster_kwargs(experiment), **kw)
+        details = _fleet_details(outcome.metrics)
+        details["fleet_mode"] = cluster.fleet_mode
         return _result(
             experiment, "apparate", KIND_CLUSTER, outcome.summary(), raw=outcome,
-            details={"dispatch_counts": list(outcome.metrics.dispatch_counts),
-                     "fleet_mode": cluster.fleet_mode})
+            details=details)
     outcome = _apparate_impl(experiment.spec, experiment.workload_obj(),
                              platform=experiment.platform, slo_ms=experiment.slo_ms,
                              accuracy_constraint=ee.accuracy_constraint,

@@ -13,7 +13,9 @@ system registry (``repro.api.list_systems()``).
     ``--systems`` picks the systems (default ``vanilla,apparate``; the
     baselines ``static_ee``, ``two_layer`` and ``optimal`` are also
     registered).  With ``--replicas N`` (plus ``--balancer`` and
-    ``--fleet-mode``) the same comparison runs on an N-replica cluster.
+    ``--fleet-mode``) the same comparison runs on an N-replica cluster;
+    ``--autoscaler reactive --min-replicas 1 --max-replicas 8`` makes the
+    fleet elastic and ``--replica-profiles 2,2,0.5,0.5`` heterogeneous.
 
 ``repro-apparate generate --model t5-large --dataset cnn-dailymail``
     Serve a generative workload; ``--systems`` may add ``free`` and
@@ -39,6 +41,7 @@ from typing import List, Optional, Sequence
 from repro.api import (ClusterSpec, Experiment, ExitPolicySpec, RunReport,
                        WorkloadSpec, list_systems)
 from repro.models.zoo import Task, get_model, list_models
+from repro.serving.autoscaler import AUTOSCALER_NAMES
 from repro.serving.cluster import BALANCER_NAMES
 
 __all__ = ["build_parser", "main"]
@@ -97,6 +100,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="EE control topology: one controller per replica "
                                "(independent, the default) or one shared fleet "
                                "controller with periodic sync")
+    classify.add_argument("--autoscaler", default=None,
+                          choices=list(AUTOSCALER_NAMES),
+                          help="fleet autoscaling policy (default: none, a "
+                               "fixed fleet)")
+    classify.add_argument("--min-replicas", type=int, default=None,
+                          help="lower fleet bound for the autoscaler "
+                               "(default: 1 when a scaler is enabled)")
+    classify.add_argument("--max-replicas", type=int, default=None,
+                          help="upper fleet bound for the autoscaler "
+                               "(default: 2x --replicas when a scaler is enabled)")
+    classify.add_argument("--replica-profiles", default=None,
+                          help="comma-separated per-replica speed[:cost] "
+                               "multipliers for a heterogeneous fleet, e.g. "
+                               "'2,2,0.5,0.5' (must match --replicas)")
     classify.add_argument("--json", action="store_true",
                           help="print the RunReport as JSON instead of a table")
 
@@ -136,6 +153,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--fleet-mode", default=None,
                        help="comma-separated fleet modes to sweep "
                             "(independent,shared)")
+    sweep.add_argument("--autoscaler", default=None,
+                       help="comma-separated autoscaling policies to sweep "
+                            f"({','.join(AUTOSCALER_NAMES)})")
+    sweep.add_argument("--min-replicas", type=int, default=None,
+                       help="lower fleet bound applied at every grid point")
+    sweep.add_argument("--max-replicas", type=int, default=None,
+                       help="upper fleet bound applied at every grid point")
+    sweep.add_argument("--replica-profiles", default=None,
+                       help="per-replica speed[:cost] list applied at every "
+                            "grid point (must match the replica counts swept)")
     sweep.add_argument("--accuracy-constraint", type=float, default=0.01)
     sweep.add_argument("--ramp-budget", type=float, default=0.02)
     sweep.add_argument("--seed", type=int, default=0)
@@ -182,6 +209,22 @@ def _print_dispatch_lines(report: RunReport) -> None:
         print(f"replica {i}: {cells} requests dispatched")
 
 
+def _print_fleet_size_lines(report: RunReport) -> None:
+    """Fleet-size trajectory + replica-seconds for systems that scaled."""
+    for result in report.results:
+        timeline = result.details.get("fleet_timeline") or []
+        sizes = [int(n) for _, n in timeline]
+        if len(set(sizes)) <= 1:
+            continue
+        trajectory = [sizes[0]] + [n for prev, n in zip(sizes, sizes[1:])
+                                   if n != prev]
+        print(f"{result.system} fleet size: "
+              + " -> ".join(str(n) for n in trajectory)
+              + f" (peak {max(sizes)}), "
+              f"{result.details.get('replica_seconds', 0.0):.1f} replica-seconds, "
+              f"{result.details.get('rerouted', 0)} rerouted")
+
+
 def _print_fleet_stats(report: RunReport) -> None:
     """EE-control adaptation stats for cluster systems that carry them."""
     for result in report.results:
@@ -204,10 +247,17 @@ def _classification_experiment(args: argparse.Namespace) -> Experiment:
                         ramp_budget=args.ramp_budget)
     replicas = int(args.replicas)
     cluster: Optional[ClusterSpec] = None
-    if replicas != 1:
+    fleet_flags = any(value is not None for value in
+                      (args.autoscaler, args.min_replicas, args.max_replicas,
+                       args.replica_profiles))
+    if replicas != 1 or fleet_flags:
         cluster = ClusterSpec(replicas=replicas,
                               balancer=args.balancer or "round_robin",
-                              fleet_mode=args.fleet_mode or "independent")
+                              fleet_mode=args.fleet_mode or "independent",
+                              autoscaler=args.autoscaler or "none",
+                              min_replicas=args.min_replicas,
+                              max_replicas=args.max_replicas,
+                              profiles=args.replica_profiles)
     elif args.balancer or args.fleet_mode:
         print("note: --balancer/--fleet-mode only apply to cluster serving; "
               "pass --replicas N (N > 1) to enable it", file=sys.stderr)
@@ -227,9 +277,14 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         cluster = experiment.cluster
         header += (f" replicas={cluster.replicas} balancer={cluster.balancer_name()} "
                    f"fleet-mode={cluster.fleet_mode}")
+        if cluster.autoscaler_name() != "none":
+            header += (f" autoscaler={cluster.autoscaler_name()}"
+                       f"[{cluster.resolved_min_replicas()}"
+                       f"..{cluster.resolved_max_replicas()}]")
     print(header)
     print(report.format_table())
     _print_dispatch_lines(report)
+    _print_fleet_size_lines(report)
     _print_fleet_stats(report)
     _print_win_line(report)
     return 0
@@ -275,12 +330,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         grid["balancer"] = _split_csv(args.balancer)
     if args.fleet_mode:
         grid["fleet_mode"] = _split_csv(args.fleet_mode)
+    if args.autoscaler:
+        grid["autoscaler"] = _split_csv(args.autoscaler)
+    if args.min_replicas is not None:
+        grid["min_replicas"] = args.min_replicas
+    if args.max_replicas is not None:
+        grid["max_replicas"] = args.max_replicas
+    if args.replica_profiles:
+        grid["profiles"] = args.replica_profiles
     sweep = experiment.sweep(systems=_split_csv(args.systems), **grid)
     if args.json:
         print(json.dumps(sweep.to_json(), indent=2))
         return 0
+    axis_sizes = [len(v) if isinstance(v, (list, tuple)) else 1
+                  for v in grid.values()]
     print(f"model={spec.name} workload={args.workload} platform={args.platform} "
-          f"requests={args.requests} grid={'x'.join(str(len(v)) for v in grid.values())}")
+          f"requests={args.requests} grid={'x'.join(str(n) for n in axis_sizes)}")
     print(sweep.format_table())
     return 0
 

@@ -227,6 +227,13 @@ class FleetController:
         replicas with a periodic sync (every ``sync_period`` samples per
         replica), so the controller tunes on fleet-wide evidence and converges
         with N× the sample rate of a single replica.
+
+    The membership is *elastic*: ``replica_controller`` grows the view list on
+    demand, so a cluster autoscaler can bring replicas online mid-run —
+    independent mode gives the newcomer a fresh controller (it pays its own
+    warm-up, as a newly booted machine would), shared mode hands it a synced
+    view of the fleet controller (it serves the converged configuration
+    immediately).
     """
 
     MODES = ("independent", "shared")
@@ -242,22 +249,38 @@ class FleetController:
         self.mode = mode
         self.num_replicas = int(num_replicas)
         self.sync_period = int(sync_period)
+        self._build_controller = lambda: ApparateController(
+            spec, catalog, profile, **controller_kwargs)
 
         if mode == "independent":
             self.shared: Optional[ApparateController] = None
             self.controllers: List[ApparateController] = [
-                ApparateController(spec, catalog, profile, **controller_kwargs)
-                for _ in range(self.num_replicas)]
+                self._build_controller() for _ in range(self.num_replicas)]
             self._replica_views: List[object] = list(self.controllers)
         else:
-            self.shared = ApparateController(spec, catalog, profile, **controller_kwargs)
+            self.shared = self._build_controller()
             self.controllers = [self.shared]
             self._replica_views = [
                 _SyncedReplicaController(self.shared, sync_period)
                 for _ in range(self.num_replicas)]
 
     def replica_controller(self, index: int):
-        """The controller-like object replica ``index`` should serve through."""
+        """The controller-like object replica ``index`` should serve through.
+
+        Indices past the initial fleet grow the membership (autoscaling):
+        views are created on demand and kept, so a replica ordinal always maps
+        to the same controller for the whole run.
+        """
+        if index < 0:
+            raise ValueError(f"replica index must be >= 0, got {index}")
+        while index >= len(self._replica_views):
+            if self.mode == "independent":
+                controller = self._build_controller()
+                self.controllers.append(controller)
+                self._replica_views.append(controller)
+            else:
+                self._replica_views.append(
+                    _SyncedReplicaController(self.shared, self.sync_period))
         return self._replica_views[index]
 
     def primary(self) -> ApparateController:

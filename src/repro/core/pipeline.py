@@ -30,8 +30,10 @@ from repro.models.execution import ModelExecutor
 from repro.models.latency import LatencyProfile, build_latency_profile
 from repro.models.prediction import PredictionModel
 from repro.models.zoo import ModelSpec, get_model
+from repro.serving.autoscaler import (Autoscaler, build_autoscaler,
+                                      canonical_autoscaler_name)
 from repro.serving.clockwork import ClockworkPlatform
-from repro.serving.cluster import ClusterPlatform, LoadBalancer
+from repro.serving.cluster import ClusterPlatform, LoadBalancer, ReplicaProfile
 from repro.serving.metrics import ClusterMetrics, ServingMetrics
 from repro.serving.platform import BatchResult, ServingPlatform, VanillaExecutor
 from repro.serving.request import Request, make_requests
@@ -152,15 +154,41 @@ def build_platform(platform: str, profile: LatencyProfile, max_batch_size: int =
 def build_cluster(platform: str, profile: LatencyProfile, replicas: int,
                   balancer: Union[str, LoadBalancer] = "round_robin",
                   max_batch_size: int = 16, batch_timeout_ms: float = 5.0,
-                  drop_expired: bool = True, seed: int = 0) -> ClusterPlatform:
-    """Construct ``replicas`` identical platforms behind a load balancer."""
+                  drop_expired: bool = True, seed: int = 0,
+                  profiles: Optional[Sequence[Union[ReplicaProfile, float, str]]] = None,
+                  autoscaler: Union[str, Autoscaler, None] = "none",
+                  min_replicas: Optional[int] = None,
+                  max_replicas: Optional[int] = None) -> ClusterPlatform:
+    """Construct a fleet of platforms behind a load balancer.
+
+    ``profiles`` makes the fleet heterogeneous: each replica's platform is
+    built on ``profile.scaled(p.speed)`` so its batching policy and the
+    work-aware balancers cost its queue in true milliseconds.  ``autoscaler``
+    plus the ``min_replicas``/``max_replicas`` band make the fleet elastic;
+    scaled-out replicas run base-speed platforms from a factory.
+    """
     if replicas < 1:
         raise ValueError("replicas must be >= 1")
-    fleet = [build_platform(platform, profile, max_batch_size=max_batch_size,
+    resolved = [ReplicaProfile.coerce(p) for p in profiles] \
+        if profiles is not None else [ReplicaProfile() for _ in range(replicas)]
+    if len(resolved) != replicas:
+        raise ValueError(f"got {len(resolved)} replica profiles for "
+                         f"{replicas} replicas")
+    fleet = [build_platform(platform, profile.scaled(p.speed),
+                            max_batch_size=max_batch_size,
                             batch_timeout_ms=batch_timeout_ms,
                             drop_expired=drop_expired)
-             for _ in range(replicas)]
-    return ClusterPlatform(fleet, balancer=balancer, seed=seed)
+             for p in resolved]
+
+    def replica_factory() -> ServingPlatform:
+        return build_platform(platform, profile, max_batch_size=max_batch_size,
+                              batch_timeout_ms=batch_timeout_ms,
+                              drop_expired=drop_expired)
+
+    return ClusterPlatform(fleet, balancer=balancer, seed=seed,
+                           profiles=resolved, autoscaler=autoscaler,
+                           min_replicas=min_replicas, max_replicas=max_replicas,
+                           replica_factory=replica_factory)
 
 
 # ---------------------------------------------------------------------------
@@ -169,6 +197,23 @@ def build_cluster(platform: str, profile: LatencyProfile, replicas: int,
 
 def _workload_requests(workload: Workload, slo_ms: float) -> List[Request]:
     return make_requests(workload.trace, workload.arrival_times_ms, slo_ms)
+
+
+def _resolve_autoscaler(autoscaler: Union[str, Autoscaler, None],
+                        slo_ms: float) -> Union[Autoscaler, str, None]:
+    """Build a name-selected autoscaler with the run's SLO threaded in.
+
+    ``reactive`` scales on queue depth *and* SLO headroom; the headroom
+    signal needs the serving SLO, which only the run knows — so name-based
+    construction (ClusterSpec / CLI) resolves here.  Instances pass through
+    untouched (the caller already chose their knobs).
+    """
+    if autoscaler is None or isinstance(autoscaler, Autoscaler):
+        return autoscaler
+    key = canonical_autoscaler_name(autoscaler)
+    if key == "reactive":
+        return build_autoscaler(key, slo_ms=slo_ms)
+    return build_autoscaler(key)
 
 
 def _vanilla_impl(model: Union[str, ModelSpec], workload: Workload,
@@ -214,14 +259,22 @@ def _vanilla_cluster_impl(model: Union[str, ModelSpec], workload: Workload,
                           balancer: Union[str, LoadBalancer] = "round_robin",
                           platform: str = "clockwork", slo_ms: Optional[float] = None,
                           max_batch_size: int = 16, seed: int = 0,
-                          drop_expired: bool = True) -> ClusterMetrics:
+                          drop_expired: bool = True,
+                          autoscaler: Union[str, Autoscaler, None] = "none",
+                          min_replicas: Optional[int] = None,
+                          max_replicas: Optional[int] = None,
+                          profiles: Optional[Sequence] = None) -> ClusterMetrics:
     spec, profile, _prediction, _catalog, executor = model_stack(model, seed=seed)
     slo = slo_ms if slo_ms is not None else spec.default_slo_ms
     requests = _workload_requests(workload, slo)
     cluster = build_cluster(platform, profile, replicas, balancer=balancer,
                             max_batch_size=max_batch_size,
-                            drop_expired=drop_expired, seed=seed)
-    # The vanilla executor is stateless, so every replica can share it.
+                            drop_expired=drop_expired, seed=seed,
+                            profiles=profiles,
+                            autoscaler=_resolve_autoscaler(autoscaler, slo),
+                            min_replicas=min_replicas, max_replicas=max_replicas)
+    # The vanilla executor is stateless, so every replica can share it
+    # (including replicas the autoscaler brings online mid-run).
     return cluster.run(requests, VanillaExecutor(executor))
 
 
@@ -234,7 +287,11 @@ def _apparate_cluster_impl(model: Union[str, ModelSpec], workload: Workload,
                            ramp_style: RampStyle = RampStyle.LIGHTWEIGHT,
                            max_batch_size: int = 16, seed: int = 0,
                            drop_expired: bool = True,
-                           initial_ramp_ids: Optional[Sequence[int]] = None
+                           initial_ramp_ids: Optional[Sequence[int]] = None,
+                           autoscaler: Union[str, Autoscaler, None] = "none",
+                           min_replicas: Optional[int] = None,
+                           max_replicas: Optional[int] = None,
+                           profiles: Optional[Sequence] = None
                            ) -> ApparateClusterRunResult:
     spec, profile, _prediction, catalog, executor = model_stack(
         model, seed=seed, ramp_budget=ramp_budget, ramp_style=ramp_style)
@@ -245,12 +302,19 @@ def _apparate_cluster_impl(model: Union[str, ModelSpec], workload: Workload,
                             sync_period=sync_period,
                             accuracy_constraint=accuracy_constraint,
                             initial_ramp_ids=initial_ramp_ids)
-    executors = [ApparateExecutor(executor, fleet.replica_controller(i))
-                 for i in range(replicas)]
     cluster = build_cluster(platform, profile, replicas, balancer=balancer,
                             max_batch_size=max_batch_size,
-                            drop_expired=drop_expired, seed=seed)
-    metrics = cluster.run(requests, executors)
+                            drop_expired=drop_expired, seed=seed,
+                            profiles=profiles,
+                            autoscaler=_resolve_autoscaler(autoscaler, slo),
+                            min_replicas=min_replicas, max_replicas=max_replicas)
+    # Executors come from a factory keyed by replica ordinal so replicas the
+    # autoscaler adds mid-run get their own controller view (fresh controller
+    # in independent mode, synced view of the shared one otherwise).
+    metrics = cluster.run(
+        requests,
+        executor_factory=lambda i: ApparateExecutor(executor,
+                                                    fleet.replica_controller(i)))
     fleet.flush()
     return ApparateClusterRunResult(metrics=metrics, fleet=fleet)
 
@@ -302,14 +366,23 @@ def run_vanilla_cluster(model: Union[str, ModelSpec], workload: Workload,
                         replicas: int = 2, balancer: Union[str, LoadBalancer] = "round_robin",
                         platform: str = "clockwork", slo_ms: Optional[float] = None,
                         max_batch_size: int = 16, seed: int = 0,
-                        drop_expired: bool = True) -> ClusterMetrics:
-    """Serve ``workload`` with ``replicas`` copies of the original (non-EE) model.
+                        drop_expired: bool = True,
+                        autoscaler: Union[str, Autoscaler, None] = "none",
+                        min_replicas: Optional[int] = None,
+                        max_replicas: Optional[int] = None,
+                        profiles: Optional[Sequence] = None) -> ClusterMetrics:
+    """Serve ``workload`` with a fleet of the original (non-EE) model.
+
+    ``autoscaler`` (with the ``min_replicas``/``max_replicas`` band) makes the
+    fleet elastic; ``profiles`` makes it heterogeneous.
 
     Equivalent to ``Experiment(..., cluster=ClusterSpec(...)).run(["vanilla"])``.
     """
     from repro.api import ClusterSpec, Experiment
-    experiment = Experiment(model=model, workload=workload,
-                            cluster=ClusterSpec(replicas=replicas, balancer=balancer),
+    cluster = ClusterSpec(replicas=replicas, balancer=balancer,
+                          autoscaler=autoscaler, min_replicas=min_replicas,
+                          max_replicas=max_replicas, profiles=profiles)
+    experiment = Experiment(model=model, workload=workload, cluster=cluster,
                             platform=platform, slo_ms=slo_ms,
                             max_batch_size=max_batch_size, seed=seed,
                             drop_expired=drop_expired)
@@ -325,7 +398,11 @@ def run_apparate_cluster(model: Union[str, ModelSpec], workload: Workload,
                          ramp_style: RampStyle = RampStyle.LIGHTWEIGHT,
                          max_batch_size: int = 16, seed: int = 0,
                          drop_expired: bool = True,
-                         initial_ramp_ids: Optional[Sequence[int]] = None
+                         initial_ramp_ids: Optional[Sequence[int]] = None,
+                         autoscaler: Union[str, Autoscaler, None] = "none",
+                         min_replicas: Optional[int] = None,
+                         max_replicas: Optional[int] = None,
+                         profiles: Optional[Sequence] = None
                          ) -> ApparateClusterRunResult:
     """Serve ``workload`` across a fleet of Apparate-managed replicas.
 
@@ -333,12 +410,16 @@ def run_apparate_cluster(model: Union[str, ModelSpec], workload: Workload,
     replica its own :class:`ApparateController`; ``shared`` aggregates the
     fleet's profiling feedback into one controller with a periodic sync of
     ``sync_period`` samples per replica (see :class:`FleetController`).
+    ``autoscaler``/``min_replicas``/``max_replicas`` make the fleet elastic
+    and ``profiles`` heterogeneous, exactly as in :func:`run_vanilla_cluster`.
 
     Equivalent to ``Experiment(..., cluster=ClusterSpec(...)).run(["apparate"])``.
     """
     from repro.api import ClusterSpec, Experiment, ExitPolicySpec
     cluster = ClusterSpec(replicas=replicas, balancer=balancer,
-                          fleet_mode=fleet_mode, sync_period=sync_period)
+                          fleet_mode=fleet_mode, sync_period=sync_period,
+                          autoscaler=autoscaler, min_replicas=min_replicas,
+                          max_replicas=max_replicas, profiles=profiles)
     ee = ExitPolicySpec(accuracy_constraint=accuracy_constraint,
                         ramp_budget=ramp_budget, ramp_style=ramp_style,
                         initial_ramp_ids=initial_ramp_ids)

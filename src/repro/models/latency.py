@@ -71,6 +71,26 @@ class LatencyProfile:
         """Steady-state throughput (queries/second) at the given batch size."""
         return 1000.0 * batch_size / self.total_latency_ms(batch_size)
 
+    def scaled(self, speed: float) -> "LatencyProfile":
+        """This profile on hardware running ``speed``× faster (or slower).
+
+        Every per-node latency divides by ``speed`` while the relative
+        breakdown (``cumulative_fraction``) is unchanged — the mechanism
+        behind heterogeneous fleets: a 2× replica's platform carries
+        ``profile.scaled(2.0)`` so its batching policy, SLO checks and the
+        ``least_work_left`` balancer all cost its queue in true milliseconds.
+        """
+        if not speed > 0.0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        if speed == 1.0:
+            return self
+        return LatencyProfile(
+            spec=self.spec,
+            node_names=list(self.node_names),
+            node_latency_ms=self.node_latency_ms / speed,
+            cumulative_fraction=self.cumulative_fraction.copy(),
+        )
+
     # ------------------------------------------------------------- per depth
     def depth_fraction(self, node_name: str) -> float:
         """Fraction of bs=1 serving time elapsed when ``node_name`` completes."""

@@ -9,9 +9,14 @@ simulators of those platforms with the same external behaviour:
 * :class:`TFServingPlatform` — ``max_batch_size`` / ``batch_timeout`` knobs;
 * :class:`ContinuousBatchingEngine` — generative serving with continuous
   batching (new sequences join as others finish);
-* :class:`ClusterPlatform` — N replica platforms behind a pluggable load
-  balancer (round-robin, JSQ, least-work-left, power-of-two-choices),
-  interleaved on one global clock via the steppable event-loop phases.
+* :class:`ClusterPlatform` — a dynamic fleet of replica platforms behind a
+  pluggable load balancer (round-robin, JSQ, least-work-left,
+  power-of-two-choices, speed-weighted variants), interleaved on one global
+  clock via the steppable event-loop phases.  Membership is live fleet state
+  (:class:`FleetState`: add / drain / retire) mutated by a pluggable
+  :class:`Autoscaler` (``none`` / ``reactive`` / ``predictive``), and
+  replicas may be heterogeneous via :class:`ReplicaProfile` speed/cost
+  multipliers.
 
 Platforms are agnostic to early exits: they hand formed batches to an executor
 callback and collect per-request result-release times, which is exactly the
@@ -25,11 +30,17 @@ from repro.serving.platform import (BatchExecutorFn, ReplicaState,
 from repro.serving.clockwork import ClockworkPlatform
 from repro.serving.tfserve import TFServingPlatform
 from repro.serving.hf_pipelines import ContinuousBatchingEngine
+from repro.serving.fleet import FleetState, ReplicaProfile
+from repro.serving.autoscaler import (AUTOSCALER_NAMES, Autoscaler,
+                                      FixedAutoscaler, PredictiveAutoscaler,
+                                      ReactiveAutoscaler, build_autoscaler)
 from repro.serving.cluster import (BALANCER_NAMES, ClusterPlatform,
                                    JoinShortestQueueBalancer,
                                    LeastWorkLeftBalancer, LoadBalancer,
                                    PowerOfTwoChoicesBalancer, ReplicaHandle,
-                                   RoundRobinBalancer, build_balancer)
+                                   RoundRobinBalancer,
+                                   WeightedJoinShortestQueueBalancer,
+                                   WeightedRoundRobinBalancer, build_balancer)
 
 __all__ = [
     "Request",
@@ -45,9 +56,19 @@ __all__ = [
     "TFServingPlatform",
     "ContinuousBatchingEngine",
     "ClusterPlatform",
+    "FleetState",
+    "ReplicaProfile",
+    "Autoscaler",
+    "FixedAutoscaler",
+    "ReactiveAutoscaler",
+    "PredictiveAutoscaler",
+    "build_autoscaler",
+    "AUTOSCALER_NAMES",
     "LoadBalancer",
     "RoundRobinBalancer",
+    "WeightedRoundRobinBalancer",
     "JoinShortestQueueBalancer",
+    "WeightedJoinShortestQueueBalancer",
     "LeastWorkLeftBalancer",
     "PowerOfTwoChoicesBalancer",
     "ReplicaHandle",

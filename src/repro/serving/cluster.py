@@ -1,25 +1,54 @@
-"""Multi-replica cluster serving: N platforms behind a pluggable balancer.
+"""Fleet control plane: dynamic replica membership behind a pluggable balancer.
 
-A :class:`ClusterPlatform` owns one :class:`~repro.serving.platform.ServingPlatform`
-per replica and dispatches a single arrival stream across them.  Replicas keep
-their own queues, accelerators and batching policies — the cluster only decides
-*where* each request goes (the load-balancing policy) and interleaves the
-replica timelines on one global clock using the steppable event-loop phases
-exposed by ``ServingPlatform`` (``admit`` / ``expire`` / ``select`` /
-``dispatch`` / ``complete``).
+A :class:`ClusterPlatform` dispatches one arrival stream across a **dynamic
+fleet** of :class:`~repro.serving.platform.ServingPlatform` replicas.  The
+member set is no longer a frozen constructor list: it is
+:class:`~repro.serving.fleet.FleetState` — live replica handles with an
+add / drain / retire lifecycle — mutated mid-run by a pluggable
+:class:`~repro.serving.autoscaler.Autoscaler` (``none`` / ``reactive`` /
+``predictive``) evaluated on the global clock.  Replicas may be heterogeneous:
+each carries a :class:`~repro.serving.fleet.ReplicaProfile` (speed multiplier
++ cost weight), and the run loop scales executor results by the replica's
+speed so an int8 replica genuinely finishes batches faster than its fp32
+neighbour.
+
+Every iteration of the event loop:
+
+1. brings provisioned replicas online (scale-out completes after the
+   autoscaler's ``provision_delay_ms``);
+2. admits and dispatches every arrival due by ``now`` across the **active**
+   members (draining replicas receive no new work);
+3. asks the autoscaler for the desired fleet size, clamped to
+   ``[min_replicas, max_replicas]`` — scale-in drains the newest replicas;
+4. salvages doomed requests: a queued request that can no longer meet its
+   deadline where it sits is re-routed **once** to the least-loaded replica
+   that still can (counted as ``rerouted`` in
+   :class:`~repro.serving.metrics.ClusterMetrics`);
+5. steps each serving replica through the ``expire`` / ``select`` /
+   ``dispatch`` / ``complete`` phases and retires drained replicas that have
+   gone idle;
+6. advances the shared clock to the earliest future event (arrival, batch
+   completion, policy wake-up, or replica boot).
 
 Balancing policies
 ------------------
 ``round_robin``
     Cycle through replicas in dispatch order.  Zero state inspection; fair in
-    count but blind to queue skew from batching.
+    count but blind to queue skew and replica speed.
+``weighted_round_robin``
+    Smooth weighted cycling: replicas receive dispatches proportional to
+    their profile speed (a 2× replica gets 2× the requests).
 ``join_shortest_queue``
     Route to the replica with the fewest jobs in system — queued plus the
     in-flight batch (classic JSQ).
+``weighted_join_shortest_queue``
+    JSQ with jobs normalized by replica speed — four jobs on a 2× replica
+    weigh like two on the base hardware.
 ``least_work_left``
-    Route to the replica with the least *expected* work: current accelerator
-    backlog plus the queued requests translated into milliseconds via the
-    platform's latency profile.  Sees through queues of unequal cost.
+    Route to the replica with the least *expected* work: accelerator backlog
+    plus queued requests translated into milliseconds via the replica's
+    (speed-scaled) latency profile.  Sees through queues of unequal cost, so
+    it prices heterogeneous replicas correctly out of the box.
 ``power_of_two_choices``
     Sample two replicas uniformly at random and pick the shorter queue —
     near-JSQ balance with O(1) state inspection (Mitzenmacher '01).
@@ -29,20 +58,26 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from repro.serving.autoscaler import Autoscaler, build_autoscaler
+from repro.serving.fleet import (ACTIVE, DRAINING, RETIRED, FleetState,
+                                 ReplicaEntry, ReplicaHandle, ReplicaProfile)
 from repro.serving.metrics import ClusterMetrics
-from repro.serving.platform import (BatchExecutorFn, ReplicaState,
+from repro.serving.platform import (BatchExecutorFn, BatchResult, ReplicaState,
                                     ServingPlatform)
 from repro.serving.request import Request
 
 __all__ = [
     "ReplicaHandle",
+    "ReplicaProfile",
     "LoadBalancer",
     "RoundRobinBalancer",
+    "WeightedRoundRobinBalancer",
     "JoinShortestQueueBalancer",
+    "WeightedJoinShortestQueueBalancer",
     "LeastWorkLeftBalancer",
     "PowerOfTwoChoicesBalancer",
     "build_balancer",
@@ -52,51 +87,14 @@ __all__ = [
 ]
 
 
-class ReplicaHandle:
-    """Read-only view of one replica that balancers may inspect."""
-
-    def __init__(self, index: int, platform: ServingPlatform, state: ReplicaState) -> None:
-        self.index = index
-        self.platform = platform
-        self.state = state
-
-    def queue_length(self) -> int:
-        return self.state.queue_length()
-
-    def jobs_in_system(self, now_ms: float) -> int:
-        """Waiting requests plus the batch currently on the accelerator.
-
-        This is the classic JSQ load signal: a replica that just drained its
-        queue into a 16-request batch is *not* empty — ignoring the in-flight
-        batch would funnel every arrival to whichever replica dispatched last.
-        """
-        in_flight = self.state.serving_batch_size if not self.state.idle_at(now_ms) else 0
-        return self.state.queue_length() + in_flight
-
-    def backlog_ms(self, now_ms: float) -> float:
-        """Remaining accelerator time of the in-flight batch."""
-        return max(0.0, self.state.busy_until_ms - now_ms)
-
-    def work_left_ms(self, now_ms: float) -> float:
-        """Expected milliseconds until this replica would drain its queue.
-
-        Queued requests are costed with the platform's latency model (batched
-        at ``max_batch_size``); platforms without a profile fall back to one
-        unit per request, which degrades gracefully to queue-length ordering.
-        """
-        work = self.backlog_ms(now_ms)
-        queued = self.queue_length()
-        if queued == 0:
-            return work
-        full = self.platform.max_batch_size
-        per_batch = self.platform.predicted_batch_time_ms(min(queued, full))
-        if per_batch is None:
-            return work + float(queued)
-        return work + per_batch * math.ceil(queued / full)
-
-
 class LoadBalancer(abc.ABC):
-    """Dispatch policy: pick the replica that receives an arriving request."""
+    """Dispatch policy: pick the replica that receives an arriving request.
+
+    ``replicas`` holds the handles of the currently ACTIVE members only, so a
+    balancer never sees draining or retired replicas.  Membership may change
+    between calls (autoscaling); stateful balancers must key any per-replica
+    state by ``handle.replica_id``, which is stable for a replica's lifetime.
+    """
 
     name: str = "abstract"
 
@@ -127,6 +125,38 @@ class RoundRobinBalancer(LoadBalancer):
         self._next = 0
 
 
+class WeightedRoundRobinBalancer(LoadBalancer):
+    """Smooth weighted round robin: dispatch shares proportional to speed.
+
+    Nginx-style smooth WRR: every replica accumulates its weight per round,
+    the largest accumulator wins and is decremented by the total weight.
+    Produces the evenly interleaved sequence (no burst of consecutive picks
+    to the heavy replica) and tolerates membership change because the
+    accumulators are keyed by stable replica ids.
+    """
+
+    name = "weighted_round_robin"
+
+    def __init__(self) -> None:
+        self._current: dict = {}
+
+    def choose(self, request: Request, replicas: Sequence[ReplicaHandle],
+               now_ms: float) -> int:
+        total = 0.0
+        for handle in replicas:
+            weight = handle.weight
+            total += weight
+            self._current[handle.replica_id] = \
+                self._current.get(handle.replica_id, 0.0) + weight
+        best = max(range(len(replicas)),
+                   key=lambda i: (self._current[replicas[i].replica_id], -i))
+        self._current[replicas[best].replica_id] -= total
+        return best
+
+    def reset(self) -> None:
+        self._current.clear()
+
+
 class JoinShortestQueueBalancer(LoadBalancer):
     """Route to the replica with the fewest jobs in system (ties: lowest index)."""
 
@@ -136,6 +166,18 @@ class JoinShortestQueueBalancer(LoadBalancer):
                now_ms: float) -> int:
         return min(range(len(replicas)),
                    key=lambda i: (replicas[i].jobs_in_system(now_ms), i))
+
+
+class WeightedJoinShortestQueueBalancer(LoadBalancer):
+    """JSQ with queue lengths normalized by replica speed."""
+
+    name = "weighted_join_shortest_queue"
+
+    def choose(self, request: Request, replicas: Sequence[ReplicaHandle],
+               now_ms: float) -> int:
+        return min(range(len(replicas)),
+                   key=lambda i: (replicas[i].jobs_in_system(now_ms)
+                                  / replicas[i].weight, i))
 
 
 class LeastWorkLeftBalancer(LoadBalancer):
@@ -168,19 +210,25 @@ class PowerOfTwoChoicesBalancer(LoadBalancer):
         return min(candidates, key=lambda i: (replicas[i].jobs_in_system(now_ms), i))
 
     def reset(self) -> None:
+        # Restore the original seed's RNG stream so repeated run() calls on
+        # one cluster object make identical choices (regression-tested).
         self._rng = np.random.default_rng(self.seed)
 
 
 _BALANCERS = {
     "round_robin": lambda seed: RoundRobinBalancer(),
+    "weighted_round_robin": lambda seed: WeightedRoundRobinBalancer(),
     "join_shortest_queue": lambda seed: JoinShortestQueueBalancer(),
+    "weighted_join_shortest_queue": lambda seed: WeightedJoinShortestQueueBalancer(),
     "least_work_left": lambda seed: LeastWorkLeftBalancer(),
     "power_of_two_choices": lambda seed: PowerOfTwoChoicesBalancer(seed=seed),
 }
 
 _ALIASES = {
     "rr": "round_robin",
+    "wrr": "weighted_round_robin",
     "jsq": "join_shortest_queue",
+    "wjsq": "weighted_join_shortest_queue",
     "lwl": "least_work_left",
     "p2c": "power_of_two_choices",
     "power_of_two": "power_of_two_choices",
@@ -207,85 +255,313 @@ def canonical_balancer_name(name: Union[str, LoadBalancer]) -> str:
 
 def build_balancer(name: Union[str, LoadBalancer], seed: int = 0) -> LoadBalancer:
     """Construct a balancer by name (``round_robin``, ``join_shortest_queue``,
-    ``least_work_left``, ``power_of_two_choices``; short aliases accepted)."""
+    ``least_work_left``, ``power_of_two_choices``, weighted variants; short
+    aliases accepted)."""
     if isinstance(name, LoadBalancer):
         return name
     return _BALANCERS[canonical_balancer_name(name)](seed)
 
 
+def _scale_result(result: BatchResult, speed: float) -> BatchResult:
+    """Apply a replica's speed multiplier to an executor's batch outcome."""
+    if speed == 1.0:
+        return result
+    return BatchResult(
+        gpu_time_ms=result.gpu_time_ms / speed,
+        result_offsets_ms=[offset / speed for offset in result.result_offsets_ms],
+        exited=list(result.exited),
+        exit_depths=list(result.exit_depths),
+        correct=list(result.correct),
+    )
+
+
 class ClusterPlatform:
-    """N replica platforms behind one load balancer, on one global clock.
+    """A dynamic fleet of replica platforms behind one load balancer.
 
     The run loop mirrors the single-replica ``ServingPlatform.run`` semantics
     per replica (including the forced-progress livelock guard) while advancing
-    a shared clock: at each step it admits-and-dispatches every arrival due by
-    ``now``, lets each idle replica expire/select/serve, then jumps to the
-    earliest future event (next arrival, batch completion or policy wake-up).
+    a shared clock over mutable membership: the autoscaler may add replicas
+    (online after its provisioning delay) or drain them (they finish in-flight
+    work, then retire) at any step.
+
+    Parameters
+    ----------
+    replicas:
+        The initial platforms.  ``run()`` always starts from this fleet, so
+        repeated runs on one cluster object are reproducible.
+    balancer:
+        Dispatch policy name/instance (see :data:`BALANCER_NAMES`).
+    seed:
+        Seed for stochastic balancers (power-of-two-choices).
+    profiles:
+        Optional per-initial-replica :class:`ReplicaProfile` (or speed
+        floats / ``"speed[:cost]"`` strings) for heterogeneous fleets.
+    autoscaler:
+        Policy name/instance (see :mod:`repro.serving.autoscaler`); the
+        default ``none`` keeps the fleet fixed.
+    min_replicas / max_replicas:
+        Fleet-size band the autoscaler is clamped to.  Defaults freeze the
+        fleet at its initial size.
+    replica_factory:
+        Zero-argument callable producing a fresh platform for scale-out;
+        required when ``max_replicas`` exceeds the initial fleet.
+    scale_out_profile:
+        Profile assigned to scaled-out replicas (default: base speed).
     """
 
     def __init__(self, replicas: Sequence[ServingPlatform],
                  balancer: Union[str, LoadBalancer] = "round_robin",
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 profiles: Optional[Sequence[Union[ReplicaProfile, float, str]]] = None,
+                 autoscaler: Union[str, Autoscaler, None] = "none",
+                 min_replicas: Optional[int] = None,
+                 max_replicas: Optional[int] = None,
+                 replica_factory: Optional[Callable[[], ServingPlatform]] = None,
+                 scale_out_profile: Optional[ReplicaProfile] = None) -> None:
         self.platforms = list(replicas)
         if not self.platforms:
             raise ValueError("a cluster needs at least one replica")
         self.balancer = build_balancer(balancer, seed=seed)
+        self.autoscaler = build_autoscaler(autoscaler)
+
+        n = len(self.platforms)
+        if profiles is None:
+            self.profiles: List[ReplicaProfile] = [ReplicaProfile() for _ in range(n)]
+        else:
+            self.profiles = [ReplicaProfile.coerce(p) for p in profiles]
+            if len(self.profiles) != n:
+                raise ValueError(f"got {len(self.profiles)} replica profiles for "
+                                 f"{n} replicas")
+        self.min_replicas = n if min_replicas is None else int(min_replicas)
+        self.max_replicas = n if max_replicas is None else int(max_replicas)
+        if not 1 <= self.min_replicas <= n:
+            raise ValueError(f"min_replicas must be in [1, {n}] "
+                             f"(the initial fleet size), got {self.min_replicas}")
+        if self.max_replicas < n:
+            raise ValueError(f"max_replicas must be >= the initial fleet size "
+                             f"({n}), got {self.max_replicas}")
+        self.replica_factory = replica_factory
+        if self.max_replicas > n and replica_factory is None:
+            raise ValueError(f"max_replicas={self.max_replicas} exceeds the "
+                             f"initial fleet of {n}; scale-out needs a "
+                             "replica_factory")
+        self.scale_out_profile = scale_out_profile if scale_out_profile is not None \
+            else ReplicaProfile()
 
     @property
     def num_replicas(self) -> int:
+        """Size of the initial fleet (the fleet ``run()`` starts from)."""
         return len(self.platforms)
 
-    def _executors(self, executors: Union[BatchExecutorFn, Sequence[BatchExecutorFn]]
-                   ) -> List[BatchExecutorFn]:
+    # ----------------------------------------------------------- executors
+    def _executor_factory(self,
+                          executors: Union[BatchExecutorFn,
+                                           Sequence[BatchExecutorFn], None],
+                          executor_factory: Optional[Callable[[int], BatchExecutorFn]]
+                          ) -> Callable[[int], BatchExecutorFn]:
+        """Resolve the per-replica executor source for one run.
+
+        Accepts a single shared executor (used for every replica, including
+        scaled-out ones), a per-initial-replica list, or an explicit factory
+        keyed by replica ordinal.  Scale-out past a fixed list requires the
+        factory, validated here so a mid-run scale-out cannot fail late.
+        """
+        if executors is None:
+            if executor_factory is None:
+                raise ValueError("run() needs executors or an executor_factory")
+            return executor_factory
         if callable(executors):
-            return [executors] * self.num_replicas
-        executors = list(executors)
-        if len(executors) != self.num_replicas:
-            raise ValueError(f"got {len(executors)} executors for "
+            shared = executors
+            return lambda ordinal: shared
+        executor_list = list(executors)
+        if len(executor_list) != self.num_replicas:
+            raise ValueError(f"got {len(executor_list)} executors for "
                              f"{self.num_replicas} replicas")
-        return executors
+        if executor_factory is not None:
+            return lambda ordinal: (executor_list[ordinal]
+                                    if ordinal < len(executor_list)
+                                    else executor_factory(ordinal))
+        if self.max_replicas > self.num_replicas:
+            raise ValueError("scale-out is enabled (max_replicas > initial "
+                             "fleet) but the executor list has no factory for "
+                             "new replicas; pass executor_factory= or a single "
+                             "shared executor")
+        return lambda ordinal: executor_list[ordinal]
+
+    def _spawn(self, fleet: FleetState, factory: Callable[[int], BatchExecutorFn],
+               now_ms: float) -> ReplicaEntry:
+        """Bring one scaled-out replica online."""
+        platform = self.replica_factory()
+        ordinal = fleet.next_ordinal()
+        return fleet.add(platform, factory(ordinal), self.scale_out_profile, now_ms)
+
+    # ------------------------------------------------------------- salvage
+    @staticmethod
+    def _completion_eta_ms(handle: ReplicaHandle, jobs_ahead: int,
+                           now_ms: float) -> float:
+        """When a request with ``jobs_ahead - 1`` queued jobs in front of it
+        (itself included in the count) would finish on ``handle``."""
+        full = handle.platform.max_batch_size
+        per_batch = handle.platform.predicted_batch_time_ms(min(jobs_ahead, full))
+        if per_batch is None:
+            # No latency model: fall back to one unit per request (same
+            # degradation as work_left_ms), scaled by replica speed.
+            return now_ms + handle.backlog_ms(now_ms) \
+                + jobs_ahead / handle.profile.speed
+        return now_ms + handle.backlog_ms(now_ms) \
+            + per_batch * math.ceil(jobs_ahead / full)
+
+    def _salvage_doomed(self, fleet: FleetState, active: List[ReplicaEntry],
+                        handles: List[ReplicaHandle], now_ms: float,
+                        rerouted_ids: Set[int]) -> int:
+        """Re-route doomed queued requests once to a replica that can serve them.
+
+        A request is *doomed* where it sits when the work queued ahead of it
+        (plus the in-flight batch) already overruns its deadline.  Instead of
+        letting the replica bury it at expiry, the dispatcher moves it (at
+        most once) to the least-loaded other active replica — but only when
+        that replica's expected completion still meets the deadline, so
+        reroutes convert drops into goodput rather than shuffling lost causes.
+        """
+        moved = 0
+        for entry in fleet.serving():
+            if not entry.platform.drop_expired or not entry.state.queue:
+                continue
+            source = entry.handle
+            keep: List[Request] = []
+            moved_here = 0
+            for request in entry.state.queue:
+                deadline = request.deadline_ms()
+                if (request.request_id in rerouted_ids
+                        or now_ms > deadline
+                        or self._completion_eta_ms(source, len(keep) + 1, now_ms)
+                        <= deadline + 1e-9):
+                    keep.append(request)
+                    continue
+                candidates = [h for h in handles if h is not source]
+                if not candidates:
+                    keep.append(request)
+                    continue
+                target = min(candidates,
+                             key=lambda h: (self._completion_eta_ms(
+                                 h, h.queue_length() + 1, now_ms), h.index))
+                if self._completion_eta_ms(target, target.queue_length() + 1,
+                                           now_ms) <= deadline + 1e-9:
+                    target_entry = active[target.index]
+                    target_entry.platform.admit(target_entry.state, request)
+                    rerouted_ids.add(request.request_id)
+                    moved_here += 1
+                else:
+                    keep.append(request)
+            if moved_here:
+                entry.state.queue = keep
+                moved += moved_here
+        return moved
 
     # --------------------------------------------------------------- main loop
     def run(self, requests: Sequence[Request],
-            executors: Union[BatchExecutorFn, Sequence[BatchExecutorFn]]
+            executors: Union[BatchExecutorFn, Sequence[BatchExecutorFn], None] = None,
+            executor_factory: Optional[Callable[[int], BatchExecutorFn]] = None
             ) -> ClusterMetrics:
-        """Serve all requests across the fleet and return per-replica + fleet metrics."""
-        executor_list = self._executors(executors)
-        self.balancer.reset()
+        """Serve all requests across the (dynamic) fleet.
 
-        states = [platform.new_state() for platform in self.platforms]
-        handles = [ReplicaHandle(i, platform, state)
-                   for i, (platform, state) in enumerate(zip(self.platforms, states))]
-        dispatch_counts = [0] * self.num_replicas
+        ``executors`` may be one shared executor or a per-initial-replica
+        list; ``executor_factory(ordinal)`` supplies executors for replicas
+        the autoscaler adds mid-run (ordinals continue past the initial
+        fleet).  Returns per-replica + fleet metrics covering every replica
+        that served, including ones retired before the run ended.
+        """
+        factory = self._executor_factory(executors, executor_factory)
+        self.balancer.reset()
+        self.autoscaler.reset()
 
         pending = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
         num_requests = len(pending)
+        start = pending[0].arrival_ms if pending else 0.0
+
+        fleet = FleetState()
+        for platform, profile in zip(self.platforms, self.profiles):
+            fleet.add(platform, factory(fleet.next_ordinal()), profile, start)
+
         if num_requests == 0:
-            return ClusterMetrics(replicas=[s.metrics for s in states],
-                                  dispatch_counts=dispatch_counts)
+            return self._collect(fleet, start, start, rerouted=0)
 
         next_arrival = 0
-        now = pending[0].arrival_ms
+        now = start
+        rerouted = 0
+        rerouted_ids: Set[int] = set()
+        boot_times: List[float] = []   # scheduled scale-out completions
 
-        while next_arrival < num_requests or any(state.queue for state in states):
+        while next_arrival < num_requests or any(e.state.queue for e in fleet.serving()):
+            # Phase 0: provisioning completes — bring booted replicas online.
+            if boot_times:
+                due = sum(1 for t in boot_times if t <= now + 1e-9)
+                if due:
+                    boot_times = [t for t in boot_times if t > now + 1e-9]
+                    for _ in range(due):
+                        self._spawn(fleet, factory, now)
+
+            active = fleet.active()
+            for position, entry in enumerate(active):
+                entry.handle.index = position
+            handles = [entry.handle for entry in active]
+
             # Phase 1: admit + dispatch everything that has arrived by now.
-            while next_arrival < num_requests and pending[next_arrival].arrival_ms <= now + 1e-9:
+            admitted = 0
+            while (next_arrival < num_requests
+                   and pending[next_arrival].arrival_ms <= now + 1e-9):
                 request = pending[next_arrival]
                 index = int(self.balancer.choose(request, handles, now))
-                if not 0 <= index < self.num_replicas:
+                if not 0 <= index < len(active):
                     raise ValueError(f"balancer {self.balancer.name!r} chose replica "
-                                     f"{index} of {self.num_replicas}")
-                self.platforms[index].admit(states[index], request)
-                dispatch_counts[index] += 1
+                                     f"{index} of {len(active)}")
+                entry = active[index]
+                entry.platform.admit(entry.state, request)
+                entry.dispatched += 1
                 next_arrival += 1
+                admitted += 1
+            if admitted:
+                self.autoscaler.observe_admitted(admitted, now)
+
+            # Phase 2: autoscaler decision on the global clock.  ``desired``
+            # targets the number of ACTIVE replicas; boots already in flight
+            # keep provisioning unless the policy asks to shrink below the
+            # current active set (a "hold" during a boot is not a scale-in).
+            desired = int(self.autoscaler.desired_replicas(now, handles))
+            desired = max(self.min_replicas, min(self.max_replicas, desired))
+            provisioned = len(active) + len(boot_times)
+            if desired > provisioned:
+                delay = max(float(self.autoscaler.provision_delay_ms), 1e-6)
+                boot_times.extend([now + delay] * (desired - provisioned))
+            elif desired < len(active):
+                # Cancel not-yet-booted replicas outright, then drain the
+                # newest active replicas down to the target.
+                boot_times.clear()
+                for entry in sorted(active,
+                                    key=lambda e: -e.replica_id)[:len(active) - desired]:
+                    fleet.drain(entry, now)
+                active = fleet.active()
+                for position, entry in enumerate(active):
+                    entry.handle.index = position
+                handles = [entry.handle for entry in active]
+
+            # Phase 3: cluster-level drop salvage.  One active replica is
+            # enough when draining replicas still hold queues — their doomed
+            # requests can move to it.
+            if handles and (len(handles) > 1
+                            or any(e.status == DRAINING and e.state.queue
+                                   for e in fleet.entries)):
+                rerouted += self._salvage_doomed(fleet, active, handles, now,
+                                                 rerouted_ids)
 
             next_arrival_ms = (pending[next_arrival].arrival_ms
                                if next_arrival < num_requests else np.inf)
             wake_times: List[float] = []
             progressed = False
 
-            # Phases 2-5 per replica: expire, select, serve (when idle).
-            for index, (platform, state) in enumerate(zip(self.platforms, states)):
+            # Phase 4 per serving replica: expire, select, serve (when idle).
+            for entry in fleet.serving():
+                platform, state = entry.platform, entry.state
                 if not state.idle_at(now):
                     wake_times.append(state.busy_until_ms)
                     continue
@@ -303,10 +579,14 @@ class ClusterPlatform:
                         wake_times.append(wake_up)
                         continue
                 platform.dispatch(state, batch)
-                result = executor_list[index](batch, now)
+                result = _scale_result(entry.executor(batch, now),
+                                       entry.profile.speed)
                 platform.complete(state, batch, result, now)
                 wake_times.append(state.busy_until_ms)
                 progressed = True
+
+            # Phase 5: drained replicas that have gone idle leave the fleet.
+            fleet.retire_idle(now)
 
             if progressed:
                 # A replica may have finished instantly; re-evaluate at the
@@ -316,19 +596,33 @@ class ClusterPlatform:
             # Advance the global clock to the earliest future event.
             if next_arrival < num_requests:
                 wake_times.append(next_arrival_ms)
+            wake_times.extend(boot_times)
             future = [t for t in wake_times if np.isfinite(t) and t > now + 1e-9]
             if not future:
                 break  # nothing can happen anymore (all queues drained)
             now = min(future)
 
-        for state in states:
-            state.finalize_makespan()
+        for entry in fleet.entries:
+            entry.state.finalize_makespan()
 
-        first_arrival = pending[0].arrival_ms
-        last_event = max((s.last_event_ms for s in states
-                          if np.isfinite(s.last_event_ms)), default=first_arrival)
+        last_event = max((e.state.last_event_ms for e in fleet.entries
+                          if np.isfinite(e.state.last_event_ms)), default=start)
+        return self._collect(fleet, start, last_event, rerouted)
+
+    def _collect(self, fleet: FleetState, start_ms: float, end_ms: float,
+                 rerouted: int) -> ClusterMetrics:
+        fleet.finalize(end_ms)
+        served_anything = any(entry.state.metrics.responses
+                              for entry in fleet.entries)
+        makespan = max(end_ms - start_ms, 1e-9) if served_anything else 0.0
         return ClusterMetrics(
-            replicas=[s.metrics for s in states],
-            dispatch_counts=dispatch_counts,
-            makespan_ms=max(last_event - first_arrival, 1e-9),
+            replicas=[entry.state.metrics for entry in fleet.entries],
+            dispatch_counts=[entry.dispatched for entry in fleet.entries],
+            makespan_ms=makespan,
+            rerouted=int(rerouted),
+            fleet_timeline=list(fleet.timeline),
+            replica_seconds=fleet.replica_seconds(end_ms),
+            replica_active_ms=fleet.active_replica_ms(end_ms),
+            replica_uptimes_ms=[entry.active_ms(end_ms)
+                                for entry in fleet.entries],
         )

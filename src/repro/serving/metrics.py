@@ -9,7 +9,7 @@ computed over the merged response stream on the cluster's global clock.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -156,18 +156,43 @@ class ServingMetrics:
 
 @dataclass
 class ClusterMetrics:
-    """Per-replica metrics plus fleet-wide rollups for one cluster run."""
+    """Per-replica metrics plus fleet-wide rollups for one cluster run.
+
+    ``replicas`` covers every replica that ever served during the run —
+    including ones the autoscaler retired mid-run — so the conservation
+    invariant and all rollups span the full membership history.
+    """
 
     replicas: List[ServingMetrics] = field(default_factory=list)
-    #: how many requests the balancer routed to each replica.
+    #: how many requests the balancer routed to each replica (first dispatch
+    #: only; salvage re-routes are counted in ``rerouted``).
     dispatch_counts: List[int] = field(default_factory=list)
     #: global wall-clock span (first arrival to last completion) in ms.
     makespan_ms: float = 0.0
+    #: doomed requests the dispatcher re-routed to another replica (drop salvage).
+    rerouted: int = 0
+    #: (time_ms, active_replicas) recorded at every membership change.
+    fleet_timeline: List[Tuple[float, int]] = field(default_factory=list)
+    #: cost-weighted replica-seconds consumed by the fleet (the autoscaling
+    #: cost metric: what the run would bill at one cost unit per second of
+    #: base-speed replica).
+    replica_seconds: float = 0.0
+    #: unweighted provisioned milliseconds (denominator for utilization).
+    replica_active_ms: float = 0.0
+    #: per-replica provisioned milliseconds (added -> retired), aligned with
+    #: ``replicas``; normalizes dispatch balance for elastic fleets.
+    replica_uptimes_ms: List[float] = field(default_factory=list)
     _aggregate: Optional[ServingMetrics] = field(default=None, init=False,
                                                  repr=False, compare=False)
 
     def num_replicas(self) -> int:
         return len(self.replicas)
+
+    def peak_replicas(self) -> int:
+        """Largest number of simultaneously active replicas during the run."""
+        if not self.fleet_timeline:
+            return len(self.replicas)
+        return max(count for _, count in self.fleet_timeline)
 
     # ------------------------------------------------------------- aggregate
     def aggregate(self) -> ServingMetrics:
@@ -194,17 +219,38 @@ class ClusterMetrics:
         return self.aggregate().drop_rate()
 
     def fleet_gpu_utilization(self) -> float:
-        """Mean accelerator utilization across the fleet's wall-clock span."""
+        """Mean accelerator utilization over the fleet's provisioned time.
+
+        With a dynamic fleet the denominator is the replica-milliseconds
+        actually provisioned (a replica retired halfway through the run only
+        counts for its lifetime); fixed fleets fall back to
+        ``makespan × num_replicas``, which is the same quantity.
+        """
         if self.makespan_ms <= 0 or not self.replicas:
             return 0.0
         busy = sum(m.gpu_busy_ms for m in self.replicas)
-        return min(1.0, busy / (self.makespan_ms * len(self.replicas)))
+        provisioned = self.replica_active_ms if self.replica_active_ms > 0 \
+            else self.makespan_ms * len(self.replicas)
+        return min(1.0, busy / provisioned)
 
     def dispatch_imbalance(self) -> float:
-        """Max/mean ratio of per-replica dispatch counts (1.0 = perfectly even)."""
+        """Max/mean ratio of per-replica dispatch *rates* (1.0 = perfectly even).
+
+        Rates are dispatches per provisioned millisecond, so a replica the
+        autoscaler added late is judged against its own uptime rather than
+        the whole run — a perfectly balanced elastic fleet reads 1.0.  Fixed
+        fleets (equal uptimes) reduce to the classic max/mean count ratio.
+        """
         counts = self.dispatch_counts
         if not counts or sum(counts) == 0:
             return 1.0
+        uptimes = self.replica_uptimes_ms
+        if len(uptimes) == len(counts) and sum(uptimes) > 0:
+            rates = [count / uptime
+                     for count, uptime in zip(counts, uptimes) if uptime > 0]
+            mean = sum(rates) / len(rates) if rates else 0.0
+            if mean > 0:
+                return max(rates) / mean
         return max(counts) * len(counts) / sum(counts)
 
     # -------------------------------------------------------------- summaries
@@ -217,8 +263,11 @@ class ClusterMetrics:
         data = aggregate.summary()
         data.update({
             "num_replicas": float(self.num_replicas()),
+            "peak_replicas": float(self.peak_replicas()),
             "fleet_gpu_utilization": self.fleet_gpu_utilization(),
             "dispatch_imbalance": self.dispatch_imbalance(),
+            "rerouted": float(self.rerouted),
+            "replica_seconds": float(self.replica_seconds),
         })
         if slo_ms is not None:
             data["fleet_goodput_qps"] = aggregate.goodput_qps(slo_ms)

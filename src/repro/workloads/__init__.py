@@ -26,6 +26,7 @@ from repro.workloads.arrivals import (
     poisson_arrivals,
     fixed_rate_arrivals,
     maf_trace_arrivals,
+    diurnal_arrivals,
 )
 
 __all__ = [
@@ -40,4 +41,5 @@ __all__ = [
     "poisson_arrivals",
     "fixed_rate_arrivals",
     "maf_trace_arrivals",
+    "diurnal_arrivals",
 ]

@@ -1,6 +1,6 @@
 """Request arrival processes.
 
-Three processes cover the paper's setups:
+Four processes cover the paper's setups plus the autoscaling studies:
 
 * :func:`fixed_rate_arrivals` — deterministic inter-arrival times (video
   frames at a fixed fps).
@@ -11,6 +11,9 @@ Three processes cover the paper's setups:
   modulated random walk with occasional bursts, and requests within a second
   are spread uniformly.  This reproduces the queueing variability that the
   classification experiments rely on.
+* :func:`diurnal_arrivals` — a smooth day/night cycle between a low and a
+  high rate (raised-cosine), the canonical workload for fleet autoscaling:
+  the right fleet size genuinely changes over the trace.
 """
 
 from __future__ import annotations
@@ -19,7 +22,8 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["fixed_rate_arrivals", "poisson_arrivals", "maf_trace_arrivals"]
+__all__ = ["fixed_rate_arrivals", "poisson_arrivals", "maf_trace_arrivals",
+           "diurnal_arrivals"]
 
 
 def fixed_rate_arrivals(n: int, rate_qps: float, start_ms: float = 0.0) -> np.ndarray:
@@ -65,6 +69,48 @@ def maf_trace_arrivals(n: int, mean_rate_qps: float, rng: np.random.Generator,
         count = int(min(count, n - produced))
         if count > 0:
             offsets = np.sort(rng.uniform(0.0, 1000.0, size=count))
+            times[produced:produced + count] = start_ms + second * 1000.0 + offsets
+            produced += count
+        second += 1
+    return times
+
+
+def diurnal_arrivals(n: int, low_qps: float, high_qps: float, period_s: float = 60.0,
+                     rng: Optional[np.random.Generator] = None,
+                     start_ms: float = 0.0) -> np.ndarray:
+    """Arrival timestamps following a smooth low → high → low rate cycle.
+
+    The per-second rate traces a raised cosine from ``low_qps`` up to
+    ``high_qps`` and back over each ``period_s`` seconds — a compressed
+    day/night traffic cycle.  With ``rng`` the per-second counts are Poisson
+    draws around the cycle; without it the process is fully deterministic
+    (fractional arrivals carry over between seconds), which autoscaling
+    determinism tests rely on.
+    """
+    if low_qps <= 0 or high_qps < low_qps:
+        raise ValueError(f"need 0 < low_qps <= high_qps, "
+                         f"got low={low_qps}, high={high_qps}")
+    if period_s <= 0:
+        raise ValueError("period_s must be positive")
+    times = np.empty(n, dtype=float)
+    produced = 0
+    second = 0
+    carry = 0.0
+    while produced < n:
+        phase = (second % period_s) / period_s
+        rate = low_qps + (high_qps - low_qps) * 0.5 * (1.0 - np.cos(2.0 * np.pi * phase))
+        if rng is not None:
+            count = int(rng.poisson(rate))
+        else:
+            carry += rate
+            count = int(carry)
+            carry -= count
+        count = int(min(count, n - produced))
+        if count > 0:
+            if rng is not None:
+                offsets = np.sort(rng.uniform(0.0, 1000.0, size=count))
+            else:
+                offsets = 1000.0 * (np.arange(count, dtype=float) + 0.5) / count
             times[produced:produced + count] = start_ms + second * 1000.0 + offsets
             produced += count
         second += 1

@@ -80,6 +80,51 @@ def test_classify_command_rejects_unknown_balancer():
               "--replicas", "2", "--balancer", "coin-flip"])
 
 
+def test_classify_command_autoscaled_fleet(capsys):
+    code = main(["classify", "--model", "resnet50", "--requests", "400",
+                 "--seed", "5", "--replicas", "2", "--autoscaler", "reactive",
+                 "--min-replicas", "1", "--max-replicas", "4",
+                 "--systems", "vanilla", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["params"]["cluster"]["autoscaler"] == "reactive"
+    assert payload["params"]["cluster"]["min_replicas"] == 1
+    assert payload["params"]["cluster"]["max_replicas"] == 4
+    result = payload["results"][0]
+    assert result["summary"]["replica_seconds"] > 0
+    assert result["details"]["fleet_timeline"][0][1] == 2
+
+
+def test_classify_command_heterogeneous_profiles(capsys):
+    code = main(["classify", "--model", "resnet50", "--requests", "300",
+                 "--seed", "5", "--replicas", "2", "--balancer",
+                 "weighted_round_robin", "--replica-profiles", "2,0.5",
+                 "--systems", "vanilla", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    profiles = payload["params"]["cluster"]["profiles"]
+    assert [p["speed"] for p in profiles] == [2.0, 0.5]
+    counts = payload["results"][0]["details"]["dispatch_counts"]
+    assert counts[0] > counts[1], "weighted RR favours the fast replica"
+
+
+def test_classify_command_rejects_mismatched_profiles():
+    with pytest.raises(SystemExit):
+        main(["classify", "--model", "resnet50", "--requests", "100",
+              "--replicas", "2", "--replica-profiles", "2,1,0.5"])
+
+
+def test_classify_command_rejects_zero_fleet_bounds():
+    """Regression: an explicit 0 must reach ClusterSpec validation instead of
+    being dropped by truthiness."""
+    with pytest.raises(SystemExit):
+        main(["classify", "--model", "resnet50", "--requests", "100",
+              "--max-replicas", "0"])
+    with pytest.raises(SystemExit):
+        main(["classify", "--model", "resnet50", "--requests", "100",
+              "--min-replicas", "0"])
+
+
 def test_nlp_workload_parsing(capsys):
     code = main(["classify", "--model", "distilbert-base", "--workload", "nlp:imdb",
                  "--requests", "600", "--rate", "25", "--seed", "6"])
@@ -163,6 +208,31 @@ def test_sweep_command_json(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["schema"] == "repro.sweep_report/v1"
     assert [p["params"]["replicas"] for p in payload["points"]] == [1, 2]
+
+
+def test_sweep_command_over_autoscalers(capsys):
+    code = main(["sweep", "--model", "resnet50", "--requests", "200",
+                 "--replicas", "2", "--autoscaler", "none,reactive",
+                 "--max-replicas", "4", "--systems", "vanilla", "--seed", "4",
+                 "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [p["params"]["autoscaler"] for p in payload["points"]] \
+        == ["none", "reactive"]
+    for point in payload["points"]:
+        assert point["report"]["results"][0]["summary"]["num_served"] == 200.0
+
+
+def test_sweep_command_table_with_scalar_grid_values(capsys):
+    """Regression: scalar grid entries (e.g. --max-replicas) must not break
+    the non-JSON header, which counts grid-axis sizes."""
+    code = main(["sweep", "--model", "resnet50", "--requests", "120",
+                 "--replicas", "1,2", "--autoscaler", "reactive",
+                 "--max-replicas", "4", "--systems", "vanilla", "--seed", "4"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "grid=2x1x1" in out
+    assert out.count("vanilla") >= 2
 
 
 def test_sweep_command_rejects_generative_model():
