@@ -30,12 +30,15 @@ from repro.core import (
     ApparateClusterRunResult,
     FleetController,
     GenerativeRunResult,
+    GenerativeClusterRunResult,
     run_apparate,
     run_vanilla,
     run_apparate_cluster,
     run_vanilla_cluster,
     run_generative_apparate,
     run_generative_vanilla,
+    run_generative_apparate_cluster,
+    run_generative_vanilla_cluster,
 )
 from repro.models import ModelSpec, Task, get_model, list_models, register_model
 from repro.api import (
@@ -69,12 +72,15 @@ __all__ = [
     "ApparateClusterRunResult",
     "FleetController",
     "GenerativeRunResult",
+    "GenerativeClusterRunResult",
     "run_apparate",
     "run_vanilla",
     "run_apparate_cluster",
     "run_vanilla_cluster",
     "run_generative_apparate",
     "run_generative_vanilla",
+    "run_generative_apparate_cluster",
+    "run_generative_vanilla_cluster",
     "ModelSpec",
     "Task",
     "get_model",

@@ -24,7 +24,8 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.api.registry import canonical_system_name, get_system
 from repro.api.result import (KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE,
-                              RunReport, RunResult, SweepPoint, SweepReport)
+                              KIND_GENERATIVE_CLUSTER, RunReport, RunResult,
+                              SweepPoint, SweepReport)
 from repro.api.specs import ClusterSpec, ExitPolicySpec, WorkloadSpec
 from repro.models.zoo import ModelSpec, get_model
 
@@ -94,9 +95,11 @@ class Experiment:
 
     @property
     def kind(self) -> str:
-        """``classification``, ``cluster`` or ``generative``."""
+        """``classification``, ``cluster``, ``generative`` or
+        ``generative_cluster``."""
         if self.is_generative:
-            return KIND_GENERATIVE
+            return KIND_GENERATIVE_CLUSTER if self.cluster is not None \
+                else KIND_GENERATIVE
         if self.cluster is not None:
             return KIND_CLUSTER
         return KIND_CLASSIFICATION
@@ -111,11 +114,6 @@ class Experiment:
     def _materialize_workload(self) -> Any:
         spec = self.spec
         workload = self.workload
-        if spec.is_generative and self.cluster is not None:
-            # ROADMAP: extend ClusterPlatform to the continuous batching
-            # engine; until then, refuse rather than silently drop the spec.
-            raise ValueError(f"model {spec.name!r} is generative; cluster serving "
-                             "for generative models is not yet supported")
         if isinstance(workload, WorkloadSpec):
             if spec.is_generative != workload.is_generative:
                 raise ValueError(

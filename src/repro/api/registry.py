@@ -14,12 +14,13 @@ from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.api.result import (KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE,
-                              RunResult)
+                              KIND_GENERATIVE_CLUSTER, RunResult)
 
 __all__ = ["SystemRunner", "register_system", "get_system", "list_systems",
            "canonical_system_name", "system_descriptions"]
 
-_ALL_KINDS = (KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE)
+_ALL_KINDS = (KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE,
+              KIND_GENERATIVE_CLUSTER)
 
 
 @dataclass(frozen=True)
@@ -42,9 +43,13 @@ class SystemRunner:
         """Run the system on ``experiment`` after checking kind support."""
         kind = experiment.kind
         if not self.supports(kind):
+            # Name every offending piece of the combination — the system, the
+            # experiment kind it cannot serve, and the model that induced it —
+            # so a bad config is diagnosable from the message alone.
             raise ValueError(
                 f"system {self.name!r} does not support {kind} experiments "
-                f"(supports: {sorted(self.kinds)})")
+                f"(model {experiment.spec.name!r}; {self.name!r} supports: "
+                f"{sorted(self.kinds)})")
         merged = dict(experiment.overrides_for(self.name))
         merged.update(overrides)
         try:

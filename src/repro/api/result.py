@@ -13,12 +13,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 __all__ = ["KIND_CLASSIFICATION", "KIND_CLUSTER", "KIND_GENERATIVE",
-           "RunResult", "RunReport", "SweepPoint", "SweepReport",
-           "METRIC_LABELS", "SYSTEM_DISPLAY_NAMES", "labels_for_kind"]
+           "KIND_GENERATIVE_CLUSTER", "RunResult", "RunReport", "SweepPoint",
+           "SweepReport", "METRIC_LABELS", "SYSTEM_DISPLAY_NAMES",
+           "labels_for_kind"]
 
 KIND_CLASSIFICATION = "classification"
 KIND_CLUSTER = "cluster"
 KIND_GENERATIVE = "generative"
+KIND_GENERATIVE_CLUSTER = "generative_cluster"
 
 #: Human-readable labels for the shared metric vocabulary.
 METRIC_LABELS = {
@@ -37,8 +39,13 @@ METRIC_LABELS = {
     "tpt_p25_ms": "TPT p25",
     "tpt_p50_ms": "TPT p50",
     "tpt_p95_ms": "TPT p95",
+    "tpt_p99_ms": "TPT p99",
+    "token_p99_ms": "per-token p99",
     "sequence_accuracy": "seq accuracy",
     "throughput_tokens_per_s": "tokens/s",
+    "deferred_flushes": "deferred flushes",
+    "peak_replicas": "peak replicas",
+    "replica_seconds": "replica-seconds",
 }
 
 #: Pretty column titles for registered systems.
@@ -60,6 +67,10 @@ _DISPLAY_METRICS = {
                    "drop_rate", "dispatch_imbalance", "exit_rate"),
     KIND_GENERATIVE: ("tpt_p25_ms", "tpt_p50_ms", "tpt_p95_ms", "sequence_accuracy",
                       "exit_rate", "throughput_tokens_per_s"),
+    KIND_GENERATIVE_CLUSTER: ("tpt_p50_ms", "tpt_p95_ms", "token_p99_ms",
+                              "sequence_accuracy", "exit_rate",
+                              "throughput_tokens_per_s", "dispatch_imbalance",
+                              "peak_replicas"),
 }
 
 
@@ -68,6 +79,8 @@ def labels_for_kind(kind: str) -> Dict[str, str]:
     labels = dict(METRIC_LABELS)
     if kind == KIND_CLUSTER:
         labels["throughput_qps"] = "fleet throughput"
+    if kind == KIND_GENERATIVE_CLUSTER:
+        labels["throughput_tokens_per_s"] = "fleet tokens/s"
     return labels
 
 

@@ -135,6 +135,15 @@ class ClusterSpec:
     otherwise), and ``profiles`` makes it heterogeneous — one
     :class:`~repro.serving.fleet.ReplicaProfile` (or speed float /
     ``"speed[:cost]"`` string, or one comma-separated string) per replica.
+    Every profile's speed/cost multiplier must be strictly positive
+    (validated here, so weighted balancers can never divide by zero).
+
+    The same spec drives both serving families: on classification models it
+    builds a :class:`~repro.serving.cluster.ClusterPlatform`, on generative
+    models a :class:`~repro.serving.generative_cluster.GenerativeClusterPlatform`
+    (token-level engines on the fleet control plane; ``fleet_mode="shared"``
+    feeds every replica's token feedback into one fleet-wide policy and
+    ``sync_period`` is ignored there — the shared policy is always in sync).
     """
 
     replicas: int = 2

@@ -3,7 +3,7 @@
 Each runner adapts one of the repo's serving implementations (Apparate,
 vanilla, and the paper's baselines) to the registry contract: take an
 :class:`~repro.api.experiment.Experiment`, dispatch on its kind
-(classification / cluster / generative), and return a
+(classification / cluster / generative / generative_cluster), and return a
 :class:`~repro.api.result.RunResult` in the shared schema.  The legacy
 ``run_*`` entry points are thin shims over these registrations.
 """
@@ -16,13 +16,17 @@ import numpy as np
 
 from repro.api.registry import register_system
 from repro.api.result import (KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE,
-                              RunResult)
-from repro.baselines.free import _free_generative_impl
+                              KIND_GENERATIVE_CLUSTER, RunResult)
+from repro.baselines.free import (_free_generative_cluster_impl,
+                                  _free_generative_impl)
 from repro.baselines.oracle import (_optimal_classification_impl,
+                                    _optimal_generative_cluster_impl,
                                     _optimal_generative_impl)
 from repro.baselines.static_ee import StaticEEVariant, _static_ee_impl
 from repro.baselines.two_layer import _two_layer_impl
-from repro.core.generative import (_generative_apparate_impl,
+from repro.core.generative import (_generative_apparate_cluster_impl,
+                                   _generative_apparate_impl,
+                                   _generative_vanilla_cluster_impl,
                                    _generative_vanilla_impl)
 from repro.core.pipeline import (_apparate_cluster_impl, _apparate_impl,
                                  _vanilla_cluster_impl, _vanilla_impl)
@@ -64,11 +68,28 @@ def _cluster_kwargs(experiment) -> Dict[str, Any]:
 def _fleet_details(metrics) -> Dict[str, Any]:
     """Cluster extras every fleet system reports: dispatch balance plus the
     autoscaling fleet-size timeline and replica-seconds consumed."""
-    return {
+    details = {
         "dispatch_counts": list(metrics.dispatch_counts),
         "fleet_timeline": [[float(t), int(n)] for t, n in metrics.fleet_timeline],
         "replica_seconds": float(metrics.replica_seconds),
-        "rerouted": int(metrics.rerouted),
+    }
+    if hasattr(metrics, "rerouted"):
+        details["rerouted"] = int(metrics.rerouted)
+    return details
+
+
+def _generative_cluster_kwargs(experiment) -> Dict[str, Any]:
+    """ClusterSpec knobs threaded into every generative fleet system."""
+    cluster = experiment.cluster
+    return {
+        "replicas": cluster.replicas,
+        "balancer": cluster.balancer,
+        "max_batch_size": experiment.batch_size(_GENERATIVE_BATCH),
+        "seed": experiment.seed,
+        "autoscaler": cluster.autoscaler,
+        "min_replicas": cluster.resolved_min_replicas(),
+        "max_replicas": cluster.resolved_max_replicas(),
+        "profiles": cluster.profiles,
     }
 
 
@@ -78,10 +99,18 @@ def _fleet_details(metrics) -> Dict[str, Any]:
 
 @register_system(
     "vanilla",
-    kinds=(KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE),
+    kinds=(KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE,
+           KIND_GENERATIVE_CLUSTER),
     description="the original model with no early exits (the paper's baseline)",
     aliases=("baseline",))
 def _vanilla_system(experiment, **kw) -> RunResult:
+    if experiment.kind == KIND_GENERATIVE_CLUSTER:
+        metrics = _generative_vanilla_cluster_impl(
+            experiment.spec, experiment.workload_obj(),
+            **_generative_cluster_kwargs(experiment), **kw)
+        return _result(experiment, "vanilla", KIND_GENERATIVE_CLUSTER,
+                       metrics.summary(), raw=metrics,
+                       details=_fleet_details(metrics))
     if experiment.kind == KIND_GENERATIVE:
         metrics = _generative_vanilla_impl(
             experiment.spec, experiment.workload_obj(),
@@ -105,10 +134,25 @@ def _vanilla_system(experiment, **kw) -> RunResult:
 
 @register_system(
     "apparate",
-    kinds=(KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE),
+    kinds=(KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE,
+           KIND_GENERATIVE_CLUSTER),
     description="Apparate: adaptive early exits managed at runtime (the system)")
 def _apparate_system(experiment, **kw) -> RunResult:
     ee = experiment.ee
+    if experiment.kind == KIND_GENERATIVE_CLUSTER:
+        cluster = experiment.cluster
+        outcome = _generative_apparate_cluster_impl(
+            experiment.spec, experiment.workload_obj(),
+            fleet_mode=cluster.fleet_mode,
+            accuracy_constraint=ee.accuracy_constraint,
+            **_generative_cluster_kwargs(experiment), **kw)
+        summary = outcome.summary()
+        details = _fleet_details(outcome.metrics)
+        details["fleet_mode"] = cluster.fleet_mode
+        details["ramp_depth"] = summary.get("ramp_depth", 0.0)
+        details["threshold"] = summary.get("threshold", 0.0)
+        return _result(experiment, "apparate", KIND_GENERATIVE_CLUSTER,
+                       summary, raw=outcome, details=details)
     if experiment.kind == KIND_GENERATIVE:
         outcome = _generative_apparate_impl(
             experiment.spec, experiment.workload_obj(),
@@ -190,9 +234,17 @@ def _two_layer_system(experiment, **kw) -> RunResult:
 
 @register_system(
     "free",
-    kinds=(KIND_GENERATIVE,),
+    kinds=(KIND_GENERATIVE, KIND_GENERATIVE_CLUSTER),
     description="FREE (Bae et al.): one fixed generative ramp, no runtime adaptation")
 def _free_system(experiment, **kw) -> RunResult:
+    if experiment.kind == KIND_GENERATIVE_CLUSTER:
+        metrics = _free_generative_cluster_impl(
+            experiment.spec, experiment.workload_obj(),
+            accuracy_constraint=experiment.ee.accuracy_constraint,
+            **_generative_cluster_kwargs(experiment), **kw)
+        return _result(experiment, "free", KIND_GENERATIVE_CLUSTER,
+                       metrics.summary(), raw=metrics,
+                       details=_fleet_details(metrics))
     metrics = _free_generative_impl(
         experiment.spec, experiment.workload_obj(),
         accuracy_constraint=experiment.ee.accuracy_constraint,
@@ -204,10 +256,17 @@ def _free_system(experiment, **kw) -> RunResult:
 
 @register_system(
     "optimal",
-    kinds=(KIND_CLASSIFICATION, KIND_GENERATIVE),
+    kinds=(KIND_CLASSIFICATION, KIND_GENERATIVE, KIND_GENERATIVE_CLUSTER),
     description="optimal oracle: every input exits at its earliest correct ramp",
     aliases=("oracle",))
 def _optimal_system(experiment, **kw) -> RunResult:
+    if experiment.kind == KIND_GENERATIVE_CLUSTER:
+        metrics = _optimal_generative_cluster_impl(
+            experiment.spec, experiment.workload_obj(),
+            **_generative_cluster_kwargs(experiment), **kw)
+        return _result(experiment, "optimal", KIND_GENERATIVE_CLUSTER,
+                       metrics.summary(), raw=metrics,
+                       details=_fleet_details(metrics))
     if experiment.kind == KIND_GENERATIVE:
         metrics = _optimal_generative_impl(
             experiment.spec, experiment.workload_obj(),

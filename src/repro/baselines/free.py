@@ -103,6 +103,37 @@ def _free_generative_impl(model: Union[str, ModelSpec], workload: GenerativeWork
     return engine.run(workload, policy)
 
 
+def _free_generative_cluster_impl(model: Union[str, ModelSpec],
+                                  workload: GenerativeWorkload,
+                                  replicas: int = 2, balancer="round_robin",
+                                  accuracy_constraint: float = 0.01,
+                                  max_batch_size: int = 8,
+                                  calibration_fraction: float = 0.03,
+                                  seed: int = 0, autoscaler="none",
+                                  min_replicas=None, max_replicas=None,
+                                  profiles=None):
+    """FREE at fleet scale: one (depth, threshold) pair calibrated once on the
+    leading workload slice, then deployed frozen on every replica (including
+    any the autoscaler boots mid-run) — no runtime adaptation anywhere."""
+    from repro.core.generative import build_generative_cluster
+    spec = get_model(model) if isinstance(model, str) else model
+    prediction = PredictionModel(spec, seed=seed)
+    depths = generative_ramp_depths(spec, seed=seed)
+    depth, threshold = calibrate_free_policy(prediction, workload, depths,
+                                             accuracy_constraint=accuracy_constraint,
+                                             calibration_fraction=calibration_fraction)
+    policy = FreeTokenPolicy(prediction=prediction, ramp_depth=depth,
+                             threshold=threshold)
+    overhead = ramp_overhead_fraction(spec, RampStyle.DECODE_HEAD)
+    cluster = build_generative_cluster(spec, replicas, balancer=balancer,
+                                       max_batch_size=max_batch_size,
+                                       ramp_overhead=overhead, seed=seed,
+                                       profiles=profiles, autoscaler=autoscaler,
+                                       min_replicas=min_replicas,
+                                       max_replicas=max_replicas)
+    return cluster.run(workload, lambda ordinal: policy)
+
+
 def run_free_generative(model: Union[str, ModelSpec], workload: GenerativeWorkload,
                         accuracy_constraint: float = 0.01, max_batch_size: int = 8,
                         seed: int = 0) -> GenerativeMetrics:

@@ -124,6 +124,28 @@ def _optimal_generative_impl(model: Union[str, ModelSpec], workload: GenerativeW
     return engine.run(workload, policy)
 
 
+def _optimal_generative_cluster_impl(model: Union[str, ModelSpec],
+                                     workload: GenerativeWorkload,
+                                     replicas: int = 2, balancer="round_robin",
+                                     max_batch_size: int = 8, seed: int = 0,
+                                     autoscaler="none", min_replicas=None,
+                                     max_replicas=None, profiles=None):
+    """The generative oracle at fleet scale: every token on every replica
+    exits at its earliest correct ramp with zero overhead."""
+    from repro.core.generative import build_generative_cluster
+    spec = get_model(model) if isinstance(model, str) else model
+    prediction = PredictionModel(spec, seed=seed)
+    _spec, _profile, _prediction, catalog, _executor = model_stack(spec, seed=seed)
+    policy = OracleTokenPolicy(prediction, [r.depth_fraction for r in catalog.ramps])
+    cluster = build_generative_cluster(spec, replicas, balancer=balancer,
+                                       max_batch_size=max_batch_size,
+                                       ramp_overhead=0.0, seed=seed,
+                                       profiles=profiles, autoscaler=autoscaler,
+                                       min_replicas=min_replicas,
+                                       max_replicas=max_replicas)
+    return cluster.run(workload, lambda ordinal: policy)
+
+
 def run_optimal_generative(model: Union[str, ModelSpec], workload: GenerativeWorkload,
                            max_batch_size: int = 8, seed: int = 0) -> GenerativeMetrics:
     """Serve a generative workload with the oracle exit policy (zero overhead).

@@ -19,11 +19,16 @@ system registry (``repro.api.list_systems()``).
 
 ``repro-apparate generate --model t5-large --dataset cnn-dailymail``
     Serve a generative workload; ``--systems`` may add ``free`` and
-    ``optimal`` (``--with-baselines`` is a shorthand for both).
+    ``optimal`` (``--with-baselines`` is a shorthand for both).  With
+    ``--replicas N`` the token-level engines run on the fleet control plane —
+    the same ``--balancer``/``--autoscaler``/``--min-replicas``/
+    ``--max-replicas``/``--replica-profiles`` flags as ``classify``, with
+    balancers costing replicas by outstanding decode work.
 
 ``repro-apparate sweep --replicas 1,2,4 --balancer round_robin,jsq``
     Run a parameter grid over replica counts / balancers / fleet modes in one
-    command and print one row per grid point and system.
+    command and print one row per grid point and system.  Generative models
+    sweep too (``--model t5-large --workload generative:squad``).
 
 Every subcommand accepts ``--json`` for machine-readable output
 (``RunReport.to_json()`` / ``SweepReport.to_json()``).  Validation errors
@@ -131,14 +136,43 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--with-baselines", action="store_true",
                           help="also run the FREE baseline and the optimal oracle")
+    generate.add_argument("--replicas", type=int, default=1,
+                          help="number of decode replicas (>1 enables "
+                               "generative cluster serving)")
+    generate.add_argument("--balancer", default=None,
+                          choices=list(BALANCER_NAMES),
+                          help="load-balancing policy for cluster serving "
+                               "(default: round_robin; work-aware policies "
+                               "cost replicas by outstanding decode tokens)")
+    generate.add_argument("--fleet-mode", default=None,
+                          choices=["independent", "shared"],
+                          help="token-EE control topology: one policy per "
+                               "replica (independent, the default) or one "
+                               "fleet-wide policy fed by every replica")
+    generate.add_argument("--autoscaler", default=None,
+                          choices=list(AUTOSCALER_NAMES),
+                          help="fleet autoscaling policy (default: none, a "
+                               "fixed fleet)")
+    generate.add_argument("--min-replicas", type=int, default=None,
+                          help="lower fleet bound for the autoscaler "
+                               "(default: 1 when a scaler is enabled)")
+    generate.add_argument("--max-replicas", type=int, default=None,
+                          help="upper fleet bound for the autoscaler "
+                               "(default: 2x --replicas when a scaler is enabled)")
+    generate.add_argument("--replica-profiles", default=None,
+                          help="comma-separated per-replica speed[:cost] "
+                               "multipliers for a heterogeneous decode fleet "
+                               "(must match --replicas)")
     generate.add_argument("--json", action="store_true",
                           help="print the RunReport as JSON instead of a table")
 
     sweep = sub.add_parser(
         "sweep", help="run a parameter grid (replicas x balancer x fleet mode)")
     sweep.add_argument("--model", default="resnet50")
-    sweep.add_argument("--workload", default="video:urban-day",
-                       help="'video:<scene>' or 'nlp:<dataset>'")
+    sweep.add_argument("--workload", default=None,
+                       help="'video:<scene>', 'nlp:<dataset>' or "
+                            "'generative:<dataset>' (default: video:urban-day, "
+                            "or generative:cnn-dailymail for generative models)")
     sweep.add_argument("--systems", default="vanilla,apparate",
                        help="comma-separated registered systems to run at "
                             "every grid point")
@@ -186,11 +220,16 @@ def _print_win_line(report: RunReport) -> None:
     if "vanilla" not in systems or "apparate" not in systems:
         return
     v, a = report.result("vanilla").summary, report.result("apparate").summary
-    if report.kind == "generative":
+    if report.kind in ("generative", "generative_cluster"):
         win = 100.0 * (v["tpt_p50_ms"] - a["tpt_p50_ms"]) / max(v["tpt_p50_ms"], 1e-9)
         details = report.result("apparate").details
         print(f"median TPT win: {win:.1f}%  (ramp depth {details['ramp_depth']:.2f}, "
               f"threshold {details['threshold']:.2f})")
+        if report.kind == "generative_cluster":
+            p99_win = 100.0 * (v["token_p99_ms"] - a["token_p99_ms"]) \
+                / max(v["token_p99_ms"], 1e-9)
+            print(f"per-token p99 win: {p99_win:.1f}%  "
+                  f"({a['deferred_flushes']:.0f} deferred flushes)")
     else:
         win = 100.0 * (v["p50_ms"] - a["p50_ms"]) / max(v["p50_ms"], 1e-9)
         print(f"median latency win: {win:.1f}%")
@@ -299,27 +338,53 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         systems += [name for name in ("free", "optimal") if name not in systems]
     workload = WorkloadSpec(kind="generative", source=args.dataset,
                             requests=args.sequences, rate=args.rate)
+    replicas = int(args.replicas)
+    cluster: Optional[ClusterSpec] = None
+    fleet_flags = any(value is not None for value in
+                      (args.autoscaler, args.min_replicas, args.max_replicas,
+                       args.replica_profiles))
+    if replicas != 1 or fleet_flags:
+        cluster = ClusterSpec(replicas=replicas,
+                              balancer=args.balancer or "round_robin",
+                              fleet_mode=args.fleet_mode or "independent",
+                              autoscaler=args.autoscaler or "none",
+                              min_replicas=args.min_replicas,
+                              max_replicas=args.max_replicas,
+                              profiles=args.replica_profiles)
+    elif args.balancer or args.fleet_mode:
+        print("note: --balancer/--fleet-mode only apply to cluster serving; "
+              "pass --replicas N (N > 1) to enable it", file=sys.stderr)
     experiment = Experiment(
-        model=spec, workload=workload,
+        model=spec, workload=workload, cluster=cluster,
         ee=ExitPolicySpec(accuracy_constraint=args.accuracy_constraint),
         seed=args.seed)
     report = experiment.run(systems)
     if args.json:
         print(json.dumps(report.to_json(), indent=2))
         return 0
-    print(f"model={spec.name} dataset={args.dataset} sequences={args.sequences}")
+    header = f"model={spec.name} dataset={args.dataset} sequences={args.sequences}"
+    if cluster is not None:
+        header += (f" replicas={cluster.replicas} "
+                   f"balancer={cluster.balancer_name()} "
+                   f"fleet-mode={cluster.fleet_mode}")
+        if cluster.autoscaler_name() != "none":
+            header += (f" autoscaler={cluster.autoscaler_name()}"
+                       f"[{cluster.resolved_min_replicas()}"
+                       f"..{cluster.resolved_max_replicas()}]")
+    print(header)
     print(report.format_table())
+    _print_dispatch_lines(report)
+    _print_fleet_size_lines(report)
     _print_win_line(report)
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = get_model(args.model)
-    if spec.task is Task.GENERATIVE:
-        raise ValueError(f"{spec.name} is generative; the sweep command currently "
-                         "covers classification fleets")
-    workload = WorkloadSpec.parse(args.workload, requests=args.requests,
-                                  rate=args.rate)
+    default_workload = "generative:cnn-dailymail" if spec.is_generative \
+        else "video:urban-day"
+    workload = WorkloadSpec.parse(args.workload or default_workload,
+                                  requests=args.requests, rate=args.rate)
     experiment = Experiment(
         model=spec, workload=workload,
         ee=ExitPolicySpec(accuracy_constraint=args.accuracy_constraint,
@@ -344,8 +409,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 0
     axis_sizes = [len(v) if isinstance(v, (list, tuple)) else 1
                   for v in grid.values()]
-    print(f"model={spec.name} workload={args.workload} platform={args.platform} "
-          f"requests={args.requests} grid={'x'.join(str(n) for n in axis_sizes)}")
+    print(f"model={spec.name} workload={workload.kind}:{workload.resolved_source()} "
+          f"platform={args.platform} requests={args.requests} "
+          f"grid={'x'.join(str(n) for n in axis_sizes)}")
     print(sweep.format_table())
     return 0
 

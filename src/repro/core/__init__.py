@@ -20,9 +20,12 @@ from repro.core.pipeline import (ApparateClusterRunResult, ApparateRunResult,
                                  run_vanilla, run_vanilla_cluster)
 from repro.core.generative import (
     ApparateTokenPolicy,
+    GenerativeClusterRunResult,
     GenerativeRunResult,
     run_generative_apparate,
+    run_generative_apparate_cluster,
     run_generative_vanilla,
+    run_generative_vanilla_cluster,
 )
 
 __all__ = [
@@ -40,6 +43,9 @@ __all__ = [
     "run_vanilla_cluster",
     "ApparateTokenPolicy",
     "GenerativeRunResult",
+    "GenerativeClusterRunResult",
     "run_generative_apparate",
     "run_generative_vanilla",
+    "run_generative_apparate_cluster",
+    "run_generative_vanilla_cluster",
 ]

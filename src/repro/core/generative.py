@@ -24,6 +24,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.controller import FleetController
 from repro.core.pipeline import model_stack
 from repro.exits.ramps import RampStyle, ramp_overhead_fraction
 from repro.generative.decoding import DecodeTimingModel
@@ -31,15 +32,25 @@ from repro.generative.parallel import TokenFeedback
 from repro.generative.sequences import GenerativeWorkload
 from repro.models.prediction import PredictionModel
 from repro.models.zoo import ModelSpec, get_model
+from repro.serving.autoscaler import (Autoscaler, build_autoscaler,
+                                      canonical_autoscaler_name)
+from repro.serving.cluster import LoadBalancer
+from repro.serving.fleet import ReplicaProfile
+from repro.serving.generative_cluster import (GenerativeClusterMetrics,
+                                              GenerativeClusterPlatform,
+                                              PolicyFactory)
 from repro.serving.hf_pipelines import (
     ContinuousBatchingEngine,
     GenerativeMetrics,
     TokenDecision,
+    TokenExitPolicy,
     VanillaTokenPolicy,
 )
 
 __all__ = ["ApparateTokenPolicy", "GenerativeRunResult",
+           "GenerativeClusterRunResult", "build_generative_cluster",
            "run_generative_vanilla", "run_generative_apparate",
+           "run_generative_vanilla_cluster", "run_generative_apparate_cluster",
            "generative_ramp_depths"]
 
 
@@ -183,6 +194,39 @@ class GenerativeRunResult:
         return data
 
 
+@dataclass
+class GenerativeClusterRunResult:
+    """Outcome of one Apparate generative *cluster* run.
+
+    ``policies`` holds the per-replica token policies in ordinal order; in
+    ``shared`` fleet mode every entry is the same object (one fleet-wide
+    policy fed by every replica's token feedback).
+    """
+
+    metrics: GenerativeClusterMetrics
+    policies: List[ApparateTokenPolicy]
+    fleet_mode: str = "independent"
+
+    def _unique_policies(self) -> List[ApparateTokenPolicy]:
+        seen: Dict[int, ApparateTokenPolicy] = {}
+        for policy in self.policies:
+            seen.setdefault(id(policy), policy)
+        return list(seen.values())
+
+    def summary(self) -> Dict[str, float]:
+        data = self.metrics.summary()
+        unique = self._unique_policies()
+        data.update({
+            "num_policies": float(len(unique)),
+            "threshold_tunings": float(sum(p.threshold_tunings for p in unique)),
+            "position_moves": float(sum(p.position_moves for p in unique)),
+        })
+        if unique:
+            data["ramp_depth"] = float(np.mean([p.ramp_depth for p in unique]))
+            data["threshold"] = float(np.mean([p.threshold for p in unique]))
+        return data
+
+
 # ---------------------------------------------------------------------------
 # Generative serving implementations (called through the system registry).
 # ---------------------------------------------------------------------------
@@ -211,6 +255,122 @@ def _generative_apparate_impl(model: Union[str, ModelSpec], workload: Generative
 
 
 # ---------------------------------------------------------------------------
+# Generative cluster serving (the fleet control plane driving the continuous
+# batching engine; see repro.serving.generative_cluster).
+# ---------------------------------------------------------------------------
+
+def _resolve_generative_autoscaler(autoscaler: Union[str, Autoscaler, None],
+                                   slots: int) -> Union[Autoscaler, None]:
+    """Build a name-selected autoscaler with decode-slot-aware watermarks.
+
+    The reactive policy's default queue watermarks assume one-at-a-time
+    request serving; a decode replica with ``slots`` concurrent streams is
+    only saturated once jobs in system approach the slot count, so the
+    hysteresis band is scaled to it.  Instances pass through untouched.
+    """
+    if autoscaler is None or isinstance(autoscaler, Autoscaler):
+        return autoscaler
+    key = canonical_autoscaler_name(autoscaler)
+    if key == "reactive":
+        return build_autoscaler(key, scale_out_load=1.25 * slots,
+                                scale_in_load=0.25 * slots)
+    return build_autoscaler(key)
+
+
+def build_generative_cluster(model: Union[str, ModelSpec], replicas: int,
+                             balancer: Union[str, LoadBalancer] = "round_robin",
+                             max_batch_size: int = 8, flush_limit: int = 8,
+                             ramp_overhead: float = 0.0, seed: int = 0,
+                             profiles: Optional[Sequence] = None,
+                             autoscaler: Union[str, Autoscaler, None] = "none",
+                             min_replicas: Optional[int] = None,
+                             max_replicas: Optional[int] = None
+                             ) -> GenerativeClusterPlatform:
+    """Construct a fleet of continuous-batching decode replicas.
+
+    The engine is stateless, so one instance (model timing + slot count +
+    flush limit) is shared by every replica, including ones the autoscaler
+    boots mid-run; heterogeneity comes from ``profiles`` speed multipliers.
+    """
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    spec = get_model(model) if isinstance(model, str) else model
+    timing = DecodeTimingModel(spec, ramp_overhead_fraction=ramp_overhead)
+    engine = ContinuousBatchingEngine(timing, max_batch_size=max_batch_size,
+                                      flush_limit=flush_limit)
+    return GenerativeClusterPlatform(
+        [engine] * replicas, balancer=balancer, seed=seed, profiles=profiles,
+        autoscaler=_resolve_generative_autoscaler(autoscaler, max_batch_size),
+        min_replicas=min_replicas, max_replicas=max_replicas)
+
+
+def _generative_vanilla_cluster_impl(model: Union[str, ModelSpec],
+                                     workload: GenerativeWorkload,
+                                     replicas: int = 2,
+                                     balancer: Union[str, LoadBalancer] = "round_robin",
+                                     max_batch_size: int = 8, seed: int = 0,
+                                     autoscaler: Union[str, Autoscaler, None] = "none",
+                                     min_replicas: Optional[int] = None,
+                                     max_replicas: Optional[int] = None,
+                                     profiles: Optional[Sequence] = None
+                                     ) -> GenerativeClusterMetrics:
+    cluster = build_generative_cluster(model, replicas, balancer=balancer,
+                                       max_batch_size=max_batch_size,
+                                       ramp_overhead=0.0, seed=seed,
+                                       profiles=profiles, autoscaler=autoscaler,
+                                       min_replicas=min_replicas,
+                                       max_replicas=max_replicas)
+    # The vanilla policy is stateless: every replica (including scaled-out
+    # ones) shares it.
+    policy = VanillaTokenPolicy()
+    return cluster.run(workload, lambda ordinal: policy)
+
+
+def _generative_apparate_cluster_impl(model: Union[str, ModelSpec],
+                                      workload: GenerativeWorkload,
+                                      replicas: int = 2,
+                                      balancer: Union[str, LoadBalancer] = "round_robin",
+                                      fleet_mode: str = "independent",
+                                      accuracy_constraint: float = 0.01,
+                                      max_batch_size: int = 8,
+                                      flush_limit: int = 8, seed: int = 0,
+                                      autoscaler: Union[str, Autoscaler, None] = "none",
+                                      min_replicas: Optional[int] = None,
+                                      max_replicas: Optional[int] = None,
+                                      profiles: Optional[Sequence] = None
+                                      ) -> GenerativeClusterRunResult:
+    if fleet_mode not in FleetController.MODES:
+        raise ValueError(f"unknown fleet mode {fleet_mode!r}; "
+                         f"choose from {tuple(FleetController.MODES)}")
+    spec = get_model(model) if isinstance(model, str) else model
+    prediction = PredictionModel(spec, seed=seed)
+    depths = generative_ramp_depths(spec, seed=seed)
+    overhead = ramp_overhead_fraction(spec, RampStyle.DECODE_HEAD)
+    cluster = build_generative_cluster(model, replicas, balancer=balancer,
+                                       max_batch_size=max_batch_size,
+                                       flush_limit=flush_limit,
+                                       ramp_overhead=overhead, seed=seed,
+                                       profiles=profiles, autoscaler=autoscaler,
+                                       min_replicas=min_replicas,
+                                       max_replicas=max_replicas)
+
+    policies: List[ApparateTokenPolicy] = []
+    shared = ApparateTokenPolicy(prediction, depths,
+                                 accuracy_constraint=accuracy_constraint) \
+        if fleet_mode == "shared" else None
+
+    def policy_factory(ordinal: int) -> ApparateTokenPolicy:
+        policy = shared if shared is not None else ApparateTokenPolicy(
+            prediction, depths, accuracy_constraint=accuracy_constraint)
+        policies.append(policy)
+        return policy
+
+    metrics = cluster.run(workload, policy_factory)
+    return GenerativeClusterRunResult(metrics=metrics, policies=policies,
+                                      fleet_mode=fleet_mode)
+
+
+# ---------------------------------------------------------------------------
 # One-call generative runs: thin shims over the system registry.
 # ---------------------------------------------------------------------------
 
@@ -235,6 +395,62 @@ def run_generative_apparate(model: Union[str, ModelSpec], workload: GenerativeWo
     """
     from repro.api import Experiment, ExitPolicySpec
     experiment = Experiment(model=model, workload=workload,
+                            ee=ExitPolicySpec(accuracy_constraint=accuracy_constraint),
+                            max_batch_size=max_batch_size, seed=seed,
+                            overrides={"apparate": {"flush_limit": flush_limit}})
+    return experiment.run(["apparate"]).result("apparate").raw
+
+
+def run_generative_vanilla_cluster(model: Union[str, ModelSpec],
+                                   workload: GenerativeWorkload,
+                                   replicas: int = 2,
+                                   balancer: Union[str, LoadBalancer] = "round_robin",
+                                   max_batch_size: int = 8, seed: int = 0,
+                                   autoscaler: Union[str, Autoscaler, None] = "none",
+                                   min_replicas: Optional[int] = None,
+                                   max_replicas: Optional[int] = None,
+                                   profiles: Optional[Sequence] = None
+                                   ) -> GenerativeClusterMetrics:
+    """Serve a generative workload with a fleet of the original model.
+
+    Equivalent to ``Experiment(..., cluster=ClusterSpec(...)).run(["vanilla"])``.
+    """
+    from repro.api import ClusterSpec, Experiment
+    cluster = ClusterSpec(replicas=replicas, balancer=balancer,
+                          autoscaler=autoscaler, min_replicas=min_replicas,
+                          max_replicas=max_replicas, profiles=profiles)
+    experiment = Experiment(model=model, workload=workload, cluster=cluster,
+                            max_batch_size=max_batch_size, seed=seed)
+    return experiment.run(["vanilla"]).result("vanilla").raw
+
+
+def run_generative_apparate_cluster(model: Union[str, ModelSpec],
+                                    workload: GenerativeWorkload,
+                                    replicas: int = 2,
+                                    balancer: Union[str, LoadBalancer] = "round_robin",
+                                    fleet_mode: str = "independent",
+                                    accuracy_constraint: float = 0.01,
+                                    max_batch_size: int = 8,
+                                    flush_limit: int = 8, seed: int = 0,
+                                    autoscaler: Union[str, Autoscaler, None] = "none",
+                                    min_replicas: Optional[int] = None,
+                                    max_replicas: Optional[int] = None,
+                                    profiles: Optional[Sequence] = None
+                                    ) -> GenerativeClusterRunResult:
+    """Serve a generative workload across a fleet of Apparate decode replicas.
+
+    ``fleet_mode`` selects the token-level EE control topology: ``independent``
+    gives each replica its own :class:`ApparateTokenPolicy`; ``shared`` feeds
+    every replica's token feedback into one fleet-wide policy.
+
+    Equivalent to ``Experiment(..., cluster=ClusterSpec(...)).run(["apparate"])``.
+    """
+    from repro.api import ClusterSpec, Experiment, ExitPolicySpec
+    cluster = ClusterSpec(replicas=replicas, balancer=balancer,
+                          fleet_mode=fleet_mode, autoscaler=autoscaler,
+                          min_replicas=min_replicas, max_replicas=max_replicas,
+                          profiles=profiles)
+    experiment = Experiment(model=model, workload=workload, cluster=cluster,
                             ee=ExitPolicySpec(accuracy_constraint=accuracy_constraint),
                             max_batch_size=max_batch_size, seed=seed,
                             overrides={"apparate": {"flush_limit": flush_limit}})

@@ -17,6 +17,11 @@ simulators of those platforms with the same external behaviour:
   :class:`Autoscaler` (``none`` / ``reactive`` / ``predictive``), and
   replicas may be heterogeneous via :class:`ReplicaProfile` speed/cost
   multipliers.
+* :class:`GenerativeClusterPlatform` — the same fleet control plane driving
+  continuous-batching decode replicas: token-level early exits at cluster
+  scale, with balancers costed by outstanding decode work (queued tokens ×
+  depth-scaled step time) and drain/retire letting in-flight sequences
+  finish before a replica leaves the fleet.
 
 Platforms are agnostic to early exits: they hand formed batches to an executor
 callback and collect per-request result-release times, which is exactly the
@@ -29,8 +34,12 @@ from repro.serving.platform import (BatchExecutorFn, ReplicaState,
                                     ServingPlatform, VanillaExecutor)
 from repro.serving.clockwork import ClockworkPlatform
 from repro.serving.tfserve import TFServingPlatform
-from repro.serving.hf_pipelines import ContinuousBatchingEngine
-from repro.serving.fleet import FleetState, ReplicaProfile
+from repro.serving.hf_pipelines import ContinuousBatchingEngine, GenerativeMetrics
+from repro.serving.fleet import BaseFleet, FleetState, ReplicaProfile
+from repro.serving.generative_cluster import (GenerativeClusterMetrics,
+                                              GenerativeClusterPlatform,
+                                              GenerativeFleetState,
+                                              GenerativeReplicaHandle)
 from repro.serving.autoscaler import (AUTOSCALER_NAMES, Autoscaler,
                                       FixedAutoscaler, PredictiveAutoscaler,
                                       ReactiveAutoscaler, build_autoscaler)
@@ -55,7 +64,13 @@ __all__ = [
     "ClockworkPlatform",
     "TFServingPlatform",
     "ContinuousBatchingEngine",
+    "GenerativeMetrics",
     "ClusterPlatform",
+    "GenerativeClusterPlatform",
+    "GenerativeClusterMetrics",
+    "GenerativeFleetState",
+    "GenerativeReplicaHandle",
+    "BaseFleet",
     "FleetState",
     "ReplicaProfile",
     "Autoscaler",

@@ -42,8 +42,8 @@ import numpy as np
 
 from repro.serving.platform import BatchExecutorFn, ReplicaState, ServingPlatform
 
-__all__ = ["ReplicaProfile", "ReplicaHandle", "ReplicaEntry", "FleetState",
-           "ACTIVE", "DRAINING", "RETIRED"]
+__all__ = ["ReplicaProfile", "ReplicaHandle", "ReplicaEntry", "BaseFleet",
+           "FleetState", "ACTIVE", "DRAINING", "RETIRED"]
 
 #: Replica lifecycle states.
 ACTIVE = "active"
@@ -176,17 +176,24 @@ class ReplicaEntry:
         until = self.retired_ms if self.retired_ms is not None else end_ms
         return max(0.0, until - self.added_ms)
 
+    def is_idle(self, now_ms: float) -> bool:
+        """No queued work and the accelerator is free (retirement condition)."""
+        return not self.state.queue and self.state.idle_at(now_ms)
 
-class FleetState:
-    """Live replica membership with an add / drain / retire lifecycle.
 
-    The cluster event loop owns one of these per run.  Balancers only ever see
-    the ACTIVE members; DRAINING members keep serving their queues; RETIRED
-    members are kept for metrics so rollups span the whole run.
+class BaseFleet:
+    """Shared lifecycle machinery of a dynamic replica membership.
+
+    Entries may be any object carrying ``replica_id`` / ``profile`` /
+    ``status`` / ``added_ms`` / ``retired_ms`` plus ``active_ms(end_ms)`` and
+    ``is_idle(now_ms)``; the classification fleet (:class:`FleetState`) and
+    the generative fleet (:mod:`repro.serving.generative_cluster`) both build
+    on this so the ACTIVE → DRAINING → RETIRED semantics, the fleet-size
+    timeline and the replica-seconds accounting are defined exactly once.
     """
 
     def __init__(self) -> None:
-        self.entries: List[ReplicaEntry] = []
+        self.entries: List = []
         self._next_id = 0
         #: (time_ms, active_count) — recorded whenever membership changes.
         self.timeline: List[Tuple[float, int]] = []
@@ -196,10 +203,10 @@ class FleetState:
         return self._next_id
 
     # ------------------------------------------------------------------ views
-    def active(self) -> List[ReplicaEntry]:
+    def active(self) -> List:
         return [e for e in self.entries if e.status == ACTIVE]
 
-    def serving(self) -> List[ReplicaEntry]:
+    def serving(self) -> List:
         """Members that still hold or may produce work (active + draining)."""
         return [e for e in self.entries if e.status != RETIRED]
 
@@ -207,32 +214,23 @@ class FleetState:
         return sum(1 for e in self.entries if e.status == ACTIVE)
 
     # -------------------------------------------------------------- lifecycle
-    def add(self, platform: ServingPlatform, executor: BatchExecutorFn,
-            profile: ReplicaProfile, now_ms: float) -> ReplicaEntry:
-        """Bring a new replica online (dispatchable from the next arrival)."""
-        state = platform.new_state()
-        handle = ReplicaHandle(index=len(self.entries), platform=platform,
-                               state=state, profile=profile,
-                               replica_id=self._next_id)
-        entry = ReplicaEntry(replica_id=self._next_id, platform=platform,
-                             executor=executor, profile=profile, state=state,
-                             handle=handle, added_ms=now_ms)
+    def _register(self, entry, now_ms: float):
+        """Record a freshly built entry as a live ACTIVE member."""
         self._next_id += 1
         self.entries.append(entry)
         self._mark(now_ms)
         return entry
 
-    def drain(self, entry: ReplicaEntry, now_ms: float) -> None:
+    def drain(self, entry, now_ms: float) -> None:
         """Stop dispatching to ``entry``; it finishes queued/in-flight work."""
         if entry.status == ACTIVE:
             entry.status = DRAINING
             self._mark(now_ms)
 
     def retire_idle(self, now_ms: float) -> None:
-        """Retire draining replicas whose queue is empty and accelerator idle."""
+        """Retire draining replicas that have finished all of their work."""
         for entry in self.entries:
-            if (entry.status == DRAINING and not entry.state.queue
-                    and entry.state.idle_at(now_ms)):
+            if entry.status == DRAINING and entry.is_idle(now_ms):
                 entry.status = RETIRED
                 entry.retired_ms = now_ms
 
@@ -261,3 +259,24 @@ class FleetState:
         if self.timeline and self.timeline[-1][1] == count:
             return
         self.timeline.append((now_ms, count))
+
+
+class FleetState(BaseFleet):
+    """Live replica membership with an add / drain / retire lifecycle.
+
+    The cluster event loop owns one of these per run.  Balancers only ever see
+    the ACTIVE members; DRAINING members keep serving their queues; RETIRED
+    members are kept for metrics so rollups span the whole run.
+    """
+
+    def add(self, platform: ServingPlatform, executor: BatchExecutorFn,
+            profile: ReplicaProfile, now_ms: float) -> ReplicaEntry:
+        """Bring a new replica online (dispatchable from the next arrival)."""
+        state = platform.new_state()
+        handle = ReplicaHandle(index=len(self.entries), platform=platform,
+                               state=state, profile=profile,
+                               replica_id=self._next_id)
+        entry = ReplicaEntry(replica_id=self._next_id, platform=platform,
+                             executor=executor, profile=profile, state=state,
+                             handle=handle, added_ms=now_ms)
+        return self._register(entry, now_ms)

@@ -1,0 +1,518 @@
+"""Generative fleet control plane: token-level early exits at cluster scale.
+
+This module closes the last capability gap of the reproduction: the
+continuous-batching generative engine (:mod:`repro.serving.hf_pipelines`)
+previously only ran on a single replica, so the paper's token-level
+latency/goodput story could not be examined under the fleet dynamics
+(balancing, autoscaling, drain/retire) that PR 3 built for classification.
+
+:class:`GenerativeClusterPlatform` dispatches one stream of generative
+*sequences* across a dynamic fleet of decode replicas on a shared global
+clock:
+
+* each replica models the accelerator as ``max_batch_size`` concurrent decode
+  slots; an admitted sequence waits in the replica's queue for a free slot and
+  is then decoded as its own stream — per-token exits, deferred tails and
+  forced flushes follow §3.4 exactly (the stream decode is *shared code* with
+  the single-replica engine, so one replica reproduces it bit-for-bit);
+* the pluggable :class:`~repro.serving.cluster.LoadBalancer` policies operate
+  unchanged, but are costed by outstanding **decode work** — queued tokens ×
+  the replica's depth-scaled expected step time — rather than request count,
+  so ``least_work_left`` sees through a queue of short SQuAD answers standing
+  behind one long CNN/DailyMail summary;
+* the pluggable :class:`~repro.serving.autoscaler.Autoscaler` policies are
+  evaluated on the global clock; scale-out boots replicas after the
+  provisioning delay and scale-in *drains* them — a draining replica finishes
+  its queued and in-flight sequences (no token is ever abandoned mid-stream),
+  takes no new dispatches, then retires;
+* replicas may be heterogeneous: a :class:`~repro.serving.fleet.ReplicaProfile`
+  speed multiplier divides every decode-step duration.
+
+:class:`GenerativeClusterMetrics` mirrors the classification
+:class:`~repro.serving.metrics.ClusterMetrics` rollups at token granularity:
+fleet TPT percentiles (including the queueing-inclusive per-token p99 that
+dominates under load), deferred-flush counts, the fleet-size timeline and
+cost-weighted replica-seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.serving.autoscaler import Autoscaler, build_autoscaler
+from repro.serving.cluster import LoadBalancer, build_balancer
+from repro.serving.fleet import (ACTIVE, DRAINING, RETIRED, BaseFleet,
+                                 ReplicaProfile)
+from repro.serving.hf_pipelines import (ContinuousBatchingEngine,
+                                        GenerativeMetrics, TokenExitPolicy)
+from repro.serving.metrics import dispatch_imbalance_ratio
+
+__all__ = ["GenerativeReplicaHandle", "GenerativeReplicaEntry",
+           "GenerativeFleetState", "GenerativeClusterMetrics",
+           "GenerativeClusterPlatform", "PolicyFactory"]
+
+#: Per-ordinal token-exit-policy source for one run.  Called once per replica
+#: (ordinals continue past the initial fleet when the autoscaler scales out);
+#: returning a shared object gives fleet-wide ("shared") EE control, fresh
+#: objects give per-replica ("independent") control.
+PolicyFactory = Callable[[int], TokenExitPolicy]
+
+
+class _EngineView:
+    """Platform-shaped shim over a decode replica for autoscaler policies.
+
+    The classification autoscalers read replica capacity through
+    ``handle.platform`` (``max_batch_size`` + ``predicted_batch_time_ms``);
+    for a decode replica the analogous quantities are the number of decode
+    slots and the expected time to turn every slot over once (mean sequence
+    length × depth-scaled step time).
+    """
+
+    def __init__(self, entry: "GenerativeReplicaEntry") -> None:
+        self._entry = entry
+
+    @property
+    def max_batch_size(self) -> int:
+        return self._entry.engine.max_batch_size
+
+    def predicted_batch_time_ms(self, batch_size: int) -> float:
+        return self._entry.mean_tokens * self._entry.expected_token_ms()
+
+
+class GenerativeReplicaHandle:
+    """Read-only decode-replica view for load balancers and autoscalers.
+
+    Mirrors :class:`~repro.serving.fleet.ReplicaHandle` so every existing
+    balancer (round-robin, JSQ, least-work-left, power-of-two, weighted
+    variants) and autoscaler (reactive, predictive) runs unchanged on
+    generative fleets — the *cost model* underneath is token-level.
+    """
+
+    def __init__(self, entry: "GenerativeReplicaEntry") -> None:
+        self._entry = entry
+        self.index = 0
+        self.platform = _EngineView(entry)
+
+    @property
+    def replica_id(self) -> int:
+        return self._entry.replica_id
+
+    @property
+    def profile(self) -> ReplicaProfile:
+        return self._entry.profile
+
+    @property
+    def weight(self) -> float:
+        """Dispatch weight of this replica (its relative speed)."""
+        return self._entry.profile.speed
+
+    def queue_length(self) -> int:
+        return len(self._entry.queue)
+
+    def jobs_in_system(self, now_ms: float) -> int:
+        """Queued sequences plus the streams decoding in occupied slots."""
+        return len(self._entry.queue) + self._entry.busy_slots(now_ms)
+
+    def backlog_ms(self, now_ms: float) -> float:
+        """Remaining decode time of the stream occupying the *soonest-free*
+        slot — when the replica could next start a queued sequence."""
+        free = self._entry.next_free_slot_ms()
+        return max(0.0, free - now_ms)
+
+    def work_left_ms(self, now_ms: float) -> float:
+        """Outstanding decode work in expected milliseconds.
+
+        In-flight streams contribute their remaining slot occupancy; queued
+        sequences contribute ``tokens × depth-scaled step time`` at the
+        replica's speed.  This is what makes ``least_work_left`` price decode
+        replicas correctly: ten queued 12-token answers are cheaper than two
+        60-token summaries even though JSQ counts them as five times the load.
+        """
+        entry = self._entry
+        work = sum(max(0.0, t - now_ms) for t in entry.slots)
+        if not entry.queue:
+            return work
+        token_ms = entry.expected_token_ms()
+        queued_tokens = sum(s.num_tokens for s in entry.queue)
+        # Queued work drains across all slots in parallel.
+        return work + queued_tokens * token_ms / entry.engine.max_batch_size
+
+
+@dataclass
+class GenerativeReplicaEntry:
+    """One decode replica of the fleet: engine, policy, slots and lifecycle."""
+
+    replica_id: int
+    engine: ContinuousBatchingEngine
+    policy: TokenExitPolicy
+    profile: ReplicaProfile
+    mean_tokens: float
+    #: per-slot completion time of the stream it is decoding (-inf = free).
+    slots: List[float] = field(default_factory=list)
+    queue: List = field(default_factory=list)
+    metrics: GenerativeMetrics = field(default_factory=GenerativeMetrics)
+    handle: Optional[GenerativeReplicaHandle] = None
+    status: str = ACTIVE
+    added_ms: float = 0.0
+    retired_ms: Optional[float] = None
+    #: sequences the balancer routed here.
+    dispatched: int = 0
+    last_completion_ms: float = -np.inf
+    #: released-token accounting feeding the depth-scaled work estimate.
+    released_tokens: int = 0
+    released_exits: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.slots:
+            self.slots = [-np.inf] * self.engine.max_batch_size
+        if self.handle is None:
+            self.handle = GenerativeReplicaHandle(self)
+
+    # ------------------------------------------------------------------ slots
+    def busy_slots(self, now_ms: float) -> int:
+        return sum(1 for t in self.slots if t > now_ms + 1e-9)
+
+    def free_slot_index(self, now_ms: float) -> Optional[int]:
+        for index, t in enumerate(self.slots):
+            if t <= now_ms + 1e-9:
+                return index
+        return None
+
+    def next_free_slot_ms(self) -> float:
+        return min(self.slots)
+
+    def is_idle(self, now_ms: float) -> bool:
+        return not self.queue and self.busy_slots(now_ms) == 0
+
+    def active_ms(self, end_ms: float) -> float:
+        """Wall-clock time this replica was provisioned (added → retired)."""
+        until = self.retired_ms if self.retired_ms is not None else end_ms
+        return max(0.0, until - self.added_ms)
+
+    # ------------------------------------------------------------- work model
+    def expected_token_ms(self) -> float:
+        """Depth-scaled expected decode-step time per token on this replica.
+
+        A full step costs ``full_step + ramp_overhead``; a token that exits at
+        the policy's current ramp depth only pays the head portion.  The two
+        are blended by this replica's *observed* exit rate so the estimate
+        adapts with the policy (and stays exactly ``full_step`` for vanilla).
+        Deterministic: depends only on the run's own history.
+        """
+        timing = self.engine.timing
+        overhead = timing.ramp_overhead_ms(1)
+        full = timing.full_step_ms(1) + overhead
+        depth = getattr(self.policy, "ramp_depth", None)
+        threshold = getattr(self.policy, "threshold", 0.0)
+        if depth is None or self.released_tokens == 0:
+            return full / self.profile.speed
+        exit_rate = self.released_exits / self.released_tokens
+        if threshold is not None and float(threshold) <= 0.0:
+            exit_rate = 0.0
+        partial = timing.partial_step_ms(1, float(depth)) + overhead
+        return (exit_rate * partial + (1.0 - exit_rate) * full) / self.profile.speed
+
+    def record_stream(self, num_tokens: int, num_exited: int) -> None:
+        self.released_tokens += int(num_tokens)
+        self.released_exits += int(num_exited)
+
+
+class GenerativeFleetState(BaseFleet):
+    """Dynamic decode-replica membership (ACTIVE → DRAINING → RETIRED)."""
+
+    def add(self, engine: ContinuousBatchingEngine, policy: TokenExitPolicy,
+            profile: ReplicaProfile, mean_tokens: float,
+            now_ms: float) -> GenerativeReplicaEntry:
+        entry = GenerativeReplicaEntry(replica_id=self._next_id, engine=engine,
+                                       policy=policy, profile=profile,
+                                       mean_tokens=mean_tokens, added_ms=now_ms)
+        return self._register(entry, now_ms)
+
+
+@dataclass
+class GenerativeClusterMetrics:
+    """Per-replica token metrics plus fleet-wide rollups for one cluster run.
+
+    ``replicas`` covers every replica that ever decoded during the run —
+    including ones the autoscaler retired mid-run — so token conservation and
+    all rollups span the full membership history.
+    """
+
+    replicas: List[GenerativeMetrics] = field(default_factory=list)
+    #: sequences the balancer routed to each replica, aligned with ``replicas``.
+    dispatch_counts: List[int] = field(default_factory=list)
+    #: global wall-clock span (first arrival to last token release) in ms.
+    makespan_ms: float = 0.0
+    #: (time_ms, active_replicas) recorded at every membership change.
+    fleet_timeline: List[Tuple[float, int]] = field(default_factory=list)
+    #: cost-weighted replica-seconds consumed by the fleet.
+    replica_seconds: float = 0.0
+    #: unweighted provisioned milliseconds (denominator for utilization).
+    replica_active_ms: float = 0.0
+    #: per-replica provisioned milliseconds, aligned with ``replicas``.
+    replica_uptimes_ms: List[float] = field(default_factory=list)
+    _aggregate: Optional[GenerativeMetrics] = field(default=None, init=False,
+                                                    repr=False, compare=False)
+
+    def num_replicas(self) -> int:
+        return len(self.replicas)
+
+    def peak_replicas(self) -> int:
+        """Largest number of simultaneously active replicas during the run."""
+        if not self.fleet_timeline:
+            return len(self.replicas)
+        return max(count for _, count in self.fleet_timeline)
+
+    def aggregate(self) -> GenerativeMetrics:
+        """Merged token stream measured on the cluster's global clock."""
+        if self._aggregate is None:
+            self._aggregate = GenerativeMetrics.merged(
+                self.replicas, makespan_ms=self.makespan_ms)
+        return self._aggregate
+
+    def total_tokens(self) -> int:
+        return len(self.aggregate().tokens)
+
+    def fleet_throughput_tokens_per_s(self) -> float:
+        return self.aggregate().throughput_tokens_per_s()
+
+    def p99_token_latency(self) -> float:
+        """Queueing-inclusive per-token p99 over the merged stream."""
+        return self.aggregate().p99_token_latency()
+
+    def dispatch_imbalance(self) -> float:
+        """Max/mean per-replica dispatch-rate ratio (1.0 = perfectly even)."""
+        return dispatch_imbalance_ratio(self.dispatch_counts,
+                                        self.replica_uptimes_ms)
+
+    def per_replica_summaries(self) -> List[Dict[str, float]]:
+        return [m.summary() for m in self.replicas]
+
+    def summary(self) -> Dict[str, float]:
+        """Fleet rollup: aggregate token stats plus cluster-only metrics."""
+        data = self.aggregate().summary()
+        data.update({
+            "num_replicas": float(self.num_replicas()),
+            "peak_replicas": float(self.peak_replicas()),
+            "dispatch_imbalance": self.dispatch_imbalance(),
+            "replica_seconds": float(self.replica_seconds),
+        })
+        return data
+
+
+class GenerativeClusterPlatform:
+    """A dynamic fleet of continuous-batching decode replicas.
+
+    The event loop mirrors :class:`~repro.serving.cluster.ClusterPlatform`
+    phase for phase — boot, admit/dispatch, autoscale, serve, retire, advance
+    the shared clock — with the classification replica step replaced by slot
+    claiming: a free decode slot claims the replica's queue head and runs the
+    stream decode shared with the single-replica engine.
+
+    Parameters
+    ----------
+    engines:
+        Per-initial-replica :class:`ContinuousBatchingEngine`.  Engines are
+        stateless (all mutable state lives in the run's fleet entries), so
+        one engine may be shared by every replica.
+    balancer / seed:
+        Dispatch policy name/instance and the seed for stochastic balancers.
+    profiles:
+        Optional per-initial-replica :class:`ReplicaProfile` (or speed floats
+        / ``"speed[:cost]"`` strings) for heterogeneous fleets.
+    autoscaler / min_replicas / max_replicas:
+        Elasticity, exactly as in the classification cluster.  Scaled-out
+        replicas reuse the first engine's configuration (engines are
+        stateless) and run at ``scale_out_profile`` (default: base speed).
+    """
+
+    def __init__(self, engines: Sequence[ContinuousBatchingEngine],
+                 balancer: Union[str, LoadBalancer] = "round_robin",
+                 seed: int = 0,
+                 profiles: Optional[Sequence[Union[ReplicaProfile, float, str]]] = None,
+                 autoscaler: Union[str, Autoscaler, None] = "none",
+                 min_replicas: Optional[int] = None,
+                 max_replicas: Optional[int] = None,
+                 scale_out_profile: Optional[ReplicaProfile] = None) -> None:
+        self.engines = list(engines)
+        if not self.engines:
+            raise ValueError("a generative cluster needs at least one replica")
+        self.balancer = build_balancer(balancer, seed=seed)
+        self.autoscaler = build_autoscaler(autoscaler)
+
+        n = len(self.engines)
+        if profiles is None:
+            self.profiles: List[ReplicaProfile] = [ReplicaProfile() for _ in range(n)]
+        else:
+            self.profiles = [ReplicaProfile.coerce(p) for p in profiles]
+            if len(self.profiles) != n:
+                raise ValueError(f"got {len(self.profiles)} replica profiles "
+                                 f"for {n} replicas")
+        self.min_replicas = n if min_replicas is None else int(min_replicas)
+        self.max_replicas = n if max_replicas is None else int(max_replicas)
+        if not 1 <= self.min_replicas <= n:
+            raise ValueError(f"min_replicas must be in [1, {n}] "
+                             f"(the initial fleet size), got {self.min_replicas}")
+        if self.max_replicas < n:
+            raise ValueError(f"max_replicas must be >= the initial fleet size "
+                             f"({n}), got {self.max_replicas}")
+        self.scale_out_profile = scale_out_profile if scale_out_profile is not None \
+            else ReplicaProfile()
+
+    @property
+    def num_replicas(self) -> int:
+        """Size of the initial fleet (the fleet ``run()`` starts from)."""
+        return len(self.engines)
+
+    # --------------------------------------------------------------- main loop
+    def run(self, workload, policy_factory: PolicyFactory) -> GenerativeClusterMetrics:
+        """Serve every sequence in ``workload`` across the (dynamic) fleet.
+
+        ``policy_factory(ordinal)`` supplies each replica's token-exit policy
+        for this run (fresh state per run keeps repeated ``run()`` calls on
+        one cluster object bit-identical); returning one shared object gives
+        fleet-wide EE control.  Returns per-replica + fleet token metrics
+        covering every replica that decoded, including ones retired mid-run.
+        """
+        self.balancer.reset()
+        self.autoscaler.reset()
+
+        pending = sorted(workload.sequences,
+                         key=lambda s: (s.arrival_ms, s.sequence_id))
+        num_sequences = len(pending)
+        start = pending[0].arrival_ms if pending else 0.0
+        mean_tokens = workload.mean_output_length() or 1.0
+
+        fleet = GenerativeFleetState()
+        for engine, profile in zip(self.engines, self.profiles):
+            fleet.add(engine, policy_factory(fleet.next_ordinal()), profile,
+                      mean_tokens, start)
+
+        if num_sequences == 0:
+            return self._collect(fleet, start, start)
+
+        next_arrival = 0
+        now = start
+        boot_times: List[float] = []   # scheduled scale-out completions
+
+        while (next_arrival < num_sequences
+               or any(e.queue or e.busy_slots(now) for e in fleet.serving())):
+            # Phase 0: provisioning completes — bring booted replicas online.
+            if boot_times:
+                due = sum(1 for t in boot_times if t <= now + 1e-9)
+                if due:
+                    boot_times = [t for t in boot_times if t > now + 1e-9]
+                    for _ in range(due):
+                        fleet.add(self.engines[0],
+                                  policy_factory(fleet.next_ordinal()),
+                                  self.scale_out_profile, mean_tokens, now)
+
+            active = fleet.active()
+            for position, entry in enumerate(active):
+                entry.handle.index = position
+            handles = [entry.handle for entry in active]
+
+            # Phase 1: admit + dispatch every sequence that has arrived by now.
+            admitted = 0
+            while (next_arrival < num_sequences
+                   and pending[next_arrival].arrival_ms <= now + 1e-9):
+                sample = pending[next_arrival]
+                index = int(self.balancer.choose(sample, handles, now))
+                if not 0 <= index < len(active):
+                    raise ValueError(f"balancer {self.balancer.name!r} chose "
+                                     f"replica {index} of {len(active)}")
+                entry = active[index]
+                entry.queue.append(sample)
+                entry.dispatched += 1
+                next_arrival += 1
+                admitted += 1
+            if admitted:
+                self.autoscaler.observe_admitted(admitted, now)
+
+            # Phase 2: autoscaler decision on the global clock (same boot /
+            # drain semantics as the classification cluster).
+            desired = int(self.autoscaler.desired_replicas(now, handles))
+            desired = max(self.min_replicas, min(self.max_replicas, desired))
+            provisioned = len(active) + len(boot_times)
+            if desired > provisioned:
+                delay = max(float(self.autoscaler.provision_delay_ms), 1e-6)
+                boot_times.extend([now + delay] * (desired - provisioned))
+            elif desired < len(active):
+                boot_times.clear()
+                for entry in sorted(active,
+                                    key=lambda e: -e.replica_id)[:len(active) - desired]:
+                    fleet.drain(entry, now)
+                active = fleet.active()
+                for position, entry in enumerate(active):
+                    entry.handle.index = position
+                handles = [entry.handle for entry in active]
+
+            # Phase 3 per serving replica: free decode slots claim the queue
+            # head and run the stream decode shared with the single engine.
+            progressed = False
+            for entry in fleet.serving():
+                while entry.queue:
+                    slot = entry.free_slot_index(now)
+                    if slot is None:
+                        break
+                    sample = entry.queue.pop(0)
+                    entry.metrics.queueing_delays_ms[sample.sequence_id] = \
+                        now - sample.arrival_ms
+                    before = len(entry.metrics.tokens)
+                    completion = entry.engine.decode_stream(
+                        sample, now, entry.policy, entry.metrics,
+                        speed=entry.profile.speed)
+                    released = entry.metrics.tokens[before:]
+                    entry.record_stream(len(released),
+                                        sum(1 for t in released if t.exited))
+                    entry.slots[slot] = completion
+                    entry.last_completion_ms = max(entry.last_completion_ms,
+                                                   completion)
+                    progressed = True
+
+            # Phase 4: drained replicas that have gone idle leave the fleet.
+            fleet.retire_idle(now)
+
+            if progressed:
+                # A dispatch may have freed queue pressure another phase cares
+                # about; re-evaluate at the same timestamp before advancing.
+                continue
+
+            # Advance the global clock to the earliest future event: the next
+            # arrival, a replica boot, or a decode slot freeing up.
+            wake_times: List[float] = list(boot_times)
+            if next_arrival < num_sequences:
+                wake_times.append(pending[next_arrival].arrival_ms)
+            for entry in fleet.serving():
+                wake_times.extend(t for t in entry.slots if t > now + 1e-9)
+            future = [t for t in wake_times if np.isfinite(t) and t > now + 1e-9]
+            if not future:
+                break   # nothing can happen anymore
+            now = min(future)
+
+        end = max((e.last_completion_ms for e in fleet.entries
+                   if np.isfinite(e.last_completion_ms)), default=start)
+        return self._collect(fleet, start, end)
+
+    def _collect(self, fleet: GenerativeFleetState, start_ms: float,
+                 end_ms: float) -> GenerativeClusterMetrics:
+        fleet.finalize(end_ms)
+        for entry in fleet.entries:
+            if entry.metrics.tokens:
+                entry.metrics.makespan_ms = max(
+                    entry.last_completion_ms - start_ms, 1e-9)
+        decoded_anything = any(entry.metrics.tokens for entry in fleet.entries)
+        makespan = max(end_ms - start_ms, 1e-9) if decoded_anything else 0.0
+        return GenerativeClusterMetrics(
+            replicas=[entry.metrics for entry in fleet.entries],
+            dispatch_counts=[entry.dispatched for entry in fleet.entries],
+            makespan_ms=makespan,
+            fleet_timeline=list(fleet.timeline),
+            replica_seconds=fleet.replica_seconds(end_ms),
+            replica_active_ms=fleet.active_replica_ms(end_ms),
+            replica_uptimes_ms=[entry.active_ms(end_ms)
+                                for entry in fleet.entries],
+        )

@@ -77,6 +77,11 @@ class GenerativeMetrics:
     sequence_accuracy: Dict[int, float] = field(default_factory=dict)
     queueing_delays_ms: Dict[int, float] = field(default_factory=dict)
     makespan_ms: float = 0.0
+    #: parallel-decoding bookkeeping: tokens whose tails were deferred, and
+    #: how many *forced* flushes ran those tails as standalone batches
+    #: (piggybacked tails on a non-exiting token's full step are not flushes).
+    deferred_tokens: int = 0
+    deferred_flushes: int = 0
 
     def tpt_values(self) -> np.ndarray:
         return np.array([t.tpt_ms for t in self.tokens], dtype=float)
@@ -92,6 +97,29 @@ class GenerativeMetrics:
 
     def p95_tpt(self) -> float:
         return self.tpt_summary()["p95"]
+
+    def p99_tpt(self) -> float:
+        return self.tpt_summary()["p99"]
+
+    def token_latency_values(self) -> np.ndarray:
+        """Per-token latency as a *served* stream experiences it.
+
+        Identical to the TPT cadence except that each sequence's first token
+        is measured from the sequence's arrival, so slot queueing counts
+        against it (time-to-first-token).  This is the fleet-level signal:
+        under load a cluster's tail is dominated by sequences waiting for a
+        decode slot, which the decode-only TPT distribution cannot see.
+        """
+        delays = self.queueing_delays_ms
+        return np.array([t.tpt_ms + delays.get(t.sequence_id, 0.0)
+                         if t.token_index == 0 else t.tpt_ms
+                         for t in self.tokens], dtype=float)
+
+    def token_latency_summary(self) -> Dict[str, float]:
+        return summarize_latencies(self.token_latency_values())
+
+    def p99_token_latency(self) -> float:
+        return self.token_latency_summary()["p99"]
 
     def mean_sequence_accuracy(self) -> float:
         if not self.sequence_accuracy:
@@ -119,11 +147,38 @@ class GenerativeMetrics:
             "tpt_p25_ms": tpt["p25"],
             "tpt_p50_ms": tpt["p50"],
             "tpt_p95_ms": tpt["p95"],
+            "tpt_p99_ms": tpt["p99"],
+            "token_p99_ms": self.p99_token_latency(),
             "sequence_accuracy": self.mean_sequence_accuracy(),
             "exit_rate": self.exit_rate(),
             "throughput_tokens_per_s": self.throughput_tokens_per_s(),
             "num_tokens": float(len(self.tokens)),
+            "deferred_tokens": float(self.deferred_tokens),
+            "deferred_flushes": float(self.deferred_flushes),
         }
+
+    # ----------------------------------------------------------------- merge
+    @classmethod
+    def merged(cls, parts: Sequence["GenerativeMetrics"],
+               makespan_ms: Optional[float] = None) -> "GenerativeMetrics":
+        """Combine several replicas' runs into one aggregate view.
+
+        Token records, per-sequence accuracies and queueing delays add up
+        (sequence ids are globally unique within one workload); the makespan
+        defaults to the longest part unless the caller supplies the fleet's
+        global wall-clock span.
+        """
+        out = cls()
+        for metrics in parts:
+            out.tokens.extend(metrics.tokens)
+            out.sequence_accuracy.update(metrics.sequence_accuracy)
+            out.queueing_delays_ms.update(metrics.queueing_delays_ms)
+            out.deferred_tokens += metrics.deferred_tokens
+            out.deferred_flushes += metrics.deferred_flushes
+            out.makespan_ms = max(out.makespan_ms, metrics.makespan_ms)
+        if makespan_ms is not None:
+            out.makespan_ms = makespan_ms
+        return out
 
 
 class ContinuousBatchingEngine:
@@ -158,7 +213,7 @@ class ContinuousBatchingEngine:
             slot = int(np.argmin(slot_free_ms))
             start = max(sample.arrival_ms, slot_free_ms[slot])
             metrics.queueing_delays_ms[sample.sequence_id] = start - sample.arrival_ms
-            completion = self._decode_stream(sample, start, policy, metrics)
+            completion = self.decode_stream(sample, start, policy, metrics)
             slot_free_ms[slot] = completion
             last_completion = max(last_completion, completion)
 
@@ -166,13 +221,20 @@ class ContinuousBatchingEngine:
         return metrics
 
     # --------------------------------------------------------------- streams
-    def _decode_stream(self, sample: SequenceSample, start_ms: float,
-                       policy: TokenExitPolicy, metrics: GenerativeMetrics) -> float:
-        """Decode one sequence as a stream; returns its completion time."""
+    def decode_stream(self, sample: SequenceSample, start_ms: float,
+                      policy: TokenExitPolicy, metrics: GenerativeMetrics,
+                      speed: float = 1.0) -> float:
+        """Decode one sequence as a stream; returns its completion time.
+
+        ``speed`` divides every step duration — a cluster replica with a 2×
+        :class:`~repro.serving.fleet.ReplicaProfile` genuinely releases
+        tokens twice as fast.  The single-replica ``run`` uses base speed.
+        """
         state = ParallelDecodingState(flush_limit=self.flush_limit)
         now = start_ms
         last_release = start_ms
         correct_tokens = 0
+        forced_flushes = 0
         # Feedback is grouped per parallel-decoding instance: the run of
         # consecutive exited tokens closed by the first non-exiting token.
         instance: List[TokenFeedback] = []
@@ -185,15 +247,17 @@ class ContinuousBatchingEngine:
 
             if decision.exited and decision.exit_depth is not None:
                 # Head-only step: release the token at the ramp, defer its tail.
-                release = now + self.timing.partial_step_ms(1, decision.exit_depth) \
-                    + ramp_overhead
+                release = now + (self.timing.partial_step_ms(1, decision.exit_depth)
+                                 + ramp_overhead) / speed
                 now = release
                 state.defer(decision.exit_depth)
                 if state.needs_flush():
                     # Forced flush: run the accumulated tails as one batch
                     # before the next token's step (keeps KV staleness bounded).
-                    now += self.timing.flush_step_ms(state.pending_depth, state.pending_tokens)
+                    now += self.timing.flush_step_ms(state.pending_depth,
+                                                     state.pending_tokens) / speed
                     state.flush()
+                    forced_flushes += 1
                 released_correct = decision.correct
             else:
                 # Full step, plus the deferred tails of previously exited
@@ -202,7 +266,7 @@ class ContinuousBatchingEngine:
                 step += self.timing.deferred_tail_ms(state.pending_depth,
                                                      state.pending_tokens, 1)
                 state.flush()
-                release = now + step
+                release = now + step / speed
                 now = release
                 released_correct = True
 
@@ -228,6 +292,8 @@ class ContinuousBatchingEngine:
 
         metrics.sequence_accuracy[sample.sequence_id] = \
             correct_tokens / max(sample.num_tokens, 1)
+        metrics.deferred_tokens += state.total_deferred
+        metrics.deferred_flushes += forced_flushes
         if instance:
             policy.feedback(truncate_feedback(instance))
         return now

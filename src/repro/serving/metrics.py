@@ -16,7 +16,28 @@ import numpy as np
 from repro.serving.request import Response
 from repro.utils.stats import summarize_latencies
 
-__all__ = ["ServingMetrics", "ClusterMetrics"]
+__all__ = ["ServingMetrics", "ClusterMetrics", "dispatch_imbalance_ratio"]
+
+
+def dispatch_imbalance_ratio(counts: Sequence[int],
+                             uptimes_ms: Sequence[float]) -> float:
+    """Max/mean ratio of per-replica dispatch *rates* (1.0 = perfectly even).
+
+    Rates are dispatches per provisioned millisecond, so a replica the
+    autoscaler added late is judged against its own uptime rather than the
+    whole run — a perfectly balanced elastic fleet reads 1.0.  Fixed fleets
+    (equal uptimes) reduce to the classic max/mean count ratio.  Shared by
+    the classification and generative cluster rollups.
+    """
+    if not counts or sum(counts) == 0:
+        return 1.0
+    if len(uptimes_ms) == len(counts) and sum(uptimes_ms) > 0:
+        rates = [count / uptime
+                 for count, uptime in zip(counts, uptimes_ms) if uptime > 0]
+        mean = sum(rates) / len(rates) if rates else 0.0
+        if mean > 0:
+            return max(rates) / mean
+    return max(counts) * len(counts) / sum(counts)
 
 
 @dataclass
@@ -234,24 +255,25 @@ class ClusterMetrics:
         return min(1.0, busy / provisioned)
 
     def dispatch_imbalance(self) -> float:
-        """Max/mean ratio of per-replica dispatch *rates* (1.0 = perfectly even).
+        """Max/mean per-replica dispatch-rate ratio (1.0 = perfectly even)."""
+        return dispatch_imbalance_ratio(self.dispatch_counts,
+                                        self.replica_uptimes_ms)
 
-        Rates are dispatches per provisioned millisecond, so a replica the
-        autoscaler added late is judged against its own uptime rather than
-        the whole run — a perfectly balanced elastic fleet reads 1.0.  Fixed
-        fleets (equal uptimes) reduce to the classic max/mean count ratio.
+    # --------------------------------------------------- fleet latency rollups
+    def latency_summary(self) -> Dict[str, float]:
+        """Fleet-wide latency percentiles over the merged response stream.
+
+        Safe for runs where zero requests complete (all-dropped or
+        drained-to-empty fleets): returns zeroed percentiles with
+        ``count == 0`` instead of raising.
         """
-        counts = self.dispatch_counts
-        if not counts or sum(counts) == 0:
-            return 1.0
-        uptimes = self.replica_uptimes_ms
-        if len(uptimes) == len(counts) and sum(uptimes) > 0:
-            rates = [count / uptime
-                     for count, uptime in zip(counts, uptimes) if uptime > 0]
-            mean = sum(rates) / len(rates) if rates else 0.0
-            if mean > 0:
-                return max(rates) / mean
-        return max(counts) * len(counts) / sum(counts)
+        return self.aggregate().latency_summary()
+
+    def median_latency(self) -> float:
+        return self.latency_summary()["p50"]
+
+    def p99_latency(self) -> float:
+        return self.latency_summary()["p99"]
 
     # -------------------------------------------------------------- summaries
     def per_replica_summaries(self) -> List[Dict[str, float]]:

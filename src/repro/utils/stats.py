@@ -30,6 +30,10 @@ def summarize_latencies(values: Sequence[float]) -> Dict[str, float]:
     95th/99th percentile, mean and count.
     """
     arr = np.asarray(list(values), dtype=float)
+    # Non-finite samples (e.g. sentinel NaNs from runs where nothing
+    # completed) would poison every percentile; drop them so an empty or
+    # degenerate run reports zeroed statistics instead of NaN/raising.
+    arr = arr[np.isfinite(arr)]
     if arr.size == 0:
         return {"p25": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "count": 0}
     return {

@@ -113,13 +113,33 @@ def test_system_overrides_reach_the_runner(small_video_workload):
     assert shim.summary() == result.summary
 
 
-def test_generative_cluster_is_rejected_not_ignored():
-    """A cluster spec on a generative model must error, not silently drop."""
+def test_generative_cluster_runs_every_generative_system():
+    """A cluster spec on a generative model dispatches to the generative
+    fleet control plane (the old 'not yet supported' rejection is gone)."""
     experiment = Experiment(model="t5-large",
-                            workload=WorkloadSpec("generative", requests=5),
+                            workload=WorkloadSpec("generative", requests=24),
                             cluster=ClusterSpec(replicas=4))
-    with pytest.raises(ValueError, match="not yet supported"):
-        experiment.run(["vanilla"])
+    assert experiment.kind == "generative_cluster"
+    report = experiment.run(["vanilla", "apparate", "free", "optimal"])
+    for system in ("vanilla", "apparate", "free", "optimal"):
+        summary = report.result(system).summary
+        assert summary["num_replicas"] == 4.0
+        assert summary["peak_replicas"] == 4.0
+        assert {"tpt_p50_ms", "token_p99_ms", "dispatch_imbalance"} <= set(summary)
+
+
+def test_remaining_unsupported_combinations_name_the_offenders():
+    """Kind-unsupported systems raise naming the system, kind and model."""
+    generative_cluster = Experiment(
+        model="t5-large", workload=WorkloadSpec("generative", requests=5),
+        cluster=ClusterSpec(replicas=2))
+    with pytest.raises(ValueError, match="static_ee.*generative_cluster.*t5-large"):
+        generative_cluster.run(["static_ee"])
+    with pytest.raises(ValueError, match="two_layer"):
+        generative_cluster.run(["two_layer"])
+    with pytest.raises(ValueError, match="free.*cluster.*resnet50"):
+        Experiment(model="resnet50", workload=WORKLOAD,
+                   cluster=ClusterSpec(replicas=2)).run(["free"])
 
 
 def test_optimal_runs_on_the_experiment_drop_policy():

@@ -5,8 +5,9 @@ import pytest
 import repro
 import repro.api as api
 from repro.api import (KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE,
-                       REGISTERED_SYSTEMS, canonical_system_name, get_system,
-                       list_systems, register_system, system_descriptions)
+                       KIND_GENERATIVE_CLUSTER, REGISTERED_SYSTEMS,
+                       canonical_system_name, get_system, list_systems,
+                       register_system, system_descriptions)
 
 
 def test_registry_matches_canonical_set():
@@ -27,6 +28,8 @@ def test_registry_completeness_vs_public_api():
         "run_apparate_cluster": ("apparate", KIND_CLUSTER),
         "run_generative_vanilla": ("vanilla", KIND_GENERATIVE),
         "run_generative_apparate": ("apparate", KIND_GENERATIVE),
+        "run_generative_vanilla_cluster": ("vanilla", KIND_GENERATIVE_CLUSTER),
+        "run_generative_apparate_cluster": ("apparate", KIND_GENERATIVE_CLUSTER),
         "run_free_generative": ("free", KIND_GENERATIVE),
         "run_optimal_classification": ("optimal", KIND_CLASSIFICATION),
         "run_optimal_generative": ("optimal", KIND_GENERATIVE),

@@ -235,9 +235,28 @@ def test_sweep_command_table_with_scalar_grid_values(capsys):
     assert out.count("vanilla") >= 2
 
 
-def test_sweep_command_rejects_generative_model():
-    with pytest.raises(SystemExit):
-        main(["sweep", "--model", "t5-large", "--replicas", "1,2"])
+def test_sweep_command_covers_generative_fleets(capsys):
+    """Generative models sweep replica counts on the fleet control plane."""
+    code = main(["sweep", "--model", "t5-large", "--replicas", "1,2",
+                 "--requests", "10", "--systems", "vanilla", "--seed", "4"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "generative:cnn-dailymail" in out
+    assert out.count("vanilla") >= 2   # one row per grid point
+
+
+def test_generate_command_runs_cluster_with_autoscaler(capsys):
+    code = main(["generate", "--model", "t5-large", "--dataset", "squad",
+                 "--sequences", "30", "--rate", "40", "--replicas", "2",
+                 "--balancer", "least_work_left", "--autoscaler", "reactive",
+                 "--min-replicas", "2", "--max-replicas", "4", "--seed", "2",
+                 "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert {r["kind"] for r in payload["results"]} == {"generative_cluster"}
+    for result in payload["results"]:
+        assert result["summary"]["peak_replicas"] >= 2.0
+        assert result["details"]["fleet_timeline"]
 
 
 def test_sweep_command_rejects_malformed_replica_list():

@@ -499,6 +499,25 @@ def test_cluster_spec_validates_fleet_fields():
         ClusterSpec(replicas=2, profiles="2.0")
 
 
+def test_cluster_spec_rejects_non_positive_profile_multipliers():
+    """Zero/negative/non-finite speed or cost multipliers must die at the
+    ClusterSpec boundary (naming the value), so the weighted balancers can
+    never divide by zero or invert priorities on a degenerate profile."""
+    from repro.api import ClusterSpec
+    with pytest.raises(ValueError, match="0"):
+        ClusterSpec(replicas=2, profiles="0,1")
+    with pytest.raises(ValueError, match="-2"):
+        ClusterSpec(replicas=2, profiles=[1.0, -2.0])
+    with pytest.raises(ValueError, match="-0.5"):
+        ClusterSpec(replicas=2, profiles="1:-0.5,1")
+    with pytest.raises(ValueError, match="inf"):
+        ClusterSpec(replicas=2, profiles=[float("inf"), 1.0])
+    with pytest.raises(ValueError, match="nan"):
+        ClusterSpec(replicas=2, profiles="nan,1")
+    with pytest.raises(ValueError):
+        ReplicaProfile(speed=1.0, cost_weight=float("nan"))
+
+
 def test_experiment_reports_fleet_timeline_and_replica_seconds():
     from repro.api import ClusterSpec, Experiment
     workload = VideoWorkload(

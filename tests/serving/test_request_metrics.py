@@ -189,6 +189,27 @@ class TestClusterMetrics:
         assert cluster.fleet_gpu_utilization() == 0.0
         assert cluster.dispatch_imbalance() == 1.0
 
+    def test_cluster_latency_summary_is_nan_safe_when_nothing_completes(self):
+        """All-dropped or drained-to-empty runs report zeroed percentiles and
+        count fields instead of raising or emitting NaN."""
+        import math
+        cluster = ClusterMetrics(replicas=[ServingMetrics(), ServingMetrics()],
+                                 dispatch_counts=[0, 0], makespan_ms=100.0)
+        summary = cluster.latency_summary()
+        assert summary == {"p25": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+                           "mean": 0.0, "count": 0}
+        assert cluster.p99_latency() == 0.0
+        assert cluster.median_latency() == 0.0
+        assert all(math.isfinite(v) for v in cluster.summary().values())
+
+    def test_latency_summary_filters_non_finite_samples(self):
+        from repro.utils.stats import summarize_latencies
+        summary = summarize_latencies([float("nan"), 10.0, float("inf"), 20.0])
+        assert summary["count"] == 2
+        assert summary["p50"] == pytest.approx(15.0)
+        all_bad = summarize_latencies([float("nan")])
+        assert all_bad["count"] == 0 and all_bad["p99"] == 0.0
+
     def test_merged_respects_explicit_makespan(self):
         a, b = ServingMetrics(), ServingMetrics()
         a.makespan_ms, b.makespan_ms = 50.0, 70.0
