@@ -120,6 +120,47 @@ def main() -> None:
     #   repro-apparate generate --replicas 4 --balancer least_work_left \
     #       --autoscaler reactive --max-replicas 8
 
+    # --- prefill/decode disaggregation ------------------------------------
+    # Production LLM fleets split the two generative phases onto separate
+    # pools: prefill (compute-bound prompt chunking) and decode (TPT-bound
+    # token streaming), connected by a KV-cache handoff.  disaggregate=True
+    # runs exactly that: a 2-replica prefill pool and a 4-replica decode
+    # pool on one global clock, each with its own balancer and its own
+    # autoscaler (prefill scales on queued prompt tokens, decode on
+    # outstanding decode work), with the KV-transfer time (bytes ~ prompt
+    # tokens x layer depth) charged before the first decode step.  The new
+    # TTFT metric (arrival -> first token, queueing + prefill + transfer
+    # inclusive) is what this buys: prompt surges no longer steal decode
+    # compute, so TTFT p99 drops while per-token p99 stays decode-bound.
+    disagg = Experiment(
+        model="t5-large",
+        workload=WorkloadSpec("generative", "cnn-dailymail",
+                              requests=250, rate=24.0,
+                              arrival_process="diurnal",
+                              overrides={"mean_prompt_tokens": 1024}),
+        cluster=ClusterSpec(replicas=4, disaggregate=True,
+                            prefill_replicas=2, decode_replicas=4,
+                            balancer="least_work_left",
+                            prefill_autoscaler="reactive",
+                            decode_autoscaler="reactive"),
+        ee=ExitPolicySpec(accuracy_constraint=0.01),
+        seed=0)
+    disagg_report = disagg.run(systems=["vanilla", "apparate"])
+    print("\ndisaggregated serving (2 prefill + 4 decode, diurnal prompts):")
+    print(disagg_report.format_table(
+        metrics=["ttft_p99_ms", "ttft_mean_ms", "token_p99_ms", "tpt_p50_ms",
+                 "sequence_accuracy"]))
+    da = disagg_report.result("apparate").summary
+    print(f"pools sized independently: prefill peak "
+          f"{da['prefill_peak_replicas']:.0f} "
+          f"({da['prefill_replica_seconds']:.1f} replica-seconds), "
+          f"decode peak {da['peak_replicas']:.0f}; "
+          f"KV transfer {da['transfer_ms_mean']:.2f}ms/seq")
+    # The CLI mirrors it, including TTFT-deadline shedding (--ttft-slo):
+    #   repro-apparate generate --disaggregate --prefill-replicas 2 \
+    #       --decode-replicas 4 --prefill-autoscaler reactive \
+    #       --decode-autoscaler reactive --ttft-slo 500
+
     # Everything is JSON-serializable for downstream tooling:
     # json.dumps(report.to_json()) / json.dumps(sweep.to_json()).
 

@@ -22,8 +22,9 @@ from repro.api.registry import (SystemRunner, canonical_system_name, get_system,
                                 list_systems, register_system,
                                 system_descriptions)
 from repro.api.result import (KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE,
-                              KIND_GENERATIVE_CLUSTER, RunReport, RunResult,
-                              SweepPoint, SweepReport, labels_for_kind)
+                              KIND_GENERATIVE_CLUSTER, KIND_GENERATIVE_DISAGG,
+                              RunReport, RunResult, SweepPoint, SweepReport,
+                              labels_for_kind)
 from repro.api.specs import (WORKLOAD_KINDS, ClusterSpec, ExitPolicySpec,
                              WorkloadSpec)
 
@@ -46,6 +47,7 @@ __all__ = [
     "KIND_CLUSTER",
     "KIND_GENERATIVE",
     "KIND_GENERATIVE_CLUSTER",
+    "KIND_GENERATIVE_DISAGG",
     "SystemRunner",
     "register_system",
     "get_system",

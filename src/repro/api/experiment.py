@@ -24,8 +24,8 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.api.registry import canonical_system_name, get_system
 from repro.api.result import (KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE,
-                              KIND_GENERATIVE_CLUSTER, RunReport, RunResult,
-                              SweepPoint, SweepReport)
+                              KIND_GENERATIVE_CLUSTER, KIND_GENERATIVE_DISAGG,
+                              RunReport, RunResult, SweepPoint, SweepReport)
 from repro.api.specs import ClusterSpec, ExitPolicySpec, WorkloadSpec
 from repro.models.zoo import ModelSpec, get_model
 
@@ -36,7 +36,13 @@ DEFAULT_SYSTEMS = ("vanilla", "apparate")
 
 #: Sweepable parameter names, grouped by the spec they modify.
 _CLUSTER_KEYS = ("replicas", "balancer", "fleet_mode", "sync_period",
-                 "autoscaler", "min_replicas", "max_replicas", "profiles")
+                 "autoscaler", "min_replicas", "max_replicas", "profiles",
+                 "prefill_in_slot",
+                 "disaggregate", "prefill_replicas", "decode_replicas",
+                 "prefill_balancer", "decode_balancer", "prefill_autoscaler",
+                 "decode_autoscaler", "prefill_min_replicas",
+                 "prefill_max_replicas", "decode_min_replicas",
+                 "decode_max_replicas", "prefill_profiles", "decode_profiles")
 _EE_KEYS = ("accuracy_constraint", "ramp_budget", "ramp_style",
             "initial_ramp_ids", "ramp_adjustment_enabled")
 _WORKLOAD_KEYS = ("requests", "rate", "source")
@@ -95,12 +101,22 @@ class Experiment:
 
     @property
     def kind(self) -> str:
-        """``classification``, ``cluster``, ``generative`` or
-        ``generative_cluster``."""
+        """``classification``, ``cluster``, ``generative``,
+        ``generative_cluster`` or ``generative_disagg``."""
         if self.is_generative:
-            return KIND_GENERATIVE_CLUSTER if self.cluster is not None \
-                else KIND_GENERATIVE
+            if self.cluster is None:
+                return KIND_GENERATIVE
+            return KIND_GENERATIVE_DISAGG if self.cluster.disaggregate \
+                else KIND_GENERATIVE_CLUSTER
         if self.cluster is not None:
+            if self.cluster.disaggregate:
+                raise ValueError(
+                    f"disaggregate=True requires a generative model; "
+                    f"{self.spec.name!r} is not generative")
+            if self.cluster.prefill_in_slot:
+                raise ValueError(
+                    f"prefill_in_slot=True requires a generative model; "
+                    f"{self.spec.name!r} is not generative")
             return KIND_CLUSTER
         return KIND_CLASSIFICATION
 
@@ -198,7 +214,9 @@ class Experiment:
         """Run a full parameter grid, one ``RunReport`` per grid point.
 
         Grid keys may target the cluster spec (``replicas``, ``balancer``,
-        ``fleet_mode``, ``sync_period``), the exit policy
+        ``fleet_mode``, ``sync_period``, ``disaggregate`` and the
+        ``prefill_*``/``decode_*`` pool knobs — sweeping a pool knob implies
+        ``disaggregate=True``), the exit policy
         (``accuracy_constraint``, ``ramp_budget``, …), the workload spec
         (``requests``, ``rate``, ``source`` — requires a
         :class:`WorkloadSpec` workload) or the experiment itself
@@ -250,6 +268,14 @@ class Experiment:
         replacements: Dict[str, Any] = dict(top)
         if cluster_updates:
             base = self.cluster if self.cluster is not None else ClusterSpec(replicas=1)
+            # Sweeping a pool knob implies disaggregated serving; without
+            # this, pool axes on a monolithic base spec would be rejected by
+            # ClusterSpec as dead configuration.
+            if any(key in ClusterSpec.POOL_KEYS for key in cluster_updates):
+                cluster_updates.setdefault("disaggregate", True)
+            # Unknown cluster keys never reach this replace: sweep() rejects
+            # any key outside _SWEEP_KEYS up front, with a ValueError naming
+            # the key.
             replacements["cluster"] = dataclasses.replace(base, **cluster_updates)
         if ee_updates:
             replacements["ee"] = dataclasses.replace(self.ee, **ee_updates)

@@ -14,13 +14,14 @@ from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.api.result import (KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE,
-                              KIND_GENERATIVE_CLUSTER, RunResult)
+                              KIND_GENERATIVE_CLUSTER, KIND_GENERATIVE_DISAGG,
+                              RunResult)
 
 __all__ = ["SystemRunner", "register_system", "get_system", "list_systems",
            "canonical_system_name", "system_descriptions"]
 
 _ALL_KINDS = (KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE,
-              KIND_GENERATIVE_CLUSTER)
+              KIND_GENERATIVE_CLUSTER, KIND_GENERATIVE_DISAGG)
 
 
 @dataclass(frozen=True)

@@ -13,14 +13,15 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 __all__ = ["KIND_CLASSIFICATION", "KIND_CLUSTER", "KIND_GENERATIVE",
-           "KIND_GENERATIVE_CLUSTER", "RunResult", "RunReport", "SweepPoint",
-           "SweepReport", "METRIC_LABELS", "SYSTEM_DISPLAY_NAMES",
-           "labels_for_kind"]
+           "KIND_GENERATIVE_CLUSTER", "KIND_GENERATIVE_DISAGG", "RunResult",
+           "RunReport", "SweepPoint", "SweepReport", "METRIC_LABELS",
+           "SYSTEM_DISPLAY_NAMES", "labels_for_kind"]
 
 KIND_CLASSIFICATION = "classification"
 KIND_CLUSTER = "cluster"
 KIND_GENERATIVE = "generative"
 KIND_GENERATIVE_CLUSTER = "generative_cluster"
+KIND_GENERATIVE_DISAGG = "generative_disagg"
 
 #: Human-readable labels for the shared metric vocabulary.
 METRIC_LABELS = {
@@ -41,11 +42,19 @@ METRIC_LABELS = {
     "tpt_p95_ms": "TPT p95",
     "tpt_p99_ms": "TPT p99",
     "token_p99_ms": "per-token p99",
+    "ttft_mean_ms": "TTFT mean",
+    "ttft_p99_ms": "TTFT p99",
     "sequence_accuracy": "seq accuracy",
     "throughput_tokens_per_s": "tokens/s",
     "deferred_flushes": "deferred flushes",
+    "shed": "shed",
+    "shed_rate": "shed rate",
     "peak_replicas": "peak replicas",
     "replica_seconds": "replica-seconds",
+    "prefill_peak_replicas": "prefill peak replicas",
+    "prefill_replica_seconds": "prefill replica-seconds",
+    "prefill_delay_mean_ms": "prefill delay mean",
+    "transfer_ms_mean": "KV transfer mean",
 }
 
 #: Pretty column titles for registered systems.
@@ -65,12 +74,17 @@ _DISPLAY_METRICS = {
                           "accuracy", "exit_rate", "drop_rate"),
     KIND_CLUSTER: ("p50_ms", "p95_ms", "p99_ms", "throughput_qps", "accuracy",
                    "drop_rate", "dispatch_imbalance", "exit_rate"),
-    KIND_GENERATIVE: ("tpt_p25_ms", "tpt_p50_ms", "tpt_p95_ms", "sequence_accuracy",
-                      "exit_rate", "throughput_tokens_per_s"),
+    KIND_GENERATIVE: ("tpt_p25_ms", "tpt_p50_ms", "tpt_p95_ms", "ttft_p99_ms",
+                      "sequence_accuracy", "exit_rate",
+                      "throughput_tokens_per_s"),
     KIND_GENERATIVE_CLUSTER: ("tpt_p50_ms", "tpt_p95_ms", "token_p99_ms",
-                              "sequence_accuracy", "exit_rate",
+                              "ttft_p99_ms", "sequence_accuracy", "exit_rate",
                               "throughput_tokens_per_s", "dispatch_imbalance",
                               "peak_replicas"),
+    KIND_GENERATIVE_DISAGG: ("ttft_p99_ms", "ttft_mean_ms", "tpt_p50_ms",
+                             "token_p99_ms", "sequence_accuracy", "exit_rate",
+                             "throughput_tokens_per_s", "peak_replicas",
+                             "prefill_peak_replicas"),
 }
 
 
@@ -79,7 +93,7 @@ def labels_for_kind(kind: str) -> Dict[str, str]:
     labels = dict(METRIC_LABELS)
     if kind == KIND_CLUSTER:
         labels["throughput_qps"] = "fleet throughput"
-    if kind == KIND_GENERATIVE_CLUSTER:
+    if kind in (KIND_GENERATIVE_CLUSTER, KIND_GENERATIVE_DISAGG):
         labels["throughput_tokens_per_s"] = "fleet tokens/s"
     return labels
 

@@ -54,7 +54,11 @@ class WorkloadSpec:
     seed:
         Workload seed; ``None`` inherits the experiment seed.
     arrival_process:
-        NLP only: ``"maf"`` (bursty) or ``"poisson"``.
+        ``None`` selects the kind's default process.  NLP: ``"maf"``
+        (bursty, the default) or ``"poisson"``.  Generative: ``"poisson"``
+        (the default) or ``"diurnal"`` (day/night rate cycle for autoscaling
+        and pool-sizing studies).  An explicit process the kind's workload
+        factory does not know raises :class:`ValueError`.
     overrides:
         Optional preset-parameter overrides forwarded to the workload factory.
     """
@@ -64,7 +68,7 @@ class WorkloadSpec:
     requests: int = 4000
     rate: Optional[float] = None
     seed: Optional[int] = None
-    arrival_process: str = "maf"
+    arrival_process: Optional[str] = None
     overrides: Optional[Dict[str, float]] = None
 
     def __post_init__(self) -> None:
@@ -108,10 +112,15 @@ class WorkloadSpec:
                                        seed=seed, preset_overrides=self.overrides)
         if self.kind == "nlp":
             return make_nlp_workload(source, num_requests=self.requests, rate_qps=rate,
-                                     seed=seed, arrival_process=self.arrival_process,
+                                     seed=seed,
+                                     arrival_process=self.arrival_process or "maf",
                                      preset_overrides=self.overrides)
+        # An explicitly named process the generative factory does not know
+        # (e.g. the NLP-only "maf") raises ValueError there.
         return make_generative_workload(source, num_sequences=self.requests,
                                         rate_qps=rate, seed=seed,
+                                        arrival_process=self.arrival_process
+                                        or "poisson",
                                         preset_overrides=self.overrides)
 
     def describe(self) -> Dict[str, object]:
@@ -144,6 +153,18 @@ class ClusterSpec:
     (token-level engines on the fleet control plane; ``fleet_mode="shared"``
     feeds every replica's token feedback into one fleet-wide policy and
     ``sync_period`` is ignored there — the shared policy is always in sync).
+
+    ``disaggregate=True`` (generative models only) splits the fleet into a
+    prefill pool and a decode pool connected by a KV-transfer handoff queue
+    (:class:`~repro.serving.disagg.DisaggregatedPlatform`).  The
+    ``prefill_*`` / ``decode_*`` knobs then size, balance, autoscale and
+    profile each pool independently; unset pool knobs inherit the fleet-wide
+    value (``prefill_replicas``/``decode_replicas`` default to ``replicas``,
+    pool balancers default to ``balancer``, pool autoscalers to
+    ``autoscaler``).  Pool knobs on a non-disaggregated spec raise
+    :class:`ValueError` — they would be silently dead configuration — and so
+    do the fleet-wide ``min_replicas``/``max_replicas``/``profiles`` on a
+    disaggregated one (bounds and profiles are strictly per-pool).
     """
 
     replicas: int = 2
@@ -154,6 +175,31 @@ class ClusterSpec:
     min_replicas: Optional[int] = None
     max_replicas: Optional[int] = None
     profiles: Optional[Union[str, Sequence[Union[ReplicaProfile, float, str]]]] = None
+    #: Monolithic generative fleets only: decode slots also run each prompt's
+    #: chunked prefill, stretched by contention with in-flight streams — the
+    #: deployment disaggregation removes (the honest comparator for it).
+    prefill_in_slot: bool = False
+    disaggregate: bool = False
+    prefill_replicas: Optional[int] = None
+    decode_replicas: Optional[int] = None
+    prefill_balancer: Optional[Union[str, LoadBalancer]] = None
+    decode_balancer: Optional[Union[str, LoadBalancer]] = None
+    prefill_autoscaler: Optional[Union[str, Autoscaler]] = None
+    decode_autoscaler: Optional[Union[str, Autoscaler]] = None
+    prefill_min_replicas: Optional[int] = None
+    prefill_max_replicas: Optional[int] = None
+    decode_min_replicas: Optional[int] = None
+    decode_max_replicas: Optional[int] = None
+    prefill_profiles: Optional[Union[str, Sequence[Union[ReplicaProfile, float, str]]]] = None
+    decode_profiles: Optional[Union[str, Sequence[Union[ReplicaProfile, float, str]]]] = None
+
+    #: every pool-scoped field; set on a non-disaggregated spec they would be
+    #: dead configuration, so construction rejects that combination.
+    POOL_KEYS = ("prefill_replicas", "decode_replicas", "prefill_balancer",
+                 "decode_balancer", "prefill_autoscaler", "decode_autoscaler",
+                 "prefill_min_replicas", "prefill_max_replicas",
+                 "decode_min_replicas", "decode_max_replicas",
+                 "prefill_profiles", "decode_profiles")
 
     def __post_init__(self) -> None:
         if int(self.replicas) < 1:
@@ -168,13 +214,9 @@ class ClusterSpec:
             object.__setattr__(self, "autoscaler", "none")
         canonical_autoscaler_name(self.autoscaler)   # raises on unknown names
         if self.profiles is not None:
-            profiles = ReplicaProfile.parse_list(self.profiles) \
-                if isinstance(self.profiles, str) \
-                else tuple(ReplicaProfile.coerce(p) for p in self.profiles)
-            if len(profiles) != int(self.replicas):
-                raise ValueError(f"got {len(profiles)} replica profiles for "
-                                 f"{self.replicas} replicas")
-            object.__setattr__(self, "profiles", profiles)
+            object.__setattr__(self, "profiles",
+                               self._coerce_profiles("profiles", self.profiles,
+                                                     int(self.replicas)))
         if self.min_replicas is not None \
                 and not 1 <= int(self.min_replicas) <= int(self.replicas):
             raise ValueError(f"min_replicas must be in [1, replicas="
@@ -182,6 +224,69 @@ class ClusterSpec:
         if self.max_replicas is not None and int(self.max_replicas) < int(self.replicas):
             raise ValueError(f"max_replicas must be >= replicas="
                              f"{self.replicas}, got {self.max_replicas}")
+        self._validate_pools()
+
+    @staticmethod
+    def _coerce_profiles(name: str, value, count: int):
+        profiles = ReplicaProfile.parse_list(value) if isinstance(value, str) \
+            else tuple(ReplicaProfile.coerce(p) for p in value)
+        if len(profiles) != count:
+            raise ValueError(f"got {len(profiles)} {name} for {count} replicas")
+        return profiles
+
+    def _validate_pools(self) -> None:
+        if not self.disaggregate:
+            dead = [key for key in self.POOL_KEYS
+                    if getattr(self, key) is not None]
+            if dead:
+                raise ValueError(f"cluster key(s) {dead} only apply to "
+                                 "disaggregated serving; set disaggregate=True")
+            return
+        # The converse dead-configuration class: fleet-wide sizing knobs have
+        # no meaning once the fleet is split into pools (replicas/balancer/
+        # autoscaler survive as pool *defaults*, but bounds and profiles are
+        # strictly per-pool).
+        dead = [key for key in ("min_replicas", "max_replicas", "profiles")
+                if getattr(self, key) is not None]
+        if dead:
+            raise ValueError(f"cluster key(s) {dead} do not apply to "
+                             "disaggregated serving; use the prefill_*/"
+                             "decode_* pool equivalents")
+        if self.prefill_in_slot:
+            raise ValueError("prefill_in_slot is the monolithic deployment "
+                             "(prefill running in decode slots); it cannot "
+                             "be combined with disaggregate=True")
+        for name in ("prefill_replicas", "decode_replicas"):
+            value = getattr(self, name)
+            if value is not None and int(value) < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+        for name in ("prefill_balancer", "decode_balancer"):
+            value = getattr(self, name)
+            if value is not None:
+                canonical_balancer_name(value)
+        for name in ("prefill_autoscaler", "decode_autoscaler"):
+            value = getattr(self, name)
+            if value is not None:
+                canonical_autoscaler_name(value)
+        for name, pool in (("prefill_profiles", self.resolved_prefill_replicas()),
+                           ("decode_profiles", self.resolved_decode_replicas())):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(self, name,
+                                   self._coerce_profiles(name, value, pool))
+        for low_name, high_name, pool_name in (
+                ("prefill_min_replicas", "prefill_max_replicas", "prefill"),
+                ("decode_min_replicas", "decode_max_replicas", "decode")):
+            pool = self.resolved_prefill_replicas() if pool_name == "prefill" \
+                else self.resolved_decode_replicas()
+            low = getattr(self, low_name)
+            high = getattr(self, high_name)
+            if low is not None and not 1 <= int(low) <= pool:
+                raise ValueError(f"{low_name} must be in [1, {pool_name} "
+                                 f"pool={pool}], got {low}")
+            if high is not None and int(high) < pool:
+                raise ValueError(f"{high_name} must be >= the {pool_name} "
+                                 f"pool size ({pool}), got {high}")
 
     def balancer_name(self) -> str:
         return canonical_balancer_name(self.balancer)
@@ -202,18 +307,98 @@ class ClusterSpec:
         return int(self.replicas) if self.autoscaler_name() == "none" \
             else 2 * int(self.replicas)
 
+    # ------------------------------------------------------ disaggregated pools
+    def resolved_prefill_replicas(self) -> int:
+        """Initial prefill pool size (defaults to the fleet-wide count)."""
+        return int(self.prefill_replicas) if self.prefill_replicas is not None \
+            else int(self.replicas)
+
+    def resolved_decode_replicas(self) -> int:
+        """Initial decode pool size (defaults to the fleet-wide count)."""
+        return int(self.decode_replicas) if self.decode_replicas is not None \
+            else int(self.replicas)
+
+    def prefill_balancer_name(self) -> str:
+        return canonical_balancer_name(self.prefill_balancer
+                                       if self.prefill_balancer is not None
+                                       else self.balancer)
+
+    def decode_balancer_name(self) -> str:
+        return canonical_balancer_name(self.decode_balancer
+                                       if self.decode_balancer is not None
+                                       else self.balancer)
+
+    def prefill_autoscaler_name(self) -> str:
+        return canonical_autoscaler_name(self.prefill_autoscaler
+                                         if self.prefill_autoscaler is not None
+                                         else self.autoscaler)
+
+    def decode_autoscaler_name(self) -> str:
+        return canonical_autoscaler_name(self.decode_autoscaler
+                                         if self.decode_autoscaler is not None
+                                         else self.autoscaler)
+
+    def _pool_band(self, pool: int, scaler: str, lower: Optional[int],
+                   upper: Optional[int]) -> Tuple[int, int]:
+        low = int(lower) if lower is not None \
+            else (pool if scaler == "none" else 1)
+        high = int(upper) if upper is not None \
+            else (pool if scaler == "none" else 2 * pool)
+        return low, high
+
+    def resolved_prefill_band(self) -> Tuple[int, int]:
+        """(min, max) prefill pool bounds under the prefill autoscaler."""
+        return self._pool_band(self.resolved_prefill_replicas(),
+                               self.prefill_autoscaler_name(),
+                               self.prefill_min_replicas,
+                               self.prefill_max_replicas)
+
+    def resolved_decode_band(self) -> Tuple[int, int]:
+        """(min, max) decode pool bounds under the decode autoscaler."""
+        return self._pool_band(self.resolved_decode_replicas(),
+                               self.decode_autoscaler_name(),
+                               self.decode_min_replicas,
+                               self.decode_max_replicas)
+
     def describe(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "replicas": int(self.replicas),
             "balancer": self.balancer_name(),
             "fleet_mode": self.fleet_mode,
             "sync_period": int(self.sync_period),
             "autoscaler": self.autoscaler_name(),
-            "min_replicas": self.resolved_min_replicas(),
-            "max_replicas": self.resolved_max_replicas(),
-            "profiles": None if self.profiles is None
-            else [p.describe() for p in self.profiles],
+            "disaggregate": bool(self.disaggregate),
         }
+        if not self.disaggregate:
+            # Fleet-wide bounds/profiles are rejected on disaggregated specs
+            # (per-pool only), so they are reported only for monolithic ones.
+            data.update({
+                "min_replicas": self.resolved_min_replicas(),
+                "max_replicas": self.resolved_max_replicas(),
+                "profiles": None if self.profiles is None
+                else [p.describe() for p in self.profiles],
+                "prefill_in_slot": bool(self.prefill_in_slot),
+            })
+        if self.disaggregate:
+            prefill_band = self.resolved_prefill_band()
+            decode_band = self.resolved_decode_band()
+            data.update({
+                "prefill_replicas": self.resolved_prefill_replicas(),
+                "decode_replicas": self.resolved_decode_replicas(),
+                "prefill_balancer": self.prefill_balancer_name(),
+                "decode_balancer": self.decode_balancer_name(),
+                "prefill_autoscaler": self.prefill_autoscaler_name(),
+                "decode_autoscaler": self.decode_autoscaler_name(),
+                "prefill_min_replicas": prefill_band[0],
+                "prefill_max_replicas": prefill_band[1],
+                "decode_min_replicas": decode_band[0],
+                "decode_max_replicas": decode_band[1],
+                "prefill_profiles": None if self.prefill_profiles is None
+                else [p.describe() for p in self.prefill_profiles],
+                "decode_profiles": None if self.decode_profiles is None
+                else [p.describe() for p in self.decode_profiles],
+            })
+        return data
 
 
 @dataclass(frozen=True)

@@ -16,17 +16,22 @@ import numpy as np
 
 from repro.api.registry import register_system
 from repro.api.result import (KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE,
-                              KIND_GENERATIVE_CLUSTER, RunResult)
+                              KIND_GENERATIVE_CLUSTER, KIND_GENERATIVE_DISAGG,
+                              RunResult)
 from repro.baselines.free import (_free_generative_cluster_impl,
+                                  _free_generative_disagg_impl,
                                   _free_generative_impl)
 from repro.baselines.oracle import (_optimal_classification_impl,
                                     _optimal_generative_cluster_impl,
+                                    _optimal_generative_disagg_impl,
                                     _optimal_generative_impl)
 from repro.baselines.static_ee import StaticEEVariant, _static_ee_impl
 from repro.baselines.two_layer import _two_layer_impl
 from repro.core.generative import (_generative_apparate_cluster_impl,
+                                   _generative_apparate_disagg_impl,
                                    _generative_apparate_impl,
                                    _generative_vanilla_cluster_impl,
+                                   _generative_vanilla_disagg_impl,
                                    _generative_vanilla_impl)
 from repro.core.pipeline import (_apparate_cluster_impl, _apparate_impl,
                                  _vanilla_cluster_impl, _vanilla_impl)
@@ -90,7 +95,53 @@ def _generative_cluster_kwargs(experiment) -> Dict[str, Any]:
         "min_replicas": cluster.resolved_min_replicas(),
         "max_replicas": cluster.resolved_max_replicas(),
         "profiles": cluster.profiles,
+        "prefill_in_slot": cluster.prefill_in_slot,
+        "ttft_slo_ms": experiment.slo_ms,
     }
+
+
+def _disagg_kwargs(experiment) -> Dict[str, Any]:
+    """Per-pool ClusterSpec knobs threaded into every disaggregated system."""
+    cluster = experiment.cluster
+    prefill_min, prefill_max = cluster.resolved_prefill_band()
+    decode_min, decode_max = cluster.resolved_decode_band()
+    return {
+        "prefill_replicas": cluster.resolved_prefill_replicas(),
+        "decode_replicas": cluster.resolved_decode_replicas(),
+        # Raw values (not canonical names) so balancer/autoscaler *instances*
+        # reach the platform with their configuration intact.
+        "prefill_balancer": cluster.prefill_balancer
+        if cluster.prefill_balancer is not None else cluster.balancer,
+        "decode_balancer": cluster.decode_balancer
+        if cluster.decode_balancer is not None else cluster.balancer,
+        "max_batch_size": experiment.batch_size(_GENERATIVE_BATCH),
+        "seed": experiment.seed,
+        "prefill_autoscaler": cluster.prefill_autoscaler
+        if cluster.prefill_autoscaler is not None else cluster.autoscaler,
+        "decode_autoscaler": cluster.decode_autoscaler
+        if cluster.decode_autoscaler is not None else cluster.autoscaler,
+        "prefill_min_replicas": prefill_min,
+        "prefill_max_replicas": prefill_max,
+        "decode_min_replicas": decode_min,
+        "decode_max_replicas": decode_max,
+        "prefill_profiles": cluster.prefill_profiles,
+        "decode_profiles": cluster.decode_profiles,
+        "ttft_slo_ms": experiment.slo_ms,
+    }
+
+
+def _disagg_details(metrics) -> Dict[str, Any]:
+    """Fleet extras of a disaggregated run: both pools' dispatch counts,
+    fleet-size timelines and replica-seconds."""
+    details = _fleet_details(metrics)
+    details.update({
+        "prefill_dispatch_counts": list(metrics.prefill_dispatch_counts),
+        "prefill_token_counts": list(metrics.prefill_token_counts),
+        "prefill_fleet_timeline": [[float(t), int(n)]
+                                   for t, n in metrics.prefill_fleet_timeline],
+        "prefill_replica_seconds": float(metrics.prefill_replica_seconds),
+    })
+    return details
 
 
 # ---------------------------------------------------------------------------
@@ -100,10 +151,17 @@ def _generative_cluster_kwargs(experiment) -> Dict[str, Any]:
 @register_system(
     "vanilla",
     kinds=(KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE,
-           KIND_GENERATIVE_CLUSTER),
+           KIND_GENERATIVE_CLUSTER, KIND_GENERATIVE_DISAGG),
     description="the original model with no early exits (the paper's baseline)",
     aliases=("baseline",))
 def _vanilla_system(experiment, **kw) -> RunResult:
+    if experiment.kind == KIND_GENERATIVE_DISAGG:
+        metrics = _generative_vanilla_disagg_impl(
+            experiment.spec, experiment.workload_obj(),
+            **_disagg_kwargs(experiment), **kw)
+        return _result(experiment, "vanilla", KIND_GENERATIVE_DISAGG,
+                       metrics.summary(), raw=metrics,
+                       details=_disagg_details(metrics))
     if experiment.kind == KIND_GENERATIVE_CLUSTER:
         metrics = _generative_vanilla_cluster_impl(
             experiment.spec, experiment.workload_obj(),
@@ -115,7 +173,7 @@ def _vanilla_system(experiment, **kw) -> RunResult:
         metrics = _generative_vanilla_impl(
             experiment.spec, experiment.workload_obj(),
             max_batch_size=experiment.batch_size(_GENERATIVE_BATCH),
-            seed=experiment.seed, **kw)
+            seed=experiment.seed, ttft_slo_ms=experiment.slo_ms, **kw)
         return _result(experiment, "vanilla", KIND_GENERATIVE, metrics.summary(),
                        raw=metrics)
     if experiment.kind == KIND_CLUSTER:
@@ -135,10 +193,24 @@ def _vanilla_system(experiment, **kw) -> RunResult:
 @register_system(
     "apparate",
     kinds=(KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE,
-           KIND_GENERATIVE_CLUSTER),
+           KIND_GENERATIVE_CLUSTER, KIND_GENERATIVE_DISAGG),
     description="Apparate: adaptive early exits managed at runtime (the system)")
 def _apparate_system(experiment, **kw) -> RunResult:
     ee = experiment.ee
+    if experiment.kind == KIND_GENERATIVE_DISAGG:
+        cluster = experiment.cluster
+        outcome = _generative_apparate_disagg_impl(
+            experiment.spec, experiment.workload_obj(),
+            fleet_mode=cluster.fleet_mode,
+            accuracy_constraint=ee.accuracy_constraint,
+            **_disagg_kwargs(experiment), **kw)
+        summary = outcome.summary()
+        details = _disagg_details(outcome.metrics)
+        details["fleet_mode"] = cluster.fleet_mode
+        details["ramp_depth"] = summary.get("ramp_depth", 0.0)
+        details["threshold"] = summary.get("threshold", 0.0)
+        return _result(experiment, "apparate", KIND_GENERATIVE_DISAGG,
+                       summary, raw=outcome, details=details)
     if experiment.kind == KIND_GENERATIVE_CLUSTER:
         cluster = experiment.cluster
         outcome = _generative_apparate_cluster_impl(
@@ -158,7 +230,7 @@ def _apparate_system(experiment, **kw) -> RunResult:
             experiment.spec, experiment.workload_obj(),
             accuracy_constraint=ee.accuracy_constraint,
             max_batch_size=experiment.batch_size(_GENERATIVE_BATCH),
-            seed=experiment.seed, **kw)
+            seed=experiment.seed, ttft_slo_ms=experiment.slo_ms, **kw)
         return _result(experiment, "apparate", KIND_GENERATIVE, outcome.summary(),
                        raw=outcome,
                        details={"ramp_depth": outcome.policy.ramp_depth,
@@ -234,9 +306,17 @@ def _two_layer_system(experiment, **kw) -> RunResult:
 
 @register_system(
     "free",
-    kinds=(KIND_GENERATIVE, KIND_GENERATIVE_CLUSTER),
+    kinds=(KIND_GENERATIVE, KIND_GENERATIVE_CLUSTER, KIND_GENERATIVE_DISAGG),
     description="FREE (Bae et al.): one fixed generative ramp, no runtime adaptation")
 def _free_system(experiment, **kw) -> RunResult:
+    if experiment.kind == KIND_GENERATIVE_DISAGG:
+        metrics = _free_generative_disagg_impl(
+            experiment.spec, experiment.workload_obj(),
+            accuracy_constraint=experiment.ee.accuracy_constraint,
+            **_disagg_kwargs(experiment), **kw)
+        return _result(experiment, "free", KIND_GENERATIVE_DISAGG,
+                       metrics.summary(), raw=metrics,
+                       details=_disagg_details(metrics))
     if experiment.kind == KIND_GENERATIVE_CLUSTER:
         metrics = _free_generative_cluster_impl(
             experiment.spec, experiment.workload_obj(),
@@ -249,17 +329,25 @@ def _free_system(experiment, **kw) -> RunResult:
         experiment.spec, experiment.workload_obj(),
         accuracy_constraint=experiment.ee.accuracy_constraint,
         max_batch_size=experiment.batch_size(_GENERATIVE_BATCH),
-        seed=experiment.seed, **kw)
+        seed=experiment.seed, ttft_slo_ms=experiment.slo_ms, **kw)
     return _result(experiment, "free", KIND_GENERATIVE, metrics.summary(),
                    raw=metrics)
 
 
 @register_system(
     "optimal",
-    kinds=(KIND_CLASSIFICATION, KIND_GENERATIVE, KIND_GENERATIVE_CLUSTER),
+    kinds=(KIND_CLASSIFICATION, KIND_GENERATIVE, KIND_GENERATIVE_CLUSTER,
+           KIND_GENERATIVE_DISAGG),
     description="optimal oracle: every input exits at its earliest correct ramp",
     aliases=("oracle",))
 def _optimal_system(experiment, **kw) -> RunResult:
+    if experiment.kind == KIND_GENERATIVE_DISAGG:
+        metrics = _optimal_generative_disagg_impl(
+            experiment.spec, experiment.workload_obj(),
+            **_disagg_kwargs(experiment), **kw)
+        return _result(experiment, "optimal", KIND_GENERATIVE_DISAGG,
+                       metrics.summary(), raw=metrics,
+                       details=_disagg_details(metrics))
     if experiment.kind == KIND_GENERATIVE_CLUSTER:
         metrics = _optimal_generative_cluster_impl(
             experiment.spec, experiment.workload_obj(),
@@ -271,7 +359,7 @@ def _optimal_system(experiment, **kw) -> RunResult:
         metrics = _optimal_generative_impl(
             experiment.spec, experiment.workload_obj(),
             max_batch_size=experiment.batch_size(_GENERATIVE_BATCH),
-            seed=experiment.seed, **kw)
+            seed=experiment.seed, ttft_slo_ms=experiment.slo_ms, **kw)
         return _result(experiment, "optimal", KIND_GENERATIVE, metrics.summary(),
                        raw=metrics)
     latencies = _optimal_classification_impl(

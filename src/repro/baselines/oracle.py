@@ -113,14 +113,21 @@ class OracleTokenPolicy:
         return None
 
 
-def _optimal_generative_impl(model: Union[str, ModelSpec], workload: GenerativeWorkload,
-                             max_batch_size: int = 8, seed: int = 0) -> GenerativeMetrics:
-    spec = get_model(model) if isinstance(model, str) else model
+def _oracle_token_policy(spec: ModelSpec, seed: int) -> "OracleTokenPolicy":
     prediction = PredictionModel(spec, seed=seed)
     _spec, _profile, _prediction, catalog, _executor = model_stack(spec, seed=seed)
-    policy = OracleTokenPolicy(prediction, [r.depth_fraction for r in catalog.ramps])
+    return OracleTokenPolicy(prediction, [r.depth_fraction for r in catalog.ramps])
+
+
+def _optimal_generative_impl(model: Union[str, ModelSpec], workload: GenerativeWorkload,
+                             max_batch_size: int = 8, seed: int = 0,
+                             ttft_slo_ms: Optional[float] = None) -> GenerativeMetrics:
+    from repro.core.generative import _normalize_ttft_slo
+    spec = get_model(model) if isinstance(model, str) else model
+    policy = _oracle_token_policy(spec, seed)
     timing = DecodeTimingModel(spec, ramp_overhead_fraction=0.0)
-    engine = ContinuousBatchingEngine(timing, max_batch_size=max_batch_size)
+    engine = ContinuousBatchingEngine(timing, max_batch_size=max_batch_size,
+                                      ttft_slo_ms=_normalize_ttft_slo(ttft_slo_ms))
     return engine.run(workload, policy)
 
 
@@ -129,21 +136,38 @@ def _optimal_generative_cluster_impl(model: Union[str, ModelSpec],
                                      replicas: int = 2, balancer="round_robin",
                                      max_batch_size: int = 8, seed: int = 0,
                                      autoscaler="none", min_replicas=None,
-                                     max_replicas=None, profiles=None):
+                                     max_replicas=None, profiles=None,
+                                     prefill_in_slot: bool = False,
+                                     ttft_slo_ms: Optional[float] = None):
     """The generative oracle at fleet scale: every token on every replica
     exits at its earliest correct ramp with zero overhead."""
     from repro.core.generative import build_generative_cluster
     spec = get_model(model) if isinstance(model, str) else model
-    prediction = PredictionModel(spec, seed=seed)
-    _spec, _profile, _prediction, catalog, _executor = model_stack(spec, seed=seed)
-    policy = OracleTokenPolicy(prediction, [r.depth_fraction for r in catalog.ramps])
+    policy = _oracle_token_policy(spec, seed)
     cluster = build_generative_cluster(spec, replicas, balancer=balancer,
                                        max_batch_size=max_batch_size,
                                        ramp_overhead=0.0, seed=seed,
                                        profiles=profiles, autoscaler=autoscaler,
                                        min_replicas=min_replicas,
-                                       max_replicas=max_replicas)
+                                       max_replicas=max_replicas,
+                                       prefill_in_slot=prefill_in_slot,
+                                       ttft_slo_ms=ttft_slo_ms)
     return cluster.run(workload, lambda ordinal: policy)
+
+
+def _optimal_generative_disagg_impl(model: Union[str, ModelSpec],
+                                    workload: GenerativeWorkload,
+                                    max_batch_size: int = 8, seed: int = 0,
+                                    **pool_kwargs):
+    """The generative oracle on disaggregated pools: zero-overhead earliest
+    correct exits on every decode replica."""
+    from repro.core.generative import build_disaggregated_platform
+    spec = get_model(model) if isinstance(model, str) else model
+    policy = _oracle_token_policy(spec, seed)
+    platform = build_disaggregated_platform(spec, max_batch_size=max_batch_size,
+                                            ramp_overhead=0.0, seed=seed,
+                                            **pool_kwargs)
+    return platform.run(workload, lambda ordinal: policy)
 
 
 def run_optimal_generative(model: Union[str, ModelSpec], workload: GenerativeWorkload,

@@ -155,14 +155,48 @@ def build_parser() -> argparse.ArgumentParser:
                                "fixed fleet)")
     generate.add_argument("--min-replicas", type=int, default=None,
                           help="lower fleet bound for the autoscaler "
-                               "(default: 1 when a scaler is enabled)")
+                               "(default: 1 when a scaler is enabled; with "
+                               "--disaggregate this bounds the decode pool)")
     generate.add_argument("--max-replicas", type=int, default=None,
                           help="upper fleet bound for the autoscaler "
-                               "(default: 2x --replicas when a scaler is enabled)")
+                               "(default: 2x --replicas when a scaler is "
+                               "enabled; with --disaggregate this bounds "
+                               "the decode pool)")
     generate.add_argument("--replica-profiles", default=None,
                           help="comma-separated per-replica speed[:cost] "
                                "multipliers for a heterogeneous decode fleet "
-                               "(must match --replicas)")
+                               "(must match --replicas; with --disaggregate "
+                               "these profile the decode pool and must match "
+                               "--decode-replicas)")
+    generate.add_argument("--prefill-in-slot", action="store_true",
+                          help="monolithic fleets only: charge each prompt's "
+                               "chunked prefill inside the claiming decode "
+                               "slot (stretched by busy-slot contention) — "
+                               "the honest comparator for --disaggregate")
+    generate.add_argument("--disaggregate", action="store_true",
+                          help="split the fleet into a prefill pool and a "
+                               "decode pool with a KV-transfer handoff queue "
+                               "(each pool balanced and autoscaled "
+                               "independently)")
+    generate.add_argument("--prefill-replicas", type=int, default=None,
+                          help="initial prefill pool size (disaggregated "
+                               "serving; default: --replicas)")
+    generate.add_argument("--decode-replicas", type=int, default=None,
+                          help="initial decode pool size (disaggregated "
+                               "serving; default: --replicas)")
+    generate.add_argument("--prefill-autoscaler", default=None,
+                          choices=list(AUTOSCALER_NAMES),
+                          help="prefill pool autoscaling policy, scaling on "
+                               "queued prompt tokens (default: --autoscaler)")
+    generate.add_argument("--decode-autoscaler", default=None,
+                          choices=list(AUTOSCALER_NAMES),
+                          help="decode pool autoscaling policy, scaling on "
+                               "outstanding decode work (default: "
+                               "--autoscaler)")
+    generate.add_argument("--ttft-slo", type=float, default=None,
+                          help="time-to-first-token SLO in ms; sequences "
+                               "whose wait already blew it are shed "
+                               "(counted in the 'shed' metric)")
     generate.add_argument("--json", action="store_true",
                           help="print the RunReport as JSON instead of a table")
 
@@ -191,12 +225,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated autoscaling policies to sweep "
                             f"({','.join(AUTOSCALER_NAMES)})")
     sweep.add_argument("--min-replicas", type=int, default=None,
-                       help="lower fleet bound applied at every grid point")
+                       help="lower fleet bound applied at every grid point "
+                            "(bounds the decode pool in disaggregated grids)")
     sweep.add_argument("--max-replicas", type=int, default=None,
-                       help="upper fleet bound applied at every grid point")
+                       help="upper fleet bound applied at every grid point "
+                            "(bounds the decode pool in disaggregated grids)")
     sweep.add_argument("--replica-profiles", default=None,
                        help="per-replica speed[:cost] list applied at every "
-                            "grid point (must match the replica counts swept)")
+                            "grid point (must match the replica counts swept; "
+                            "profiles the decode pool in disaggregated grids)")
+    sweep.add_argument("--disaggregate", action="store_true",
+                       help="run every grid point on disaggregated "
+                            "prefill/decode pools (generative models only)")
+    sweep.add_argument("--prefill-replicas", default=None,
+                       help="comma-separated prefill pool sizes to sweep "
+                            "(implies --disaggregate)")
+    sweep.add_argument("--decode-replicas", default=None,
+                       help="comma-separated decode pool sizes to sweep "
+                            "(implies --disaggregate)")
     sweep.add_argument("--accuracy-constraint", type=float, default=0.01)
     sweep.add_argument("--ramp-budget", type=float, default=0.02)
     sweep.add_argument("--seed", type=int, default=0)
@@ -220,16 +266,20 @@ def _print_win_line(report: RunReport) -> None:
     if "vanilla" not in systems or "apparate" not in systems:
         return
     v, a = report.result("vanilla").summary, report.result("apparate").summary
-    if report.kind in ("generative", "generative_cluster"):
+    if report.kind in ("generative", "generative_cluster", "generative_disagg"):
         win = 100.0 * (v["tpt_p50_ms"] - a["tpt_p50_ms"]) / max(v["tpt_p50_ms"], 1e-9)
         details = report.result("apparate").details
         print(f"median TPT win: {win:.1f}%  (ramp depth {details['ramp_depth']:.2f}, "
               f"threshold {details['threshold']:.2f})")
-        if report.kind == "generative_cluster":
+        if report.kind in ("generative_cluster", "generative_disagg"):
             p99_win = 100.0 * (v["token_p99_ms"] - a["token_p99_ms"]) \
                 / max(v["token_p99_ms"], 1e-9)
             print(f"per-token p99 win: {p99_win:.1f}%  "
                   f"({a['deferred_flushes']:.0f} deferred flushes)")
+        if report.kind == "generative_disagg":
+            ttft_win = 100.0 * (v["ttft_p99_ms"] - a["ttft_p99_ms"]) \
+                / max(v["ttft_p99_ms"], 1e-9)
+            print(f"TTFT p99 win: {ttft_win:.1f}%")
     else:
         win = 100.0 * (v["p50_ms"] - a["p50_ms"]) / max(v["p50_ms"], 1e-9)
         print(f"median latency win: {win:.1f}%")
@@ -262,6 +312,27 @@ def _print_fleet_size_lines(report: RunReport) -> None:
               + f" (peak {max(sizes)}), "
               f"{result.details.get('replica_seconds', 0.0):.1f} replica-seconds, "
               f"{result.details.get('rerouted', 0)} rerouted")
+
+
+def _print_pool_lines(report: RunReport) -> None:
+    """Prefill-pool trajectory + TTFT pipeline stages for disagg systems."""
+    for result in report.results:
+        timeline = result.details.get("prefill_fleet_timeline")
+        if timeline is None:
+            continue
+        sizes = [int(n) for _, n in timeline] or [0]
+        trajectory = [sizes[0]] + [n for prev, n in zip(sizes, sizes[1:])
+                                   if n != prev]
+        summary = result.summary
+        print(f"{result.system} prefill pool: "
+              + " -> ".join(str(n) for n in trajectory)
+              + f" (peak {max(sizes)}), "
+              f"{result.details.get('prefill_replica_seconds', 0.0):.1f} "
+              f"replica-seconds; "
+              f"prefill delay {summary.get('prefill_delay_mean_ms', 0.0):.1f}ms, "
+              f"KV transfer {summary.get('transfer_ms_mean', 0.0):.2f}ms, "
+              f"TTFT p99 {summary.get('ttft_p99_ms', 0.0):.1f}ms, "
+              f"{summary.get('shed', 0.0):.0f} shed")
 
 
 def _print_fleet_stats(report: RunReport) -> None:
@@ -340,30 +411,68 @@ def _cmd_generate(args: argparse.Namespace) -> int:
                             requests=args.sequences, rate=args.rate)
     replicas = int(args.replicas)
     cluster: Optional[ClusterSpec] = None
-    fleet_flags = any(value is not None for value in
-                      (args.autoscaler, args.min_replicas, args.max_replicas,
-                       args.replica_profiles))
-    if replicas != 1 or fleet_flags:
+    if args.ttft_slo is not None and args.ttft_slo <= 0:
+        # An explicit flag value gets explicit validation (the zero-means-off
+        # rule exists only to absorb model default_slo_ms=0.0 internally).
+        raise ValueError(f"--ttft-slo must be positive, got {args.ttft_slo}")
+    disagg_flags = args.disaggregate or any(
+        value is not None for value in
+        (args.prefill_replicas, args.decode_replicas,
+         args.prefill_autoscaler, args.decode_autoscaler))
+    fleet_flags = args.prefill_in_slot or any(
+        value is not None for value in
+        (args.autoscaler, args.min_replicas, args.max_replicas,
+         args.replica_profiles))
+    if disagg_flags and args.prefill_in_slot:
+        raise ValueError("--prefill-in-slot is the monolithic deployment; "
+                         "it cannot be combined with --disaggregate")
+    if disagg_flags:
+        # Fleet-wide --min/--max-replicas and --replica-profiles apply to the
+        # decode pool (the pool --replicas sizes by default); the prefill
+        # pool is bounded by its own autoscaler band.
+        cluster = ClusterSpec(replicas=replicas,
+                              balancer=args.balancer or "round_robin",
+                              fleet_mode=args.fleet_mode or "independent",
+                              autoscaler=args.autoscaler or "none",
+                              disaggregate=True,
+                              prefill_replicas=args.prefill_replicas,
+                              decode_replicas=args.decode_replicas,
+                              prefill_autoscaler=args.prefill_autoscaler,
+                              decode_autoscaler=args.decode_autoscaler,
+                              decode_min_replicas=args.min_replicas,
+                              decode_max_replicas=args.max_replicas,
+                              decode_profiles=args.replica_profiles)
+    elif replicas != 1 or fleet_flags:
         cluster = ClusterSpec(replicas=replicas,
                               balancer=args.balancer or "round_robin",
                               fleet_mode=args.fleet_mode or "independent",
                               autoscaler=args.autoscaler or "none",
                               min_replicas=args.min_replicas,
                               max_replicas=args.max_replicas,
-                              profiles=args.replica_profiles)
+                              profiles=args.replica_profiles,
+                              prefill_in_slot=args.prefill_in_slot)
     elif args.balancer or args.fleet_mode:
         print("note: --balancer/--fleet-mode only apply to cluster serving; "
               "pass --replicas N (N > 1) to enable it", file=sys.stderr)
     experiment = Experiment(
         model=spec, workload=workload, cluster=cluster,
         ee=ExitPolicySpec(accuracy_constraint=args.accuracy_constraint),
-        seed=args.seed)
+        slo_ms=args.ttft_slo, seed=args.seed)
     report = experiment.run(systems)
     if args.json:
         print(json.dumps(report.to_json(), indent=2))
         return 0
     header = f"model={spec.name} dataset={args.dataset} sequences={args.sequences}"
-    if cluster is not None:
+    if cluster is not None and cluster.disaggregate:
+        prefill_band = cluster.resolved_prefill_band()
+        decode_band = cluster.resolved_decode_band()
+        header += (f" disaggregated prefill={cluster.resolved_prefill_replicas()}"
+                   f"[{prefill_band[0]}..{prefill_band[1]},"
+                   f"{cluster.prefill_autoscaler_name()}]"
+                   f" decode={cluster.resolved_decode_replicas()}"
+                   f"[{decode_band[0]}..{decode_band[1]},"
+                   f"{cluster.decode_autoscaler_name()}]")
+    elif cluster is not None:
         header += (f" replicas={cluster.replicas} "
                    f"balancer={cluster.balancer_name()} "
                    f"fleet-mode={cluster.fleet_mode}")
@@ -375,6 +484,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     print(report.format_table())
     _print_dispatch_lines(report)
     _print_fleet_size_lines(report)
+    _print_pool_lines(report)
     _print_win_line(report)
     return 0
 
@@ -390,6 +500,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ee=ExitPolicySpec(accuracy_constraint=args.accuracy_constraint,
                           ramp_budget=args.ramp_budget),
         platform=args.platform, seed=args.seed)
+    disaggregated = bool(args.disaggregate or args.prefill_replicas
+                         or args.decode_replicas)
     grid = {"replicas": _parse_int_list(args.replicas, "--replicas")}
     if args.balancer:
         grid["balancer"] = _split_csv(args.balancer)
@@ -397,12 +509,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         grid["fleet_mode"] = _split_csv(args.fleet_mode)
     if args.autoscaler:
         grid["autoscaler"] = _split_csv(args.autoscaler)
+    # Fleet-wide bounds/profiles target the decode pool in disaggregated
+    # grids (matching the 'generate' command's remapping) — the ClusterSpec
+    # fleet-wide keys are rejected as dead configuration there.
     if args.min_replicas is not None:
-        grid["min_replicas"] = args.min_replicas
+        grid["decode_min_replicas" if disaggregated
+             else "min_replicas"] = args.min_replicas
     if args.max_replicas is not None:
-        grid["max_replicas"] = args.max_replicas
+        grid["decode_max_replicas" if disaggregated
+             else "max_replicas"] = args.max_replicas
     if args.replica_profiles:
-        grid["profiles"] = args.replica_profiles
+        grid["decode_profiles" if disaggregated
+             else "profiles"] = args.replica_profiles
+    if disaggregated:
+        grid["disaggregate"] = True
+    if args.prefill_replicas:
+        grid["prefill_replicas"] = _parse_int_list(args.prefill_replicas,
+                                                   "--prefill-replicas")
+    if args.decode_replicas:
+        grid["decode_replicas"] = _parse_int_list(args.decode_replicas,
+                                                  "--decode-replicas")
     sweep = experiment.sweep(systems=_split_csv(args.systems), **grid)
     if args.json:
         print(json.dumps(sweep.to_json(), indent=2))

@@ -27,7 +27,7 @@ import numpy as np
 from repro.core.controller import FleetController
 from repro.core.pipeline import model_stack
 from repro.exits.ramps import RampStyle, ramp_overhead_fraction
-from repro.generative.decoding import DecodeTimingModel
+from repro.generative.decoding import DecodeTimingModel, PrefillModel
 from repro.generative.parallel import TokenFeedback
 from repro.generative.sequences import GenerativeWorkload
 from repro.models.prediction import PredictionModel
@@ -35,6 +35,7 @@ from repro.models.zoo import ModelSpec, get_model
 from repro.serving.autoscaler import (Autoscaler, build_autoscaler,
                                       canonical_autoscaler_name)
 from repro.serving.cluster import LoadBalancer
+from repro.serving.disagg import DisaggregatedMetrics, DisaggregatedPlatform
 from repro.serving.fleet import ReplicaProfile
 from repro.serving.generative_cluster import (GenerativeClusterMetrics,
                                               GenerativeClusterPlatform,
@@ -49,8 +50,10 @@ from repro.serving.hf_pipelines import (
 
 __all__ = ["ApparateTokenPolicy", "GenerativeRunResult",
            "GenerativeClusterRunResult", "build_generative_cluster",
+           "build_disaggregated_platform",
            "run_generative_vanilla", "run_generative_apparate",
            "run_generative_vanilla_cluster", "run_generative_apparate_cluster",
+           "run_generative_vanilla_disagg", "run_generative_apparate_disagg",
            "generative_ramp_depths"]
 
 
@@ -232,16 +235,19 @@ class GenerativeClusterRunResult:
 # ---------------------------------------------------------------------------
 
 def _generative_vanilla_impl(model: Union[str, ModelSpec], workload: GenerativeWorkload,
-                             max_batch_size: int = 8, seed: int = 0) -> GenerativeMetrics:
+                             max_batch_size: int = 8, seed: int = 0,
+                             ttft_slo_ms: Optional[float] = None) -> GenerativeMetrics:
     spec = get_model(model) if isinstance(model, str) else model
     timing = DecodeTimingModel(spec, ramp_overhead_fraction=0.0)
-    engine = ContinuousBatchingEngine(timing, max_batch_size=max_batch_size)
+    engine = ContinuousBatchingEngine(timing, max_batch_size=max_batch_size,
+                                      ttft_slo_ms=_normalize_ttft_slo(ttft_slo_ms))
     return engine.run(workload, VanillaTokenPolicy())
 
 
 def _generative_apparate_impl(model: Union[str, ModelSpec], workload: GenerativeWorkload,
                               accuracy_constraint: float = 0.01, max_batch_size: int = 8,
-                              flush_limit: int = 8, seed: int = 0) -> GenerativeRunResult:
+                              flush_limit: int = 8, seed: int = 0,
+                              ttft_slo_ms: Optional[float] = None) -> GenerativeRunResult:
     spec = get_model(model) if isinstance(model, str) else model
     prediction = PredictionModel(spec, seed=seed)
     depths = generative_ramp_depths(spec, seed=seed)
@@ -249,7 +255,8 @@ def _generative_apparate_impl(model: Union[str, ModelSpec], workload: Generative
     overhead = ramp_overhead_fraction(spec, RampStyle.DECODE_HEAD)
     timing = DecodeTimingModel(spec, ramp_overhead_fraction=overhead)
     engine = ContinuousBatchingEngine(timing, max_batch_size=max_batch_size,
-                                      flush_limit=flush_limit)
+                                      flush_limit=flush_limit,
+                                      ttft_slo_ms=_normalize_ttft_slo(ttft_slo_ms))
     metrics = engine.run(workload, policy)
     return GenerativeRunResult(metrics=metrics, policy=policy)
 
@@ -258,6 +265,18 @@ def _generative_apparate_impl(model: Union[str, ModelSpec], workload: Generative
 # Generative cluster serving (the fleet control plane driving the continuous
 # batching engine; see repro.serving.generative_cluster).
 # ---------------------------------------------------------------------------
+
+def _normalize_ttft_slo(ttft_slo_ms: Optional[float]) -> Optional[float]:
+    """Treat ``None`` and non-positive values as "no TTFT SLO".
+
+    Generative model specs carry ``default_slo_ms=0.0`` (the paper sets no
+    response-time SLO for generation), so a zero flowing down from the
+    experiment layer means shedding is off, not an instant deadline.
+    """
+    if ttft_slo_ms is None or float(ttft_slo_ms) <= 0.0:
+        return None
+    return float(ttft_slo_ms)
+
 
 def _resolve_generative_autoscaler(autoscaler: Union[str, Autoscaler, None],
                                    slots: int) -> Union[Autoscaler, None]:
@@ -284,24 +303,35 @@ def build_generative_cluster(model: Union[str, ModelSpec], replicas: int,
                              profiles: Optional[Sequence] = None,
                              autoscaler: Union[str, Autoscaler, None] = "none",
                              min_replicas: Optional[int] = None,
-                             max_replicas: Optional[int] = None
+                             max_replicas: Optional[int] = None,
+                             prefill_in_slot: bool = False,
+                             ttft_slo_ms: Optional[float] = None
                              ) -> GenerativeClusterPlatform:
     """Construct a fleet of continuous-batching decode replicas.
 
     The engine is stateless, so one instance (model timing + slot count +
     flush limit) is shared by every replica, including ones the autoscaler
     boots mid-run; heterogeneity comes from ``profiles`` speed multipliers.
+
+    ``prefill_in_slot=True`` makes the fleet *monolithic* in the
+    prefill/decode sense: a sequence claiming a decode slot first runs its
+    prompt's chunked prefill on that replica, stretched by contention with
+    the decode streams in flight — the behaviour disaggregation removes
+    (compare with :func:`build_disaggregated_platform`).  ``ttft_slo_ms``
+    enables deadline shedding of sequences whose wait already blew the SLO.
     """
     if replicas < 1:
         raise ValueError("replicas must be >= 1")
     spec = get_model(model) if isinstance(model, str) else model
     timing = DecodeTimingModel(spec, ramp_overhead_fraction=ramp_overhead)
-    engine = ContinuousBatchingEngine(timing, max_batch_size=max_batch_size,
-                                      flush_limit=flush_limit)
+    engine = ContinuousBatchingEngine(
+        timing, max_batch_size=max_batch_size, flush_limit=flush_limit,
+        prefill=PrefillModel(spec) if prefill_in_slot else None)
     return GenerativeClusterPlatform(
         [engine] * replicas, balancer=balancer, seed=seed, profiles=profiles,
         autoscaler=_resolve_generative_autoscaler(autoscaler, max_batch_size),
-        min_replicas=min_replicas, max_replicas=max_replicas)
+        min_replicas=min_replicas, max_replicas=max_replicas,
+        ttft_slo_ms=_normalize_ttft_slo(ttft_slo_ms))
 
 
 def _generative_vanilla_cluster_impl(model: Union[str, ModelSpec],
@@ -312,14 +342,18 @@ def _generative_vanilla_cluster_impl(model: Union[str, ModelSpec],
                                      autoscaler: Union[str, Autoscaler, None] = "none",
                                      min_replicas: Optional[int] = None,
                                      max_replicas: Optional[int] = None,
-                                     profiles: Optional[Sequence] = None
+                                     profiles: Optional[Sequence] = None,
+                                     prefill_in_slot: bool = False,
+                                     ttft_slo_ms: Optional[float] = None
                                      ) -> GenerativeClusterMetrics:
     cluster = build_generative_cluster(model, replicas, balancer=balancer,
                                        max_batch_size=max_batch_size,
                                        ramp_overhead=0.0, seed=seed,
                                        profiles=profiles, autoscaler=autoscaler,
                                        min_replicas=min_replicas,
-                                       max_replicas=max_replicas)
+                                       max_replicas=max_replicas,
+                                       prefill_in_slot=prefill_in_slot,
+                                       ttft_slo_ms=ttft_slo_ms)
     # The vanilla policy is stateless: every replica (including scaled-out
     # ones) shares it.
     policy = VanillaTokenPolicy()
@@ -337,7 +371,9 @@ def _generative_apparate_cluster_impl(model: Union[str, ModelSpec],
                                       autoscaler: Union[str, Autoscaler, None] = "none",
                                       min_replicas: Optional[int] = None,
                                       max_replicas: Optional[int] = None,
-                                      profiles: Optional[Sequence] = None
+                                      profiles: Optional[Sequence] = None,
+                                      prefill_in_slot: bool = False,
+                                      ttft_slo_ms: Optional[float] = None
                                       ) -> GenerativeClusterRunResult:
     if fleet_mode not in FleetController.MODES:
         raise ValueError(f"unknown fleet mode {fleet_mode!r}; "
@@ -352,7 +388,9 @@ def _generative_apparate_cluster_impl(model: Union[str, ModelSpec],
                                        ramp_overhead=overhead, seed=seed,
                                        profiles=profiles, autoscaler=autoscaler,
                                        min_replicas=min_replicas,
-                                       max_replicas=max_replicas)
+                                       max_replicas=max_replicas,
+                                       prefill_in_slot=prefill_in_slot,
+                                       ttft_slo_ms=ttft_slo_ms)
 
     policies: List[ApparateTokenPolicy] = []
     shared = ApparateTokenPolicy(prediction, depths,
@@ -366,6 +404,124 @@ def _generative_apparate_cluster_impl(model: Union[str, ModelSpec],
         return policy
 
     metrics = cluster.run(workload, policy_factory)
+    return GenerativeClusterRunResult(metrics=metrics, policies=policies,
+                                      fleet_mode=fleet_mode)
+
+
+# ---------------------------------------------------------------------------
+# Prefill/decode disaggregated serving (two pools on one global clock; see
+# repro.serving.disagg).
+# ---------------------------------------------------------------------------
+
+def _resolve_prefill_autoscaler(autoscaler: Union[str, Autoscaler, None]
+                                ) -> Union[Autoscaler, None]:
+    """Build a name-selected autoscaler with prompt-chunk-aware watermarks.
+
+    A prefill replica's "jobs in system" are pending prefill *chunks*
+    (queued prompt tokens in chunk units), each worth roughly one decode
+    step of accelerator time, so the reactive hysteresis band is set in
+    chunks of backlog per replica.  Instances pass through untouched.
+    """
+    if autoscaler is None or isinstance(autoscaler, Autoscaler):
+        return autoscaler
+    key = canonical_autoscaler_name(autoscaler)
+    if key == "reactive":
+        return build_autoscaler(key, scale_out_load=6.0, scale_in_load=0.75)
+    return build_autoscaler(key)
+
+
+def build_disaggregated_platform(model: Union[str, ModelSpec],
+                                 prefill_replicas: int = 2,
+                                 decode_replicas: int = 2,
+                                 prefill_balancer: Union[str, LoadBalancer] = "round_robin",
+                                 decode_balancer: Union[str, LoadBalancer] = "round_robin",
+                                 max_batch_size: int = 8,
+                                 prefill_batch: int = 4,
+                                 flush_limit: int = 8,
+                                 ramp_overhead: float = 0.0, seed: int = 0,
+                                 prefill_profiles: Optional[Sequence] = None,
+                                 decode_profiles: Optional[Sequence] = None,
+                                 prefill_autoscaler: Union[str, Autoscaler, None] = "none",
+                                 decode_autoscaler: Union[str, Autoscaler, None] = "none",
+                                 prefill_min_replicas: Optional[int] = None,
+                                 prefill_max_replicas: Optional[int] = None,
+                                 decode_min_replicas: Optional[int] = None,
+                                 decode_max_replicas: Optional[int] = None,
+                                 ttft_slo_ms: Optional[float] = None,
+                                 transfer_gbps: float = 16.0
+                                 ) -> DisaggregatedPlatform:
+    """Construct a prefill pool + decode pool behind one handoff queue.
+
+    Decode engines carry no in-slot prefill model (their prompts arrive
+    prefilled); the prefill pool charges chunked prefill compute, and every
+    handoff pays the KV-transfer time over a ``transfer_gbps`` interconnect.
+    """
+    spec = get_model(model) if isinstance(model, str) else model
+    timing = DecodeTimingModel(spec, ramp_overhead_fraction=ramp_overhead)
+    engine = ContinuousBatchingEngine(timing, max_batch_size=max_batch_size,
+                                      flush_limit=flush_limit)
+    prefill = PrefillModel(spec, transfer_gbps=transfer_gbps)
+    return DisaggregatedPlatform(
+        prefill, [engine] * decode_replicas,
+        prefill_replicas=prefill_replicas, prefill_batch=prefill_batch,
+        prefill_balancer=prefill_balancer, decode_balancer=decode_balancer,
+        seed=seed, prefill_profiles=prefill_profiles,
+        decode_profiles=decode_profiles,
+        prefill_autoscaler=_resolve_prefill_autoscaler(prefill_autoscaler),
+        decode_autoscaler=_resolve_generative_autoscaler(decode_autoscaler,
+                                                         max_batch_size),
+        prefill_min_replicas=prefill_min_replicas,
+        prefill_max_replicas=prefill_max_replicas,
+        decode_min_replicas=decode_min_replicas,
+        decode_max_replicas=decode_max_replicas,
+        ttft_slo_ms=_normalize_ttft_slo(ttft_slo_ms))
+
+
+def _generative_vanilla_disagg_impl(model: Union[str, ModelSpec],
+                                    workload: GenerativeWorkload,
+                                    max_batch_size: int = 8, seed: int = 0,
+                                    **pool_kwargs) -> DisaggregatedMetrics:
+    platform = build_disaggregated_platform(model, max_batch_size=max_batch_size,
+                                            ramp_overhead=0.0, seed=seed,
+                                            **pool_kwargs)
+    policy = VanillaTokenPolicy()
+    return platform.run(workload, lambda ordinal: policy)
+
+
+def _generative_apparate_disagg_impl(model: Union[str, ModelSpec],
+                                     workload: GenerativeWorkload,
+                                     fleet_mode: str = "independent",
+                                     accuracy_constraint: float = 0.01,
+                                     max_batch_size: int = 8,
+                                     flush_limit: int = 8, seed: int = 0,
+                                     **pool_kwargs) -> GenerativeClusterRunResult:
+    """Apparate on the disaggregated platform: per-decode-replica (or one
+    fleet-wide, with ``fleet_mode="shared"``) adaptive token policies; the
+    prefill pool is policy-free (no tokens are released there)."""
+    if fleet_mode not in FleetController.MODES:
+        raise ValueError(f"unknown fleet mode {fleet_mode!r}; "
+                         f"choose from {tuple(FleetController.MODES)}")
+    spec = get_model(model) if isinstance(model, str) else model
+    prediction = PredictionModel(spec, seed=seed)
+    depths = generative_ramp_depths(spec, seed=seed)
+    overhead = ramp_overhead_fraction(spec, RampStyle.DECODE_HEAD)
+    platform = build_disaggregated_platform(model, max_batch_size=max_batch_size,
+                                            flush_limit=flush_limit,
+                                            ramp_overhead=overhead, seed=seed,
+                                            **pool_kwargs)
+
+    policies: List[ApparateTokenPolicy] = []
+    shared = ApparateTokenPolicy(prediction, depths,
+                                 accuracy_constraint=accuracy_constraint) \
+        if fleet_mode == "shared" else None
+
+    def policy_factory(ordinal: int) -> ApparateTokenPolicy:
+        policy = shared if shared is not None else ApparateTokenPolicy(
+            prediction, depths, accuracy_constraint=accuracy_constraint)
+        policies.append(policy)
+        return policy
+
+    metrics = platform.run(workload, policy_factory)
     return GenerativeClusterRunResult(metrics=metrics, policies=policies,
                                       fleet_mode=fleet_mode)
 
@@ -454,4 +610,51 @@ def run_generative_apparate_cluster(model: Union[str, ModelSpec],
                             ee=ExitPolicySpec(accuracy_constraint=accuracy_constraint),
                             max_batch_size=max_batch_size, seed=seed,
                             overrides={"apparate": {"flush_limit": flush_limit}})
+    return experiment.run(["apparate"]).result("apparate").raw
+
+
+def run_generative_vanilla_disagg(model: Union[str, ModelSpec],
+                                  workload: GenerativeWorkload,
+                                  prefill_replicas: int = 2,
+                                  decode_replicas: int = 2,
+                                  max_batch_size: int = 8, seed: int = 0,
+                                  **cluster_kwargs) -> DisaggregatedMetrics:
+    """Serve a generative workload on disaggregated prefill/decode pools
+    with the original model (no exits).
+
+    Equivalent to ``Experiment(..., cluster=ClusterSpec(disaggregate=True,
+    ...)).run(["vanilla"])``; extra keywords go to :class:`ClusterSpec`.
+    """
+    from repro.api import ClusterSpec, Experiment
+    cluster = ClusterSpec(replicas=max(prefill_replicas, decode_replicas),
+                          disaggregate=True,
+                          prefill_replicas=prefill_replicas,
+                          decode_replicas=decode_replicas, **cluster_kwargs)
+    experiment = Experiment(model=model, workload=workload, cluster=cluster,
+                            max_batch_size=max_batch_size, seed=seed)
+    return experiment.run(["vanilla"]).result("vanilla").raw
+
+
+def run_generative_apparate_disagg(model: Union[str, ModelSpec],
+                                   workload: GenerativeWorkload,
+                                   prefill_replicas: int = 2,
+                                   decode_replicas: int = 2,
+                                   fleet_mode: str = "independent",
+                                   accuracy_constraint: float = 0.01,
+                                   max_batch_size: int = 8, seed: int = 0,
+                                   **cluster_kwargs) -> GenerativeClusterRunResult:
+    """Serve a generative workload on disaggregated prefill/decode pools
+    with Apparate's adaptive token exits on the decode pool.
+
+    Equivalent to ``Experiment(..., cluster=ClusterSpec(disaggregate=True,
+    ...)).run(["apparate"])``; extra keywords go to :class:`ClusterSpec`.
+    """
+    from repro.api import ClusterSpec, Experiment, ExitPolicySpec
+    cluster = ClusterSpec(replicas=max(prefill_replicas, decode_replicas),
+                          disaggregate=True, fleet_mode=fleet_mode,
+                          prefill_replicas=prefill_replicas,
+                          decode_replicas=decode_replicas, **cluster_kwargs)
+    experiment = Experiment(model=model, workload=workload, cluster=cluster,
+                            ee=ExitPolicySpec(accuracy_constraint=accuracy_constraint),
+                            max_batch_size=max_batch_size, seed=seed)
     return experiment.run(["apparate"]).result("apparate").raw

@@ -12,12 +12,13 @@ timing model captures the quantities Apparate's generative mode cares about:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.models.zoo import ModelSpec
 
-__all__ = ["TokenRecord", "DecodeTimingModel"]
+__all__ = ["TokenRecord", "DecodeTimingModel", "PrefillModel"]
 
 
 @dataclass
@@ -83,3 +84,93 @@ class DecodeTimingModel:
             return 0.0
         tail_fraction = 1.0 - min(max(depth_fraction, 0.0), 1.0)
         return self.spec.bs1_latency_ms * tail_fraction * self.batch_scale(num_deferred)
+
+
+@dataclass(frozen=True)
+class PrefillModel:
+    """Chunked-prefill compute and KV-transfer cost of one generative model.
+
+    Prefill runs the prompt through the model in chunks of
+    ``tokens_per_chunk`` tokens; each chunk saturates the accelerator's
+    compute, so a chunk costs about one full decode step
+    (``chunk_time_factor`` scales that).  This makes prefill throughput
+    per-replica vastly higher than decode throughput — the asymmetry that
+    motivates disaggregating the two phases.
+
+    Two deployment modes are priced:
+
+    * **Dedicated prefill replica** (disaggregated pool): ``prefill_ms`` /
+      ``batch_prefill_ms`` chunk times only, plus ``transfer_ms`` to ship the
+      prompt's KV cache to a decode replica — bytes grow with
+      ``prompt_tokens x layer depth x hidden width`` (K and V, fp16) over a
+      ``transfer_gbps`` GB/s interconnect.
+    * **In-slot prefill** (monolithic replica): the prompt's chunks compete
+      with the replica's running decode streams for the same accelerator, so
+      ``inslot_prefill_ms`` stretches the prefill by ``decode_interference``
+      per concurrently busy decode slot.  No KV transfer is charged (the
+      cache is produced where it is consumed).
+    """
+
+    spec: ModelSpec
+    tokens_per_chunk: int = 256
+    chunk_time_factor: float = 1.0
+    transfer_gbps: float = 16.0
+    decode_interference: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.spec.is_generative:
+            raise ValueError(f"{self.spec.name} is not a generative model")
+        if int(self.tokens_per_chunk) < 1:
+            raise ValueError(f"tokens_per_chunk must be >= 1, "
+                             f"got {self.tokens_per_chunk}")
+        if self.chunk_time_factor <= 0.0:
+            raise ValueError(f"chunk_time_factor must be positive, "
+                             f"got {self.chunk_time_factor}")
+        if self.transfer_gbps <= 0.0:
+            raise ValueError(f"transfer_gbps must be positive, "
+                             f"got {self.transfer_gbps}")
+        if self.decode_interference < 0.0:
+            raise ValueError(f"decode_interference must be >= 0, "
+                             f"got {self.decode_interference}")
+
+    # ----------------------------------------------------------------- compute
+    def chunk_time_ms(self) -> float:
+        """Accelerator time of one fully packed prefill chunk."""
+        return self.spec.bs1_latency_ms * self.chunk_time_factor
+
+    def num_chunks(self, prompt_tokens: int) -> int:
+        """Chunks needed for one prompt (0 for promptless sequences)."""
+        if prompt_tokens <= 0:
+            return 0
+        return int(math.ceil(prompt_tokens / self.tokens_per_chunk))
+
+    def prefill_ms(self, prompt_tokens: int) -> float:
+        """Dedicated-replica prefill time of one prompt."""
+        return self.num_chunks(prompt_tokens) * self.chunk_time_ms()
+
+    def batch_prefill_ms(self, total_prompt_tokens: int) -> float:
+        """Prefill time of a chunk-batch: several prompts packed into one
+        chunk stream (prompts share chunk boundaries, so batching saves the
+        per-prompt padding of the last chunk)."""
+        if total_prompt_tokens <= 0:
+            return 0.0
+        chunks = int(math.ceil(total_prompt_tokens / self.tokens_per_chunk))
+        return chunks * self.chunk_time_ms()
+
+    def inslot_prefill_ms(self, prompt_tokens: int, busy_slots: int) -> float:
+        """Prefill time on a monolithic replica with ``busy_slots`` decode
+        streams in flight — compute contention stretches the chunks."""
+        return self.prefill_ms(prompt_tokens) \
+            * (1.0 + self.decode_interference * max(0, busy_slots))
+
+    # ---------------------------------------------------------------- transfer
+    def kv_bytes(self, prompt_tokens: int) -> int:
+        """KV-cache bytes a prefilled prompt occupies (K+V, fp16 per layer)."""
+        if prompt_tokens <= 0:
+            return 0
+        return int(prompt_tokens) * self.spec.num_blocks * self.spec.hidden_width * 4
+
+    def transfer_ms(self, prompt_tokens: int) -> float:
+        """Time to ship the prompt's KV cache prefill -> decode replica."""
+        bytes_per_ms = self.transfer_gbps * 1e6
+        return self.kv_bytes(prompt_tokens) / bytes_per_ms

@@ -20,16 +20,18 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.utils.rng import RngFactory
-from repro.workloads.arrivals import poisson_arrivals
+from repro.workloads.arrivals import diurnal_arrivals, poisson_arrivals
 
 __all__ = ["SequenceSample", "GenerativeWorkload", "make_generative_workload",
            "GENERATIVE_DATASET_PRESETS"]
 
 GENERATIVE_DATASET_PRESETS: Dict[str, Dict[str, float]] = {
     "cnn-dailymail": {"mean_output_tokens": 60, "min_output_tokens": 16,
+                      "mean_prompt_tokens": 512, "min_prompt_tokens": 96,
                       "difficulty_mean": 0.22, "difficulty_spread": 0.09,
                       "token_volatility": 0.06},
     "squad": {"mean_output_tokens": 12, "min_output_tokens": 3,
+              "mean_prompt_tokens": 160, "min_prompt_tokens": 32,
               "difficulty_mean": 0.30, "difficulty_spread": 0.12,
               "token_volatility": 0.08},
 }
@@ -37,14 +39,24 @@ GENERATIVE_DATASET_PRESETS: Dict[str, Dict[str, float]] = {
 
 @dataclass
 class SequenceSample:
-    """One generative request: per-token raw difficulties and sharpness."""
+    """One generative request: per-token raw difficulties and sharpness.
+
+    ``prompt_tokens`` is the prompt length the sequence was conditioned on.
+    The decode-only engine ignores it (prompts are assumed pre-processed);
+    the prefill/decode disaggregated platform charges chunked prefill compute
+    and KV-transfer time for it (see :mod:`repro.serving.disagg`).
+    """
 
     sequence_id: int
     arrival_ms: float
     token_difficulty: np.ndarray
     token_sharpness: np.ndarray
+    prompt_tokens: int = 0
 
     def __post_init__(self) -> None:
+        if int(self.prompt_tokens) < 0:
+            raise ValueError(f"prompt_tokens must be >= 0, got {self.prompt_tokens}")
+        self.prompt_tokens = int(self.prompt_tokens)
         self.token_difficulty = np.clip(np.asarray(self.token_difficulty, dtype=float), 0.0, 1.0)
         self.token_sharpness = np.asarray(self.token_sharpness, dtype=float)
         if self.token_difficulty.shape != self.token_sharpness.shape:
@@ -73,10 +85,20 @@ class GenerativeWorkload:
             return 0.0
         return self.total_tokens() / len(self.sequences)
 
+    def total_prompt_tokens(self) -> int:
+        return sum(s.prompt_tokens for s in self.sequences)
+
+    def mean_prompt_length(self) -> float:
+        if not self.sequences:
+            return 0.0
+        return self.total_prompt_tokens() / len(self.sequences)
+
 
 def make_generative_workload(dataset: str = "cnn-dailymail", num_sequences: int = 200,
                              rate_qps: float = 2.0, seed: int = 0,
                              drift_amplitude: float = 0.15, drift_mode: str = "walk",
+                             arrival_process: str = "poisson",
+                             diurnal_period_s: float = 60.0,
                              preset_overrides: Optional[Dict[str, float]] = None) -> GenerativeWorkload:
     """Create a synthetic generative workload with Poisson arrivals (§4.1).
 
@@ -85,6 +107,12 @@ def make_generative_workload(dataset: str = "cnn-dailymail", num_sequences: int 
     mean (``"walk"``) or a monotone trend toward harder content (``"trend"``).
     Drift is what makes one-time-tuned baselines such as FREE lose accuracy
     while Apparate's runtime adaptation holds the constraint (§4.4).
+
+    ``arrival_process`` selects ``"poisson"`` (the paper's setup) or
+    ``"diurnal"`` — a compressed day/night cycle whose per-second rate traces
+    a raised cosine between ``rate_qps / 4`` and ``7/4 * rate_qps`` (mean
+    ``rate_qps``) every ``diurnal_period_s`` seconds, the workload shape the
+    autoscaling and pool-sizing studies exercise.
     """
     rng_factory = RngFactory(seed)
     preset = dict(GENERATIVE_DATASET_PRESETS.get(dataset, GENERATIVE_DATASET_PRESETS["cnn-dailymail"]))
@@ -92,10 +120,19 @@ def make_generative_workload(dataset: str = "cnn-dailymail", num_sequences: int 
         preset.update(preset_overrides)
 
     length_rng = rng_factory.generator(f"gen:{dataset}:lengths")
+    prompt_rng = rng_factory.generator(f"gen:{dataset}:prompts")
     difficulty_rng = rng_factory.generator(f"gen:{dataset}:difficulty")
     drift_rng = rng_factory.generator(f"gen:{dataset}:drift")
-    arrivals = poisson_arrivals(num_sequences, rate_qps,
-                                rng_factory.generator(f"gen:{dataset}:arrivals"))
+    arrival_rng = rng_factory.generator(f"gen:{dataset}:arrivals")
+    if arrival_process == "poisson":
+        arrivals = poisson_arrivals(num_sequences, rate_qps, arrival_rng)
+    elif arrival_process == "diurnal":
+        arrivals = diurnal_arrivals(num_sequences, low_qps=0.25 * rate_qps,
+                                    high_qps=1.75 * rate_qps,
+                                    period_s=diurnal_period_s, rng=arrival_rng)
+    else:
+        raise ValueError(f"unknown arrival_process {arrival_process!r}; "
+                         "choose from ('poisson', 'diurnal')")
 
     # Per-sequence difficulty drift over the stream (topic drift).
     drift = np.zeros(num_sequences)
@@ -113,6 +150,8 @@ def make_generative_workload(dataset: str = "cnn-dailymail", num_sequences: int 
     for seq_id in range(num_sequences):
         length = int(max(preset["min_output_tokens"],
                          length_rng.poisson(preset["mean_output_tokens"])))
+        prompt = int(max(preset["min_prompt_tokens"],
+                         prompt_rng.poisson(preset["mean_prompt_tokens"])))
         base = float(np.clip(difficulty_rng.normal(preset["difficulty_mean"] + drift[seq_id],
                                                    preset["difficulty_spread"]), 0.02, 0.95))
         # Tokens within a sequence follow a small random walk around the
@@ -125,5 +164,6 @@ def make_generative_workload(dataset: str = "cnn-dailymail", num_sequences: int 
             arrival_ms=float(arrivals[seq_id]),
             token_difficulty=difficulties,
             token_sharpness=sharpness,
+            prompt_tokens=prompt,
         ))
     return GenerativeWorkload(name=dataset, sequences=sequences)

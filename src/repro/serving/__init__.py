@@ -22,6 +22,10 @@ simulators of those platforms with the same external behaviour:
   scale, with balancers costed by outstanding decode work (queued tokens ×
   depth-scaled step time) and drain/retire letting in-flight sequences
   finish before a replica leaves the fleet.
+* :class:`DisaggregatedPlatform` — prefill/decode disaggregation: a
+  chunk-batching prefill pool and a continuous-batching decode pool on one
+  global clock, connected by a handoff queue with modeled KV-transfer cost,
+  each pool with its own balancer and its own autoscaler.
 
 Platforms are agnostic to early exits: they hand formed batches to an executor
 callback and collect per-request result-release times, which is exactly the
@@ -40,6 +44,8 @@ from repro.serving.generative_cluster import (GenerativeClusterMetrics,
                                               GenerativeClusterPlatform,
                                               GenerativeFleetState,
                                               GenerativeReplicaHandle)
+from repro.serving.disagg import (DisaggregatedMetrics, DisaggregatedPlatform,
+                                  PrefillFleetState, PrefillReplicaHandle)
 from repro.serving.autoscaler import (AUTOSCALER_NAMES, Autoscaler,
                                       FixedAutoscaler, PredictiveAutoscaler,
                                       ReactiveAutoscaler, build_autoscaler)
@@ -70,6 +76,10 @@ __all__ = [
     "GenerativeClusterMetrics",
     "GenerativeFleetState",
     "GenerativeReplicaHandle",
+    "DisaggregatedMetrics",
+    "DisaggregatedPlatform",
+    "PrefillFleetState",
+    "PrefillReplicaHandle",
     "BaseFleet",
     "FleetState",
     "ReplicaProfile",

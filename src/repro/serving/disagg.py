@@ -1,0 +1,616 @@
+"""Prefill/decode disaggregated generative serving with independent pools.
+
+Production LLM fleets split the two generative phases onto separate machine
+pools (DistServe, Splitwise): **prefill** is compute-bound and batch-friendly
+— a prompt's tokens are processed in parallel chunks — while **decode** is
+memory-bound and TPT-critical — one token per step per stream.  Running both
+on one replica makes them interfere: a prompt's prefill chunks steal compute
+from every decode stream in flight, so time-to-first-token and decode cadence
+degrade together under prompt-heavy load.
+
+:class:`DisaggregatedPlatform` runs two :class:`~repro.serving.fleet.BaseFleet`
+pools on one shared global clock:
+
+* a **prefill pool** of chunk-batch replicas — each takes up to
+  ``prefill_batch`` queued prompts and runs their chunks back to back
+  (:meth:`~repro.generative.decoding.PrefillModel.batch_prefill_ms`);
+* a **decode pool** of the existing continuous-batching early-exit replicas
+  (:class:`~repro.serving.generative_cluster.GenerativeReplicaEntry` — the
+  stream decode is *shared code* with the monolithic cluster);
+* a **handoff queue** between them: a prefilled sequence becomes eligible for
+  decode dispatch only after its KV cache has been shipped across the
+  interconnect (bytes grow with prompt tokens × layer depth, see
+  :meth:`~repro.generative.decoding.PrefillModel.transfer_ms`).
+
+Each pool has its *own* balancer and its *own* autoscaler evaluated on the
+global clock, so the two pools size independently: the prefill scaler sees
+queued prompt chunks (prompt-token pressure), the decode scaler sees
+outstanding decode work — under a diurnal prompt-heavy cycle the pools grow
+and shrink on different schedules, which a monolithic fleet cannot express.
+
+:class:`DisaggregatedMetrics` extends the generative cluster rollups (whose
+base fields describe the decode pool) with the prefill pool's fleet timeline
+/ replica-seconds and the per-sequence prefill and KV-transfer delays; the
+aggregate token stream's TTFT is inclusive of queueing + prefill + transfer
+because each sequence's recorded queueing delay spans arrival → first decode
+step.
+"""
+
+from __future__ import annotations
+
+import copy
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.generative.decoding import PrefillModel
+from repro.generative.sequences import SequenceSample
+from repro.serving.autoscaler import Autoscaler, build_autoscaler
+from repro.serving.cluster import LoadBalancer, build_balancer
+from repro.serving.fleet import ACTIVE, BaseFleet, ReplicaProfile
+from repro.serving.generative_cluster import (GenerativeClusterMetrics,
+                                              GenerativeFleetState,
+                                              PolicyFactory)
+from repro.serving.hf_pipelines import ContinuousBatchingEngine
+
+__all__ = ["PrefillReplicaHandle", "PrefillReplicaEntry", "PrefillFleetState",
+           "DisaggregatedMetrics", "DisaggregatedPlatform"]
+
+
+class _PrefillView:
+    """Platform-shaped shim over a prefill replica for autoscaler policies.
+
+    The predictive autoscaler reads capacity as ``max_batch_size`` requests
+    per ``predicted_batch_time_ms``; for a prefill replica that is one
+    chunk-batch of prompts at the workload's mean prompt length.
+    """
+
+    def __init__(self, entry: "PrefillReplicaEntry") -> None:
+        self._entry = entry
+
+    @property
+    def max_batch_size(self) -> int:
+        return self._entry.prefill_batch
+
+    def predicted_batch_time_ms(self, batch_size: int) -> float:
+        entry = self._entry
+        tokens = int(round(batch_size * max(entry.mean_prompt_tokens, 1.0)))
+        return entry.model.batch_prefill_ms(tokens) / entry.profile.speed
+
+
+class PrefillReplicaHandle:
+    """Read-only prefill-replica view for load balancers and autoscalers.
+
+    Load is expressed in *pending prefill chunks* — queued prompt tokens
+    divided into chunk units, plus the chunk-batch on the accelerator — so
+    JSQ balances by prompt length rather than prompt count, and the reactive
+    autoscaler's "jobs in system" watermark scales with queued prompt tokens,
+    which is exactly the signal the prefill pool must grow on.
+    """
+
+    def __init__(self, entry: "PrefillReplicaEntry") -> None:
+        self._entry = entry
+        self.index = 0
+        self.platform = _PrefillView(entry)
+
+    @property
+    def replica_id(self) -> int:
+        return self._entry.replica_id
+
+    @property
+    def profile(self) -> ReplicaProfile:
+        return self._entry.profile
+
+    @property
+    def weight(self) -> float:
+        """Dispatch weight of this replica (its relative speed)."""
+        return self._entry.profile.speed
+
+    def queue_length(self) -> int:
+        return len(self._entry.queue)
+
+    def jobs_in_system(self, now_ms: float) -> float:
+        """Pending prefill chunks: queued prompt chunks + the in-flight batch."""
+        entry = self._entry
+        chunks = sum(entry.model.num_chunks(s.prompt_tokens)
+                     for s in entry.queue)
+        if entry.busy_until_ms > now_ms + 1e-9:
+            chunks += (entry.busy_until_ms - now_ms) / max(
+                entry.model.chunk_time_ms() / entry.profile.speed, 1e-9)
+        return float(chunks)
+
+    def backlog_ms(self, now_ms: float) -> float:
+        """Remaining accelerator time of the in-flight chunk-batch."""
+        return max(0.0, self._entry.busy_until_ms - now_ms)
+
+    def work_left_ms(self, now_ms: float) -> float:
+        """Expected milliseconds until this replica would drain its queue."""
+        entry = self._entry
+        work = self.backlog_ms(now_ms)
+        queued_tokens = sum(s.prompt_tokens for s in entry.queue)
+        if queued_tokens <= 0:
+            return work
+        return work + entry.model.batch_prefill_ms(queued_tokens) / entry.profile.speed
+
+
+@dataclass
+class PrefillReplicaEntry:
+    """One prefill replica: chunk-batch processor with fleet lifecycle."""
+
+    replica_id: int
+    model: PrefillModel
+    profile: ReplicaProfile
+    prefill_batch: int
+    mean_prompt_tokens: float
+    queue: List[SequenceSample] = field(default_factory=list)
+    #: the chunk-batch on the accelerator (empty when free).
+    in_flight: List[SequenceSample] = field(default_factory=list)
+    busy_until_ms: float = -np.inf
+    handle: Optional[PrefillReplicaHandle] = None
+    status: str = ACTIVE
+    added_ms: float = 0.0
+    retired_ms: Optional[float] = None
+    #: sequences the balancer routed here.
+    dispatched: int = 0
+    #: sequences / prompt tokens this replica finished prefilling.
+    prefilled: int = 0
+    prefilled_tokens: int = 0
+    last_completion_ms: float = -np.inf
+
+    def __post_init__(self) -> None:
+        if self.handle is None:
+            self.handle = PrefillReplicaHandle(self)
+
+    def is_free(self, now_ms: float) -> bool:
+        return not self.in_flight and self.busy_until_ms <= now_ms + 1e-9
+
+    def is_idle(self, now_ms: float) -> bool:
+        """No queued prompts and nothing on the accelerator (retirement)."""
+        return not self.queue and self.is_free(now_ms)
+
+    def active_ms(self, end_ms: float) -> float:
+        """Wall-clock time this replica was provisioned (added → retired)."""
+        until = self.retired_ms if self.retired_ms is not None else end_ms
+        return max(0.0, until - self.added_ms)
+
+
+class PrefillFleetState(BaseFleet):
+    """Dynamic prefill-replica membership (ACTIVE → DRAINING → RETIRED)."""
+
+    def add(self, model: PrefillModel, profile: ReplicaProfile,
+            prefill_batch: int, mean_prompt_tokens: float,
+            now_ms: float) -> PrefillReplicaEntry:
+        entry = PrefillReplicaEntry(replica_id=self._next_id, model=model,
+                                    profile=profile,
+                                    prefill_batch=prefill_batch,
+                                    mean_prompt_tokens=mean_prompt_tokens,
+                                    added_ms=now_ms)
+        return self._register(entry, now_ms)
+
+
+@dataclass
+class DisaggregatedMetrics(GenerativeClusterMetrics):
+    """Two-pool rollup of one disaggregated run.
+
+    The inherited :class:`GenerativeClusterMetrics` fields describe the
+    **decode pool** (that is where tokens are produced); the ``prefill_*``
+    fields describe the prefill pool, and the per-sequence delay maps record
+    the pipeline stages every sequence crossed: ``prefill_delays_ms`` spans
+    arrival → prefill completion (queueing included), ``transfer_delays_ms``
+    is the KV-cache shipping time prefill → decode replica.
+    """
+
+    prefill_dispatch_counts: List[int] = field(default_factory=list)
+    prefill_counts: List[int] = field(default_factory=list)
+    #: prompt tokens prefilled per replica, aligned with ``prefill_counts``.
+    prefill_token_counts: List[int] = field(default_factory=list)
+    prefill_fleet_timeline: List[Tuple[float, int]] = field(default_factory=list)
+    prefill_replica_seconds: float = 0.0
+    prefill_active_ms: float = 0.0
+    prefill_uptimes_ms: List[float] = field(default_factory=list)
+    prefill_delays_ms: Dict[int, float] = field(default_factory=dict)
+    transfer_delays_ms: Dict[int, float] = field(default_factory=dict)
+
+    def num_prefill_replicas(self) -> int:
+        return len(self.prefill_uptimes_ms)
+
+    def prefill_peak_replicas(self) -> int:
+        """Largest number of simultaneously active prefill replicas."""
+        if not self.prefill_fleet_timeline:
+            return self.num_prefill_replicas()
+        return max(count for _, count in self.prefill_fleet_timeline)
+
+    def mean_prefill_delay_ms(self) -> float:
+        if not self.prefill_delays_ms:
+            return 0.0
+        return float(np.mean(list(self.prefill_delays_ms.values())))
+
+    def mean_transfer_ms(self) -> float:
+        if not self.transfer_delays_ms:
+            return 0.0
+        return float(np.mean(list(self.transfer_delays_ms.values())))
+
+    def summary(self) -> Dict[str, float]:
+        data = super().summary()
+        data.update({
+            "prefill_replicas": float(self.num_prefill_replicas()),
+            "prefill_peak_replicas": float(self.prefill_peak_replicas()),
+            "prefill_replica_seconds": float(self.prefill_replica_seconds),
+            "prefill_delay_mean_ms": self.mean_prefill_delay_ms(),
+            "transfer_ms_mean": self.mean_transfer_ms(),
+        })
+        return data
+
+
+class DisaggregatedPlatform:
+    """Two independently balanced and autoscaled pools on one global clock.
+
+    Parameters
+    ----------
+    prefill_model:
+        Chunked-prefill / KV-transfer cost model shared by every prefill
+        replica (including ones the prefill autoscaler boots mid-run).
+    decode_engines:
+        Per-initial-decode-replica :class:`ContinuousBatchingEngine`.  Decode
+        engines should carry no in-slot prefill model — prompts reaching the
+        decode pool are already prefilled.
+    prefill_replicas / prefill_batch:
+        Initial prefill pool size and the maximum prompts per chunk-batch.
+    prefill_balancer / decode_balancer / seed:
+        Per-pool dispatch policies; stochastic balancers draw from seeds
+        ``seed`` (prefill) and ``seed + 1`` (decode) so repeated ``run()``
+        calls on one platform object stay bit-identical.
+    prefill_autoscaler / decode_autoscaler (+ per-pool min/max):
+        Independent elasticity.  The prefill scaler reads queued prompt
+        chunks, the decode scaler outstanding decode work, so the pools size
+        independently under shifting prompt/decode pressure.
+    prefill_profiles / decode_profiles:
+        Optional per-initial-replica heterogeneity, as in the clusters.
+    ttft_slo_ms:
+        Optional deadline shedding: a sequence whose wait already exceeds
+        the TTFT SLO when a decode slot frees up is shed (counted per decode
+        replica in ``shed_sequence_ids``), mirroring the classification
+        fleet's drop path at sequence granularity.
+    """
+
+    def __init__(self, prefill_model: PrefillModel,
+                 decode_engines: Sequence[ContinuousBatchingEngine],
+                 prefill_replicas: int = 1,
+                 prefill_batch: int = 4,
+                 prefill_balancer: Union[str, LoadBalancer] = "round_robin",
+                 decode_balancer: Union[str, LoadBalancer] = "round_robin",
+                 seed: int = 0,
+                 prefill_profiles: Optional[Sequence] = None,
+                 decode_profiles: Optional[Sequence] = None,
+                 prefill_autoscaler: Union[str, Autoscaler, None] = "none",
+                 decode_autoscaler: Union[str, Autoscaler, None] = "none",
+                 prefill_min_replicas: Optional[int] = None,
+                 prefill_max_replicas: Optional[int] = None,
+                 decode_min_replicas: Optional[int] = None,
+                 decode_max_replicas: Optional[int] = None,
+                 ttft_slo_ms: Optional[float] = None) -> None:
+        self.prefill_model = prefill_model
+        self.decode_engines = list(decode_engines)
+        if not self.decode_engines:
+            raise ValueError("a disaggregated platform needs at least one "
+                             "decode replica")
+        if int(prefill_replicas) < 1:
+            raise ValueError(f"prefill_replicas must be >= 1, "
+                             f"got {prefill_replicas}")
+        if int(prefill_batch) < 1:
+            raise ValueError(f"prefill_batch must be >= 1, got {prefill_batch}")
+        if ttft_slo_ms is not None and ttft_slo_ms <= 0:
+            raise ValueError(f"ttft_slo_ms must be positive, got {ttft_slo_ms}")
+        self.num_prefill = int(prefill_replicas)
+        self.prefill_batch = int(prefill_batch)
+        self.ttft_slo_ms = None if ttft_slo_ms is None else float(ttft_slo_ms)
+
+        self.prefill_balancer = build_balancer(prefill_balancer, seed=seed)
+        self.decode_balancer = build_balancer(decode_balancer, seed=seed + 1)
+        self.prefill_autoscaler = build_autoscaler(prefill_autoscaler)
+        self.decode_autoscaler = build_autoscaler(decode_autoscaler)
+        # One *instance* passed for both pools (e.g. a fleet-wide default
+        # threaded down from ClusterSpec) must not be aliased: a shared
+        # balancer would run one dispatch cursor/RNG stream across pools and
+        # a shared autoscaler would corrupt its cooldown/EWMA state by
+        # observing both pools' admissions.  Clone the decode-side copy.
+        if self.decode_balancer is self.prefill_balancer:
+            self.decode_balancer = copy.deepcopy(self.prefill_balancer)
+        if self.decode_autoscaler is self.prefill_autoscaler:
+            self.decode_autoscaler = copy.deepcopy(self.prefill_autoscaler)
+
+        self.prefill_profiles = self._coerce_profiles(
+            prefill_profiles, self.num_prefill, "prefill")
+        self.decode_profiles = self._coerce_profiles(
+            decode_profiles, len(self.decode_engines), "decode")
+
+        self.prefill_min, self.prefill_max = self._pool_band(
+            "prefill", self.num_prefill, prefill_min_replicas,
+            prefill_max_replicas)
+        self.decode_min, self.decode_max = self._pool_band(
+            "decode", len(self.decode_engines), decode_min_replicas,
+            decode_max_replicas)
+
+    @staticmethod
+    def _coerce_profiles(profiles, count: int, pool: str) -> List[ReplicaProfile]:
+        if profiles is None:
+            return [ReplicaProfile() for _ in range(count)]
+        coerced = [ReplicaProfile.coerce(p) for p in profiles]
+        if len(coerced) != count:
+            raise ValueError(f"got {len(coerced)} {pool} replica profiles "
+                             f"for {count} replicas")
+        return coerced
+
+    @staticmethod
+    def _pool_band(pool: str, initial: int, lower: Optional[int],
+                   upper: Optional[int]) -> Tuple[int, int]:
+        low = initial if lower is None else int(lower)
+        high = initial if upper is None else int(upper)
+        if not 1 <= low <= initial:
+            raise ValueError(f"{pool}_min_replicas must be in [1, {initial}] "
+                             f"(the initial pool size), got {low}")
+        if high < initial:
+            raise ValueError(f"{pool}_max_replicas must be >= the initial "
+                             f"pool size ({initial}), got {high}")
+        return low, high
+
+    @property
+    def num_decode(self) -> int:
+        """Size of the initial decode pool."""
+        return len(self.decode_engines)
+
+    # --------------------------------------------------------------- main loop
+    def run(self, workload, policy_factory: PolicyFactory) -> DisaggregatedMetrics:
+        """Serve every sequence through prefill → handoff → decode.
+
+        ``policy_factory(ordinal)`` supplies the token-exit policy of each
+        *decode* replica (prefill replicas produce no tokens).  All mutable
+        state lives in run-local fleets, so repeated calls on one platform
+        object are bit-identical.
+        """
+        self.prefill_balancer.reset()
+        self.decode_balancer.reset()
+        self.prefill_autoscaler.reset()
+        self.decode_autoscaler.reset()
+
+        pending = sorted(workload.sequences,
+                         key=lambda s: (s.arrival_ms, s.sequence_id))
+        num_sequences = len(pending)
+        start = pending[0].arrival_ms if pending else 0.0
+        mean_tokens = workload.mean_output_length() or 1.0
+        mean_prompt = getattr(workload, "mean_prompt_length", lambda: 0.0)() or 1.0
+
+        prefill_fleet = PrefillFleetState()
+        for profile in self.prefill_profiles:
+            prefill_fleet.add(self.prefill_model, profile, self.prefill_batch,
+                              mean_prompt, start)
+        decode_fleet = GenerativeFleetState()
+        for engine, profile in zip(self.decode_engines, self.decode_profiles):
+            decode_fleet.add(engine, policy_factory(decode_fleet.next_ordinal()),
+                             profile, mean_tokens, start)
+
+        if num_sequences == 0:
+            return self._collect(prefill_fleet, decode_fleet, {}, {}, start, start)
+
+        #: (ready_ms, sequence_id, sample) — KV transfer complete, decodeable.
+        handoff: List[Tuple[float, int, SequenceSample]] = []
+        prefill_delays: Dict[int, float] = {}
+        transfer_delays: Dict[int, float] = {}
+        prefill_boots: List[float] = []
+        decode_boots: List[float] = []
+        next_arrival = 0
+        now = start
+
+        def pool_scaling(fleet, autoscaler, handles, boots, low, high):
+            """Shared per-pool autoscaler application (boot or drain)."""
+            active = fleet.active()
+            desired = int(autoscaler.desired_replicas(now, handles))
+            desired = max(low, min(high, desired))
+            provisioned = len(active) + len(boots)
+            if desired > provisioned:
+                delay = max(float(autoscaler.provision_delay_ms), 1e-6)
+                boots.extend([now + delay] * (desired - provisioned))
+            elif desired < len(active):
+                boots.clear()
+                for entry in sorted(active,
+                                    key=lambda e: -e.replica_id)[:len(active) - desired]:
+                    fleet.drain(entry, now)
+
+        while (next_arrival < num_sequences
+               or any(e.queue or e.in_flight for e in prefill_fleet.serving())
+               or handoff
+               or any(e.queue or e.busy_slots(now) for e in decode_fleet.serving())):
+            # Phase 0: provisioning completes in either pool.
+            for boots, fleet, add_fn in (
+                    (prefill_boots, prefill_fleet, self._add_prefill),
+                    (decode_boots, decode_fleet, self._add_decode)):
+                due = sum(1 for t in boots if t <= now + 1e-9)
+                if due:
+                    boots[:] = [t for t in boots if t > now + 1e-9]
+                    for _ in range(due):
+                        add_fn(fleet, policy_factory, mean_tokens, mean_prompt,
+                               now)
+
+            prefill_active = prefill_fleet.active()
+            for position, entry in enumerate(prefill_active):
+                entry.handle.index = position
+            prefill_handles = [e.handle for e in prefill_active]
+
+            # Phase 1: admit arrivals into the prefill pool.
+            admitted = 0
+            while (next_arrival < num_sequences
+                   and pending[next_arrival].arrival_ms <= now + 1e-9):
+                sample = pending[next_arrival]
+                index = int(self.prefill_balancer.choose(sample, prefill_handles,
+                                                         now))
+                if not 0 <= index < len(prefill_active):
+                    raise ValueError(f"balancer {self.prefill_balancer.name!r} "
+                                     f"chose prefill replica {index} of "
+                                     f"{len(prefill_active)}")
+                entry = prefill_active[index]
+                entry.queue.append(sample)
+                entry.dispatched += 1
+                next_arrival += 1
+                admitted += 1
+            if admitted:
+                self.prefill_autoscaler.observe_admitted(admitted, now)
+
+            # Phase 2: the prefill pool's own autoscaler (queued prompt
+            # chunks drive its load signal).
+            pool_scaling(prefill_fleet, self.prefill_autoscaler,
+                         prefill_handles, prefill_boots, self.prefill_min,
+                         self.prefill_max)
+
+            # Phase 3: prefill progress — finish due chunk-batches (pushing
+            # their sequences into the handoff queue with the KV-transfer
+            # delay) and start new ones on free replicas.
+            progressed = False
+            for entry in prefill_fleet.serving():
+                if entry.in_flight and entry.busy_until_ms <= now + 1e-9:
+                    done = entry.busy_until_ms
+                    for sample in entry.in_flight:
+                        transfer = entry.model.transfer_ms(sample.prompt_tokens)
+                        prefill_delays[sample.sequence_id] = done - sample.arrival_ms
+                        transfer_delays[sample.sequence_id] = transfer
+                        heapq.heappush(handoff, (done + transfer,
+                                                 sample.sequence_id, sample))
+                    entry.prefilled += len(entry.in_flight)
+                    entry.prefilled_tokens += sum(s.prompt_tokens
+                                                  for s in entry.in_flight)
+                    entry.in_flight = []
+                    progressed = True
+                if entry.is_free(now) and entry.queue:
+                    batch = entry.queue[:entry.prefill_batch]
+                    del entry.queue[:len(batch)]
+                    tokens = sum(s.prompt_tokens for s in batch)
+                    duration = entry.model.batch_prefill_ms(tokens) / entry.profile.speed
+                    entry.in_flight = batch
+                    entry.busy_until_ms = now + duration
+                    entry.last_completion_ms = max(entry.last_completion_ms,
+                                                   now + duration)
+                    progressed = True
+
+            # Phase 4: handoff — transferred sequences dispatch to the decode
+            # pool through its own balancer.
+            decode_active = decode_fleet.active()
+            for position, entry in enumerate(decode_active):
+                entry.handle.index = position
+            decode_handles = [e.handle for e in decode_active]
+            moved = 0
+            while handoff and handoff[0][0] <= now + 1e-9:
+                _, _, sample = heapq.heappop(handoff)
+                index = int(self.decode_balancer.choose(sample, decode_handles,
+                                                        now))
+                if not 0 <= index < len(decode_active):
+                    raise ValueError(f"balancer {self.decode_balancer.name!r} "
+                                     f"chose decode replica {index} of "
+                                     f"{len(decode_active)}")
+                entry = decode_active[index]
+                entry.queue.append(sample)
+                entry.dispatched += 1
+                moved += 1
+            if moved:
+                self.decode_autoscaler.observe_admitted(moved, now)
+                progressed = True
+
+            # Phase 5: the decode pool's own autoscaler (outstanding decode
+            # work drives its load signal, as in the monolithic cluster).
+            pool_scaling(decode_fleet, self.decode_autoscaler, decode_handles,
+                         decode_boots, self.decode_min, self.decode_max)
+
+            # Phase 6: free decode slots claim queue heads and run the slot
+            # loop shared with the monolithic cluster (the decode engines
+            # carry no in-slot prefill model — prompts arrive prefilled —
+            # and doomed sequences are shed against the TTFT SLO).  The
+            # recorded queueing delay spans arrival → first decode step, so
+            # the aggregate TTFT includes prefill + transfer + both waits.
+            for entry in decode_fleet.serving():
+                if entry.claim_streams(now, self.ttft_slo_ms):
+                    progressed = True
+
+            # Phase 7: drained replicas that have gone idle leave their pool.
+            prefill_fleet.retire_idle(now)
+            decode_fleet.retire_idle(now)
+
+            if progressed:
+                # Something changed at this timestamp; re-evaluate every phase
+                # before advancing (a finished prefill may dispatch, fill a
+                # slot and trip an autoscaler all at the same instant).
+                continue
+
+            # Phase 8: advance the shared clock to the earliest future event.
+            wake: List[float] = list(prefill_boots) + list(decode_boots)
+            if next_arrival < num_sequences:
+                wake.append(pending[next_arrival].arrival_ms)
+            for entry in prefill_fleet.serving():
+                if entry.in_flight:
+                    wake.append(entry.busy_until_ms)
+            if handoff:
+                wake.append(handoff[0][0])
+            for entry in decode_fleet.serving():
+                wake.extend(t for t in entry.slots if t > now + 1e-9)
+            future = [t for t in wake if np.isfinite(t) and t > now + 1e-9]
+            if not future:
+                break   # nothing can happen anymore
+            now = min(future)
+
+        end = max((e.last_completion_ms for e in decode_fleet.entries
+                   if np.isfinite(e.last_completion_ms)), default=start)
+        return self._collect(prefill_fleet, decode_fleet, prefill_delays,
+                             transfer_delays, start, end)
+
+    # ----------------------------------------------------------- scale-out add
+    def _add_prefill(self, fleet: PrefillFleetState, policy_factory,
+                     mean_tokens: float, mean_prompt: float,
+                     now_ms: float) -> None:
+        fleet.add(self.prefill_model, ReplicaProfile(), self.prefill_batch,
+                  mean_prompt, now_ms)
+
+    def _add_decode(self, fleet: GenerativeFleetState, policy_factory,
+                    mean_tokens: float, mean_prompt: float,
+                    now_ms: float) -> None:
+        fleet.add(self.decode_engines[0],
+                  policy_factory(fleet.next_ordinal()), ReplicaProfile(),
+                  mean_tokens, now_ms)
+
+    # ------------------------------------------------------------------ collect
+    def _collect(self, prefill_fleet: PrefillFleetState,
+                 decode_fleet: GenerativeFleetState,
+                 prefill_delays: Dict[int, float],
+                 transfer_delays: Dict[int, float],
+                 start_ms: float, end_ms: float) -> DisaggregatedMetrics:
+        prefill_end = max(end_ms, max(
+            (e.last_completion_ms for e in prefill_fleet.entries
+             if np.isfinite(e.last_completion_ms)), default=start_ms))
+        prefill_fleet.finalize(prefill_end)
+        decode_fleet.finalize(end_ms)
+        for entry in decode_fleet.entries:
+            if entry.metrics.tokens:
+                entry.metrics.makespan_ms = max(
+                    entry.last_completion_ms - start_ms, 1e-9)
+        decoded_anything = any(e.metrics.tokens for e in decode_fleet.entries)
+        makespan = max(end_ms - start_ms, 1e-9) if decoded_anything else 0.0
+        return DisaggregatedMetrics(
+            replicas=[e.metrics for e in decode_fleet.entries],
+            dispatch_counts=[e.dispatched for e in decode_fleet.entries],
+            makespan_ms=makespan,
+            fleet_timeline=list(decode_fleet.timeline),
+            replica_seconds=decode_fleet.replica_seconds(end_ms),
+            replica_active_ms=decode_fleet.active_replica_ms(end_ms),
+            replica_uptimes_ms=[e.active_ms(end_ms)
+                                for e in decode_fleet.entries],
+            prefill_dispatch_counts=[e.dispatched
+                                     for e in prefill_fleet.entries],
+            prefill_counts=[e.prefilled for e in prefill_fleet.entries],
+            prefill_token_counts=[e.prefilled_tokens
+                                  for e in prefill_fleet.entries],
+            prefill_fleet_timeline=list(prefill_fleet.timeline),
+            prefill_replica_seconds=prefill_fleet.replica_seconds(prefill_end),
+            prefill_active_ms=prefill_fleet.active_replica_ms(prefill_end),
+            prefill_uptimes_ms=[e.active_ms(prefill_end)
+                                for e in prefill_fleet.entries],
+            prefill_delays_ms=dict(prefill_delays),
+            transfer_delays_ms=dict(transfer_delays),
+        )

@@ -219,6 +219,56 @@ class GenerativeReplicaEntry:
         self.released_tokens += int(num_tokens)
         self.released_exits += int(num_exited)
 
+    # ------------------------------------------------------------ slot claims
+    def claim_streams(self, now_ms: float,
+                      ttft_slo_ms: Optional[float]) -> bool:
+        """Free decode slots claim queue heads and run the stream decode.
+
+        This is the one slot-claim loop shared by the monolithic cluster and
+        the disaggregated decode pool (whose engines simply carry no in-slot
+        prefill model).  Returns whether anything changed at this timestamp.
+
+        The TTFT deadline check runs on the time decode *would start* — for
+        a monolithic engine that includes the prompt's in-slot prefill,
+        stretched by contention with the busy decode slots — so a sequence
+        that provably cannot make its SLO is shed before any compute is
+        spent on it, and the shed decision is consistent with the TTFT the
+        sequence would have recorded.
+        """
+        progressed = False
+        while self.queue:
+            slot = self.free_slot_index(now_ms)
+            if slot is None:
+                break
+            sample = self.queue.pop(0)
+            decode_start = now_ms
+            if self.engine.prefill is not None:
+                # Monolithic in-slot prefill: the prompt's chunks contend
+                # with the decode streams already in flight.
+                decode_start = now_ms + self.engine.prefill.inslot_prefill_ms(
+                    sample.prompt_tokens,
+                    self.busy_slots(now_ms)) / self.profile.speed
+            if ttft_slo_ms is not None \
+                    and decode_start - sample.arrival_ms > ttft_slo_ms:
+                self.metrics.shed_sequence_ids.append(sample.sequence_id)
+                progressed = True
+                continue
+            # Queueing spans arrival -> first decode step, so TTFT rolls up
+            # every pipeline stage the sequence crossed.
+            self.metrics.queueing_delays_ms[sample.sequence_id] = \
+                decode_start - sample.arrival_ms
+            before = len(self.metrics.tokens)
+            completion = self.engine.decode_stream(
+                sample, decode_start, self.policy, self.metrics,
+                speed=self.profile.speed)
+            released = self.metrics.tokens[before:]
+            self.record_stream(len(released),
+                               sum(1 for t in released if t.exited))
+            self.slots[slot] = completion
+            self.last_completion_ms = max(self.last_completion_ms, completion)
+            progressed = True
+        return progressed
+
 
 class GenerativeFleetState(BaseFleet):
     """Dynamic decode-replica membership (ACTIVE → DRAINING → RETIRED)."""
@@ -336,10 +386,14 @@ class GenerativeClusterPlatform:
                  autoscaler: Union[str, Autoscaler, None] = "none",
                  min_replicas: Optional[int] = None,
                  max_replicas: Optional[int] = None,
-                 scale_out_profile: Optional[ReplicaProfile] = None) -> None:
+                 scale_out_profile: Optional[ReplicaProfile] = None,
+                 ttft_slo_ms: Optional[float] = None) -> None:
         self.engines = list(engines)
         if not self.engines:
             raise ValueError("a generative cluster needs at least one replica")
+        if ttft_slo_ms is not None and ttft_slo_ms <= 0:
+            raise ValueError(f"ttft_slo_ms must be positive, got {ttft_slo_ms}")
+        self.ttft_slo_ms = None if ttft_slo_ms is None else float(ttft_slo_ms)
         self.balancer = build_balancer(balancer, seed=seed)
         self.autoscaler = build_autoscaler(autoscaler)
 
@@ -451,26 +505,11 @@ class GenerativeClusterPlatform:
                 handles = [entry.handle for entry in active]
 
             # Phase 3 per serving replica: free decode slots claim the queue
-            # head and run the stream decode shared with the single engine.
+            # head and run the stream decode shared with the single engine
+            # (deadline shedding included; see claim_streams).
             progressed = False
             for entry in fleet.serving():
-                while entry.queue:
-                    slot = entry.free_slot_index(now)
-                    if slot is None:
-                        break
-                    sample = entry.queue.pop(0)
-                    entry.metrics.queueing_delays_ms[sample.sequence_id] = \
-                        now - sample.arrival_ms
-                    before = len(entry.metrics.tokens)
-                    completion = entry.engine.decode_stream(
-                        sample, now, entry.policy, entry.metrics,
-                        speed=entry.profile.speed)
-                    released = entry.metrics.tokens[before:]
-                    entry.record_stream(len(released),
-                                        sum(1 for t in released if t.exited))
-                    entry.slots[slot] = completion
-                    entry.last_completion_ms = max(entry.last_completion_ms,
-                                                   completion)
+                if entry.claim_streams(now, self.ttft_slo_ms):
                     progressed = True
 
             # Phase 4: drained replicas that have gone idle leave the fleet.

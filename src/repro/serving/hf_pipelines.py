@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Protocol, Sequence
 
 import numpy as np
 
-from repro.generative.decoding import DecodeTimingModel, TokenRecord
+from repro.generative.decoding import DecodeTimingModel, PrefillModel, TokenRecord
 from repro.generative.parallel import ParallelDecodingState, TokenFeedback, truncate_feedback
 from repro.generative.sequences import GenerativeWorkload, SequenceSample
 from repro.utils.stats import summarize_latencies
@@ -82,6 +82,9 @@ class GenerativeMetrics:
     #: (piggybacked tails on a non-exiting token's full step are not flushes).
     deferred_tokens: int = 0
     deferred_flushes: int = 0
+    #: sequences shed by deadline admission: their wait had already blown the
+    #: TTFT SLO when a decode slot freed up, so no token was decoded for them.
+    shed_sequence_ids: List[int] = field(default_factory=list)
 
     def tpt_values(self) -> np.ndarray:
         return np.array([t.tpt_ms for t in self.tokens], dtype=float)
@@ -121,6 +124,38 @@ class GenerativeMetrics:
     def p99_token_latency(self) -> float:
         return self.token_latency_summary()["p99"]
 
+    def ttft_values(self) -> np.ndarray:
+        """Time-to-first-token of every served sequence.
+
+        Measured from the sequence's *arrival* to the release of its first
+        token, so everything a user waits through counts: queueing for a
+        slot, (disaggregated) prefill and KV transfer, and the first decode
+        step.  This is the latency SLO production LLM serving is sized
+        against — the decode-cadence TPT distribution cannot see it.
+        """
+        delays = self.queueing_delays_ms
+        return np.array([t.tpt_ms + delays.get(t.sequence_id, 0.0)
+                         for t in self.tokens if t.token_index == 0], dtype=float)
+
+    def ttft_summary(self) -> Dict[str, float]:
+        return summarize_latencies(self.ttft_values())
+
+    def mean_ttft(self) -> float:
+        return self.ttft_summary()["mean"]
+
+    def p99_ttft(self) -> float:
+        return self.ttft_summary()["p99"]
+
+    def num_shed(self) -> int:
+        return len(self.shed_sequence_ids)
+
+    def shed_rate(self) -> float:
+        """Fraction of admitted sequences shed by the TTFT deadline check."""
+        total = len(self.sequence_accuracy) + self.num_shed()
+        if total == 0:
+            return 0.0
+        return self.num_shed() / total
+
     def mean_sequence_accuracy(self) -> float:
         if not self.sequence_accuracy:
             return 1.0
@@ -143,18 +178,23 @@ class GenerativeMetrics:
 
     def summary(self) -> Dict[str, float]:
         tpt = self.tpt_summary()
+        ttft = self.ttft_summary()
         return {
             "tpt_p25_ms": tpt["p25"],
             "tpt_p50_ms": tpt["p50"],
             "tpt_p95_ms": tpt["p95"],
             "tpt_p99_ms": tpt["p99"],
             "token_p99_ms": self.p99_token_latency(),
+            "ttft_mean_ms": ttft["mean"],
+            "ttft_p99_ms": ttft["p99"],
             "sequence_accuracy": self.mean_sequence_accuracy(),
             "exit_rate": self.exit_rate(),
             "throughput_tokens_per_s": self.throughput_tokens_per_s(),
             "num_tokens": float(len(self.tokens)),
             "deferred_tokens": float(self.deferred_tokens),
             "deferred_flushes": float(self.deferred_flushes),
+            "shed": float(self.num_shed()),
+            "shed_rate": self.shed_rate(),
         }
 
     # ----------------------------------------------------------------- merge
@@ -175,6 +215,7 @@ class GenerativeMetrics:
             out.queueing_delays_ms.update(metrics.queueing_delays_ms)
             out.deferred_tokens += metrics.deferred_tokens
             out.deferred_flushes += metrics.deferred_flushes
+            out.shed_sequence_ids.extend(metrics.shed_sequence_ids)
             out.makespan_ms = max(out.makespan_ms, metrics.makespan_ms)
         if makespan_ms is not None:
             out.makespan_ms = makespan_ms
@@ -182,15 +223,35 @@ class GenerativeMetrics:
 
 
 class ContinuousBatchingEngine:
-    """Slot-based generative serving engine with pluggable exit policies."""
+    """Slot-based generative serving engine with pluggable exit policies.
+
+    ``prefill`` (optional) makes the engine *monolithic* in the
+    prefill/decode sense: a sequence claiming a decode slot first runs its
+    prompt's chunked prefill on the replica's own accelerator, stretched by
+    compute contention with the decode streams already in flight (see
+    :meth:`~repro.generative.decoding.PrefillModel.inslot_prefill_ms`).
+    Without it (the default) prompts are assumed pre-processed — the paper's
+    decode-only setup, and the configuration disaggregated decode replicas
+    run (their prompts were prefilled in the dedicated pool).
+
+    ``ttft_slo_ms`` (optional) enables deadline shedding: a sequence whose
+    wait has already blown the time-to-first-token SLO when a slot frees up
+    is shed (no token decoded) and counted in
+    :attr:`GenerativeMetrics.shed_sequence_ids`.
+    """
 
     def __init__(self, timing: DecodeTimingModel, max_batch_size: int = 8,
-                 flush_limit: int = 8) -> None:
+                 flush_limit: int = 8, prefill: Optional[PrefillModel] = None,
+                 ttft_slo_ms: Optional[float] = None) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
+        if ttft_slo_ms is not None and ttft_slo_ms <= 0:
+            raise ValueError(f"ttft_slo_ms must be positive, got {ttft_slo_ms}")
         self.timing = timing
         self.max_batch_size = int(max_batch_size)
         self.flush_limit = int(flush_limit)
+        self.prefill = prefill
+        self.ttft_slo_ms = None if ttft_slo_ms is None else float(ttft_slo_ms)
 
     # ------------------------------------------------------------------ run
     def run(self, workload: GenerativeWorkload, policy: TokenExitPolicy) -> GenerativeMetrics:
@@ -212,6 +273,18 @@ class ContinuousBatchingEngine:
         for sample in queue:
             slot = int(np.argmin(slot_free_ms))
             start = max(sample.arrival_ms, slot_free_ms[slot])
+            if self.prefill is not None:
+                busy = sum(1 for t in slot_free_ms if t > start + 1e-9)
+                start += self.prefill.inslot_prefill_ms(sample.prompt_tokens,
+                                                        busy)
+            # Deadline admission runs on the time decode would start (in-slot
+            # prefill included), consistent with the TTFT the sequence would
+            # record — a sequence that provably cannot make its SLO is shed
+            # before any compute is spent on it.
+            if self.ttft_slo_ms is not None \
+                    and start - sample.arrival_ms > self.ttft_slo_ms:
+                metrics.shed_sequence_ids.append(sample.sequence_id)
+                continue
             metrics.queueing_delays_ms[sample.sequence_id] = start - sample.arrival_ms
             completion = self.decode_stream(sample, start, policy, metrics)
             slot_free_ms[slot] = completion

@@ -82,6 +82,9 @@ def make_nlp_workload(dataset: str = "amazon", num_requests: int = 20_000,
     arrival_rng = rng_factory.generator(f"nlp:{dataset}:arrivals")
     if arrival_process == "poisson":
         arrivals = poisson_arrivals(num_requests, rate_qps, arrival_rng)
-    else:
+    elif arrival_process == "maf":
         arrivals = maf_trace_arrivals(num_requests, rate_qps, arrival_rng)
+    else:
+        raise ValueError(f"unknown arrival_process {arrival_process!r}; "
+                         "choose from ('maf', 'poisson')")
     return NLPWorkload(name=dataset, trace=trace, arrival_times_ms=arrivals)

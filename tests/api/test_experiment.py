@@ -269,6 +269,129 @@ def test_sweep_scalar_values_are_promoted_to_axes():
     assert sweep.points[0].params == {"replicas": 2, "seed": 5}
 
 
+# ---------------------------------------------------- disaggregated serving
+
+def test_disagg_kind_dispatch_and_validation():
+    generative = WorkloadSpec("generative", requests=10)
+    disagg = Experiment(model="t5-large", workload=generative,
+                        cluster=ClusterSpec(replicas=2, disaggregate=True))
+    assert disagg.kind == "generative_disagg"
+    # A non-generative model cannot disaggregate.
+    with pytest.raises(ValueError, match="disaggregate.*generative"):
+        Experiment(model="resnet50", workload=WORKLOAD,
+                   cluster=ClusterSpec(replicas=2, disaggregate=True)).kind
+
+
+def test_cluster_spec_rejects_pool_keys_without_disaggregate():
+    """Pool knobs on a monolithic spec would be silently dead configuration,
+    so construction rejects them naming the offending key."""
+    with pytest.raises(ValueError, match="prefill_replicas"):
+        ClusterSpec(replicas=2, prefill_replicas=3)
+    with pytest.raises(ValueError, match="decode_autoscaler"):
+        ClusterSpec(replicas=2, decode_autoscaler="reactive")
+
+
+def test_cluster_spec_rejects_fleet_sizing_keys_with_disaggregate():
+    """The converse dead-configuration class: fleet-wide bounds/profiles
+    have no meaning once the fleet is split into pools."""
+    with pytest.raises(ValueError, match="min_replicas.*prefill"):
+        ClusterSpec(replicas=2, disaggregate=True, autoscaler="reactive",
+                    min_replicas=2)
+    with pytest.raises(ValueError, match="profiles"):
+        ClusterSpec(replicas=2, disaggregate=True, profiles="2,1")
+    with pytest.raises(ValueError, match="prefill_in_slot"):
+        ClusterSpec(replicas=2, disaggregate=True, prefill_in_slot=True)
+    # describe() reports only the knobs that actually apply per deployment.
+    disagg = ClusterSpec(replicas=2, disaggregate=True).describe()
+    assert "min_replicas" not in disagg and "profiles" not in disagg
+    assert "decode_min_replicas" in disagg
+
+
+def test_prefill_in_slot_is_a_generative_cluster_knob():
+    """prefill_in_slot reaches the monolithic generative fleet through the
+    public spec surface (and is rejected on classification models)."""
+    workload = WorkloadSpec("generative", requests=10, rate=20.0)
+    spec = ClusterSpec(replicas=1, prefill_in_slot=True)
+    inslot = Experiment(model="t5-large", workload=workload, cluster=spec) \
+        .run(["vanilla"]).result("vanilla")
+    free_prompts = Experiment(model="t5-large", workload=workload,
+                              cluster=ClusterSpec(replicas=1)) \
+        .run(["vanilla"]).result("vanilla")
+    # Charging prefill in the decode slot can only lengthen TTFT.
+    assert inslot.summary["ttft_mean_ms"] > free_prompts.summary["ttft_mean_ms"]
+    with pytest.raises(ValueError, match="prefill_in_slot.*generative"):
+        Experiment(model="resnet50", workload=WORKLOAD, cluster=spec).kind
+
+
+def test_explicit_unknown_arrival_process_raises_per_kind():
+    """An explicitly named process the kind's factory does not know raises
+    instead of silently serving a different trace."""
+    with pytest.raises(ValueError, match="maf"):
+        WorkloadSpec("generative", requests=5, arrival_process="maf").build()
+    with pytest.raises(ValueError, match="diurnal"):
+        WorkloadSpec("nlp", requests=5, arrival_process="diurnal").build()
+    # None picks each kind's default process.
+    WorkloadSpec("generative", requests=5).build()
+    WorkloadSpec("nlp", requests=5).build()
+
+
+def test_disagg_runs_every_generative_system():
+    experiment = Experiment(
+        model="t5-large", workload=WorkloadSpec("generative", requests=24),
+        cluster=ClusterSpec(replicas=2, disaggregate=True,
+                            prefill_replicas=1, decode_replicas=3))
+    report = experiment.run(["vanilla", "apparate", "free", "optimal"])
+    for system in ("vanilla", "apparate", "free", "optimal"):
+        result = report.result(system)
+        assert result.kind == "generative_disagg"
+        assert result.summary["prefill_replicas"] == 1.0
+        assert result.summary["num_replicas"] == 3.0
+        assert {"ttft_p99_ms", "ttft_mean_ms", "transfer_ms_mean",
+                "prefill_replica_seconds"} <= set(result.summary)
+        assert "prefill_fleet_timeline" in result.details
+    json.dumps(report.to_json())     # fully JSON-safe
+
+
+def test_ttft_surfaces_for_every_generative_kind():
+    """TTFT (mean + p99) rides on RunResult for single-engine, cluster and
+    disaggregated generative runs alike."""
+    generative = WorkloadSpec("generative", requests=12)
+    for cluster in (None, ClusterSpec(replicas=2),
+                    ClusterSpec(replicas=2, disaggregate=True)):
+        report = Experiment(model="t5-large", workload=generative,
+                            cluster=cluster).run(["vanilla"])
+        summary = report.result("vanilla").summary
+        assert summary["ttft_p99_ms"] >= summary["tpt_p50_ms"]
+        assert summary["ttft_mean_ms"] > 0.0
+        assert "shed" in summary
+
+
+def test_sweep_accepts_pool_keys_and_implies_disaggregate():
+    """Regression: the cluster grid takes the per-pool keys (implying
+    disaggregate=True) instead of silently ignoring them."""
+    experiment = Experiment(model="t5-large",
+                            workload=WorkloadSpec("generative", requests=16))
+    sweep = experiment.sweep(systems=["vanilla"],
+                             prefill_replicas=[1, 2], decode_replicas=2)
+    assert len(sweep) == 2
+    for point in sweep:
+        result = point.report.result("vanilla")
+        assert result.kind == "generative_disagg"
+        assert result.params["cluster"]["disaggregate"] is True
+    assert [p.params["prefill_replicas"] for p in sweep] == [1, 2]
+    assert sweep.results("vanilla")[0].summary["prefill_replicas"] == 1.0
+    assert sweep.results("vanilla")[1].summary["prefill_replicas"] == 2.0
+
+
+def test_sweep_rejects_unknown_cluster_key_naming_it():
+    """Regression: an unknown cluster-grid key raises ValueError naming the
+    key instead of being silently dropped."""
+    experiment = Experiment(model="t5-large",
+                            workload=WorkloadSpec("generative", requests=16))
+    with pytest.raises(ValueError, match="prefill_replica_count"):
+        experiment.sweep(systems=["vanilla"], prefill_replica_count=[1, 2])
+
+
 # ---------------------------------------------------------------------- JSON
 
 def test_report_to_json_round_trips():
