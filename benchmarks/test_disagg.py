@@ -33,7 +33,9 @@ from bench_common import pct_win, print_table, run_once
 from repro.api import ClusterSpec, Experiment, ExitPolicySpec
 from repro.generative.sequences import make_generative_workload
 
-SEQUENCES = 400
+SEQUENCES = 1200          # ~60s at the mean rate: one full diurnal period, so
+                          # the p99 tail reflects the whole cycle rather than a
+                          # handful of sequences on a truncated rising edge
 MEAN_RATE_QPS = 20.0      # diurnal cycle swings between 5 and 35 seq/s
 ACCURACY_CONSTRAINT = 0.01
 TOTAL_REPLICAS = 6        # same initial footprint in both deployments
@@ -126,9 +128,12 @@ def test_disaggregation_beats_monolith_on_ttft_under_diurnal_prompts(
     assert disagg["token_p99_ms"] <= 1.05 * mono["token_p99_ms"]
 
     # The pools sized independently: the prompt surge grew the prefill pool
-    # beyond its initial 2 replicas without dragging the decode pool along.
+    # well beyond its initial 2 replicas while the decode pool stayed close
+    # to its initial 4 — and below the monolith's peak, which must grow whole
+    # prefill+decode replicas to absorb the same surge.
     assert disagg["prefill_peak_replicas"] > 2.0
-    assert disagg["peak_replicas"] <= 4.0
+    assert disagg["peak_replicas"] <= 5.0
+    assert disagg["peak_replicas"] < mono["peak_replicas"]
 
 
 def test_disaggregation_conserves_tokens_vs_single_engine(workload):

@@ -20,6 +20,15 @@ configuration and compares them:
 
 The object API (:class:`Apparate`) mirrors the paper's register/serve
 workflow, and the ``run_*`` helpers remain as shims over the registry.
+
+Every serving platform — the classification cluster, the generative
+continuous-batching cluster and the disaggregated prefill/decode pools —
+runs on the shared heap-scheduled discrete-event kernel in
+:mod:`repro.serving.kernel` (see its docstring for the event-ordering
+guarantees).  Simulation speed is benchmark-gated: ``BENCH_simspeed.json``
+tracks simulated requests/sec against the preserved pre-kernel loops;
+refresh it with ``BENCH_SIMSPEED=full PYTHONPATH=src python -m pytest -q -s
+benchmarks/test_simspeed.py``.
 """
 
 from repro.core import (

@@ -46,9 +46,33 @@ class Autoscaler(abc.ABC):
     name: str = "abstract"
     #: delay between a scale-out decision and the replica coming online.
     provision_delay_ms: float = 0.0
+    #: replica band of the owning platform (None until ``set_bounds``); lets
+    #: stateful policies recognise proposals the platform would clamp to a
+    #: no-op, so they don't burn their cooldown on them.
+    _min_replicas: Optional[int] = None
+    _max_replicas: Optional[int] = None
 
     def reset(self) -> None:
         """Clear decision state before a fresh run (default: nothing)."""
+
+    def set_bounds(self, min_replicas: Optional[int],
+                   max_replicas: Optional[int]) -> None:
+        """Tell the policy the platform's replica band.
+
+        The run loop calls this once per run (after :meth:`reset`).  Policies
+        constructed and evaluated standalone — without a platform — keep the
+        historical behaviour of treating every proposal as actionable.
+        """
+        self._min_replicas = min_replicas
+        self._max_replicas = max_replicas
+
+    def _clamp(self, desired: int) -> int:
+        """Project a proposal onto the platform band (identity without one)."""
+        if self._min_replicas is not None and desired < self._min_replicas:
+            desired = self._min_replicas
+        if self._max_replicas is not None and desired > self._max_replicas:
+            desired = self._max_replicas
+        return desired
 
     def observe_admitted(self, count: int, now_ms: float) -> None:
         """Feed one admission wave (``count`` arrivals at ``now_ms``)."""
@@ -132,11 +156,18 @@ class ReactiveAutoscaler(Autoscaler):
             best_wait = min(h.work_left_ms(now_ms) for h in replicas)
             overloaded = best_wait > self.slo_headroom * self.slo_ms
         if overloaded:
-            self._last_action_ms = now_ms
-            return n + self.step
+            desired = n + self.step
+            # Only a proposal the platform can act on costs a cooldown: at
+            # the max-replica boundary the clamp turns it into a no-op, and
+            # stamping there would delay the next genuine action.
+            if self._clamp(desired) != n:
+                self._last_action_ms = now_ms
+            return desired
         if mean_load < self.scale_in_load:
-            self._last_action_ms = now_ms
-            return n - self.step
+            desired = n - self.step
+            if self._clamp(desired) != n:
+                self._last_action_ms = now_ms
+            return desired
         return n
 
 
@@ -183,15 +214,20 @@ class PredictiveAutoscaler(Autoscaler):
     def observe_admitted(self, count: int, now_ms: float) -> None:
         if self._window_start_ms is None:
             self._window_start_ms = now_ms
+        self._fold_to(now_ms)
+        self._window_count += count
+
+    def _fold_to(self, now_ms: float) -> None:
         # Fold every full window between the last sample and now (idle windows
         # contribute zero-rate samples, so the estimate decays during lulls).
+        if self._window_start_ms is None:
+            return
         while now_ms - self._window_start_ms >= self.window_ms:
             rate_qps = 1000.0 * self._window_count / self.window_ms
             self._ewma_qps = rate_qps if self._ewma_qps is None else \
                 self.alpha * rate_qps + (1.0 - self.alpha) * self._ewma_qps
             self._window_count = 0
             self._window_start_ms += self.window_ms
-        self._window_count += count
 
     def _per_replica_qps(self, replicas: Sequence) -> Optional[float]:
         rates = []
@@ -213,6 +249,11 @@ class PredictiveAutoscaler(Autoscaler):
         n = len(replicas)
         if n == 0:
             return 1
+        # The run loop only calls observe_admitted on admission waves, so an
+        # arrival lull would otherwise freeze the estimate at its last value;
+        # fold the elapsed idle windows here too so the rate genuinely decays
+        # and the fleet scales in during troughs.
+        self._fold_to(now_ms)
         if self._ewma_qps is None or now_ms - self._last_action_ms < self.cooldown_ms:
             return n
         capacity = self._per_replica_qps(replicas)
@@ -220,7 +261,7 @@ class PredictiveAutoscaler(Autoscaler):
             return n
         desired = max(1, math.ceil(self._ewma_qps
                                    / (capacity * self.target_utilization)))
-        if desired != n:
+        if self._clamp(desired) != n:
             self._last_action_ms = now_ms
         return desired
 

@@ -65,6 +65,8 @@ import numpy as np
 from repro.serving.autoscaler import Autoscaler, build_autoscaler
 from repro.serving.fleet import (ACTIVE, DRAINING, RETIRED, FleetState,
                                  ReplicaEntry, ReplicaHandle, ReplicaProfile)
+from repro.serving.kernel import (PoolState, SimPlatform, pool_is_static,
+                                  scale_pool)
 from repro.serving.metrics import ClusterMetrics
 from repro.serving.platform import (BatchExecutorFn, BatchResult, ReplicaState,
                                     ServingPlatform)
@@ -474,6 +476,7 @@ class ClusterPlatform:
         factory = self._executor_factory(executors, executor_factory)
         self.balancer.reset()
         self.autoscaler.reset()
+        self.autoscaler.set_bounds(self.min_replicas, self.max_replicas)
 
         pending = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
         num_requests = len(pending)
@@ -486,133 +489,20 @@ class ClusterPlatform:
         if num_requests == 0:
             return self._collect(fleet, start, start, rerouted=0)
 
-        next_arrival = 0
-        now = start
-        rerouted = 0
-        rerouted_ids: Set[int] = set()
-        boot_times: List[float] = []   # scheduled scale-out completions
-
-        while next_arrival < num_requests or any(e.state.queue for e in fleet.serving()):
-            # Phase 0: provisioning completes — bring booted replicas online.
-            if boot_times:
-                due = sum(1 for t in boot_times if t <= now + 1e-9)
-                if due:
-                    boot_times = [t for t in boot_times if t > now + 1e-9]
-                    for _ in range(due):
-                        self._spawn(fleet, factory, now)
-
-            active = fleet.active()
-            for position, entry in enumerate(active):
-                entry.handle.index = position
-            handles = [entry.handle for entry in active]
-
-            # Phase 1: admit + dispatch everything that has arrived by now.
-            admitted = 0
-            while (next_arrival < num_requests
-                   and pending[next_arrival].arrival_ms <= now + 1e-9):
-                request = pending[next_arrival]
-                index = int(self.balancer.choose(request, handles, now))
-                if not 0 <= index < len(active):
-                    raise ValueError(f"balancer {self.balancer.name!r} chose replica "
-                                     f"{index} of {len(active)}")
-                entry = active[index]
-                entry.platform.admit(entry.state, request)
-                entry.dispatched += 1
-                next_arrival += 1
-                admitted += 1
-            if admitted:
-                self.autoscaler.observe_admitted(admitted, now)
-
-            # Phase 2: autoscaler decision on the global clock.  ``desired``
-            # targets the number of ACTIVE replicas; boots already in flight
-            # keep provisioning unless the policy asks to shrink below the
-            # current active set (a "hold" during a boot is not a scale-in).
-            desired = int(self.autoscaler.desired_replicas(now, handles))
-            desired = max(self.min_replicas, min(self.max_replicas, desired))
-            provisioned = len(active) + len(boot_times)
-            if desired > provisioned:
-                delay = max(float(self.autoscaler.provision_delay_ms), 1e-6)
-                boot_times.extend([now + delay] * (desired - provisioned))
-            elif desired < len(active):
-                # Cancel not-yet-booted replicas outright, then drain the
-                # newest active replicas down to the target.
-                boot_times.clear()
-                for entry in sorted(active,
-                                    key=lambda e: -e.replica_id)[:len(active) - desired]:
-                    fleet.drain(entry, now)
-                active = fleet.active()
-                for position, entry in enumerate(active):
-                    entry.handle.index = position
-                handles = [entry.handle for entry in active]
-
-            # Phase 3: cluster-level drop salvage.  One active replica is
-            # enough when draining replicas still hold queues — their doomed
-            # requests can move to it.
-            if handles and (len(handles) > 1
-                            or any(e.status == DRAINING and e.state.queue
-                                   for e in fleet.entries)):
-                rerouted += self._salvage_doomed(fleet, active, handles, now,
-                                                 rerouted_ids)
-
-            next_arrival_ms = (pending[next_arrival].arrival_ms
-                               if next_arrival < num_requests else np.inf)
-            wake_times: List[float] = []
-            progressed = False
-
-            # Phase 4 per serving replica: expire, select, serve (when idle).
-            for entry in fleet.serving():
-                platform, state = entry.platform, entry.state
-                if not state.idle_at(now):
-                    wake_times.append(state.busy_until_ms)
-                    continue
-                if not state.queue:
-                    continue
-                platform.expire(state, now)
-                if not state.queue:
-                    continue
-                batch, wake_up = platform.select(state, now)
-                if not batch:
-                    target = min(wake_up, next_arrival_ms)
-                    if not np.isfinite(target) or target <= now + 1e-9:
-                        batch = platform.force_batch(state)
-                    else:
-                        wake_times.append(wake_up)
-                        continue
-                platform.dispatch(state, batch)
-                result = _scale_result(entry.executor(batch, now),
-                                       entry.profile.speed)
-                platform.complete(state, batch, result, now)
-                wake_times.append(state.busy_until_ms)
-                progressed = True
-
-            # Phase 5: drained replicas that have gone idle leave the fleet.
-            fleet.retire_idle(now)
-
-            if progressed:
-                # A replica may have finished instantly; re-evaluate at the
-                # same timestamp before advancing the clock.
-                continue
-
-            # Advance the global clock to the earliest future event.
-            if next_arrival < num_requests:
-                wake_times.append(next_arrival_ms)
-            wake_times.extend(boot_times)
-            future = [t for t in wake_times if np.isfinite(t) and t > now + 1e-9]
-            if not future:
-                break  # nothing can happen anymore (all queues drained)
-            now = min(future)
+        runner = _ClusterRun(self, pending, factory, fleet, start)
+        runner.drive()
 
         for entry in fleet.entries:
             entry.state.finalize_makespan()
 
         last_event = max((e.state.last_event_ms for e in fleet.entries
                           if np.isfinite(e.state.last_event_ms)), default=start)
-        return self._collect(fleet, start, last_event, rerouted)
+        return self._collect(fleet, start, last_event, runner.rerouted)
 
     def _collect(self, fleet: FleetState, start_ms: float, end_ms: float,
                  rerouted: int) -> ClusterMetrics:
         fleet.finalize(end_ms)
-        served_anything = any(entry.state.metrics.responses
+        served_anything = any(entry.state.metrics.num_responses()
                               for entry in fleet.entries)
         makespan = max(end_ms - start_ms, 1e-9) if served_anything else 0.0
         return ClusterMetrics(
@@ -626,3 +516,197 @@ class ClusterPlatform:
             replica_uptimes_ms=[entry.active_ms(end_ms)
                                 for entry in fleet.entries],
         )
+
+
+#: event kinds of the kernel-scheduled cluster run.
+_BOOT, _COMPLETION, _TIMER = 0, 1, 2
+
+
+class _ClusterRun(SimPlatform):
+    """Kernel-scheduled execution of one :meth:`ClusterPlatform.run`.
+
+    The phase order inside :meth:`step` is exactly the seed rescan loop's
+    (boots → admit → autoscale → salvage → expire/select/serve → retire);
+    the difference is purely *which replicas* the serving phase touches — the
+    dirty set (queue changed, batch completed, policy timer fired) instead of
+    the whole fleet — and how the clock advances (event heap instead of a
+    collect-and-min over every replica's wake time).
+    """
+
+    def __init__(self, cluster: ClusterPlatform, pending: List[Request],
+                 factory: Callable[[int], BatchExecutorFn],
+                 fleet: FleetState, start_ms: float) -> None:
+        super().__init__(start_ms)
+        self.cluster = cluster
+        self.pending = pending
+        self.arrival_times = [r.arrival_ms for r in pending]
+        self.num_requests = len(pending)
+        self.next_arrival = 0
+        self.factory = factory
+        self.fleet = fleet
+        self.pool = PoolState(fleet)
+        self.rerouted = 0
+        self.rerouted_ids: Set[int] = set()
+        #: ``expire``/salvage are global no-ops unless some member drops on
+        #: SLO expiry; precomputed so the common fleet skips both phases.
+        self._drop_expired = any(e.platform.drop_expired
+                                 for e in self.pool.serving)
+        self._exhausted = self.num_requests == 0
+        #: fixed-size fleet in band: the per-pass autoscaler consult is a
+        #: proven no-op, so the hot loop skips it entirely.
+        self._autoscaled = not pool_is_static(cluster.autoscaler, self.pool,
+                                              cluster.min_replicas,
+                                              cluster.max_replicas)
+
+    # --------------------------------------------------------- kernel contract
+    def done(self, now_ms: float) -> bool:
+        if self.next_arrival < self.num_requests:
+            return False
+        for entry in self.pool.serving:
+            if entry.state.queue:
+                return False
+        return True
+
+    def next_external_ms(self, now_ms: float) -> Optional[float]:
+        if self.next_arrival < self.num_requests:
+            return self.arrival_times[self.next_arrival]
+        return None
+
+    def on_event(self, event) -> None:
+        kind = event.kind
+        if kind == _COMPLETION:
+            self.wake(event.payload)
+        elif kind == _TIMER:
+            entry = event.payload
+            entry._wake_event = None
+            self.wake(entry)
+        else:  # _BOOT: provisioning completed, bring the replica online.
+            pool = self.pool
+            pool.boots.remove(event)
+            entry = self.cluster._spawn(self.fleet, self.factory,
+                                        self.clock.now_ms)
+            pool.add(entry)
+            if entry.platform.drop_expired:
+                self._drop_expired = True
+
+    # ------------------------------------------------------------------- pass
+    def step(self, now: float) -> bool:
+        cluster = self.cluster
+        pool = self.pool
+        fleet = self.fleet
+        active = pool.active
+        handles = pool.handles
+        arrivals = self.arrival_times
+        num_requests = self.num_requests
+        next_arrival = self.next_arrival
+
+        # Phase 1: admit + dispatch everything that has arrived by now.
+        admitted = 0
+        if next_arrival < num_requests \
+                and arrivals[next_arrival] <= now + 1e-9:
+            pending = self.pending
+            balancer = cluster.balancer
+            while (next_arrival < num_requests
+                   and arrivals[next_arrival] <= now + 1e-9):
+                request = pending[next_arrival]
+                index = int(balancer.choose(request, handles, now))
+                if not 0 <= index < len(active):
+                    raise ValueError(f"balancer {balancer.name!r} chose replica "
+                                     f"{index} of {len(active)}")
+                entry = active[index]
+                entry.platform.admit(entry.state, request)
+                entry.dispatched += 1
+                next_arrival += 1
+                admitted += 1
+                self.wake(entry)
+            self.next_arrival = next_arrival
+        if admitted:
+            cluster.autoscaler.observe_admitted(admitted, now)
+        if next_arrival >= num_requests and not self._exhausted:
+            # The livelock guard switches from "wait for the next arrival" to
+            # "force progress" the moment the trace runs out; re-consult every
+            # replica still holding work so it can take that branch now.
+            self._exhausted = True
+            for entry in pool.serving:
+                if entry.state.queue:
+                    self.wake(entry)
+
+        # Phase 2: autoscaler decision on the global clock.
+        if self._autoscaled:
+            scale_pool(self, pool, cluster.autoscaler, now,
+                       cluster.min_replicas, cluster.max_replicas, _BOOT)
+            active = pool.active
+            handles = pool.handles
+
+        # Phase 3: cluster-level drop salvage.  One active replica is enough
+        # when draining replicas still hold queues — their doomed requests
+        # can move to it.
+        if self._drop_expired and handles and (
+                len(handles) > 1
+                or any(e.status == DRAINING and e.state.queue
+                       for e in fleet.entries)):
+            moved = cluster._salvage_doomed(fleet, active, handles, now,
+                                            self.rerouted_ids)
+            if moved:
+                self.rerouted += moved
+                # Queues changed out from under armed timers and idle
+                # replicas; re-consult everything that holds or awaited work.
+                for entry in pool.serving:
+                    if entry.state.queue or entry._wake_event is not None:
+                        self.wake(entry)
+
+        # Expiry pre-scan: the seed loop ran ``expire`` on every idle queued
+        # replica at every visited timestamp, not only the changed ones.
+        if self._drop_expired:
+            for entry in pool.serving:
+                state = entry.state
+                if state.queue and state.idle_at(now):
+                    before = len(state.queue)
+                    entry.platform.expire(state, now)
+                    if len(state.queue) != before:
+                        self.wake(entry)
+
+        next_arrival_ms = (arrivals[self.next_arrival]
+                           if self.next_arrival < num_requests else np.inf)
+        events = self.events
+        progressed = False
+
+        # Phase 4 per dirty replica: select, serve (when idle).
+        for entry in self.drain_dirty():
+            platform, state = entry.platform, entry.state
+            if not state.idle_at(now):
+                continue  # its completion event is already scheduled
+            timer = entry._wake_event
+            if not state.queue:
+                if timer is not None:
+                    timer.cancelled = True
+                    entry._wake_event = None
+                continue
+            batch, wake_up = platform.select(state, now)
+            if not batch:
+                target = min(wake_up, next_arrival_ms)
+                if not np.isfinite(target) or target <= now + 1e-9:
+                    batch = platform.force_batch(state)
+                else:
+                    if timer is not None:
+                        if not timer.cancelled and timer.time_ms == wake_up:
+                            continue  # already armed for this wake-up
+                        timer.cancelled = True
+                    entry._wake_event = events.push(wake_up, _TIMER, entry)
+                    continue
+            if timer is not None:
+                timer.cancelled = True
+                entry._wake_event = None
+            platform.dispatch(state, batch)
+            result = _scale_result(entry.executor(batch, now),
+                                   entry.profile.speed)
+            platform.complete(state, batch, result, now)
+            if state.busy_until_ms > now + 1e-9:
+                events.push(state.busy_until_ms, _COMPLETION, entry)
+            else:
+                self.wake(entry)  # instant batch: re-serve this timestamp
+            progressed = True
+
+        # Phase 5: drained replicas that have gone idle leave the fleet.
+        pool.retire_idle(now)
+        return progressed

@@ -41,7 +41,7 @@ from __future__ import annotations
 import copy
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -52,8 +52,10 @@ from repro.serving.cluster import LoadBalancer, build_balancer
 from repro.serving.fleet import ACTIVE, BaseFleet, ReplicaProfile
 from repro.serving.generative_cluster import (GenerativeClusterMetrics,
                                               GenerativeFleetState,
-                                              PolicyFactory)
+                                              PolicyFactory, _arm_slots)
 from repro.serving.hf_pipelines import ContinuousBatchingEngine
+from repro.serving.kernel import (PoolState, SimPlatform, pool_is_static,
+                                  scale_pool)
 
 __all__ = ["PrefillReplicaHandle", "PrefillReplicaEntry", "PrefillFleetState",
            "DisaggregatedMetrics", "DisaggregatedPlatform"]
@@ -158,6 +160,8 @@ class PrefillReplicaEntry:
     prefilled: int = 0
     prefilled_tokens: int = 0
     last_completion_ms: float = -np.inf
+    #: kernel-scheduler bookkeeping: dirty flag for the prefill dirty list.
+    _kdirty: bool = field(default=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.handle is None:
@@ -374,6 +378,8 @@ class DisaggregatedPlatform:
         self.decode_balancer.reset()
         self.prefill_autoscaler.reset()
         self.decode_autoscaler.reset()
+        self.prefill_autoscaler.set_bounds(self.prefill_min, self.prefill_max)
+        self.decode_autoscaler.set_bounds(self.decode_min, self.decode_max)
 
         pending = sorted(workload.sequences,
                          key=lambda s: (s.arrival_ms, s.sequence_id))
@@ -394,186 +400,34 @@ class DisaggregatedPlatform:
         if num_sequences == 0:
             return self._collect(prefill_fleet, decode_fleet, {}, {}, start, start)
 
-        #: (ready_ms, sequence_id, sample) — KV transfer complete, decodeable.
-        handoff: List[Tuple[float, int, SequenceSample]] = []
-        prefill_delays: Dict[int, float] = {}
-        transfer_delays: Dict[int, float] = {}
-        prefill_boots: List[float] = []
-        decode_boots: List[float] = []
-        next_arrival = 0
-        now = start
-
-        def pool_scaling(fleet, autoscaler, handles, boots, low, high):
-            """Shared per-pool autoscaler application (boot or drain)."""
-            active = fleet.active()
-            desired = int(autoscaler.desired_replicas(now, handles))
-            desired = max(low, min(high, desired))
-            provisioned = len(active) + len(boots)
-            if desired > provisioned:
-                delay = max(float(autoscaler.provision_delay_ms), 1e-6)
-                boots.extend([now + delay] * (desired - provisioned))
-            elif desired < len(active):
-                boots.clear()
-                for entry in sorted(active,
-                                    key=lambda e: -e.replica_id)[:len(active) - desired]:
-                    fleet.drain(entry, now)
-
-        while (next_arrival < num_sequences
-               or any(e.queue or e.in_flight for e in prefill_fleet.serving())
-               or handoff
-               or any(e.queue or e.busy_slots(now) for e in decode_fleet.serving())):
-            # Phase 0: provisioning completes in either pool.
-            for boots, fleet, add_fn in (
-                    (prefill_boots, prefill_fleet, self._add_prefill),
-                    (decode_boots, decode_fleet, self._add_decode)):
-                due = sum(1 for t in boots if t <= now + 1e-9)
-                if due:
-                    boots[:] = [t for t in boots if t > now + 1e-9]
-                    for _ in range(due):
-                        add_fn(fleet, policy_factory, mean_tokens, mean_prompt,
-                               now)
-
-            prefill_active = prefill_fleet.active()
-            for position, entry in enumerate(prefill_active):
-                entry.handle.index = position
-            prefill_handles = [e.handle for e in prefill_active]
-
-            # Phase 1: admit arrivals into the prefill pool.
-            admitted = 0
-            while (next_arrival < num_sequences
-                   and pending[next_arrival].arrival_ms <= now + 1e-9):
-                sample = pending[next_arrival]
-                index = int(self.prefill_balancer.choose(sample, prefill_handles,
-                                                         now))
-                if not 0 <= index < len(prefill_active):
-                    raise ValueError(f"balancer {self.prefill_balancer.name!r} "
-                                     f"chose prefill replica {index} of "
-                                     f"{len(prefill_active)}")
-                entry = prefill_active[index]
-                entry.queue.append(sample)
-                entry.dispatched += 1
-                next_arrival += 1
-                admitted += 1
-            if admitted:
-                self.prefill_autoscaler.observe_admitted(admitted, now)
-
-            # Phase 2: the prefill pool's own autoscaler (queued prompt
-            # chunks drive its load signal).
-            pool_scaling(prefill_fleet, self.prefill_autoscaler,
-                         prefill_handles, prefill_boots, self.prefill_min,
-                         self.prefill_max)
-
-            # Phase 3: prefill progress — finish due chunk-batches (pushing
-            # their sequences into the handoff queue with the KV-transfer
-            # delay) and start new ones on free replicas.
-            progressed = False
-            for entry in prefill_fleet.serving():
-                if entry.in_flight and entry.busy_until_ms <= now + 1e-9:
-                    done = entry.busy_until_ms
-                    for sample in entry.in_flight:
-                        transfer = entry.model.transfer_ms(sample.prompt_tokens)
-                        prefill_delays[sample.sequence_id] = done - sample.arrival_ms
-                        transfer_delays[sample.sequence_id] = transfer
-                        heapq.heappush(handoff, (done + transfer,
-                                                 sample.sequence_id, sample))
-                    entry.prefilled += len(entry.in_flight)
-                    entry.prefilled_tokens += sum(s.prompt_tokens
-                                                  for s in entry.in_flight)
-                    entry.in_flight = []
-                    progressed = True
-                if entry.is_free(now) and entry.queue:
-                    batch = entry.queue[:entry.prefill_batch]
-                    del entry.queue[:len(batch)]
-                    tokens = sum(s.prompt_tokens for s in batch)
-                    duration = entry.model.batch_prefill_ms(tokens) / entry.profile.speed
-                    entry.in_flight = batch
-                    entry.busy_until_ms = now + duration
-                    entry.last_completion_ms = max(entry.last_completion_ms,
-                                                   now + duration)
-                    progressed = True
-
-            # Phase 4: handoff — transferred sequences dispatch to the decode
-            # pool through its own balancer.
-            decode_active = decode_fleet.active()
-            for position, entry in enumerate(decode_active):
-                entry.handle.index = position
-            decode_handles = [e.handle for e in decode_active]
-            moved = 0
-            while handoff and handoff[0][0] <= now + 1e-9:
-                _, _, sample = heapq.heappop(handoff)
-                index = int(self.decode_balancer.choose(sample, decode_handles,
-                                                        now))
-                if not 0 <= index < len(decode_active):
-                    raise ValueError(f"balancer {self.decode_balancer.name!r} "
-                                     f"chose decode replica {index} of "
-                                     f"{len(decode_active)}")
-                entry = decode_active[index]
-                entry.queue.append(sample)
-                entry.dispatched += 1
-                moved += 1
-            if moved:
-                self.decode_autoscaler.observe_admitted(moved, now)
-                progressed = True
-
-            # Phase 5: the decode pool's own autoscaler (outstanding decode
-            # work drives its load signal, as in the monolithic cluster).
-            pool_scaling(decode_fleet, self.decode_autoscaler, decode_handles,
-                         decode_boots, self.decode_min, self.decode_max)
-
-            # Phase 6: free decode slots claim queue heads and run the slot
-            # loop shared with the monolithic cluster (the decode engines
-            # carry no in-slot prefill model — prompts arrive prefilled —
-            # and doomed sequences are shed against the TTFT SLO).  The
-            # recorded queueing delay spans arrival → first decode step, so
-            # the aggregate TTFT includes prefill + transfer + both waits.
-            for entry in decode_fleet.serving():
-                if entry.claim_streams(now, self.ttft_slo_ms):
-                    progressed = True
-
-            # Phase 7: drained replicas that have gone idle leave their pool.
-            prefill_fleet.retire_idle(now)
-            decode_fleet.retire_idle(now)
-
-            if progressed:
-                # Something changed at this timestamp; re-evaluate every phase
-                # before advancing (a finished prefill may dispatch, fill a
-                # slot and trip an autoscaler all at the same instant).
-                continue
-
-            # Phase 8: advance the shared clock to the earliest future event.
-            wake: List[float] = list(prefill_boots) + list(decode_boots)
-            if next_arrival < num_sequences:
-                wake.append(pending[next_arrival].arrival_ms)
-            for entry in prefill_fleet.serving():
-                if entry.in_flight:
-                    wake.append(entry.busy_until_ms)
-            if handoff:
-                wake.append(handoff[0][0])
-            for entry in decode_fleet.serving():
-                wake.extend(t for t in entry.slots if t > now + 1e-9)
-            future = [t for t in wake if np.isfinite(t) and t > now + 1e-9]
-            if not future:
-                break   # nothing can happen anymore
-            now = min(future)
+        runner = _DisaggRun(self, pending, policy_factory, prefill_fleet,
+                            decode_fleet, mean_tokens, mean_prompt, start)
+        runner.drive()
 
         end = max((e.last_completion_ms for e in decode_fleet.entries
                    if np.isfinite(e.last_completion_ms)), default=start)
-        return self._collect(prefill_fleet, decode_fleet, prefill_delays,
-                             transfer_delays, start, end)
+        return self._collect(prefill_fleet, decode_fleet, runner.prefill_delays,
+                             runner.transfer_delays, start, end)
 
     # ----------------------------------------------------------- scale-out add
     def _add_prefill(self, fleet: PrefillFleetState, policy_factory,
                      mean_tokens: float, mean_prompt: float,
-                     now_ms: float) -> None:
-        fleet.add(self.prefill_model, ReplicaProfile(), self.prefill_batch,
-                  mean_prompt, now_ms)
+                     now_ms: float) -> PrefillReplicaEntry:
+        # Scaled-out replicas cycle the configured profile band so an
+        # elastic heterogeneous pool keeps its configured speed mix instead
+        # of silently booting base-speed hardware.
+        profiles = self.prefill_profiles
+        profile = profiles[fleet.next_ordinal() % len(profiles)]
+        return fleet.add(self.prefill_model, profile, self.prefill_batch,
+                         mean_prompt, now_ms)
 
     def _add_decode(self, fleet: GenerativeFleetState, policy_factory,
-                    mean_tokens: float, mean_prompt: float,
-                    now_ms: float) -> None:
-        fleet.add(self.decode_engines[0],
-                  policy_factory(fleet.next_ordinal()), ReplicaProfile(),
-                  mean_tokens, now_ms)
+                    mean_tokens: float, mean_prompt: float, now_ms: float):
+        profiles = self.decode_profiles
+        profile = profiles[fleet.next_ordinal() % len(profiles)]
+        return fleet.add(self.decode_engines[0],
+                         policy_factory(fleet.next_ordinal()), profile,
+                         mean_tokens, now_ms)
 
     # ------------------------------------------------------------------ collect
     def _collect(self, prefill_fleet: PrefillFleetState,
@@ -614,3 +468,222 @@ class DisaggregatedPlatform:
             prefill_delays_ms=dict(prefill_delays),
             transfer_delays_ms=dict(transfer_delays),
         )
+
+
+# --------------------------------------------------------------------- kernel
+#: Event kinds for the disaggregated runner (two pools share one heap).
+_PBOOT, _DBOOT, _PREFILL, _DSLOT = 0, 1, 2, 3
+
+
+class _DisaggRun(SimPlatform):
+    """Kernel-scheduled port of the disaggregated pass/advance loop.
+
+    Same phase order per pass as the monolithic runners, duplicated per
+    pool: admit arrivals into prefill, scale the prefill pool, progress
+    prefill chunk-batches (completions feed the handoff heap), dispatch due
+    handoffs into decode, scale the decode pool, run the decode slot loop,
+    retire idle drained replicas in both pools.  Each pool keeps its own
+    dirty list so a pass touches only the replicas whose state changed;
+    prefill completions and decode slot frees live on the shared heap, the
+    arrival cursor and the handoff head are the external candidates.
+    """
+
+    def __init__(self, platform: DisaggregatedPlatform,
+                 pending: List[SequenceSample], policy_factory: PolicyFactory,
+                 prefill_fleet: PrefillFleetState,
+                 decode_fleet: GenerativeFleetState, mean_tokens: float,
+                 mean_prompt: float, start_ms: float) -> None:
+        super().__init__(start_ms)
+        self.platform = platform
+        self.pending = pending
+        self.arrival_times = [s.arrival_ms for s in pending]
+        self.num_sequences = len(pending)
+        self.next_arrival = 0
+        self.policy_factory = policy_factory
+        self.mean_tokens = mean_tokens
+        self.mean_prompt = mean_prompt
+        self.ppool = PoolState(prefill_fleet)
+        self.dpool = PoolState(decode_fleet)
+        #: fixed-size pools in band: the per-pass autoscaler consults are
+        #: proven no-ops, so the hot loop skips them entirely.
+        self._pautoscaled = not pool_is_static(platform.prefill_autoscaler,
+                                               self.ppool, platform.prefill_min,
+                                               platform.prefill_max)
+        self._dautoscaled = not pool_is_static(platform.decode_autoscaler,
+                                               self.dpool, platform.decode_min,
+                                               platform.decode_max)
+        self._pdirty: List[Any] = []
+        #: (ready_ms, sequence_id, sample) — KV transfer complete, decodeable.
+        self.handoff: List[Tuple[float, int, SequenceSample]] = []
+        self.prefill_delays: Dict[int, float] = {}
+        self.transfer_delays: Dict[int, float] = {}
+
+    # --------------------------------------------------------------- plumbing
+    def _wake_prefill(self, entry: PrefillReplicaEntry) -> None:
+        if not entry._kdirty:
+            entry._kdirty = True
+            self._pdirty.append(entry)
+
+    def done(self, now_ms: float) -> bool:
+        if self.next_arrival < self.num_sequences or self.handoff:
+            return False
+        for entry in self.ppool.serving:
+            if entry.queue or entry.in_flight:
+                return False
+        for entry in self.dpool.serving:
+            if entry.queue or entry.busy_slots(now_ms):
+                return False
+        return True
+
+    def next_external_ms(self, now_ms: float) -> Optional[float]:
+        candidate: Optional[float] = None
+        if self.next_arrival < self.num_sequences:
+            candidate = self.arrival_times[self.next_arrival]
+        if self.handoff and (candidate is None or self.handoff[0][0] < candidate):
+            candidate = self.handoff[0][0]
+        return candidate
+
+    def on_event(self, event) -> None:
+        kind = event.kind
+        if kind == _PREFILL:
+            self._wake_prefill(event.payload)
+        elif kind == _DSLOT:
+            self.wake(event.payload)
+        elif kind == _PBOOT:
+            pool = event.payload
+            pool.boots.remove(event)
+            entry = self.platform._add_prefill(
+                pool.fleet, self.policy_factory, self.mean_tokens,
+                self.mean_prompt, self.clock.now_ms)
+            pool.add(entry)
+        else:  # _DBOOT
+            pool = event.payload
+            pool.boots.remove(event)
+            entry = self.platform._add_decode(
+                pool.fleet, self.policy_factory, self.mean_tokens,
+                self.mean_prompt, self.clock.now_ms)
+            pool.add(entry)
+
+    # ------------------------------------------------------------------- pass
+    def step(self, now: float) -> bool:
+        platform = self.platform
+        ppool = self.ppool
+        dpool = self.dpool
+
+        # Phase 1: admit arrivals into the prefill pool.
+        admitted = 0
+        next_arrival = self.next_arrival
+        arrivals = self.arrival_times
+        num_sequences = self.num_sequences
+        if next_arrival < num_sequences and arrivals[next_arrival] <= now + 1e-9:
+            pending = self.pending
+            balancer = platform.prefill_balancer
+            prefill_active = ppool.active
+            prefill_handles = ppool.handles
+            while (next_arrival < num_sequences
+                   and arrivals[next_arrival] <= now + 1e-9):
+                sample = pending[next_arrival]
+                index = int(balancer.choose(sample, prefill_handles, now))
+                if not 0 <= index < len(prefill_active):
+                    raise ValueError(f"balancer {balancer.name!r} "
+                                     f"chose prefill replica {index} of "
+                                     f"{len(prefill_active)}")
+                entry = prefill_active[index]
+                entry.queue.append(sample)
+                entry.dispatched += 1
+                next_arrival += 1
+                admitted += 1
+                self._wake_prefill(entry)
+            self.next_arrival = next_arrival
+        if admitted:
+            platform.prefill_autoscaler.observe_admitted(admitted, now)
+
+        # Phase 2: the prefill pool's own autoscaler (queued prompt chunks
+        # drive its load signal).
+        if self._pautoscaled:
+            scale_pool(self, ppool, platform.prefill_autoscaler, now,
+                       platform.prefill_min, platform.prefill_max, _PBOOT)
+
+        # Phase 3: prefill progress — finish due chunk-batches (pushing
+        # their sequences into the handoff queue with the KV-transfer
+        # delay) and start new ones on free replicas.
+        progressed = False
+        handoff = self.handoff
+        prefill_delays = self.prefill_delays
+        transfer_delays = self.transfer_delays
+        for entry in self.drain_dirty(self._pdirty):
+            if entry.in_flight and entry.busy_until_ms <= now + 1e-9:
+                done = entry.busy_until_ms
+                for sample in entry.in_flight:
+                    transfer = entry.model.transfer_ms(sample.prompt_tokens)
+                    prefill_delays[sample.sequence_id] = done - sample.arrival_ms
+                    transfer_delays[sample.sequence_id] = transfer
+                    heapq.heappush(handoff, (done + transfer,
+                                             sample.sequence_id, sample))
+                entry.prefilled += len(entry.in_flight)
+                entry.prefilled_tokens += sum(s.prompt_tokens
+                                              for s in entry.in_flight)
+                entry.in_flight = []
+                progressed = True
+            if entry.is_free(now) and entry.queue:
+                batch = entry.queue[:entry.prefill_batch]
+                del entry.queue[:len(batch)]
+                tokens = sum(s.prompt_tokens for s in batch)
+                duration = entry.model.batch_prefill_ms(tokens) / entry.profile.speed
+                entry.in_flight = batch
+                entry.busy_until_ms = now + duration
+                entry.last_completion_ms = max(entry.last_completion_ms,
+                                               now + duration)
+                if entry.busy_until_ms > now + 1e-9:
+                    self.events.push(entry.busy_until_ms, _PREFILL, entry)
+                else:
+                    # Degenerate zero-cost chunk: complete it in the next
+                    # pass at this same timestamp instead of scheduling.
+                    self._wake_prefill(entry)
+                progressed = True
+
+        # Phase 4: handoff — transferred sequences dispatch to the decode
+        # pool through its own balancer.
+        moved = 0
+        if handoff and handoff[0][0] <= now + 1e-9:
+            balancer = platform.decode_balancer
+            decode_active = dpool.active
+            decode_handles = dpool.handles
+            while handoff and handoff[0][0] <= now + 1e-9:
+                _, _, sample = heapq.heappop(handoff)
+                index = int(balancer.choose(sample, decode_handles, now))
+                if not 0 <= index < len(decode_active):
+                    raise ValueError(f"balancer {balancer.name!r} "
+                                     f"chose decode replica {index} of "
+                                     f"{len(decode_active)}")
+                entry = decode_active[index]
+                entry.queue.append(sample)
+                entry.dispatched += 1
+                moved += 1
+                self.wake(entry)
+        if moved:
+            platform.decode_autoscaler.observe_admitted(moved, now)
+            progressed = True
+
+        # Phase 5: the decode pool's own autoscaler (outstanding decode
+        # work drives its load signal, as in the monolithic cluster).
+        if self._dautoscaled:
+            scale_pool(self, dpool, platform.decode_autoscaler, now,
+                       platform.decode_min, platform.decode_max, _DBOOT)
+
+        # Phase 6: free decode slots claim queue heads and run the slot
+        # loop shared with the monolithic cluster (the decode engines
+        # carry no in-slot prefill model — prompts arrive prefilled —
+        # and doomed sequences are shed against the TTFT SLO).  The
+        # recorded queueing delay spans arrival → first decode step, so
+        # the aggregate TTFT includes prefill + transfer + both waits.
+        ttft = platform.ttft_slo_ms
+        for entry in self.drain_dirty():
+            if entry.claim_streams(now, ttft):
+                progressed = True
+            _arm_slots(self, entry, now, _DSLOT)
+
+        # Phase 7: drained replicas that have gone idle leave their pool.
+        ppool.retire_idle(now)
+        dpool.retire_idle(now)
+        return progressed

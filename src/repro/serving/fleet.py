@@ -170,6 +170,9 @@ class ReplicaEntry:
     retired_ms: Optional[float] = None
     #: requests the balancer originally routed here (reroutes not included).
     dispatched: int = 0
+    #: kernel-scheduler bookkeeping: dirty flag + armed policy wake-up event.
+    _kdirty: bool = field(default=False, repr=False, compare=False)
+    _wake_event: Optional[object] = field(default=None, repr=False, compare=False)
 
     def active_ms(self, end_ms: float) -> float:
         """Wall-clock time this replica was provisioned (added → retired)."""

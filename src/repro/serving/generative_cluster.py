@@ -48,6 +48,8 @@ from repro.serving.fleet import (ACTIVE, DRAINING, RETIRED, BaseFleet,
                                  ReplicaProfile)
 from repro.serving.hf_pipelines import (ContinuousBatchingEngine,
                                         GenerativeMetrics, TokenExitPolicy)
+from repro.serving.kernel import (PoolState, SimPlatform, pool_is_static,
+                                  scale_pool)
 from repro.serving.metrics import dispatch_imbalance_ratio
 
 __all__ = ["GenerativeReplicaHandle", "GenerativeReplicaEntry",
@@ -164,6 +166,10 @@ class GenerativeReplicaEntry:
     #: released-token accounting feeding the depth-scaled work estimate.
     released_tokens: int = 0
     released_exits: int = 0
+    #: kernel-scheduler bookkeeping: dirty flag + per-slot armed event times.
+    _kdirty: bool = field(default=False, repr=False, compare=False)
+    _slot_armed: Dict[int, float] = field(default_factory=dict, repr=False,
+                                          compare=False)
 
     def __post_init__(self) -> None:
         if not self.slots:
@@ -433,6 +439,7 @@ class GenerativeClusterPlatform:
         """
         self.balancer.reset()
         self.autoscaler.reset()
+        self.autoscaler.set_bounds(self.min_replicas, self.max_replicas)
 
         pending = sorted(workload.sequences,
                          key=lambda s: (s.arrival_ms, s.sequence_id))
@@ -448,89 +455,9 @@ class GenerativeClusterPlatform:
         if num_sequences == 0:
             return self._collect(fleet, start, start)
 
-        next_arrival = 0
-        now = start
-        boot_times: List[float] = []   # scheduled scale-out completions
-
-        while (next_arrival < num_sequences
-               or any(e.queue or e.busy_slots(now) for e in fleet.serving())):
-            # Phase 0: provisioning completes — bring booted replicas online.
-            if boot_times:
-                due = sum(1 for t in boot_times if t <= now + 1e-9)
-                if due:
-                    boot_times = [t for t in boot_times if t > now + 1e-9]
-                    for _ in range(due):
-                        fleet.add(self.engines[0],
-                                  policy_factory(fleet.next_ordinal()),
-                                  self.scale_out_profile, mean_tokens, now)
-
-            active = fleet.active()
-            for position, entry in enumerate(active):
-                entry.handle.index = position
-            handles = [entry.handle for entry in active]
-
-            # Phase 1: admit + dispatch every sequence that has arrived by now.
-            admitted = 0
-            while (next_arrival < num_sequences
-                   and pending[next_arrival].arrival_ms <= now + 1e-9):
-                sample = pending[next_arrival]
-                index = int(self.balancer.choose(sample, handles, now))
-                if not 0 <= index < len(active):
-                    raise ValueError(f"balancer {self.balancer.name!r} chose "
-                                     f"replica {index} of {len(active)}")
-                entry = active[index]
-                entry.queue.append(sample)
-                entry.dispatched += 1
-                next_arrival += 1
-                admitted += 1
-            if admitted:
-                self.autoscaler.observe_admitted(admitted, now)
-
-            # Phase 2: autoscaler decision on the global clock (same boot /
-            # drain semantics as the classification cluster).
-            desired = int(self.autoscaler.desired_replicas(now, handles))
-            desired = max(self.min_replicas, min(self.max_replicas, desired))
-            provisioned = len(active) + len(boot_times)
-            if desired > provisioned:
-                delay = max(float(self.autoscaler.provision_delay_ms), 1e-6)
-                boot_times.extend([now + delay] * (desired - provisioned))
-            elif desired < len(active):
-                boot_times.clear()
-                for entry in sorted(active,
-                                    key=lambda e: -e.replica_id)[:len(active) - desired]:
-                    fleet.drain(entry, now)
-                active = fleet.active()
-                for position, entry in enumerate(active):
-                    entry.handle.index = position
-                handles = [entry.handle for entry in active]
-
-            # Phase 3 per serving replica: free decode slots claim the queue
-            # head and run the stream decode shared with the single engine
-            # (deadline shedding included; see claim_streams).
-            progressed = False
-            for entry in fleet.serving():
-                if entry.claim_streams(now, self.ttft_slo_ms):
-                    progressed = True
-
-            # Phase 4: drained replicas that have gone idle leave the fleet.
-            fleet.retire_idle(now)
-
-            if progressed:
-                # A dispatch may have freed queue pressure another phase cares
-                # about; re-evaluate at the same timestamp before advancing.
-                continue
-
-            # Advance the global clock to the earliest future event: the next
-            # arrival, a replica boot, or a decode slot freeing up.
-            wake_times: List[float] = list(boot_times)
-            if next_arrival < num_sequences:
-                wake_times.append(pending[next_arrival].arrival_ms)
-            for entry in fleet.serving():
-                wake_times.extend(t for t in entry.slots if t > now + 1e-9)
-            future = [t for t in wake_times if np.isfinite(t) and t > now + 1e-9]
-            if not future:
-                break   # nothing can happen anymore
-            now = min(future)
+        runner = _GenerativeRun(self, pending, policy_factory, fleet,
+                                mean_tokens, start)
+        runner.drive()
 
         end = max((e.last_completion_ms for e in fleet.entries
                    if np.isfinite(e.last_completion_ms)), default=start)
@@ -555,3 +482,134 @@ class GenerativeClusterPlatform:
             replica_uptimes_ms=[entry.active_ms(end_ms)
                                 for entry in fleet.entries],
         )
+
+
+#: event kinds of the kernel-scheduled generative cluster run.
+_BOOT, _SLOT_FREE = 0, 1
+
+
+def _arm_slots(sim: SimPlatform, entry: GenerativeReplicaEntry,
+               now_ms: float, kind: int) -> None:
+    """Register a slot-free event per occupied decode slot.
+
+    ``_slot_armed`` remembers the completion time last armed per slot so an
+    unchanged slot is never double-registered.  Events never need cancelling:
+    a slot with a live future event is occupied, and claims only ever take
+    slots whose time has passed, so a stale record in ``_slot_armed`` can
+    never collide with a pending event.
+    """
+    armed = entry._slot_armed
+    for index, t in enumerate(entry.slots):
+        if t > now_ms + 1e-9 and armed.get(index) != t:
+            armed[index] = t
+            sim.events.push(t, kind, entry)
+
+
+class _GenerativeRun(SimPlatform):
+    """Kernel-scheduled execution of one :meth:`GenerativeClusterPlatform.run`.
+
+    Same phase order as the seed rescan loop (boots → admit → autoscale →
+    slot claims → retire); the slot-claim phase touches only the replicas
+    whose queue changed or whose decode slot freed, and the clock advances
+    through the event heap (slot completions, boots) plus the arrival cursor.
+    """
+
+    def __init__(self, cluster: GenerativeClusterPlatform, pending: List,
+                 policy_factory: PolicyFactory, fleet: GenerativeFleetState,
+                 mean_tokens: float, start_ms: float) -> None:
+        super().__init__(start_ms)
+        self.cluster = cluster
+        self.pending = pending
+        self.arrival_times = [s.arrival_ms for s in pending]
+        self.num_sequences = len(pending)
+        self.next_arrival = 0
+        self.policy_factory = policy_factory
+        self.fleet = fleet
+        self.mean_tokens = mean_tokens
+        self.pool = PoolState(fleet)
+        #: fixed-size fleet in band: the per-pass autoscaler consult is a
+        #: proven no-op, so the hot loop skips it entirely.
+        self._autoscaled = not pool_is_static(cluster.autoscaler, self.pool,
+                                              cluster.min_replicas,
+                                              cluster.max_replicas)
+
+    # --------------------------------------------------------- kernel contract
+    def done(self, now_ms: float) -> bool:
+        if self.next_arrival < self.num_sequences:
+            return False
+        for entry in self.pool.serving:
+            if entry.queue or entry.busy_slots(now_ms):
+                return False
+        return True
+
+    def next_external_ms(self, now_ms: float) -> Optional[float]:
+        if self.next_arrival < self.num_sequences:
+            return self.arrival_times[self.next_arrival]
+        return None
+
+    def on_event(self, event) -> None:
+        if event.kind == _SLOT_FREE:
+            self.wake(event.payload)
+        else:  # _BOOT: provisioning completed, bring the replica online.
+            pool = self.pool
+            pool.boots.remove(event)
+            cluster = self.cluster
+            entry = self.fleet.add(cluster.engines[0],
+                                   self.policy_factory(self.fleet.next_ordinal()),
+                                   cluster.scale_out_profile, self.mean_tokens,
+                                   self.clock.now_ms)
+            pool.add(entry)
+
+    # ------------------------------------------------------------------- pass
+    def step(self, now: float) -> bool:
+        cluster = self.cluster
+        pool = self.pool
+        active = pool.active
+        handles = pool.handles
+        arrivals = self.arrival_times
+        num_sequences = self.num_sequences
+        next_arrival = self.next_arrival
+
+        # Phase 1: admit + dispatch every sequence that has arrived by now.
+        admitted = 0
+        if next_arrival < num_sequences \
+                and arrivals[next_arrival] <= now + 1e-9:
+            pending = self.pending
+            balancer = cluster.balancer
+            while (next_arrival < num_sequences
+                   and arrivals[next_arrival] <= now + 1e-9):
+                sample = pending[next_arrival]
+                index = int(balancer.choose(sample, handles, now))
+                if not 0 <= index < len(active):
+                    raise ValueError(f"balancer {balancer.name!r} chose "
+                                     f"replica {index} of {len(active)}")
+                entry = active[index]
+                entry.queue.append(sample)
+                entry.dispatched += 1
+                next_arrival += 1
+                admitted += 1
+                self.wake(entry)
+            self.next_arrival = next_arrival
+        if admitted:
+            cluster.autoscaler.observe_admitted(admitted, now)
+
+        # Phase 2: autoscaler decision on the global clock.
+        if self._autoscaled:
+            scale_pool(self, pool, cluster.autoscaler, now,
+                       cluster.min_replicas, cluster.max_replicas, _BOOT)
+
+        # Phase 3 per dirty replica: free decode slots claim the queue head
+        # and run the stream decode (deadline shedding included).  A replica
+        # with queued work and a free slot is always dirty: claims leave
+        # either an empty queue or no free slot, slots only free through
+        # their slot event, and admissions wake their target.
+        progressed = False
+        ttft = cluster.ttft_slo_ms
+        for entry in self.drain_dirty():
+            if entry.claim_streams(now, ttft):
+                progressed = True
+            _arm_slots(self, entry, now, _SLOT_FREE)
+
+        # Phase 4: drained replicas that have gone idle leave the fleet.
+        pool.retire_idle(now)
+        return progressed

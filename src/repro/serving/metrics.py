@@ -4,6 +4,17 @@ Two granularities are provided: :class:`ServingMetrics` aggregates one
 replica's run, and :class:`ClusterMetrics` holds one ``ServingMetrics`` per
 replica plus fleet-wide rollups (goodput, SLO violations, dispatch balance)
 computed over the merged response stream on the cluster's global clock.
+
+``ServingMetrics`` stores responses *columnar*: one flat list per Response
+field instead of one :class:`~repro.serving.request.Response` object per
+request.  Building a Response per served request dominated the simulators'
+hot path (object construction is ~1000× the cost of a few list appends at
+million-request trace sizes), so the write path now defers even the column
+appends: :meth:`record_batch` stashes ``(batch, result, start_ms)`` and the
+per-request columns are materialized lazily on first read.  The
+:attr:`responses` property still yields real Response objects — built on
+demand and cached — so every existing consumer (tests, plotting, rollups)
+sees the exact records the eager path produced, in the same order.
 """
 
 from __future__ import annotations
@@ -13,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.serving.request import Response
+from repro.serving.request import Request, Response
 from repro.utils.stats import summarize_latencies
 
 __all__ = ["ServingMetrics", "ClusterMetrics", "dispatch_imbalance_ratio"]
@@ -40,24 +51,141 @@ def dispatch_imbalance_ratio(counts: Sequence[int],
     return max(counts) * len(counts) / sum(counts)
 
 
-@dataclass
-class ServingMetrics:
-    """Aggregated outcome of one serving run."""
+#: Column order of the internal response table (mirrors Response's fields).
+_COLUMNS = ("request_id", "arrival_ms", "scheduled_ms", "completion_ms",
+            "queueing_ms", "serving_ms", "latency_ms", "batch_size",
+            "exited", "exit_depth", "correct", "dropped")
 
-    responses: List[Response] = field(default_factory=list)
-    gpu_busy_ms: float = 0.0
-    makespan_ms: float = 0.0
-    num_batches: int = 0
+
+class ServingMetrics:
+    """Aggregated outcome of one serving run (columnar response storage)."""
+
+    __slots__ = ("gpu_busy_ms", "makespan_ms", "num_batches",
+                 "_pending", "_cols", "_num_recorded", "_num_dropped",
+                 "_num_exited", "_num_correct_served", "_responses_cache")
+
+    def __init__(self, gpu_busy_ms: float = 0.0, makespan_ms: float = 0.0,
+                 num_batches: int = 0) -> None:
+        self.gpu_busy_ms = gpu_busy_ms
+        self.makespan_ms = makespan_ms
+        self.num_batches = num_batches
+        #: deferred (batch, result, start_ms) tuples awaiting column append.
+        self._pending: List[Tuple[Sequence[Request], "object", float]] = []
+        self._cols: Tuple[list, ...] = tuple([] for _ in _COLUMNS)
+        self._num_recorded = 0
+        self._num_dropped = 0
+        self._num_exited = 0
+        self._num_correct_served = 0
+        self._responses_cache: Optional[List[Response]] = None
 
     # ----------------------------------------------------------------- write
+    def record_batch(self, batch: Sequence[Request], result, start_ms: float) -> None:
+        """Fast path for :meth:`ServingPlatform.complete`: defer per-request
+        bookkeeping to first read.  ``result`` must not be mutated afterwards
+        (no shipped executor does)."""
+        self._pending.append((batch, result, start_ms))
+        self._num_recorded += len(batch)
+        self._responses_cache = None
+
+    def record_drop(self, request: Request, now_ms: float) -> None:
+        """Fast path for queue-expiry drops; equivalent to ``add_response``
+        with the drop Response the expire phase used to build."""
+        if self._pending:
+            self._flush()
+        (ids, arrivals, scheduled, completions, queueing, serving, latency,
+         batch_sizes, exited, exit_depth, correct, dropped) = self._cols
+        wait = now_ms - request.arrival_ms
+        ids.append(request.request_id)
+        arrivals.append(request.arrival_ms)
+        scheduled.append(now_ms)
+        completions.append(now_ms)
+        queueing.append(wait)
+        serving.append(0.0)
+        latency.append(wait)
+        batch_sizes.append(0)
+        exited.append(False)
+        exit_depth.append(None)
+        correct.append(True)
+        dropped.append(True)
+        self._num_recorded += 1
+        self._num_dropped += 1
+        self._responses_cache = None
+
     def add_response(self, response: Response) -> None:
-        self.responses.append(response)
+        """Record one pre-built Response (compat path; reads and tests)."""
+        if self._pending:
+            self._flush()
+        for column, name in zip(self._cols, _COLUMNS):
+            column.append(getattr(response, name))
+        self._num_recorded += 1
+        if response.dropped:
+            self._num_dropped += 1
+        else:
+            if response.exited:
+                self._num_exited += 1
+            if response.correct:
+                self._num_correct_served += 1
+        self._responses_cache = None
 
     def add_batch(self, gpu_time_ms: float) -> None:
-        self.gpu_busy_ms += float(gpu_time_ms)
+        self.gpu_busy_ms += gpu_time_ms
         self.num_batches += 1
 
+    def _flush(self) -> None:
+        """Materialize deferred batches into the columns, in record order."""
+        (ids, arrivals, scheduled, completions, queueing, serving, latency,
+         batch_sizes, exited, exit_depth, correct, dropped) = self._cols
+        num_exited = 0
+        num_correct = 0
+        for batch, result, start_ms in self._pending:
+            offsets = result.result_offsets_ms
+            exits = result.exited
+            depths = result.exit_depths
+            corrects = result.correct
+            size = len(batch)
+            for idx, request in enumerate(batch):
+                offset = float(offsets[idx])
+                completion = start_ms + offset
+                ids.append(request.request_id)
+                arrivals.append(request.arrival_ms)
+                scheduled.append(start_ms)
+                completions.append(completion)
+                queueing.append(start_ms - request.arrival_ms)
+                serving.append(offset)
+                latency.append(completion - request.arrival_ms)
+                batch_sizes.append(size)
+                did_exit = bool(exits[idx])
+                exited.append(did_exit)
+                exit_depth.append(depths[idx])
+                is_correct = bool(corrects[idx])
+                correct.append(is_correct)
+                dropped.append(False)
+                if did_exit:
+                    num_exited += 1
+                if is_correct:
+                    num_correct += 1
+        self._pending = []
+        self._num_exited += num_exited
+        self._num_correct_served += num_correct
+
     # ------------------------------------------------------------------ read
+    @property
+    def responses(self) -> List[Response]:
+        """The full response stream as Response objects (built lazily, cached)."""
+        if self._responses_cache is None:
+            if self._pending:
+                self._flush()
+            self._responses_cache = [Response(*row) for row in zip(*self._cols)] \
+                if self._num_recorded else []
+        return self._responses_cache
+
+    def num_responses(self) -> int:
+        """Total recorded responses (served + dropped) without materializing."""
+        return self._num_recorded
+
+    def num_served(self) -> int:
+        return self._num_recorded - self._num_dropped
+
     def served(self) -> List[Response]:
         return [r for r in self.responses if not r.dropped]
 
@@ -65,15 +193,25 @@ class ServingMetrics:
         return [r for r in self.responses if r.dropped]
 
     def drop_rate(self) -> float:
-        if not self.responses:
+        if not self._num_recorded:
             return 0.0
-        return len(self.dropped()) / len(self.responses)
+        return self._num_dropped / self._num_recorded
+
+    def _served_column(self, name: str) -> np.ndarray:
+        if self._pending:
+            self._flush()
+        index = _COLUMNS.index(name)
+        values = np.asarray(self._cols[index], dtype=float)
+        if self._num_dropped:
+            keep = ~np.asarray(self._cols[-1], dtype=bool)
+            values = values[keep]
+        return values
 
     def latencies(self) -> np.ndarray:
-        return np.array([r.latency_ms for r in self.served()], dtype=float)
+        return self._served_column("latency_ms")
 
     def queueing_delays(self) -> np.ndarray:
-        return np.array([r.queueing_ms for r in self.served()], dtype=float)
+        return self._served_column("queueing_ms")
 
     def latency_summary(self) -> Dict[str, float]:
         return summarize_latencies(self.latencies())
@@ -93,37 +231,40 @@ class ServingMetrics:
     def accuracy(self) -> float:
         """Fraction of served requests whose released result matched the
         original (non-EE) model's prediction."""
-        served = self.served()
+        served = self.num_served()
         if not served:
             return 1.0
-        return sum(1 for r in served if r.correct) / len(served)
+        if self._pending:
+            self._flush()
+        return self._num_correct_served / served
 
     def exit_rate(self) -> float:
-        served = self.served()
+        served = self.num_served()
         if not served:
             return 0.0
-        return sum(1 for r in served if r.exited) / len(served)
+        if self._pending:
+            self._flush()
+        return self._num_exited / served
 
     def throughput_qps(self) -> float:
         """Served requests per second of wall-clock makespan."""
         if self.makespan_ms <= 0:
             return 0.0
-        return 1000.0 * len(self.served()) / self.makespan_ms
+        return 1000.0 * self.num_served() / self.makespan_ms
 
     def goodput_qps(self, slo_ms: Optional[float] = None) -> float:
         """Requests per second that met their SLO."""
         if self.makespan_ms <= 0:
             return 0.0
-        served = self.served()
         if slo_ms is None:
             return self.throughput_qps()
-        good = sum(1 for r in served if r.latency_ms <= slo_ms)
+        good = int(np.count_nonzero(self.latencies() <= slo_ms))
         return 1000.0 * good / self.makespan_ms
 
     def average_batch_size(self) -> float:
         if self.num_batches == 0:
             return 0.0
-        return len(self.served()) / self.num_batches
+        return self.num_served() / self.num_batches
 
     def gpu_utilization(self) -> float:
         if self.makespan_ms <= 0:
@@ -131,11 +272,10 @@ class ServingMetrics:
         return min(1.0, self.gpu_busy_ms / self.makespan_ms)
 
     def slo_violation_rate(self, slo_ms: float) -> float:
-        served = self.served()
-        if not served:
+        latencies = self.latencies()
+        if latencies.size == 0:
             return 0.0
-        violations = sum(1 for r in served if r.latency_ms > slo_ms)
-        return violations / len(served)
+        return int(np.count_nonzero(latencies > slo_ms)) / latencies.size
 
     def summary(self) -> Dict[str, float]:
         """One-dictionary summary used by benchmarks and EXPERIMENTS.md."""
@@ -151,7 +291,7 @@ class ServingMetrics:
             "accuracy": self.accuracy(),
             "exit_rate": self.exit_rate(),
             "drop_rate": self.drop_rate(),
-            "num_served": float(len(self.served())),
+            "num_served": float(self.num_served()),
         }
 
     # ----------------------------------------------------------------- merge
@@ -162,11 +302,19 @@ class ServingMetrics:
 
         Responses and accelerator busy time add up; the makespan defaults to
         the longest part (parallel replicas) unless the caller supplies the
-        fleet's global wall-clock span.
+        fleet's global wall-clock span.  Column-level concatenation: no
+        Response objects are built unless the aggregate is actually read.
         """
         out = cls()
         for metrics in parts:
-            out.responses.extend(metrics.responses)
+            if metrics._pending:
+                metrics._flush()
+            for dst, src in zip(out._cols, metrics._cols):
+                dst.extend(src)
+            out._num_recorded += metrics._num_recorded
+            out._num_dropped += metrics._num_dropped
+            out._num_exited += metrics._num_exited
+            out._num_correct_served += metrics._num_correct_served
             out.gpu_busy_ms += metrics.gpu_busy_ms
             out.num_batches += metrics.num_batches
             out.makespan_ms = max(out.makespan_ms, metrics.makespan_ms)

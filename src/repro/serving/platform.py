@@ -176,13 +176,7 @@ class ServingPlatform(abc.ABC):
                 if request.request_id in state.responded_ids:
                     continue
                 state.responded_ids.add(request.request_id)
-                state.metrics.add_response(Response(
-                    request_id=request.request_id,
-                    arrival_ms=request.arrival_ms,
-                    scheduled_ms=now_ms, completion_ms=now_ms,
-                    queueing_ms=now_ms - request.arrival_ms,
-                    serving_ms=0.0, latency_ms=now_ms - request.arrival_ms,
-                    batch_size=0, dropped=True))
+                state.metrics.record_drop(request, now_ms)
                 state.last_event_ms = max(state.last_event_ms, now_ms)
             else:
                 still_valid.append(request)
@@ -205,26 +199,14 @@ class ServingPlatform(abc.ABC):
                  result: BatchResult, start_ms: float) -> None:
         """Phase 5: record the executor's outcome for one batch."""
         state.metrics.add_batch(result.gpu_time_ms)
-        for idx, request in enumerate(batch):
-            if request.request_id in state.responded_ids:
+        responded = state.responded_ids
+        for request in batch:
+            request_id = request.request_id
+            if request_id in responded:
                 raise RuntimeError(
-                    f"request {request.request_id} answered twice (conservation violation)")
-            state.responded_ids.add(request.request_id)
-            offset = float(result.result_offsets_ms[idx])
-            completion = start_ms + offset
-            state.metrics.add_response(Response(
-                request_id=request.request_id,
-                arrival_ms=request.arrival_ms,
-                scheduled_ms=start_ms,
-                completion_ms=completion,
-                queueing_ms=start_ms - request.arrival_ms,
-                serving_ms=offset,
-                latency_ms=completion - request.arrival_ms,
-                batch_size=len(batch),
-                exited=bool(result.exited[idx]),
-                exit_depth=result.exit_depths[idx],
-                correct=bool(result.correct[idx]),
-            ))
+                    f"request {request_id} answered twice (conservation violation)")
+            responded.add(request_id)
+        state.metrics.record_batch(batch, result, start_ms)
         state.busy_until_ms = start_ms + result.gpu_time_ms
         state.serving_batch_size = len(batch)
         state.last_event_ms = max(state.last_event_ms, state.busy_until_ms)
