@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Multi-tenant serving with failure injection: isolation under churn.
+
+Production fleets are shared: an interactive product surface and a batch
+backfill pipeline hit the same replicas, and machines still crash.  This
+walkthrough puts both stresses on one ``ClusterSpec``:
+
+1. declare two tenants — ``chat`` (interactive, weight 100, its own
+   tight SLO) and ``backfill`` (batch class, early exits disabled) — and
+   drive the fleet *past* its capacity, so the dispatch policy has to pick
+   who waits;
+2. inject one replica crash mid-run (``faults="3000:1000"``: dies at t=3s,
+   a replacement boots 1s later); queued work is requeued to survivors,
+   nothing is lost;
+3. read the per-tenant rollups off the result: weighted-fair dispatch keeps
+   the interactive tenant's p99 in the ~100ms range while the batch tenant
+   absorbs the entire overload backlog (a p99 in *seconds* — by design);
+4. re-run the interactive tenant's slice solo for the isolation metric
+   (mixed p99 / solo p99): the price chat actually paid for sharing a
+   saturated, crashing fleet.
+
+Run:  python examples/multi_tenant.py
+"""
+
+from repro.api import ClusterSpec, Experiment, WorkloadSpec
+from repro.tenancy import isolation_ratios
+
+REQUESTS = 7000
+RATE_QPS = 540.0          # ~1.25x what the 3-replica fleet can serve
+REPLICAS = 3
+SLO_MS = 150.0
+CHAT_SHARE = 0.33
+
+TENANTS = (f"chat:weight=100,share={CHAT_SHARE};"
+           f"backfill:priority=batch,exits=false,share={1 - CHAT_SHARE}")
+FAULTS = "3000:1000"      # one crash at t=3s, replacement boots 1s later
+
+
+def run(cluster: ClusterSpec, requests: int = REQUESTS,
+        rate: float = RATE_QPS):
+    experiment = Experiment(
+        model="resnet50",
+        workload=WorkloadSpec("nlp", "amazon", requests=requests, rate=rate,
+                              arrival_process="poisson"),
+        cluster=cluster, slo_ms=SLO_MS, max_batch_size=8,
+        drop_expired=False, seed=0)
+    return experiment.run(["vanilla"]).result("vanilla")
+
+
+def print_tenant_table(rollups) -> None:
+    print(f"{'tenant':<10s} {'requests':>9s} {'served':>7s} {'p99 ms':>9s} "
+          f"{'SLO att':>8s} {'goodput':>8s}")
+    for tenant, stats in sorted(rollups.items()):
+        print(f"{tenant:<10s} {stats['requests']:>9.0f} {stats['served']:>7.0f} "
+              f"{stats['p99_ms']:>9.1f} {stats['slo_attainment']:>8.1%} "
+              f"{stats['goodput_qps']:>8.1f}")
+
+
+def main() -> None:
+    # --- mixed tenants on an overloaded fleet, one crash ------------------
+    mixed = run(ClusterSpec(replicas=REPLICAS, balancer="least_work_left",
+                            tenants=TENANTS, faults=FAULTS))
+    details = mixed.details
+
+    print(f"fleet of {REPLICAS} at ~1.25x capacity, "
+          f"tenants chat (weight 100) vs backfill (batch)")
+    print(f"fault schedule {FAULTS!r}: "
+          f"{details.get('crashes', 0)} crash(es), "
+          f"{details.get('recoveries', 0)} recovery(ies), "
+          f"{details.get('requeued', 0)} request(s) requeued to survivors\n")
+    print("per-tenant rollups (mixed traffic, crash mid-run):")
+    print_tenant_table(details["tenant_rollups"])
+    print("\nweighted-fair dispatch serves chat ahead of the backlog: the "
+          "batch tenant's queue\nabsorbs the whole overload (p99 in seconds) "
+          "while chat stays near its SLO")
+
+    # --- the isolation metric ---------------------------------------------
+    # Chat's slice of the traffic alone on the same (crash-free) fleet: its
+    # unshared best case.  The isolation ratio (mixed p99 / solo p99) is the
+    # price chat paid for sharing the saturated, crashing fleet.
+    solo = run(ClusterSpec(replicas=REPLICAS, balancer="least_work_left",
+                           tenants="chat:weight=100"),
+               requests=int(REQUESTS * CHAT_SHARE),
+               rate=RATE_QPS * CHAT_SHARE)
+    ratios = isolation_ratios(details["tenant_rollups"],
+                              solo.details["tenant_rollups"])
+    solo_p99 = solo.details["tenant_rollups"]["chat"]["p99_ms"]
+    print(f"\nisolation: solo chat p99 {solo_p99:.1f} ms, "
+          f"mixed/solo ratio {ratios['chat']:.2f}x "
+          f"(1.0 = sharing cost it nothing)")
+
+
+if __name__ == "__main__":
+    main()

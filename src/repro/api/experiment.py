@@ -42,7 +42,8 @@ _CLUSTER_KEYS = ("replicas", "balancer", "fleet_mode", "sync_period",
                  "prefill_balancer", "decode_balancer", "prefill_autoscaler",
                  "decode_autoscaler", "prefill_min_replicas",
                  "prefill_max_replicas", "decode_min_replicas",
-                 "decode_max_replicas", "prefill_profiles", "decode_profiles")
+                 "decode_max_replicas", "prefill_profiles", "decode_profiles",
+                 "tenants", "tenant_policy", "faults")
 _EE_KEYS = ("accuracy_constraint", "ramp_budget", "ramp_style",
             "initial_ramp_ids", "ramp_adjustment_enabled")
 _WORKLOAD_KEYS = ("requests", "rate", "source")

@@ -18,9 +18,12 @@ from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.core.controller import FleetController
 from repro.exits.ramps import RampStyle
+from repro.faults import FaultSchedule, FaultSpec, coerce_faults
 from repro.serving.autoscaler import Autoscaler, canonical_autoscaler_name
 from repro.serving.cluster import (LoadBalancer, ReplicaProfile,
                                    canonical_balancer_name)
+from repro.tenancy import (TENANT_POLICIES, TenancyConfig, TenantSpec,
+                           coerce_tenancy)
 
 __all__ = ["WorkloadSpec", "ClusterSpec", "ExitPolicySpec", "WORKLOAD_KINDS"]
 
@@ -57,8 +60,11 @@ class WorkloadSpec:
         ``None`` selects the kind's default process.  NLP: ``"maf"``
         (bursty, the default) or ``"poisson"``.  Generative: ``"poisson"``
         (the default) or ``"diurnal"`` (day/night rate cycle for autoscaling
-        and pool-sizing studies).  An explicit process the kind's workload
-        factory does not know raises :class:`ValueError`.
+        and pool-sizing studies).  Both kinds also accept ``"flash_crowd"``
+        (Poisson baseline plus one sudden sustained spike) and
+        ``"trace:<path>"`` (replay a CSV of arrival timestamps in ms).  An
+        explicit process the kind's workload factory does not know raises
+        :class:`ValueError`.
     overrides:
         Optional preset-parameter overrides forwarded to the workload factory.
     """
@@ -165,6 +171,13 @@ class ClusterSpec:
     :class:`ValueError` — they would be silently dead configuration — and so
     do the fleet-wide ``min_replicas``/``max_replicas``/``profiles`` on a
     disaggregated one (bounds and profiles are strictly per-pool).
+
+    ``tenants`` turns on multi-tenant serving: requests are tagged with a
+    tenant, dispatched under ``tenant_policy`` (weighted-fair or
+    strict-priority, layered over the balancer), and reported per tenant in
+    the run details.  ``faults`` injects replica crash/recovery events on the
+    simulation clock; ``"prefill"``-pool faults require ``disaggregate=True``.
+    Both default to off, preserving the single-tenant fault-free fast path.
     """
 
     replicas: int = 2
@@ -192,6 +205,18 @@ class ClusterSpec:
     decode_max_replicas: Optional[int] = None
     prefill_profiles: Optional[Union[str, Sequence[Union[ReplicaProfile, float, str]]]] = None
     decode_profiles: Optional[Union[str, Sequence[Union[ReplicaProfile, float, str]]]] = None
+    #: Multi-tenant serving: ``None`` keeps the single-default-tenant fast
+    #: path; otherwise a :class:`~repro.tenancy.TenancyConfig`, a sequence of
+    #: :class:`~repro.tenancy.TenantSpec`, or a ``"name:key=value,...;..."``
+    #: string (see :func:`repro.tenancy.parse_tenants`).
+    tenants: Union[None, str, TenancyConfig, Sequence[TenantSpec]] = None
+    #: Dispatch discipline layered over the balancer when ``tenants`` is set.
+    tenant_policy: str = "weighted_fair"
+    #: Failure injection: ``None`` disables it; otherwise a
+    #: :class:`~repro.faults.FaultSpec`/:class:`~repro.faults.FaultSchedule`
+    #: or a ``"crash:down[:pool]"`` / ``"mtbf=..,mttr=..,horizon=.."`` string
+    #: (see :func:`repro.faults.parse_faults`).
+    faults: Union[None, str, FaultSpec, FaultSchedule] = None
 
     #: every pool-scoped field; set on a non-disaggregated spec they would be
     #: dead configuration, so construction rejects that combination.
@@ -224,6 +249,18 @@ class ClusterSpec:
         if self.max_replicas is not None and int(self.max_replicas) < int(self.replicas):
             raise ValueError(f"max_replicas must be >= replicas="
                              f"{self.replicas}, got {self.max_replicas}")
+        if self.tenant_policy not in TENANT_POLICIES:
+            raise ValueError(f"tenant_policy must be one of {TENANT_POLICIES}, "
+                             f"got {self.tenant_policy!r}")
+        object.__setattr__(self, "tenants",
+                           coerce_tenancy(self.tenants, self.tenant_policy))
+        object.__setattr__(self, "faults", coerce_faults(self.faults))
+        if self.faults is not None and not self.disaggregate:
+            bad = [f for f in self.faults if f.pool == "prefill"]
+            if bad:
+                raise ValueError("faults targeting pool='prefill' only apply "
+                                 "to disaggregated serving; set "
+                                 "disaggregate=True")
         self._validate_pools()
 
     @staticmethod
@@ -398,6 +435,10 @@ class ClusterSpec:
                 "decode_profiles": None if self.decode_profiles is None
                 else [p.describe() for p in self.decode_profiles],
             })
+        if self.tenants is not None:
+            data["tenants"] = self.tenants.describe()
+        if self.faults is not None:
+            data["faults"] = self.faults.describe()
         return data
 
 

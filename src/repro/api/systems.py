@@ -67,6 +67,8 @@ def _cluster_kwargs(experiment) -> Dict[str, Any]:
         "min_replicas": cluster.resolved_min_replicas(),
         "max_replicas": cluster.resolved_max_replicas(),
         "profiles": cluster.profiles,
+        "tenancy": cluster.tenants,
+        "faults": cluster.faults,
     }
 
 
@@ -80,6 +82,14 @@ def _fleet_details(metrics) -> Dict[str, Any]:
     }
     if hasattr(metrics, "rerouted"):
         details["rerouted"] = int(metrics.rerouted)
+    if getattr(metrics, "crashes", 0) or getattr(metrics, "recoveries", 0):
+        details["crashes"] = int(metrics.crashes)
+        details["recoveries"] = int(metrics.recoveries)
+        details["requeued"] = int(metrics.requeued)
+    rollups = getattr(metrics, "tenant_rollups", None)
+    if rollups:
+        details["tenant_rollups"] = {tenant: dict(stats)
+                                     for tenant, stats in rollups.items()}
     return details
 
 
@@ -97,6 +107,8 @@ def _generative_cluster_kwargs(experiment) -> Dict[str, Any]:
         "profiles": cluster.profiles,
         "prefill_in_slot": cluster.prefill_in_slot,
         "ttft_slo_ms": experiment.slo_ms,
+        "tenancy": cluster.tenants,
+        "faults": cluster.faults,
     }
 
 
@@ -127,6 +139,8 @@ def _disagg_kwargs(experiment) -> Dict[str, Any]:
         "prefill_profiles": cluster.prefill_profiles,
         "decode_profiles": cluster.decode_profiles,
         "ttft_slo_ms": experiment.slo_ms,
+        "tenancy": cluster.tenants,
+        "faults": cluster.faults,
     }
 
 

@@ -115,7 +115,8 @@ def _free_generative_cluster_impl(model: Union[str, ModelSpec],
                                   seed: int = 0, autoscaler="none",
                                   min_replicas=None, max_replicas=None,
                                   profiles=None, prefill_in_slot: bool = False,
-                                  ttft_slo_ms: Optional[float] = None):
+                                  ttft_slo_ms: Optional[float] = None,
+                                  tenancy=None, faults=None):
     """FREE at fleet scale: one (depth, threshold) pair calibrated once on the
     leading workload slice, then deployed frozen on every replica (including
     any the autoscaler boots mid-run) — no runtime adaptation anywhere."""
@@ -131,7 +132,8 @@ def _free_generative_cluster_impl(model: Union[str, ModelSpec],
                                        min_replicas=min_replicas,
                                        max_replicas=max_replicas,
                                        prefill_in_slot=prefill_in_slot,
-                                       ttft_slo_ms=ttft_slo_ms)
+                                       ttft_slo_ms=ttft_slo_ms,
+                                       tenancy=tenancy, faults=faults)
     return cluster.run(workload, lambda ordinal: policy)
 
 

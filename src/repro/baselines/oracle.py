@@ -138,7 +138,8 @@ def _optimal_generative_cluster_impl(model: Union[str, ModelSpec],
                                      autoscaler="none", min_replicas=None,
                                      max_replicas=None, profiles=None,
                                      prefill_in_slot: bool = False,
-                                     ttft_slo_ms: Optional[float] = None):
+                                     ttft_slo_ms: Optional[float] = None,
+                                     tenancy=None, faults=None):
     """The generative oracle at fleet scale: every token on every replica
     exits at its earliest correct ramp with zero overhead."""
     from repro.core.generative import build_generative_cluster
@@ -151,7 +152,8 @@ def _optimal_generative_cluster_impl(model: Union[str, ModelSpec],
                                        min_replicas=min_replicas,
                                        max_replicas=max_replicas,
                                        prefill_in_slot=prefill_in_slot,
-                                       ttft_slo_ms=ttft_slo_ms)
+                                       ttft_slo_ms=ttft_slo_ms,
+                                       tenancy=tenancy, faults=faults)
     return cluster.run(workload, lambda ordinal: policy)
 
 

@@ -48,6 +48,7 @@ from repro.api import (ClusterSpec, Experiment, ExitPolicySpec, RunReport,
 from repro.models.zoo import Task, get_model, list_models
 from repro.serving.autoscaler import AUTOSCALER_NAMES
 from repro.serving.cluster import BALANCER_NAMES
+from repro.tenancy import TENANT_POLICIES
 
 __all__ = ["build_parser", "main"]
 
@@ -119,6 +120,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comma-separated per-replica speed[:cost] "
                                "multipliers for a heterogeneous fleet, e.g. "
                                "'2,2,0.5,0.5' (must match --replicas)")
+    classify.add_argument("--tenants", default=None,
+                          help="multi-tenant mix as 'name:key=value,...;...' "
+                               "(keys: weight/share/priority/slo/ttft/exits), "
+                               "e.g. 'chat:weight=4;batch:priority=batch'")
+    classify.add_argument("--tenant-policy", default=None,
+                          choices=list(TENANT_POLICIES),
+                          help="dispatch discipline across tenants "
+                               "(default: weighted_fair)")
+    classify.add_argument("--faults", default=None,
+                          help="replica failure injection: "
+                               "'crash_ms:down_ms[:pool];...' or "
+                               "'mtbf=..,mttr=..,horizon=..[,seed=..][,pool=..]' "
+                               "for a seeded random schedule")
     classify.add_argument("--json", action="store_true",
                           help="print the RunReport as JSON instead of a table")
 
@@ -197,6 +211,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="time-to-first-token SLO in ms; sequences "
                                "whose wait already blew it are shed "
                                "(counted in the 'shed' metric)")
+    generate.add_argument("--tenants", default=None,
+                          help="multi-tenant mix as 'name:key=value,...;...' "
+                               "(keys: weight/share/priority/slo/ttft/exits), "
+                               "e.g. 'chat:weight=4;batch:priority=batch'")
+    generate.add_argument("--tenant-policy", default=None,
+                          choices=list(TENANT_POLICIES),
+                          help="dispatch discipline across tenants "
+                               "(default: weighted_fair)")
+    generate.add_argument("--faults", default=None,
+                          help="replica failure injection: "
+                               "'crash_ms:down_ms[:pool];...' or "
+                               "'mtbf=..,mttr=..,horizon=..[,seed=..][,pool=..]' "
+                               "for a seeded random schedule")
     generate.add_argument("--json", action="store_true",
                           help="print the RunReport as JSON instead of a table")
 
@@ -243,6 +270,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--decode-replicas", default=None,
                        help="comma-separated decode pool sizes to sweep "
                             "(implies --disaggregate)")
+    sweep.add_argument("--tenants", default=None,
+                       help="tenant mix(es); separate grid values with '|' "
+                            "(an empty segment means no tenants), e.g. "
+                            "'chat:weight=4;batch:priority=batch|'")
+    sweep.add_argument("--tenant-policy", default=None,
+                       choices=list(TENANT_POLICIES),
+                       help="tenant dispatch discipline applied at every "
+                            "grid point (default: weighted_fair)")
+    sweep.add_argument("--faults", default=None,
+                       help="fault schedule(s); separate grid values with "
+                            "'|' (an empty segment means fault-free), e.g. "
+                            "'2000:1000|'")
     sweep.add_argument("--accuracy-constraint", type=float, default=0.01)
     sweep.add_argument("--ramp-budget", type=float, default=0.02)
     sweep.add_argument("--seed", type=int, default=0)
@@ -335,6 +374,41 @@ def _print_pool_lines(report: RunReport) -> None:
               f"{summary.get('shed', 0.0):.0f} shed")
 
 
+def _print_tenant_lines(report: RunReport) -> None:
+    """Fault-injection churn and the per-tenant rollup table, when present."""
+    for result in report.results:
+        crashes = result.details.get("crashes")
+        if crashes is not None:
+            print(f"{result.system} faults: {crashes} crashes, "
+                  f"{result.details.get('recoveries', 0)} recoveries, "
+                  f"{result.details.get('requeued', 0)} requeued")
+        rollups = result.details.get("tenant_rollups")
+        if not rollups:
+            continue
+        print(f"{result.system} tenants:")
+        if "sequences" in next(iter(rollups.values())):
+            print(f"  {'tenant':<14s} {'seqs':>6s} {'served':>6s} "
+                  f"{'tokens':>8s} {'shed%':>6s} {'ttft p99':>10s} "
+                  f"{'token p99':>10s}")
+            for name, stats in rollups.items():
+                print(f"  {name:<14s} {stats['sequences']:6.0f} "
+                      f"{stats['served']:6.0f} {stats['tokens']:8.0f} "
+                      f"{100.0 * stats['shed_rate']:5.1f}% "
+                      f"{stats['ttft_p99_ms']:8.1f}ms "
+                      f"{stats['token_p99_ms']:8.1f}ms")
+        else:
+            print(f"  {'tenant':<14s} {'reqs':>6s} {'served':>6s} "
+                  f"{'drop%':>6s} {'p99':>9s} {'slo-att':>8s} "
+                  f"{'goodput':>9s}")
+            for name, stats in rollups.items():
+                print(f"  {name:<14s} {stats['requests']:6.0f} "
+                      f"{stats['served']:6.0f} "
+                      f"{100.0 * stats['drop_rate']:5.1f}% "
+                      f"{stats['p99_ms']:7.1f}ms "
+                      f"{100.0 * stats['slo_attainment']:7.1f}% "
+                      f"{stats['goodput_qps']:7.1f}/s")
+
+
 def _print_fleet_stats(report: RunReport) -> None:
     """EE-control adaptation stats for cluster systems that carry them."""
     for result in report.results:
@@ -345,6 +419,15 @@ def _print_fleet_stats(report: RunReport) -> None:
         print(f"fleet controllers: {summary['num_controllers']:.0f} ({mode}), "
               f"{summary['threshold_tunings']:.0f} threshold tunings, "
               f"{summary['ramp_adjustments']:.0f} ramp adjustments")
+
+
+def _tenancy_header(cluster: Optional[ClusterSpec]) -> str:
+    parts = ""
+    if cluster is not None and cluster.tenants is not None:
+        parts += f" tenants={cluster.tenants.describe()}"
+    if cluster is not None and cluster.faults is not None:
+        parts += f" faults={cluster.faults.describe()}"
+    return parts
 
 
 def _classification_experiment(args: argparse.Namespace) -> Experiment:
@@ -359,7 +442,7 @@ def _classification_experiment(args: argparse.Namespace) -> Experiment:
     cluster: Optional[ClusterSpec] = None
     fleet_flags = any(value is not None for value in
                       (args.autoscaler, args.min_replicas, args.max_replicas,
-                       args.replica_profiles))
+                       args.replica_profiles, args.tenants, args.faults))
     if replicas != 1 or fleet_flags:
         cluster = ClusterSpec(replicas=replicas,
                               balancer=args.balancer or "round_robin",
@@ -367,7 +450,10 @@ def _classification_experiment(args: argparse.Namespace) -> Experiment:
                               autoscaler=args.autoscaler or "none",
                               min_replicas=args.min_replicas,
                               max_replicas=args.max_replicas,
-                              profiles=args.replica_profiles)
+                              profiles=args.replica_profiles,
+                              tenants=args.tenants,
+                              tenant_policy=args.tenant_policy or "weighted_fair",
+                              faults=args.faults)
     elif args.balancer or args.fleet_mode:
         print("note: --balancer/--fleet-mode only apply to cluster serving; "
               "pass --replicas N (N > 1) to enable it", file=sys.stderr)
@@ -391,11 +477,13 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             header += (f" autoscaler={cluster.autoscaler_name()}"
                        f"[{cluster.resolved_min_replicas()}"
                        f"..{cluster.resolved_max_replicas()}]")
+    header += _tenancy_header(experiment.cluster)
     print(header)
     print(report.format_table())
     _print_dispatch_lines(report)
     _print_fleet_size_lines(report)
     _print_fleet_stats(report)
+    _print_tenant_lines(report)
     _print_win_line(report)
     return 0
 
@@ -422,7 +510,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     fleet_flags = args.prefill_in_slot or any(
         value is not None for value in
         (args.autoscaler, args.min_replicas, args.max_replicas,
-         args.replica_profiles))
+         args.replica_profiles, args.tenants, args.faults))
     if disagg_flags and args.prefill_in_slot:
         raise ValueError("--prefill-in-slot is the monolithic deployment; "
                          "it cannot be combined with --disaggregate")
@@ -441,7 +529,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
                               decode_autoscaler=args.decode_autoscaler,
                               decode_min_replicas=args.min_replicas,
                               decode_max_replicas=args.max_replicas,
-                              decode_profiles=args.replica_profiles)
+                              decode_profiles=args.replica_profiles,
+                              tenants=args.tenants,
+                              tenant_policy=args.tenant_policy or "weighted_fair",
+                              faults=args.faults)
     elif replicas != 1 or fleet_flags:
         cluster = ClusterSpec(replicas=replicas,
                               balancer=args.balancer or "round_robin",
@@ -450,7 +541,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
                               min_replicas=args.min_replicas,
                               max_replicas=args.max_replicas,
                               profiles=args.replica_profiles,
-                              prefill_in_slot=args.prefill_in_slot)
+                              prefill_in_slot=args.prefill_in_slot,
+                              tenants=args.tenants,
+                              tenant_policy=args.tenant_policy or "weighted_fair",
+                              faults=args.faults)
     elif args.balancer or args.fleet_mode:
         print("note: --balancer/--fleet-mode only apply to cluster serving; "
               "pass --replicas N (N > 1) to enable it", file=sys.stderr)
@@ -480,11 +574,13 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             header += (f" autoscaler={cluster.autoscaler_name()}"
                        f"[{cluster.resolved_min_replicas()}"
                        f"..{cluster.resolved_max_replicas()}]")
+    header += _tenancy_header(cluster)
     print(header)
     print(report.format_table())
     _print_dispatch_lines(report)
     _print_fleet_size_lines(report)
     _print_pool_lines(report)
+    _print_tenant_lines(report)
     _print_win_line(report)
     return 0
 
@@ -529,6 +625,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.decode_replicas:
         grid["decode_replicas"] = _parse_int_list(args.decode_replicas,
                                                   "--decode-replicas")
+    # '|' separates grid values for tenants/faults (the specs themselves use
+    # ',' and ';'); an empty segment sweeps the off state.
+    if args.tenants is not None:
+        mixes = [m.strip() or None for m in args.tenants.split("|")]
+        grid["tenants"] = mixes if len(mixes) > 1 else mixes[0]
+    if args.tenant_policy is not None:
+        grid["tenant_policy"] = args.tenant_policy
+    if args.faults is not None:
+        schedules = [f.strip() or None for f in args.faults.split("|")]
+        grid["faults"] = schedules if len(schedules) > 1 else schedules[0]
     sweep = experiment.sweep(systems=_split_csv(args.systems), **grid)
     if args.json:
         print(json.dumps(sweep.to_json(), indent=2))

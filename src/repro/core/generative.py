@@ -305,7 +305,8 @@ def build_generative_cluster(model: Union[str, ModelSpec], replicas: int,
                              min_replicas: Optional[int] = None,
                              max_replicas: Optional[int] = None,
                              prefill_in_slot: bool = False,
-                             ttft_slo_ms: Optional[float] = None
+                             ttft_slo_ms: Optional[float] = None,
+                             tenancy=None, faults=None
                              ) -> GenerativeClusterPlatform:
     """Construct a fleet of continuous-batching decode replicas.
 
@@ -331,7 +332,8 @@ def build_generative_cluster(model: Union[str, ModelSpec], replicas: int,
         [engine] * replicas, balancer=balancer, seed=seed, profiles=profiles,
         autoscaler=_resolve_generative_autoscaler(autoscaler, max_batch_size),
         min_replicas=min_replicas, max_replicas=max_replicas,
-        ttft_slo_ms=_normalize_ttft_slo(ttft_slo_ms))
+        ttft_slo_ms=_normalize_ttft_slo(ttft_slo_ms),
+        tenancy=tenancy, faults=faults)
 
 
 def _generative_vanilla_cluster_impl(model: Union[str, ModelSpec],
@@ -344,7 +346,8 @@ def _generative_vanilla_cluster_impl(model: Union[str, ModelSpec],
                                      max_replicas: Optional[int] = None,
                                      profiles: Optional[Sequence] = None,
                                      prefill_in_slot: bool = False,
-                                     ttft_slo_ms: Optional[float] = None
+                                     ttft_slo_ms: Optional[float] = None,
+                                     tenancy=None, faults=None
                                      ) -> GenerativeClusterMetrics:
     cluster = build_generative_cluster(model, replicas, balancer=balancer,
                                        max_batch_size=max_batch_size,
@@ -353,7 +356,8 @@ def _generative_vanilla_cluster_impl(model: Union[str, ModelSpec],
                                        min_replicas=min_replicas,
                                        max_replicas=max_replicas,
                                        prefill_in_slot=prefill_in_slot,
-                                       ttft_slo_ms=ttft_slo_ms)
+                                       ttft_slo_ms=ttft_slo_ms,
+                                       tenancy=tenancy, faults=faults)
     # The vanilla policy is stateless: every replica (including scaled-out
     # ones) shares it.
     policy = VanillaTokenPolicy()
@@ -373,7 +377,8 @@ def _generative_apparate_cluster_impl(model: Union[str, ModelSpec],
                                       max_replicas: Optional[int] = None,
                                       profiles: Optional[Sequence] = None,
                                       prefill_in_slot: bool = False,
-                                      ttft_slo_ms: Optional[float] = None
+                                      ttft_slo_ms: Optional[float] = None,
+                                      tenancy=None, faults=None
                                       ) -> GenerativeClusterRunResult:
     if fleet_mode not in FleetController.MODES:
         raise ValueError(f"unknown fleet mode {fleet_mode!r}; "
@@ -390,7 +395,8 @@ def _generative_apparate_cluster_impl(model: Union[str, ModelSpec],
                                        min_replicas=min_replicas,
                                        max_replicas=max_replicas,
                                        prefill_in_slot=prefill_in_slot,
-                                       ttft_slo_ms=ttft_slo_ms)
+                                       ttft_slo_ms=ttft_slo_ms,
+                                       tenancy=tenancy, faults=faults)
 
     policies: List[ApparateTokenPolicy] = []
     shared = ApparateTokenPolicy(prediction, depths,
@@ -448,7 +454,8 @@ def build_disaggregated_platform(model: Union[str, ModelSpec],
                                  decode_min_replicas: Optional[int] = None,
                                  decode_max_replicas: Optional[int] = None,
                                  ttft_slo_ms: Optional[float] = None,
-                                 transfer_gbps: float = 16.0
+                                 transfer_gbps: float = 16.0,
+                                 tenancy=None, faults=None
                                  ) -> DisaggregatedPlatform:
     """Construct a prefill pool + decode pool behind one handoff queue.
 
@@ -474,7 +481,8 @@ def build_disaggregated_platform(model: Union[str, ModelSpec],
         prefill_max_replicas=prefill_max_replicas,
         decode_min_replicas=decode_min_replicas,
         decode_max_replicas=decode_max_replicas,
-        ttft_slo_ms=_normalize_ttft_slo(ttft_slo_ms))
+        ttft_slo_ms=_normalize_ttft_slo(ttft_slo_ms),
+        tenancy=tenancy, faults=faults)
 
 
 def _generative_vanilla_disagg_impl(model: Union[str, ModelSpec],

@@ -158,14 +158,17 @@ def build_cluster(platform: str, profile: LatencyProfile, replicas: int,
                   profiles: Optional[Sequence[Union[ReplicaProfile, float, str]]] = None,
                   autoscaler: Union[str, Autoscaler, None] = "none",
                   min_replicas: Optional[int] = None,
-                  max_replicas: Optional[int] = None) -> ClusterPlatform:
+                  max_replicas: Optional[int] = None,
+                  tenancy=None, faults=None) -> ClusterPlatform:
     """Construct a fleet of platforms behind a load balancer.
 
     ``profiles`` makes the fleet heterogeneous: each replica's platform is
     built on ``profile.scaled(p.speed)`` so its batching policy and the
     work-aware balancers cost its queue in true milliseconds.  ``autoscaler``
     plus the ``min_replicas``/``max_replicas`` band make the fleet elastic;
-    scaled-out replicas run base-speed platforms from a factory.
+    scaled-out replicas run base-speed platforms from a factory.  ``tenancy``
+    and ``faults`` turn on multi-tenant dispatch and replica failure
+    injection (see :class:`~repro.serving.cluster.ClusterPlatform`).
     """
     if replicas < 1:
         raise ValueError("replicas must be >= 1")
@@ -188,7 +191,8 @@ def build_cluster(platform: str, profile: LatencyProfile, replicas: int,
     return ClusterPlatform(fleet, balancer=balancer, seed=seed,
                            profiles=resolved, autoscaler=autoscaler,
                            min_replicas=min_replicas, max_replicas=max_replicas,
-                           replica_factory=replica_factory)
+                           replica_factory=replica_factory,
+                           tenancy=tenancy, faults=faults)
 
 
 # ---------------------------------------------------------------------------
@@ -263,7 +267,8 @@ def _vanilla_cluster_impl(model: Union[str, ModelSpec], workload: Workload,
                           autoscaler: Union[str, Autoscaler, None] = "none",
                           min_replicas: Optional[int] = None,
                           max_replicas: Optional[int] = None,
-                          profiles: Optional[Sequence] = None) -> ClusterMetrics:
+                          profiles: Optional[Sequence] = None,
+                          tenancy=None, faults=None) -> ClusterMetrics:
     spec, profile, _prediction, _catalog, executor = model_stack(model, seed=seed)
     slo = slo_ms if slo_ms is not None else spec.default_slo_ms
     requests = _workload_requests(workload, slo)
@@ -272,7 +277,8 @@ def _vanilla_cluster_impl(model: Union[str, ModelSpec], workload: Workload,
                             drop_expired=drop_expired, seed=seed,
                             profiles=profiles,
                             autoscaler=_resolve_autoscaler(autoscaler, slo),
-                            min_replicas=min_replicas, max_replicas=max_replicas)
+                            min_replicas=min_replicas, max_replicas=max_replicas,
+                            tenancy=tenancy, faults=faults)
     # The vanilla executor is stateless, so every replica can share it
     # (including replicas the autoscaler brings online mid-run).
     return cluster.run(requests, VanillaExecutor(executor))
@@ -291,7 +297,8 @@ def _apparate_cluster_impl(model: Union[str, ModelSpec], workload: Workload,
                            autoscaler: Union[str, Autoscaler, None] = "none",
                            min_replicas: Optional[int] = None,
                            max_replicas: Optional[int] = None,
-                           profiles: Optional[Sequence] = None
+                           profiles: Optional[Sequence] = None,
+                           tenancy=None, faults=None
                            ) -> ApparateClusterRunResult:
     spec, profile, _prediction, catalog, executor = model_stack(
         model, seed=seed, ramp_budget=ramp_budget, ramp_style=ramp_style)
@@ -307,7 +314,8 @@ def _apparate_cluster_impl(model: Union[str, ModelSpec], workload: Workload,
                             drop_expired=drop_expired, seed=seed,
                             profiles=profiles,
                             autoscaler=_resolve_autoscaler(autoscaler, slo),
-                            min_replicas=min_replicas, max_replicas=max_replicas)
+                            min_replicas=min_replicas, max_replicas=max_replicas,
+                            tenancy=tenancy, faults=faults)
     # Executors come from a factory keyed by replica ordinal so replicas the
     # autoscaler adds mid-run get their own controller view (fresh controller
     # in independent mode, synced view of the shared one otherwise).

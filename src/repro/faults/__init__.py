@@ -1,0 +1,7 @@
+"""Deterministic replica failure injection for serving scenarios."""
+
+from repro.faults.spec import (FAULT_POOLS, FaultSchedule, FaultSpec,
+                               coerce_faults, parse_faults)
+
+__all__ = ["FaultSpec", "FaultSchedule", "FAULT_POOLS", "parse_faults",
+           "coerce_faults"]

@@ -20,7 +20,9 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.utils.rng import RngFactory
-from repro.workloads.arrivals import diurnal_arrivals, poisson_arrivals
+from repro.workloads.arrivals import (diurnal_arrivals,
+                                      flash_crowd_arrivals, poisson_arrivals,
+                                      trace_arrivals)
 
 __all__ = ["SequenceSample", "GenerativeWorkload", "make_generative_workload",
            "GENERATIVE_DATASET_PRESETS"]
@@ -52,6 +54,9 @@ class SequenceSample:
     token_difficulty: np.ndarray
     token_sharpness: np.ndarray
     prompt_tokens: int = 0
+    #: tenant class tag; "default" means untenanted.  The tenancy layer
+    #: honours pre-tagged sequences whose tag names a configured tenant.
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         if int(self.prompt_tokens) < 0:
@@ -108,11 +113,13 @@ def make_generative_workload(dataset: str = "cnn-dailymail", num_sequences: int 
     Drift is what makes one-time-tuned baselines such as FREE lose accuracy
     while Apparate's runtime adaptation holds the constraint (§4.4).
 
-    ``arrival_process`` selects ``"poisson"`` (the paper's setup) or
+    ``arrival_process`` selects ``"poisson"`` (the paper's setup),
     ``"diurnal"`` — a compressed day/night cycle whose per-second rate traces
     a raised cosine between ``rate_qps / 4`` and ``7/4 * rate_qps`` (mean
     ``rate_qps``) every ``diurnal_period_s`` seconds, the workload shape the
-    autoscaling and pool-sizing studies exercise.
+    autoscaling and pool-sizing studies exercise — ``"flash_crowd"`` (Poisson
+    baseline with a sudden sustained 4x spike), or ``"trace:<path>"``
+    (replay a CSV of arrival timestamps in ms).
     """
     rng_factory = RngFactory(seed)
     preset = dict(GENERATIVE_DATASET_PRESETS.get(dataset, GENERATIVE_DATASET_PRESETS["cnn-dailymail"]))
@@ -130,9 +137,15 @@ def make_generative_workload(dataset: str = "cnn-dailymail", num_sequences: int 
         arrivals = diurnal_arrivals(num_sequences, low_qps=0.25 * rate_qps,
                                     high_qps=1.75 * rate_qps,
                                     period_s=diurnal_period_s, rng=arrival_rng)
+    elif arrival_process == "flash_crowd":
+        arrivals = flash_crowd_arrivals(num_sequences, rate_qps, arrival_rng)
+    elif arrival_process.startswith("trace:"):
+        arrivals = trace_arrivals(num_sequences,
+                                  arrival_process[len("trace:"):])
     else:
         raise ValueError(f"unknown arrival_process {arrival_process!r}; "
-                         "choose from ('poisson', 'diurnal')")
+                         "choose from ('poisson', 'diurnal', 'flash_crowd', "
+                         "'trace:<path>')")
 
     # Per-sequence difficulty drift over the stream (topic drift).
     drift = np.zeros(num_sequences)

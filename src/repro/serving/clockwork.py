@@ -33,7 +33,9 @@ class ClockworkPlatform(ServingPlatform):
 
     def select_batch(self, queue: List[Request], now_ms: float) -> Tuple[List[Request], float]:
         """Largest batch whose serving time keeps the oldest request in SLO."""
-        ordered = sorted(queue, key=lambda r: (r.arrival_ms, r.request_id))
+        # Rank is the tenancy dispatch key (0.0 for every request in
+        # untenanted runs, keeping this a pure arrival-order sort).
+        ordered = sorted(queue, key=lambda r: (r.rank, r.arrival_ms, r.request_id))
         limit = min(len(ordered), self.max_batch_size)
 
         chosen = 1

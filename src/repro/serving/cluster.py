@@ -62,6 +62,7 @@ from typing import Callable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from repro.faults import FaultSchedule, FaultSpec, coerce_faults
 from repro.serving.autoscaler import Autoscaler, build_autoscaler
 from repro.serving.fleet import (ACTIVE, DRAINING, RETIRED, FleetState,
                                  ReplicaEntry, ReplicaHandle, ReplicaProfile)
@@ -71,6 +72,8 @@ from repro.serving.metrics import ClusterMetrics
 from repro.serving.platform import (BatchExecutorFn, BatchResult, ReplicaState,
                                     ServingPlatform)
 from repro.serving.request import Request
+from repro.tenancy import (TenancyConfig, build_request_runtime, coerce_tenancy,
+                           request_rollups)
 
 __all__ = [
     "ReplicaHandle",
@@ -86,6 +89,7 @@ __all__ = [
     "canonical_balancer_name",
     "BALANCER_NAMES",
     "ClusterPlatform",
+    "gate_exits",
 ]
 
 
@@ -309,6 +313,18 @@ class ClusterPlatform:
         required when ``max_replicas`` exceeds the initial fleet.
     scale_out_profile:
         Profile assigned to scaled-out replicas (default: base speed).
+    tenancy:
+        Optional :class:`~repro.tenancy.TenancyConfig` (or CLI string /
+        TenantSpec sequence): requests are tagged with tenant classes and
+        dispatch ranks, batch queues serve in rank order, and the run's
+        metrics carry per-tenant rollups.  ``None`` (the default) is the
+        single-tenant fast path.
+    faults:
+        Optional :class:`~repro.faults.FaultSchedule` (or CLI string /
+        FaultSpec sequence): each fault crashes one replica at its
+        ``crash_ms`` (queued work requeues through the balancer, in-flight
+        work is salvaged) and boots a replacement ``down_ms`` later.  The
+        single-pool cluster ignores the faults' ``pool`` tag.
     """
 
     def __init__(self, replicas: Sequence[ServingPlatform],
@@ -319,12 +335,17 @@ class ClusterPlatform:
                  min_replicas: Optional[int] = None,
                  max_replicas: Optional[int] = None,
                  replica_factory: Optional[Callable[[], ServingPlatform]] = None,
-                 scale_out_profile: Optional[ReplicaProfile] = None) -> None:
+                 scale_out_profile: Optional[ReplicaProfile] = None,
+                 tenancy: Union[None, str, TenancyConfig] = None,
+                 faults: Union[None, str, FaultSpec, FaultSchedule] = None) -> None:
         self.platforms = list(replicas)
         if not self.platforms:
             raise ValueError("a cluster needs at least one replica")
+        self.seed = int(seed)
         self.balancer = build_balancer(balancer, seed=seed)
         self.autoscaler = build_autoscaler(autoscaler)
+        self.tenancy = coerce_tenancy(tenancy)
+        self.faults = coerce_faults(faults)
 
         n = len(self.platforms)
         if profiles is None:
@@ -479,6 +500,9 @@ class ClusterPlatform:
         self.autoscaler.set_bounds(self.min_replicas, self.max_replicas)
 
         pending = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
+        default_slo_ms = pending[0].slo_ms if pending else 0.0
+        pending, tenant_runtime = build_request_runtime(pending, self.tenancy,
+                                                        self.seed)
         num_requests = len(pending)
         start = pending[0].arrival_ms if pending else 0.0
 
@@ -489,7 +513,8 @@ class ClusterPlatform:
         if num_requests == 0:
             return self._collect(fleet, start, start, rerouted=0)
 
-        runner = _ClusterRun(self, pending, factory, fleet, start)
+        runner = _ClusterRun(self, pending, factory, fleet, start,
+                             tenant_runtime=tenant_runtime, faults=self.faults)
         runner.drive()
 
         for entry in fleet.entries:
@@ -497,7 +522,15 @@ class ClusterPlatform:
 
         last_event = max((e.state.last_event_ms for e in fleet.entries
                           if np.isfinite(e.state.last_event_ms)), default=start)
-        return self._collect(fleet, start, last_event, runner.rerouted)
+        metrics = self._collect(fleet, start, last_event, runner.rerouted)
+        metrics.crashes = runner.crashes
+        metrics.recoveries = runner.recoveries
+        metrics.requeued = runner.requeued
+        if tenant_runtime is not None:
+            metrics.tenant_rollups = request_rollups(
+                metrics.aggregate().responses, tenant_runtime,
+                default_slo_ms, metrics.makespan_ms)
+        return metrics
 
     def _collect(self, fleet: FleetState, start_ms: float, end_ms: float,
                  rerouted: int) -> ClusterMetrics:
@@ -519,7 +552,36 @@ class ClusterPlatform:
 
 
 #: event kinds of the kernel-scheduled cluster run.
-_BOOT, _COMPLETION, _TIMER = 0, 1, 2
+_BOOT, _COMPLETION, _TIMER, _CRASH, _RECOVER = 0, 1, 2, 3, 4
+
+
+def gate_exits(batch: Sequence[Request], result: BatchResult,
+               gated_ids: Set[int]) -> BatchResult:
+    """Rewrite a batch result so gated requests ran the full model.
+
+    Exit-policy override for tenants with ``allow_exits=False``: their
+    requests release at the batch's full duration with no early exit and
+    the original model's answer (``correct=True``).  The batch's
+    accelerator time is left as computed — the replica genuinely ran the
+    ramps for its other requests.  Returns ``result`` unchanged when no
+    gated request exited.
+    """
+    hit = [i for i, request in enumerate(batch)
+           if request.request_id in gated_ids and result.exited[i]]
+    if not hit:
+        return result
+    offsets = list(result.result_offsets_ms)
+    exited = list(result.exited)
+    depths = list(result.exit_depths)
+    correct = list(result.correct)
+    full = max(result.gpu_time_ms, max(offsets) if offsets else 0.0)
+    for i in hit:
+        offsets[i] = full
+        exited[i] = False
+        depths[i] = None
+        correct[i] = True
+    return BatchResult(gpu_time_ms=result.gpu_time_ms, result_offsets_ms=offsets,
+                       exited=exited, exit_depths=depths, correct=correct)
 
 
 class _ClusterRun(SimPlatform):
@@ -535,7 +597,9 @@ class _ClusterRun(SimPlatform):
 
     def __init__(self, cluster: ClusterPlatform, pending: List[Request],
                  factory: Callable[[int], BatchExecutorFn],
-                 fleet: FleetState, start_ms: float) -> None:
+                 fleet: FleetState, start_ms: float,
+                 tenant_runtime=None,
+                 faults: Optional[FaultSchedule] = None) -> None:
         super().__init__(start_ms)
         self.cluster = cluster
         self.pending = pending
@@ -547,6 +611,18 @@ class _ClusterRun(SimPlatform):
         self.pool = PoolState(fleet)
         self.rerouted = 0
         self.rerouted_ids: Set[int] = set()
+        #: tenancy exit gating (queue ordering rides on Request.rank).
+        self._gated_ids: Set[int] = (tenant_runtime.no_exit_ids
+                                     if tenant_runtime is not None else set())
+        #: fault injection counters + the crashed hardware awaiting recovery.
+        self.crashes = 0
+        self.recoveries = 0
+        self.requeued = 0
+        self._crash_stock: List[Tuple[ServingPlatform, ReplicaProfile]] = []
+        if faults is not None:
+            for fault in faults:
+                # A crash scheduled before the first arrival fires with it.
+                self.events.push(max(fault.crash_ms, start_ms), _CRASH, fault)
         #: ``expire``/salvage are global no-ops unless some member drops on
         #: SLO expiry; precomputed so the common fleet skips both phases.
         self._drop_expired = any(e.platform.drop_expired
@@ -580,6 +656,10 @@ class _ClusterRun(SimPlatform):
             entry = event.payload
             entry._wake_event = None
             self.wake(entry)
+        elif kind == _CRASH:
+            self._crash(event.payload, self.clock.now_ms)
+        elif kind == _RECOVER:
+            self._recover(self.clock.now_ms)
         else:  # _BOOT: provisioning completed, bring the replica online.
             pool = self.pool
             pool.boots.remove(event)
@@ -588,6 +668,55 @@ class _ClusterRun(SimPlatform):
             pool.add(entry)
             if entry.platform.drop_expired:
                 self._drop_expired = True
+
+    # ------------------------------------------------------------------ faults
+    def _crash(self, fault: FaultSpec, now: float) -> None:
+        """Force-retire one replica; requeue its queued work, salvage in-flight.
+
+        The oldest active replica crashes (deterministic victim selection).
+        Its in-flight batch is salvaged — classification records results at
+        dispatch, so near-finished work stays client-visible — while queued
+        requests requeue to the survivors through the run's balancer.  The
+        crashed hardware boots back ``down_ms`` later (the outage subsumes
+        provisioning).  A crash that would empty the fleet is skipped: the
+        last replica never dies, so conservation holds by construction.
+        """
+        pool = self.pool
+        if len(pool.active) < 2:
+            return
+        victim = min(pool.active, key=lambda e: e.replica_id)
+        self.fleet.drain(victim, now)
+        pool.draining += 1
+        pool.refresh_active()
+        orphans = victim.state.queue
+        victim.state.queue = []
+        self.crashes += 1
+        self._crash_stock.append((victim.platform, victim.profile))
+        self.events.push(now + fault.down_ms, _RECOVER, fault)
+        self.wake(victim)  # retire once its salvaged batch finishes
+        if orphans:
+            balancer = self.cluster.balancer
+            handles = pool.handles
+            active = pool.active
+            for request in orphans:
+                index = int(balancer.choose(request, handles, now))
+                if not 0 <= index < len(active):
+                    raise ValueError(f"balancer {balancer.name!r} chose replica "
+                                     f"{index} of {len(active)}")
+                entry = active[index]
+                entry.platform.admit(entry.state, request)
+                self.wake(entry)
+            self.requeued += len(orphans)
+
+    def _recover(self, now: float) -> None:
+        """Boot a replacement for the oldest still-unrecovered crash."""
+        platform, profile = self._crash_stock.pop(0)
+        entry = self.fleet.add(platform, self.factory(self.fleet.next_ordinal()),
+                               profile, now)
+        self.pool.add(entry)
+        self.recoveries += 1
+        if entry.platform.drop_expired:
+            self._drop_expired = True
 
     # ------------------------------------------------------------------- pass
     def step(self, now: float) -> bool:
@@ -698,8 +827,10 @@ class _ClusterRun(SimPlatform):
                 timer.cancelled = True
                 entry._wake_event = None
             platform.dispatch(state, batch)
-            result = _scale_result(entry.executor(batch, now),
-                                   entry.profile.speed)
+            result = entry.executor(batch, now)
+            if self._gated_ids:
+                result = gate_exits(batch, result, self._gated_ids)
+            result = _scale_result(result, entry.profile.speed)
             platform.complete(state, batch, result, now)
             if state.busy_until_ms > now + 1e-9:
                 events.push(state.busy_until_ms, _COMPLETION, entry)

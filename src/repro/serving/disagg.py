@@ -45,6 +45,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.faults import FaultSchedule, FaultSpec, coerce_faults
 from repro.generative.decoding import PrefillModel
 from repro.generative.sequences import SequenceSample
 from repro.serving.autoscaler import Autoscaler, build_autoscaler
@@ -56,6 +57,8 @@ from repro.serving.generative_cluster import (GenerativeClusterMetrics,
 from repro.serving.hf_pipelines import ContinuousBatchingEngine
 from repro.serving.kernel import (PoolState, SimPlatform, pool_is_static,
                                   scale_pool)
+from repro.tenancy import (TenancyConfig, TenantRuntime, build_sequence_runtime,
+                           coerce_tenancy, sequence_rollups)
 
 __all__ = ["PrefillReplicaHandle", "PrefillReplicaEntry", "PrefillFleetState",
            "DisaggregatedMetrics", "DisaggregatedPlatform"]
@@ -277,6 +280,21 @@ class DisaggregatedPlatform:
         the TTFT SLO when a decode slot frees up is shed (counted per decode
         replica in ``shed_sequence_ids``), mirroring the classification
         fleet's drop path at sequence granularity.
+    tenancy:
+        Optional multi-tenant config (spec string, :class:`TenancyConfig` or
+        tenant list).  Sequences are tagged and ranked at ``run()`` time;
+        both pools' queues are kept rank-sorted, so weighted-fair / strict
+        priority shapes prefill order and decode slot claims alike.
+        Per-tenant TTFT-SLO and exit-policy overrides apply in the decode
+        pool's slot-claim loop.
+    faults:
+        Optional crash/recovery schedule (spec string, :class:`FaultSpec`
+        or :class:`FaultSchedule`).  Each fault names its target pool: a
+        ``pool="prefill"`` crash force-retires a prefill replica (its
+        in-flight chunk-batch is salvaged, queued prompts requeue through
+        the prefill balancer), a ``pool="decode"`` crash retires a decode
+        replica (in-flight streams salvage, queued sequences requeue).
+        The crashed hardware boots back ``down_ms`` later.
     """
 
     def __init__(self, prefill_model: PrefillModel,
@@ -294,7 +312,9 @@ class DisaggregatedPlatform:
                  prefill_max_replicas: Optional[int] = None,
                  decode_min_replicas: Optional[int] = None,
                  decode_max_replicas: Optional[int] = None,
-                 ttft_slo_ms: Optional[float] = None) -> None:
+                 ttft_slo_ms: Optional[float] = None,
+                 tenancy: Union[None, str, TenancyConfig] = None,
+                 faults: Union[None, str, FaultSpec, FaultSchedule] = None) -> None:
         self.prefill_model = prefill_model
         self.decode_engines = list(decode_engines)
         if not self.decode_engines:
@@ -310,6 +330,9 @@ class DisaggregatedPlatform:
         self.num_prefill = int(prefill_replicas)
         self.prefill_batch = int(prefill_batch)
         self.ttft_slo_ms = None if ttft_slo_ms is None else float(ttft_slo_ms)
+        self.seed = int(seed)
+        self.tenancy = coerce_tenancy(tenancy)
+        self.faults = coerce_faults(faults)
 
         self.prefill_balancer = build_balancer(prefill_balancer, seed=seed)
         self.decode_balancer = build_balancer(decode_balancer, seed=seed + 1)
@@ -383,6 +406,7 @@ class DisaggregatedPlatform:
 
         pending = sorted(workload.sequences,
                          key=lambda s: (s.arrival_ms, s.sequence_id))
+        tenant_runtime = build_sequence_runtime(pending, self.tenancy, self.seed)
         num_sequences = len(pending)
         start = pending[0].arrival_ms if pending else 0.0
         mean_tokens = workload.mean_output_length() or 1.0
@@ -401,13 +425,22 @@ class DisaggregatedPlatform:
             return self._collect(prefill_fleet, decode_fleet, {}, {}, start, start)
 
         runner = _DisaggRun(self, pending, policy_factory, prefill_fleet,
-                            decode_fleet, mean_tokens, mean_prompt, start)
+                            decode_fleet, mean_tokens, mean_prompt, start,
+                            tenant_runtime=tenant_runtime, faults=self.faults)
         runner.drive()
 
         end = max((e.last_completion_ms for e in decode_fleet.entries
                    if np.isfinite(e.last_completion_ms)), default=start)
-        return self._collect(prefill_fleet, decode_fleet, runner.prefill_delays,
-                             runner.transfer_delays, start, end)
+        metrics = self._collect(prefill_fleet, decode_fleet,
+                                runner.prefill_delays, runner.transfer_delays,
+                                start, end)
+        metrics.crashes = runner.crashes
+        metrics.recoveries = runner.recoveries
+        metrics.requeued = runner.requeued
+        if tenant_runtime is not None:
+            metrics.tenant_rollups = sequence_rollups(metrics.aggregate(),
+                                                      tenant_runtime)
+        return metrics
 
     # ----------------------------------------------------------- scale-out add
     def _add_prefill(self, fleet: PrefillFleetState, policy_factory,
@@ -472,7 +505,9 @@ class DisaggregatedPlatform:
 
 # --------------------------------------------------------------------- kernel
 #: Event kinds for the disaggregated runner (two pools share one heap).
-_PBOOT, _DBOOT, _PREFILL, _DSLOT = 0, 1, 2, 3
+#: Crash/recover pairs exist per pool — a fault names its target pool.
+(_PBOOT, _DBOOT, _PREFILL, _DSLOT,
+ _PCRASH, _PRECOVER, _DCRASH, _DRECOVER) = range(8)
 
 
 class _DisaggRun(SimPlatform):
@@ -492,7 +527,9 @@ class _DisaggRun(SimPlatform):
                  pending: List[SequenceSample], policy_factory: PolicyFactory,
                  prefill_fleet: PrefillFleetState,
                  decode_fleet: GenerativeFleetState, mean_tokens: float,
-                 mean_prompt: float, start_ms: float) -> None:
+                 mean_prompt: float, start_ms: float,
+                 tenant_runtime: Optional[TenantRuntime] = None,
+                 faults: Optional[FaultSchedule] = None) -> None:
         super().__init__(start_ms)
         self.platform = platform
         self.pending = pending
@@ -517,6 +554,21 @@ class _DisaggRun(SimPlatform):
         self.handoff: List[Tuple[float, int, SequenceSample]] = []
         self.prefill_delays: Dict[int, float] = {}
         self.transfer_delays: Dict[int, float] = {}
+        self.tenant_runtime = tenant_runtime
+        #: fault injection counters + crashed hardware awaiting recovery,
+        #: kept per pool (a prefill replica is rebuilt from its profile; a
+        #: decode replica keeps its engine).
+        self.crashes = 0
+        self.recoveries = 0
+        self.requeued = 0
+        self._pcrash_stock: List[ReplicaProfile] = []
+        self._dcrash_stock: List[Tuple[ContinuousBatchingEngine,
+                                       ReplicaProfile]] = []
+        if faults is not None:
+            for fault in faults:
+                # A crash scheduled before the first arrival fires with it.
+                kind = _PCRASH if fault.pool == "prefill" else _DCRASH
+                self.events.push(max(fault.crash_ms, start_ms), kind, fault)
 
     # --------------------------------------------------------------- plumbing
     def _wake_prefill(self, entry: PrefillReplicaEntry) -> None:
@@ -549,6 +601,14 @@ class _DisaggRun(SimPlatform):
             self._wake_prefill(event.payload)
         elif kind == _DSLOT:
             self.wake(event.payload)
+        elif kind == _PCRASH:
+            self._crash_prefill(event.payload, self.clock.now_ms)
+        elif kind == _DCRASH:
+            self._crash_decode(event.payload, self.clock.now_ms)
+        elif kind == _PRECOVER:
+            self._recover_prefill(self.clock.now_ms)
+        elif kind == _DRECOVER:
+            self._recover_decode(self.clock.now_ms)
         elif kind == _PBOOT:
             pool = event.payload
             pool.boots.remove(event)
@@ -563,6 +623,104 @@ class _DisaggRun(SimPlatform):
                 pool.fleet, self.policy_factory, self.mean_tokens,
                 self.mean_prompt, self.clock.now_ms)
             pool.add(entry)
+
+    # ------------------------------------------------------------------ faults
+    def _crash_prefill(self, fault: FaultSpec, now: float) -> None:
+        """Force-retire one prefill replica; requeue its queued prompts.
+
+        The in-flight chunk-batch is salvaged — its completion event still
+        fires and pushes the sequences into the handoff heap — and queued
+        prompts requeue to survivors through the prefill balancer (rank
+        order preserved under tenancy).  The last active prefill replica
+        never crashes, so every sequence still reaches decode.
+        """
+        pool = self.ppool
+        if len(pool.active) < 2:
+            return
+        victim = min(pool.active, key=lambda e: e.replica_id)
+        pool.fleet.drain(victim, now)
+        pool.draining += 1
+        pool.refresh_active()
+        orphans = victim.queue
+        victim.queue = []
+        self.crashes += 1
+        self._pcrash_stock.append(victim.profile)
+        self.events.push(now + fault.down_ms, _PRECOVER, fault)
+        self._wake_prefill(victim)  # retire once its in-flight batch drains
+        if orphans:
+            balancer = self.platform.prefill_balancer
+            handles = pool.handles
+            active = pool.active
+            runtime = self.tenant_runtime
+            for sample in orphans:
+                index = int(balancer.choose(sample, handles, now))
+                if not 0 <= index < len(active):
+                    raise ValueError(f"balancer {balancer.name!r} chose "
+                                     f"prefill replica {index} of "
+                                     f"{len(active)}")
+                entry = active[index]
+                entry.queue.append(sample)
+                if runtime is not None:
+                    runtime.reposition(entry.queue)
+                self._wake_prefill(entry)
+            self.requeued += len(orphans)
+
+    def _crash_decode(self, fault: FaultSpec, now: float) -> None:
+        """Force-retire one decode replica; requeue its queued sequences.
+
+        In-flight streams are salvaged (their tokens were recorded at slot
+        claim), queued sequences requeue to survivors through the decode
+        balancer, and the crashed hardware boots back ``down_ms`` later.
+        """
+        pool = self.dpool
+        if len(pool.active) < 2:
+            return
+        victim = min(pool.active, key=lambda e: e.replica_id)
+        pool.fleet.drain(victim, now)
+        pool.draining += 1
+        pool.refresh_active()
+        orphans = victim.queue
+        victim.queue = []
+        self.crashes += 1
+        self._dcrash_stock.append((victim.engine, victim.profile))
+        self.events.push(now + fault.down_ms, _DRECOVER, fault)
+        self.wake(victim)  # retire once its salvaged streams finish
+        if orphans:
+            balancer = self.platform.decode_balancer
+            handles = pool.handles
+            active = pool.active
+            runtime = self.tenant_runtime
+            for sample in orphans:
+                index = int(balancer.choose(sample, handles, now))
+                if not 0 <= index < len(active):
+                    raise ValueError(f"balancer {balancer.name!r} chose "
+                                     f"decode replica {index} of "
+                                     f"{len(active)}")
+                entry = active[index]
+                entry.queue.append(sample)
+                if runtime is not None:
+                    runtime.reposition(entry.queue)
+                self.wake(entry)
+            self.requeued += len(orphans)
+
+    def _recover_prefill(self, now: float) -> None:
+        """Boot a replacement for the oldest unrecovered prefill crash."""
+        platform = self.platform
+        profile = self._pcrash_stock.pop(0)
+        entry = self.ppool.fleet.add(platform.prefill_model, profile,
+                                     platform.prefill_batch, self.mean_prompt,
+                                     now)
+        self.ppool.add(entry)
+        self.recoveries += 1
+
+    def _recover_decode(self, now: float) -> None:
+        """Boot a replacement for the oldest unrecovered decode crash."""
+        engine, profile = self._dcrash_stock.pop(0)
+        fleet = self.dpool.fleet
+        entry = fleet.add(engine, self.policy_factory(fleet.next_ordinal()),
+                          profile, self.mean_tokens, now)
+        self.dpool.add(entry)
+        self.recoveries += 1
 
     # ------------------------------------------------------------------- pass
     def step(self, now: float) -> bool:
@@ -580,6 +738,7 @@ class _DisaggRun(SimPlatform):
             balancer = platform.prefill_balancer
             prefill_active = ppool.active
             prefill_handles = ppool.handles
+            runtime = self.tenant_runtime
             while (next_arrival < num_sequences
                    and arrivals[next_arrival] <= now + 1e-9):
                 sample = pending[next_arrival]
@@ -590,6 +749,8 @@ class _DisaggRun(SimPlatform):
                                      f"{len(prefill_active)}")
                 entry = prefill_active[index]
                 entry.queue.append(sample)
+                if runtime is not None:
+                    runtime.reposition(entry.queue)
                 entry.dispatched += 1
                 next_arrival += 1
                 admitted += 1
@@ -649,6 +810,7 @@ class _DisaggRun(SimPlatform):
             balancer = platform.decode_balancer
             decode_active = dpool.active
             decode_handles = dpool.handles
+            runtime = self.tenant_runtime
             while handoff and handoff[0][0] <= now + 1e-9:
                 _, _, sample = heapq.heappop(handoff)
                 index = int(balancer.choose(sample, decode_handles, now))
@@ -658,6 +820,8 @@ class _DisaggRun(SimPlatform):
                                      f"{len(decode_active)}")
                 entry = decode_active[index]
                 entry.queue.append(sample)
+                if runtime is not None:
+                    runtime.reposition(entry.queue)
                 entry.dispatched += 1
                 moved += 1
                 self.wake(entry)
@@ -678,8 +842,9 @@ class _DisaggRun(SimPlatform):
         # recorded queueing delay spans arrival → first decode step, so
         # the aggregate TTFT includes prefill + transfer + both waits.
         ttft = platform.ttft_slo_ms
+        runtime = self.tenant_runtime
         for entry in self.drain_dirty():
-            if entry.claim_streams(now, ttft):
+            if entry.claim_streams(now, ttft, runtime):
                 progressed = True
             _arm_slots(self, entry, now, _DSLOT)
 

@@ -42,15 +42,23 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.faults import FaultSchedule, FaultSpec, coerce_faults
 from repro.serving.autoscaler import Autoscaler, build_autoscaler
 from repro.serving.cluster import LoadBalancer, build_balancer
 from repro.serving.fleet import (ACTIVE, DRAINING, RETIRED, BaseFleet,
                                  ReplicaProfile)
 from repro.serving.hf_pipelines import (ContinuousBatchingEngine,
-                                        GenerativeMetrics, TokenExitPolicy)
+                                        GenerativeMetrics, TokenExitPolicy,
+                                        VanillaTokenPolicy)
 from repro.serving.kernel import (PoolState, SimPlatform, pool_is_static,
                                   scale_pool)
 from repro.serving.metrics import dispatch_imbalance_ratio
+from repro.tenancy import (TenancyConfig, TenantRuntime, build_sequence_runtime,
+                           coerce_tenancy, sequence_rollups)
+
+#: shared stateless policy used to pin a tenant's sequences to the full model
+#: (exit-policy override ``allow_exits=False``).
+_NO_EXIT_POLICY = VanillaTokenPolicy()
 
 __all__ = ["GenerativeReplicaHandle", "GenerativeReplicaEntry",
            "GenerativeFleetState", "GenerativeClusterMetrics",
@@ -226,8 +234,8 @@ class GenerativeReplicaEntry:
         self.released_exits += int(num_exited)
 
     # ------------------------------------------------------------ slot claims
-    def claim_streams(self, now_ms: float,
-                      ttft_slo_ms: Optional[float]) -> bool:
+    def claim_streams(self, now_ms: float, ttft_slo_ms: Optional[float],
+                      tenant_runtime: Optional["TenantRuntime"] = None) -> bool:
         """Free decode slots claim queue heads and run the stream decode.
 
         This is the one slot-claim loop shared by the monolithic cluster and
@@ -240,6 +248,11 @@ class GenerativeReplicaEntry:
         that provably cannot make its SLO is shed before any compute is
         spent on it, and the shed decision is consistent with the TTFT the
         sequence would have recorded.
+
+        ``tenant_runtime`` (optional) applies per-tenant overrides: a
+        sequence whose tenant pins a TTFT SLO sheds against that value
+        (``None`` disables shedding for the tenant), and a sequence whose
+        tenant forbids exits decodes under the shared vanilla policy.
         """
         progressed = False
         while self.queue:
@@ -254,8 +267,15 @@ class GenerativeReplicaEntry:
                 decode_start = now_ms + self.engine.prefill.inslot_prefill_ms(
                     sample.prompt_tokens,
                     self.busy_slots(now_ms)) / self.profile.speed
-            if ttft_slo_ms is not None \
-                    and decode_start - sample.arrival_ms > ttft_slo_ms:
+            ttft_limit = ttft_slo_ms
+            policy = self.policy
+            if tenant_runtime is not None:
+                ttft_limit = tenant_runtime.ttft_of.get(sample.sequence_id,
+                                                        ttft_slo_ms)
+                if sample.sequence_id in tenant_runtime.no_exit_ids:
+                    policy = _NO_EXIT_POLICY
+            if ttft_limit is not None \
+                    and decode_start - sample.arrival_ms > ttft_limit:
                 self.metrics.shed_sequence_ids.append(sample.sequence_id)
                 progressed = True
                 continue
@@ -265,7 +285,7 @@ class GenerativeReplicaEntry:
                 decode_start - sample.arrival_ms
             before = len(self.metrics.tokens)
             completion = self.engine.decode_stream(
-                sample, decode_start, self.policy, self.metrics,
+                sample, decode_start, policy, self.metrics,
                 speed=self.profile.speed)
             released = self.metrics.tokens[before:]
             self.record_stream(len(released),
@@ -310,6 +330,14 @@ class GenerativeClusterMetrics:
     replica_active_ms: float = 0.0
     #: per-replica provisioned milliseconds, aligned with ``replicas``.
     replica_uptimes_ms: List[float] = field(default_factory=list)
+    #: fault injection: crashes fired, replacements booted, and queued
+    #: sequences requeued to surviving replicas by a crash.
+    crashes: int = 0
+    recoveries: int = 0
+    requeued: int = 0
+    #: per-tenant rollups (empty unless the run configured tenancy); see
+    #: :func:`repro.tenancy.rollup.sequence_rollups` for the keys.
+    tenant_rollups: Dict[str, Dict[str, float]] = field(default_factory=dict)
     _aggregate: Optional[GenerativeMetrics] = field(default=None, init=False,
                                                     repr=False, compare=False)
 
@@ -356,6 +384,10 @@ class GenerativeClusterMetrics:
             "dispatch_imbalance": self.dispatch_imbalance(),
             "replica_seconds": float(self.replica_seconds),
         })
+        if self.crashes or self.recoveries:
+            data["crashes"] = float(self.crashes)
+            data["recoveries"] = float(self.recoveries)
+            data["requeued"] = float(self.requeued)
         return data
 
 
@@ -393,15 +425,20 @@ class GenerativeClusterPlatform:
                  min_replicas: Optional[int] = None,
                  max_replicas: Optional[int] = None,
                  scale_out_profile: Optional[ReplicaProfile] = None,
-                 ttft_slo_ms: Optional[float] = None) -> None:
+                 ttft_slo_ms: Optional[float] = None,
+                 tenancy: Union[None, str, TenancyConfig] = None,
+                 faults: Union[None, str, FaultSpec, FaultSchedule] = None) -> None:
         self.engines = list(engines)
         if not self.engines:
             raise ValueError("a generative cluster needs at least one replica")
         if ttft_slo_ms is not None and ttft_slo_ms <= 0:
             raise ValueError(f"ttft_slo_ms must be positive, got {ttft_slo_ms}")
         self.ttft_slo_ms = None if ttft_slo_ms is None else float(ttft_slo_ms)
+        self.seed = int(seed)
         self.balancer = build_balancer(balancer, seed=seed)
         self.autoscaler = build_autoscaler(autoscaler)
+        self.tenancy = coerce_tenancy(tenancy)
+        self.faults = coerce_faults(faults)
 
         n = len(self.engines)
         if profiles is None:
@@ -443,6 +480,7 @@ class GenerativeClusterPlatform:
 
         pending = sorted(workload.sequences,
                          key=lambda s: (s.arrival_ms, s.sequence_id))
+        tenant_runtime = build_sequence_runtime(pending, self.tenancy, self.seed)
         num_sequences = len(pending)
         start = pending[0].arrival_ms if pending else 0.0
         mean_tokens = workload.mean_output_length() or 1.0
@@ -456,12 +494,21 @@ class GenerativeClusterPlatform:
             return self._collect(fleet, start, start)
 
         runner = _GenerativeRun(self, pending, policy_factory, fleet,
-                                mean_tokens, start)
+                                mean_tokens, start,
+                                tenant_runtime=tenant_runtime,
+                                faults=self.faults)
         runner.drive()
 
         end = max((e.last_completion_ms for e in fleet.entries
                    if np.isfinite(e.last_completion_ms)), default=start)
-        return self._collect(fleet, start, end)
+        metrics = self._collect(fleet, start, end)
+        metrics.crashes = runner.crashes
+        metrics.recoveries = runner.recoveries
+        metrics.requeued = runner.requeued
+        if tenant_runtime is not None:
+            metrics.tenant_rollups = sequence_rollups(metrics.aggregate(),
+                                                      tenant_runtime)
+        return metrics
 
     def _collect(self, fleet: GenerativeFleetState, start_ms: float,
                  end_ms: float) -> GenerativeClusterMetrics:
@@ -485,7 +532,7 @@ class GenerativeClusterPlatform:
 
 
 #: event kinds of the kernel-scheduled generative cluster run.
-_BOOT, _SLOT_FREE = 0, 1
+_BOOT, _SLOT_FREE, _CRASH, _RECOVER = 0, 1, 2, 3
 
 
 def _arm_slots(sim: SimPlatform, entry: GenerativeReplicaEntry,
@@ -516,7 +563,9 @@ class _GenerativeRun(SimPlatform):
 
     def __init__(self, cluster: GenerativeClusterPlatform, pending: List,
                  policy_factory: PolicyFactory, fleet: GenerativeFleetState,
-                 mean_tokens: float, start_ms: float) -> None:
+                 mean_tokens: float, start_ms: float,
+                 tenant_runtime: Optional[TenantRuntime] = None,
+                 faults: Optional[FaultSchedule] = None) -> None:
         super().__init__(start_ms)
         self.cluster = cluster
         self.pending = pending
@@ -527,6 +576,16 @@ class _GenerativeRun(SimPlatform):
         self.fleet = fleet
         self.mean_tokens = mean_tokens
         self.pool = PoolState(fleet)
+        self.tenant_runtime = tenant_runtime
+        #: fault injection counters + the crashed hardware awaiting recovery.
+        self.crashes = 0
+        self.recoveries = 0
+        self.requeued = 0
+        self._crash_stock: List[Tuple[ContinuousBatchingEngine, ReplicaProfile]] = []
+        if faults is not None:
+            for fault in faults:
+                # A crash scheduled before the first arrival fires with it.
+                self.events.push(max(fault.crash_ms, start_ms), _CRASH, fault)
         #: fixed-size fleet in band: the per-pass autoscaler consult is a
         #: proven no-op, so the hot loop skips it entirely.
         self._autoscaled = not pool_is_static(cluster.autoscaler, self.pool,
@@ -548,8 +607,13 @@ class _GenerativeRun(SimPlatform):
         return None
 
     def on_event(self, event) -> None:
-        if event.kind == _SLOT_FREE:
+        kind = event.kind
+        if kind == _SLOT_FREE:
             self.wake(event.payload)
+        elif kind == _CRASH:
+            self._crash(event.payload, self.clock.now_ms)
+        elif kind == _RECOVER:
+            self._recover(self.clock.now_ms)
         else:  # _BOOT: provisioning completed, bring the replica online.
             pool = self.pool
             pool.boots.remove(event)
@@ -559,6 +623,55 @@ class _GenerativeRun(SimPlatform):
                                    cluster.scale_out_profile, self.mean_tokens,
                                    self.clock.now_ms)
             pool.add(entry)
+
+    # ------------------------------------------------------------------ faults
+    def _crash(self, fault: FaultSpec, now: float) -> None:
+        """Force-retire one decode replica; requeue queued sequences.
+
+        In-flight streams are salvaged (their tokens were recorded at slot
+        claim), queued sequences requeue to survivors through the balancer
+        (rank order preserved under tenancy), and the crashed hardware
+        boots back ``down_ms`` later.  The last active replica never
+        crashes, so conservation holds by construction.
+        """
+        pool = self.pool
+        if len(pool.active) < 2:
+            return
+        victim = min(pool.active, key=lambda e: e.replica_id)
+        self.fleet.drain(victim, now)
+        pool.draining += 1
+        pool.refresh_active()
+        orphans = victim.queue
+        victim.queue = []
+        self.crashes += 1
+        self._crash_stock.append((victim.engine, victim.profile))
+        self.events.push(now + fault.down_ms, _RECOVER, fault)
+        self.wake(victim)  # retire once its salvaged streams finish
+        if orphans:
+            balancer = self.cluster.balancer
+            handles = pool.handles
+            active = pool.active
+            runtime = self.tenant_runtime
+            for sample in orphans:
+                index = int(balancer.choose(sample, handles, now))
+                if not 0 <= index < len(active):
+                    raise ValueError(f"balancer {balancer.name!r} chose "
+                                     f"replica {index} of {len(active)}")
+                entry = active[index]
+                entry.queue.append(sample)
+                if runtime is not None:
+                    runtime.reposition(entry.queue)
+                self.wake(entry)
+            self.requeued += len(orphans)
+
+    def _recover(self, now: float) -> None:
+        """Boot a replacement for the oldest still-unrecovered crash."""
+        engine, profile = self._crash_stock.pop(0)
+        entry = self.fleet.add(engine,
+                               self.policy_factory(self.fleet.next_ordinal()),
+                               profile, self.mean_tokens, now)
+        self.pool.add(entry)
+        self.recoveries += 1
 
     # ------------------------------------------------------------------- pass
     def step(self, now: float) -> bool:
@@ -576,6 +689,7 @@ class _GenerativeRun(SimPlatform):
                 and arrivals[next_arrival] <= now + 1e-9:
             pending = self.pending
             balancer = cluster.balancer
+            runtime = self.tenant_runtime
             while (next_arrival < num_sequences
                    and arrivals[next_arrival] <= now + 1e-9):
                 sample = pending[next_arrival]
@@ -585,6 +699,8 @@ class _GenerativeRun(SimPlatform):
                                      f"replica {index} of {len(active)}")
                 entry = active[index]
                 entry.queue.append(sample)
+                if runtime is not None:
+                    runtime.reposition(entry.queue)
                 entry.dispatched += 1
                 next_arrival += 1
                 admitted += 1
@@ -605,8 +721,9 @@ class _GenerativeRun(SimPlatform):
         # their slot event, and admissions wake their target.
         progressed = False
         ttft = cluster.ttft_slo_ms
+        runtime = self.tenant_runtime
         for entry in self.drain_dirty():
-            if entry.claim_streams(now, ttft):
+            if entry.claim_streams(now, ttft, runtime):
                 progressed = True
             _arm_slots(self, entry, now, _SLOT_FREE)
 

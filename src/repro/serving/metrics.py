@@ -351,6 +351,14 @@ class ClusterMetrics:
     #: per-replica provisioned milliseconds (added -> retired), aligned with
     #: ``replicas``; normalizes dispatch balance for elastic fleets.
     replica_uptimes_ms: List[float] = field(default_factory=list)
+    #: fault injection: crashes fired, replacements booted, and queued
+    #: requests requeued to surviving replicas by a crash.
+    crashes: int = 0
+    recoveries: int = 0
+    requeued: int = 0
+    #: per-tenant rollups (empty unless the run configured tenancy); see
+    #: :func:`repro.tenancy.rollup.request_rollups` for the keys.
+    tenant_rollups: Dict[str, Dict[str, float]] = field(default_factory=dict)
     _aggregate: Optional[ServingMetrics] = field(default=None, init=False,
                                                  repr=False, compare=False)
 
@@ -442,4 +450,8 @@ class ClusterMetrics:
         if slo_ms is not None:
             data["fleet_goodput_qps"] = aggregate.goodput_qps(slo_ms)
             data["fleet_slo_violation_rate"] = aggregate.slo_violation_rate(slo_ms)
+        if self.crashes or self.recoveries:
+            data["crashes"] = float(self.crashes)
+            data["recoveries"] = float(self.recoveries)
+            data["requeued"] = float(self.requeued)
         return data

@@ -14,12 +14,21 @@ __all__ = ["Request", "Response", "make_requests"]
 
 @dataclass(frozen=True)
 class Request:
-    """One inference request."""
+    """One inference request.
+
+    ``tenant`` and ``rank`` carry multi-tenant dispatch state: the tenancy
+    layer tags each request with its tenant class and a dispatch rank
+    (weighted-fair finish tag or strict-priority class index).  Platforms
+    order batch queues by ``(rank, arrival_ms, request_id)``; the defaults
+    keep untenanted runs bit-identical to plain arrival order.
+    """
 
     request_id: int
     arrival_ms: float
     sample: InputSample
     slo_ms: float
+    tenant: str = "default"
+    rank: float = 0.0
 
     def deadline_ms(self) -> float:
         return self.arrival_ms + self.slo_ms

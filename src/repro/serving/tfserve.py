@@ -42,13 +42,16 @@ class TFServingPlatform(ServingPlatform):
         return self.profile.total_latency_ms(batch_size)
 
     def select_batch(self, queue: List[Request], now_ms: float) -> Tuple[List[Request], float]:
-        ordered = sorted(queue, key=lambda r: (r.arrival_ms, r.request_id))
+        # Rank is the tenancy dispatch key (0.0 for every request in
+        # untenanted runs, keeping this a pure arrival-order sort).
+        ordered = sorted(queue, key=lambda r: (r.rank, r.arrival_ms, r.request_id))
         if len(ordered) >= self.max_batch_size:
             return ordered[: self.max_batch_size], now_ms
-        oldest_wait = now_ms - ordered[0].arrival_ms
+        oldest_arrival = min(r.arrival_ms for r in ordered)
+        oldest_wait = now_ms - oldest_arrival
         if oldest_wait >= self.batch_timeout_ms:
             return ordered, now_ms
         # Wait until the timeout of the oldest request expires (or until more
         # requests arrive, whichever the run loop sees first).
-        wake_up = ordered[0].arrival_ms + self.batch_timeout_ms
+        wake_up = oldest_arrival + self.batch_timeout_ms
         return [], wake_up

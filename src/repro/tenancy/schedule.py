@@ -1,0 +1,192 @@
+"""Tenant assignment and dispatch ordering.
+
+The runners call :func:`build_request_runtime` (classification) or
+:func:`build_sequence_runtime` (generative / disaggregated) once per run,
+before any simulation work.  Both walk the arrival-sorted workload,
+assign every item a tenant (honouring pre-tagged items whose tag names a
+configured tenant, drawing the rest from the tenants' traffic shares with
+a seeded generator) and stamp each item with a *dispatch rank*:
+
+* ``weighted_fair`` — a start-time-fair-queueing finish tag.  A virtual
+  clock advances by ``1 / total_weight`` per arrival; tenant ``t``'s next
+  item starts at ``max(virtual_now, last_finish[t])`` and finishes
+  ``1 / weight[t]`` later.  Sorting queued work by the tag gives each
+  backlogged tenant service proportional to its weight while idle tenants
+  accumulate no credit (no starvation).
+* ``strict_priority`` — the rank is the priority class index, so every
+  queued ``interactive`` item precedes every queued ``batch`` item and
+  order within a class stays FIFO.
+
+Ranks are consumed in two ways: classification platforms sort their batch
+queues by ``(rank, arrival_ms, request_id)`` (rank 0.0 for untenanted
+traffic keeps that sort bit-identical to the historical arrival-order
+sort), and the generative/disaggregated runners keep replica queues
+rank-ordered via :meth:`TenantRuntime.reposition` at admission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.tenancy.spec import TenancyConfig
+
+__all__ = ["TenantRuntime", "build_request_runtime", "build_sequence_runtime"]
+
+
+class TenantRuntime:
+    """Per-run tenant state consumed by the platform runners."""
+
+    __slots__ = ("config", "tenant_of", "rank_of", "ttft_of", "slo_of",
+                 "no_exit_ids", "counts")
+
+    def __init__(self, config: TenancyConfig) -> None:
+        self.config = config
+        #: item id (request_id / sequence_id) -> tenant name
+        self.tenant_of: Dict[int, str] = {}
+        #: item id -> dispatch rank (generative queues reorder through this)
+        self.rank_of: Dict[int, float] = {}
+        #: sequence id -> resolved per-tenant TTFT SLO override (None = no shed)
+        self.ttft_of: Dict[int, Optional[float]] = {}
+        #: tenant name -> effective SLO for rollups (None = cluster default)
+        self.slo_of: Dict[str, Optional[float]] = {}
+        #: ids pinned to the full model (tenant allow_exits=False)
+        self.no_exit_ids: Set[int] = set()
+        #: tenant name -> number of items assigned
+        self.counts: Dict[str, int] = {name: 0 for name in config.names}
+
+    def reposition(self, queue: List[object]) -> None:
+        """Binary-insert the just-appended tail item into rank order.
+
+        ``queue`` holds objects with ``sequence_id`` and ``arrival_ms``
+        attributes; ties break by arrival then id, so untenanted runs
+        (all ranks equal) keep pure FIFO order.
+        """
+        if len(queue) < 2:
+            return
+        item = queue.pop()
+        rank_of = self.rank_of
+        key = (rank_of.get(item.sequence_id, 0.0), item.arrival_ms, item.sequence_id)
+        lo, hi = 0, len(queue)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            probe = queue[mid]
+            probe_key = (rank_of.get(probe.sequence_id, 0.0), probe.arrival_ms,
+                         probe.sequence_id)
+            if probe_key <= key:
+                lo = mid + 1
+            else:
+                hi = mid
+        queue.insert(lo, item)
+
+
+def _assign_tenants(runtime: TenantRuntime, ids: Sequence[int],
+                    pre_tags: Sequence[Optional[str]], seed: int) -> List[str]:
+    """Assign a tenant per item: honour valid pre-tags, draw the rest."""
+    config = runtime.config
+    shares = config.resolved_shares()
+    names = list(config.names)
+    cumulative = np.cumsum([shares[name] for name in names])
+    rng = np.random.default_rng(seed if seed is not None else 0)
+    draws = rng.random(len(ids))
+    assigned: List[str] = []
+    known = set(names)
+    for i, item_id in enumerate(ids):
+        tag = pre_tags[i]
+        if tag is not None and tag in known:
+            name = tag
+        else:
+            idx = int(np.searchsorted(cumulative, draws[i], side="right"))
+            name = names[min(idx, len(names) - 1)]
+        assigned.append(name)
+        runtime.tenant_of[item_id] = name
+        runtime.counts[name] += 1
+    return assigned
+
+
+def _stamp_ranks(runtime: TenantRuntime, ids: Sequence[int],
+                 assigned: Sequence[str]) -> None:
+    """Compute dispatch ranks over the arrival-sorted items."""
+    config = runtime.config
+    if config.policy == "strict_priority":
+        rank_by_tenant = {spec.name: float(spec.class_rank) for spec in config.tenants}
+        for item_id, name in zip(ids, assigned):
+            runtime.rank_of[item_id] = rank_by_tenant[name]
+        return
+    # weighted_fair: start-time fair queueing finish tags.
+    weight = {spec.name: spec.weight for spec in config.tenants}
+    total_weight = sum(weight.values())
+    finish = {name: 0.0 for name in config.names}
+    for i, (item_id, name) in enumerate(zip(ids, assigned)):
+        virtual_now = i / total_weight
+        start = max(virtual_now, finish[name])
+        finish[name] = start + 1.0 / weight[name]
+        runtime.rank_of[item_id] = finish[name]
+
+
+def build_request_runtime(requests: Sequence,
+                          config: Optional[TenancyConfig],
+                          seed: int) -> Tuple[List, Optional[TenantRuntime]]:
+    """Tag arrival-sorted classification requests with tenants and ranks.
+
+    Returns re-built :class:`~repro.serving.request.Request` records (frozen
+    dataclass — tags are applied via ``dataclasses.replace``) plus the
+    runtime.  ``config=None`` is the fast path: the input list is returned
+    unchanged and no runtime is built.
+    """
+    if config is None:
+        return list(requests), None
+    runtime = TenantRuntime(config)
+    ids = [request.request_id for request in requests]
+    pre_tags = [getattr(request, "tenant", None) or None for request in requests]
+    pre_tags = [tag if tag != "default" else None for tag in pre_tags]
+    assigned = _assign_tenants(runtime, ids, pre_tags, seed)
+    _stamp_ranks(runtime, ids, assigned)
+    slo_by_tenant = {spec.name: spec.slo_ms for spec in config.tenants}
+    no_exit = {spec.name for spec in config.tenants if not spec.allow_exits}
+    tagged = []
+    for request, name in zip(requests, assigned):
+        overrides = {"tenant": name, "rank": runtime.rank_of[request.request_id]}
+        if slo_by_tenant[name] is not None:
+            overrides["slo_ms"] = slo_by_tenant[name]
+        tagged.append(replace(request, **overrides))
+        if name in no_exit:
+            runtime.no_exit_ids.add(request.request_id)
+        runtime.slo_of.setdefault(name, slo_by_tenant[name])
+    for spec in config.tenants:
+        runtime.slo_of.setdefault(spec.name, spec.slo_ms)
+    return tagged, runtime
+
+
+def build_sequence_runtime(samples: Sequence,
+                           config: Optional[TenancyConfig],
+                           seed: int) -> Optional[TenantRuntime]:
+    """Build the tenant runtime for arrival-sorted generative sequences.
+
+    Samples are shared across sweep grid points, so they are never
+    mutated: the runtime's maps (tenant, rank, TTFT override, exit gate)
+    carry all per-run tenant state keyed by ``sequence_id``.
+    """
+    if config is None:
+        return None
+    runtime = TenantRuntime(config)
+    ids = [sample.sequence_id for sample in samples]
+    pre_tags = [getattr(sample, "tenant", None) or None for sample in samples]
+    pre_tags = [tag if tag != "default" else None for tag in pre_tags]
+    assigned = _assign_tenants(runtime, ids, pre_tags, seed)
+    _stamp_ranks(runtime, ids, assigned)
+    ttft_by_tenant = {spec.name: spec.ttft_slo_ms for spec in config.tenants}
+    no_exit = {spec.name for spec in config.tenants if not spec.allow_exits}
+    for seq_id, name in zip(ids, assigned):
+        ttft = ttft_by_tenant[name]
+        if ttft is not None:
+            # 0 (or any non-positive value) disables shedding for the tenant.
+            self_ttft = ttft if ttft > 0 else None
+            runtime.ttft_of[seq_id] = self_ttft
+        if name in no_exit:
+            runtime.no_exit_ids.add(seq_id)
+    for spec in config.tenants:
+        runtime.slo_of[spec.name] = spec.ttft_slo_ms
+    return runtime

@@ -27,6 +27,8 @@ from repro.workloads.arrivals import (
     fixed_rate_arrivals,
     maf_trace_arrivals,
     diurnal_arrivals,
+    flash_crowd_arrivals,
+    trace_arrivals,
 )
 
 __all__ = [
@@ -42,4 +44,6 @@ __all__ = [
     "fixed_rate_arrivals",
     "maf_trace_arrivals",
     "diurnal_arrivals",
+    "flash_crowd_arrivals",
+    "trace_arrivals",
 ]

@@ -14,16 +14,22 @@ Four processes cover the paper's setups plus the autoscaling studies:
 * :func:`diurnal_arrivals` — a smooth day/night cycle between a low and a
   high rate (raised-cosine), the canonical workload for fleet autoscaling:
   the right fleet size genuinely changes over the trace.
+* :func:`flash_crowd_arrivals` — Poisson baseline with one sudden sustained
+  rate spike (a flash crowd hitting the service), the stress shape for
+  multi-tenant isolation and failure-injection studies.
+* :func:`trace_arrivals` — replay an explicit timestamp array (or a CSV file
+  of timestamps), for driving the simulators with recorded traces.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import os
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 __all__ = ["fixed_rate_arrivals", "poisson_arrivals", "maf_trace_arrivals",
-           "diurnal_arrivals"]
+           "diurnal_arrivals", "flash_crowd_arrivals", "trace_arrivals"]
 
 
 def fixed_rate_arrivals(n: int, rate_qps: float, start_ms: float = 0.0) -> np.ndarray:
@@ -115,3 +121,75 @@ def diurnal_arrivals(n: int, low_qps: float, high_qps: float, period_s: float = 
             produced += count
         second += 1
     return times
+
+
+def flash_crowd_arrivals(n: int, base_qps: float, rng: np.random.Generator,
+                         spike_start_s: float = 10.0,
+                         spike_multiplier: float = 4.0,
+                         spike_duration_s: Optional[float] = None,
+                         start_ms: float = 0.0) -> np.ndarray:
+    """Poisson baseline with one sudden, sustained rate spike.
+
+    Requests arrive Poisson at ``base_qps`` until ``spike_start_s``, then at
+    ``spike_multiplier * base_qps`` for ``spike_duration_s`` seconds (``None``
+    keeps the spike going for the rest of the stream), then back at the base
+    rate.  The instantaneous step — no ramp — is the point: it is the
+    flash-crowd shape that overwhelms queues faster than reactive autoscalers
+    can follow, the stress case for tenant isolation and failure injection.
+    """
+    if base_qps <= 0:
+        raise ValueError(f"base_qps must be positive, got {base_qps}")
+    if spike_start_s < 0:
+        raise ValueError(f"spike_start_s must be >= 0, got {spike_start_s}")
+    if spike_multiplier < 1.0:
+        raise ValueError(f"spike_multiplier must be >= 1, "
+                         f"got {spike_multiplier}")
+    if spike_duration_s is not None and spike_duration_s <= 0:
+        raise ValueError(f"spike_duration_s must be positive, "
+                         f"got {spike_duration_s}")
+    spike_start = 1000.0 * spike_start_s
+    spike_end = np.inf if spike_duration_s is None \
+        else spike_start + 1000.0 * spike_duration_s
+    times = np.empty(n, dtype=float)
+    gaps = rng.exponential(1.0, size=n)   # unit-rate gaps, scaled per regime
+    t = 0.0
+    for i in range(n):
+        rate = base_qps * spike_multiplier if spike_start <= t < spike_end \
+            else base_qps
+        t += gaps[i] * 1000.0 / rate
+        times[i] = t
+    return start_ms + times
+
+
+def trace_arrivals(n: int,
+                   timestamps_ms: Union[str, Sequence[float], np.ndarray],
+                   start_ms: float = 0.0) -> np.ndarray:
+    """Replay the first ``n`` timestamps of an explicit arrival trace.
+
+    ``timestamps_ms`` is an array-like of arrival times in milliseconds, or
+    the path of a CSV/text file of them (any whitespace/comma separated
+    layout ``numpy.loadtxt`` reads).  The trace must hold at least ``n``
+    finite, non-negative timestamps; they are sorted before replay so
+    unordered recordings work.
+    """
+    if isinstance(timestamps_ms, (str, os.PathLike)):
+        path = os.fspath(timestamps_ms)
+        if not os.path.exists(path):
+            raise ValueError(f"arrival trace file not found: {path!r}")
+        with open(path) as handle:
+            tokens = handle.read().replace(",", " ").split()
+        try:
+            values = np.array([float(token) for token in tokens])
+        except ValueError as exc:
+            raise ValueError(f"arrival trace {path!r} holds a non-numeric "
+                             f"entry: {exc}") from None
+    else:
+        values = np.asarray(timestamps_ms, dtype=float).ravel()
+    if values.size < n:
+        raise ValueError(f"arrival trace holds {values.size} timestamps; "
+                         f"{n} requested")
+    if not np.all(np.isfinite(values)):
+        raise ValueError("arrival trace timestamps must be finite")
+    if np.any(values < 0):
+        raise ValueError("arrival trace timestamps must be >= 0")
+    return start_ms + np.sort(values)[:n]

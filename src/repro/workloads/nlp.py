@@ -21,7 +21,9 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.utils.rng import RngFactory
-from repro.workloads.arrivals import maf_trace_arrivals, poisson_arrivals
+from repro.workloads.arrivals import (flash_crowd_arrivals,
+                                      maf_trace_arrivals, poisson_arrivals,
+                                      trace_arrivals)
 from repro.workloads.difficulty import DifficultyTrace, RegimeSwitchDifficulty
 
 __all__ = ["NLPWorkload", "make_nlp_workload", "NLP_DATASET_PRESETS"]
@@ -64,7 +66,10 @@ def make_nlp_workload(dataset: str = "amazon", num_requests: int = 20_000,
     rate_qps:
         Average arrival rate; the MAF-like process is bursty around it.
     arrival_process:
-        ``"maf"`` (bursty Azure-Functions-like) or ``"poisson"``.
+        ``"maf"`` (bursty Azure-Functions-like), ``"poisson"``,
+        ``"flash_crowd"`` (Poisson baseline with a sudden sustained 4x
+        spike), or ``"trace:<path>"`` (replay a CSV of arrival timestamps
+        in ms).
     """
     rng_factory = RngFactory(seed)
     preset = dict(NLP_DATASET_PRESETS.get(dataset, NLP_DATASET_PRESETS["amazon"]))
@@ -84,7 +89,13 @@ def make_nlp_workload(dataset: str = "amazon", num_requests: int = 20_000,
         arrivals = poisson_arrivals(num_requests, rate_qps, arrival_rng)
     elif arrival_process == "maf":
         arrivals = maf_trace_arrivals(num_requests, rate_qps, arrival_rng)
+    elif arrival_process == "flash_crowd":
+        arrivals = flash_crowd_arrivals(num_requests, rate_qps, arrival_rng)
+    elif arrival_process.startswith("trace:"):
+        arrivals = trace_arrivals(num_requests,
+                                  arrival_process[len("trace:"):])
     else:
         raise ValueError(f"unknown arrival_process {arrival_process!r}; "
-                         "choose from ('maf', 'poisson')")
+                         "choose from ('maf', 'poisson', 'flash_crowd', "
+                         "'trace:<path>')")
     return NLPWorkload(name=dataset, trace=trace, arrival_times_ms=arrivals)

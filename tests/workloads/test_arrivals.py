@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 
 from repro.utils.rng import RngFactory
-from repro.workloads.arrivals import fixed_rate_arrivals, maf_trace_arrivals, poisson_arrivals
+from repro.workloads.arrivals import (fixed_rate_arrivals, flash_crowd_arrivals,
+                                      maf_trace_arrivals, poisson_arrivals,
+                                      trace_arrivals)
 
 
 def test_fixed_rate_spacing():
@@ -72,3 +74,89 @@ def test_rejects_non_positive_rates():
         poisson_arrivals(10, 0.0, rng)
     with pytest.raises(ValueError):
         maf_trace_arrivals(10, -1.0, rng)
+
+
+def test_flash_crowd_spike_rate_jumps():
+    """During the spike window the observed rate is several times the base."""
+    rng = RngFactory(6).generator("flash")
+    arrivals = flash_crowd_arrivals(20_000, base_qps=20.0, rng=rng,
+                                    spike_start_s=60.0, spike_multiplier=5.0,
+                                    spike_duration_s=120.0)
+    assert arrivals.shape == (20_000,)
+    assert np.all(np.diff(arrivals) >= 0)
+    before = np.sum(arrivals < 60_000.0)
+    spike = np.sum((arrivals >= 60_000.0) & (arrivals < 180_000.0))
+    base_rate = before / 60.0
+    spike_rate = spike / 120.0
+    assert spike_rate > 3.0 * base_rate
+
+
+def test_flash_crowd_returns_to_base_after_spike():
+    rng = RngFactory(7).generator("flash")
+    arrivals = flash_crowd_arrivals(5_000, base_qps=20.0, rng=rng,
+                                    spike_start_s=10.0, spike_multiplier=4.0,
+                                    spike_duration_s=20.0)
+    after = arrivals[arrivals >= 30_000.0]
+    assert len(after) > 100
+    observed = len(after) / ((after[-1] - after[0]) / 1000.0)
+    assert 10.0 < observed < 40.0
+
+
+def test_flash_crowd_validation():
+    rng = RngFactory(8).generator("flash")
+    with pytest.raises(ValueError):
+        flash_crowd_arrivals(10, base_qps=0.0, rng=rng)
+    with pytest.raises(ValueError):
+        flash_crowd_arrivals(10, base_qps=5.0, rng=rng, spike_start_s=-1.0)
+    with pytest.raises(ValueError):
+        flash_crowd_arrivals(10, base_qps=5.0, rng=rng, spike_multiplier=0.5)
+    with pytest.raises(ValueError):
+        flash_crowd_arrivals(10, base_qps=5.0, rng=rng, spike_duration_s=0.0)
+
+
+def test_trace_replay_sorts_and_truncates():
+    arrivals = trace_arrivals(3, [500.0, 100.0, 900.0, 300.0])
+    assert np.allclose(arrivals, [100.0, 300.0, 500.0])
+
+
+def test_trace_replay_from_csv(tmp_path):
+    path = tmp_path / "trace.csv"
+    path.write_text("0.0,250.5,1000.0\n2000.0\n")
+    arrivals = trace_arrivals(4, str(path))
+    assert np.allclose(arrivals, [0.0, 250.5, 1000.0, 2000.0])
+
+
+def test_trace_replay_validation(tmp_path):
+    with pytest.raises(ValueError, match="holds 2 timestamps; 5 requested"):
+        trace_arrivals(5, [1.0, 2.0])
+    with pytest.raises(ValueError, match="finite"):
+        trace_arrivals(2, [1.0, float("nan")])
+    with pytest.raises(ValueError, match=">= 0"):
+        trace_arrivals(2, [-5.0, 1.0])
+    with pytest.raises(ValueError, match="not found"):
+        trace_arrivals(2, str(tmp_path / "missing.csv"))
+
+
+def test_workload_factories_accept_new_processes(tmp_path):
+    from repro.generative.sequences import make_generative_workload
+    from repro.workloads.nlp import make_nlp_workload
+
+    nlp = make_nlp_workload(num_requests=200, rate_qps=40.0,
+                            arrival_process="flash_crowd")
+    assert len(nlp.arrival_times_ms) == 200
+
+    gen = make_generative_workload(num_sequences=50, rate_qps=4.0,
+                                   arrival_process="flash_crowd")
+    assert len(gen.sequences) == 50
+
+    path = tmp_path / "gen_trace.csv"
+    path.write_text(",".join(str(250.0 * i) for i in range(60)))
+    gen = make_generative_workload(num_sequences=50, rate_qps=4.0,
+                                   arrival_process=f"trace:{path}")
+    assert gen.sequences[0].arrival_ms == 0.0
+    assert gen.sequences[-1].arrival_ms == 250.0 * 49
+
+    with pytest.raises(ValueError, match="unknown arrival_process"):
+        make_nlp_workload(num_requests=10, arrival_process="bogus")
+    with pytest.raises(ValueError, match="unknown arrival_process"):
+        make_generative_workload(num_sequences=10, arrival_process="bogus")
