@@ -1,0 +1,143 @@
+"""Parallel-sweep regression benchmark: process fan-out vs serial execution.
+
+Not a paper figure — this guards the sweep execution engine
+(:mod:`repro.api.executor`).  An 8-point grid (replicas × balancer, two
+systems per point) is executed twice: serially in one process, then fanned
+out to ``WORKERS`` worker processes.  The two ``SweepReport`` JSON documents
+must be byte-identical — fan-out is an implementation detail — and on a
+machine with at least ``WORKERS`` effective CPUs the parallel run must beat
+serial by ``MIN_SPEEDUP``× wall-clock.
+
+The speedup gate needs real cores: on boxes with fewer effective CPUs than
+``WORKERS`` (e.g. affinity-restricted CI sandboxes) the measurement is
+recorded but the ≥2× assertion is not applied — the gate is enforced on the
+4-vCPU GitHub runners, where the CI workflow additionally re-asserts the
+floor from ``BENCH_sweep.json``.
+
+Modes (``BENCH_SWEEP`` environment variable)
+--------------------------------------------
+unset
+    Smoke grid (1000 requests/point) — runs under plain pytest and in the
+    tier-1 suite; nothing is written.
+``smoke``
+    Smoke grid, and the measurements are written to ``BENCH_sweep.json``
+    (used by the CI sweep gate).
+``full`` or ``1``
+    The tracked baseline: 4000 requests/point, written to
+    ``BENCH_sweep.json``.  Refresh with::
+
+        BENCH_SWEEP=full PYTHONPATH=src python -m pytest -q -s benchmarks/test_sweep_parallel.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import Experiment, WorkloadSpec
+from repro.workloads.cache import cache_info
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_sweep.json"
+
+#: Required parallel-over-serial wall-clock ratio at ``WORKERS`` workers.
+MIN_SPEEDUP = 2.0
+WORKERS = 4
+
+SMOKE_REQUESTS = 1_000
+FULL_REQUESTS = 4_000
+
+GRID = {"replicas": [1, 2, 3, 4],
+        "balancer": ["round_robin", "join_shortest_queue"]}
+SYSTEMS = ["vanilla", "apparate"]
+MODEL = "resnet50"
+
+
+def _mode():
+    value = os.environ.get("BENCH_SWEEP", "").strip().lower()
+    if value in ("full", "1"):
+        return FULL_REQUESTS, True
+    if value == "smoke":
+        return SMOKE_REQUESTS, True
+    return SMOKE_REQUESTS, False
+
+
+def _effective_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:            # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _experiment(requests: int) -> Experiment:
+    return Experiment(model=MODEL,
+                      workload=WorkloadSpec("video", requests=requests, seed=0))
+
+
+def test_parallel_sweep_bit_identity():
+    """Fan-out must be invisible in the output, on every machine."""
+    exp = _experiment(300)
+    serial = exp.sweep(systems=SYSTEMS, executor="serial",
+                       replicas=[1, 2], balancer=["round_robin"])
+    parallel = exp.sweep(systems=SYSTEMS, executor="process", workers=2,
+                         replicas=[1, 2], balancer=["round_robin"])
+    assert json.dumps(serial.to_json(), sort_keys=True) \
+        == json.dumps(parallel.to_json(), sort_keys=True)
+
+
+def test_parallel_sweep_speedup():
+    n, write = _mode()
+    cpus = _effective_cpus()
+    if not write and cpus < WORKERS:
+        pytest.skip(f"speedup gate needs {WORKERS} effective CPUs, have "
+                    f"{cpus}; set BENCH_SWEEP=smoke to record anyway")
+
+    exp = _experiment(n)
+    exp.workload_obj()        # materialize once, outside both timed regions
+
+    t0 = time.perf_counter()
+    serial = exp.sweep(systems=SYSTEMS, executor="serial", **GRID)
+    serial_wall_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = exp.sweep(systems=SYSTEMS, executor="process",
+                         workers=WORKERS, **GRID)
+    parallel_wall_s = time.perf_counter() - t0
+
+    # Speed means nothing if the answers drift.
+    assert json.dumps(serial.to_json(), sort_keys=True) \
+        == json.dumps(parallel.to_json(), sort_keys=True)
+    assert not serial.errors()
+
+    points = len(serial.points)
+    speedup = serial_wall_s / parallel_wall_s
+    gate_enforced = cpus >= WORKERS
+    print(f"\nsweep ({points} points x {len(SYSTEMS)} systems, {n:,} "
+          f"requests/point, {cpus} cpus): serial {serial_wall_s:.2f}s, "
+          f"{WORKERS} workers {parallel_wall_s:.2f}s, speedup {speedup:.2f}x"
+          f"{'' if gate_enforced else ' (gate not enforced: too few cpus)'}")
+
+    if write:
+        BENCH_PATH.write_text(json.dumps({
+            "grid": {"axes": GRID, "points": points, "systems": SYSTEMS,
+                     "model": MODEL, "workload": "video:urban-day",
+                     "requests_per_point": n},
+            "workers": WORKERS,
+            "effective_cpus": cpus,
+            "serial": {"wall_s": round(serial_wall_s, 3),
+                       "points_per_s": round(points / serial_wall_s, 3)},
+            "parallel": {"wall_s": round(parallel_wall_s, 3),
+                         "points_per_s": round(points / parallel_wall_s, 3)},
+            "speedup": round(speedup, 2),
+            "min_speedup": MIN_SPEEDUP,
+            "gate_enforced": gate_enforced,
+            "trace_cache": cache_info(),
+        }, indent=2) + "\n")
+
+    if gate_enforced:
+        assert speedup >= MIN_SPEEDUP, (
+            f"{WORKERS}-worker sweep took {parallel_wall_s:.2f}s vs serial "
+            f"{serial_wall_s:.2f}s — only {speedup:.2f}x, need {MIN_SPEEDUP}x")

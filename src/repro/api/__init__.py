@@ -17,6 +17,10 @@ New systems register with :func:`register_system` and become reachable from
 touching any of them.
 """
 
+from repro.api.executor import (SWEEP_EXECUTORS, ProcessSweepExecutor,
+                                SerialSweepExecutor, SweepExecutor,
+                                SweepOutcome, SweepTask,
+                                resolve_sweep_executor)
 from repro.api.experiment import DEFAULT_SYSTEMS, Experiment
 from repro.api.registry import (SystemRunner, canonical_system_name, get_system,
                                 list_systems, register_system,
@@ -56,4 +60,11 @@ __all__ = [
     "system_descriptions",
     "labels_for_kind",
     "REGISTERED_SYSTEMS",
+    "SweepExecutor",
+    "SerialSweepExecutor",
+    "ProcessSweepExecutor",
+    "SweepTask",
+    "SweepOutcome",
+    "SWEEP_EXECUTORS",
+    "resolve_sweep_executor",
 ]

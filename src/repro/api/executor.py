@@ -1,0 +1,242 @@
+"""Sweep execution engine: serial and process-pool backends.
+
+``Experiment.sweep`` produces an embarrassingly parallel unit of work — a
+list of fully validated experiment variants, one per grid point, each of
+which runs independently and deterministically.  This module turns that list
+into results through a :class:`SweepExecutor`:
+
+* :class:`SerialSweepExecutor` runs points in grid order in the calling
+  process — the executable specification of sweep semantics.
+* :class:`ProcessSweepExecutor` fans points out to a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Results are reassembled
+  **in grid order** regardless of completion order, and every run is seeded,
+  so the parallel ``SweepReport`` is bit-identical to the serial one.
+
+Both backends capture per-point *runtime* failures as structured
+``{"type", "message"}`` errors on the :class:`~repro.api.result.SweepPoint`
+instead of killing the whole sweep — one pathological grid point cannot
+discard its siblings' work.  Configuration errors still fail fast:
+``Experiment.sweep`` validates every grid point's specs (and canonicalizes
+system names) before handing anything to an executor.
+
+Workers inherit the materialized workload trace from the parent's
+:mod:`repro.workloads.cache` copy-on-write when the ``fork`` start method is
+available; elsewhere (spawn-only platforms) the trace ships to workers by
+pickle as part of the experiment variant.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Union)
+
+from repro.api.result import RunReport
+
+__all__ = ["SweepTask", "SweepOutcome", "SweepExecutor", "SerialSweepExecutor",
+           "ProcessSweepExecutor", "SWEEP_EXECUTORS", "resolve_sweep_executor"]
+
+#: Called after each grid point finishes: ``progress(outcome, done, total)``.
+ProgressCallback = Callable[["SweepOutcome", int, int], None]
+
+
+@dataclass
+class SweepTask:
+    """One grid point, ready to run: its index, parameters and variant."""
+
+    index: int
+    params: Dict[str, Any]
+    experiment: Any                       # the Experiment variant to run
+    systems: Optional[Sequence[str]] = None
+
+
+@dataclass
+class SweepOutcome:
+    """What running one grid point produced (a report or a structured error)."""
+
+    index: int
+    params: Dict[str, Any]
+    report: Optional[RunReport] = None
+    error: Optional[Dict[str, str]] = None
+    wall_s: float = 0.0
+
+
+def _structured_error(exc: BaseException) -> Dict[str, str]:
+    """The portable error shape: class name + message, no traceback.
+
+    Tracebacks embed file paths and process details that differ between the
+    serial and process backends; type + message is identical in both, which
+    keeps failed points inside the bit-identity guarantee too.
+    """
+    return {"type": type(exc).__name__, "message": str(exc)}
+
+
+def _run_sweep_task(task: SweepTask, keep_raw: bool = True) -> SweepOutcome:
+    """Run one grid point, capturing runtime failures as structured errors.
+
+    Module-level so process-pool workers can unpickle it.  ``keep_raw=False``
+    drops each :class:`RunResult`'s legacy ``raw`` object (simulator
+    internals, often unpicklable) before the outcome crosses the process
+    boundary; ``raw`` is excluded from ``to_json``, so stripping it cannot
+    perturb bit-identity.
+    """
+    start = time.perf_counter()
+    try:
+        report = task.experiment.run(task.systems)
+    except Exception as exc:
+        return SweepOutcome(index=task.index, params=task.params,
+                            error=_structured_error(exc),
+                            wall_s=time.perf_counter() - start)
+    if not keep_raw:
+        for result in report.results:
+            result.raw = None
+    return SweepOutcome(index=task.index, params=task.params, report=report,
+                        wall_s=time.perf_counter() - start)
+
+
+class SweepExecutor:
+    """How a validated list of sweep tasks becomes an ordered outcome list.
+
+    Subclasses implement :meth:`map`; callers rely on two invariants that
+    hold for every backend:
+
+    * outcomes come back **in task-index order**, independent of completion
+      order, and
+    * a point that raises at run time yields an outcome with ``error`` set
+      while its siblings run to completion.
+    """
+
+    name = "abstract"
+
+    #: Whether ``Experiment.sweep`` should drop the parent's materialized
+    #: workload from task variants before dispatch (workers recover it from
+    #: the fork-inherited trace cache instead of paying pickle freight).
+    strip_workload_cache = False
+
+    def map(self, tasks: Sequence[SweepTask],
+            progress: Optional[ProgressCallback] = None) -> List[SweepOutcome]:
+        raise NotImplementedError
+
+
+class SerialSweepExecutor(SweepExecutor):
+    """Run grid points one after another in the calling process."""
+
+    name = "serial"
+
+    def map(self, tasks: Sequence[SweepTask],
+            progress: Optional[ProgressCallback] = None) -> List[SweepOutcome]:
+        outcomes: List[SweepOutcome] = []
+        for done, task in enumerate(tasks, start=1):
+            outcome = _run_sweep_task(task, keep_raw=True)
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome, done, len(tasks))
+        return outcomes
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The ``fork`` multiprocessing context, or ``None`` where unsupported."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+
+
+class ProcessSweepExecutor(SweepExecutor):
+    """Fan grid points out to a process pool; reassemble in grid order.
+
+    ``workers`` defaults to the machine's CPU count.  The pool prefers the
+    ``fork`` start method so workers inherit the parent's materialized
+    workload trace copy-on-write; on spawn-only platforms the trace travels
+    to workers inside the pickled experiment variant instead.
+
+    A worker death (e.g. the OOM killer) surfaces as a structured error on
+    the points it took down, not as a sweep-wide exception.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and int(workers) < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers) if workers is not None \
+            else (multiprocessing.cpu_count() or 2)
+        self._mp_context = _fork_context()
+
+    @property
+    def strip_workload_cache(self) -> bool:
+        # Only safe to strip when fork gives workers the parent's trace
+        # cache for free; under spawn the pickled variant IS the transport.
+        return self._mp_context is not None
+
+    def map(self, tasks: Sequence[SweepTask],
+            progress: Optional[ProgressCallback] = None) -> List[SweepOutcome]:
+        if not tasks:
+            return []
+        outcomes: List[Optional[SweepOutcome]] = [None] * len(tasks)
+        max_workers = min(self.workers, len(tasks))
+        done_count = 0
+        with ProcessPoolExecutor(max_workers=max_workers,
+                                 mp_context=self._mp_context) as pool:
+            pending = {pool.submit(_run_sweep_task, task, False): task
+                       for task in tasks}
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    task = pending.pop(future)
+                    try:
+                        outcome = future.result()
+                    except Exception as exc:   # worker died / unpicklable
+                        outcome = SweepOutcome(index=task.index,
+                                               params=task.params,
+                                               error=_structured_error(exc))
+                    outcomes[task.index] = outcome
+                    done_count += 1
+                    if progress is not None:
+                        progress(outcome, done_count, len(tasks))
+        return [outcome for outcome in outcomes if outcome is not None]
+
+
+#: Executor names accepted by ``Experiment.sweep`` and the CLI.
+SWEEP_EXECUTORS: Mapping[str, type] = {
+    "serial": SerialSweepExecutor,
+    "process": ProcessSweepExecutor,
+}
+
+
+def resolve_sweep_executor(executor: Union[str, SweepExecutor, None] = None,
+                           workers: Optional[int] = None) -> SweepExecutor:
+    """Turn ``(executor, workers)`` into a ready :class:`SweepExecutor`.
+
+    * ``executor=None``: ``workers`` decides — ``workers > 1`` selects the
+      process backend, otherwise serial (the default).
+    * ``executor="serial"``/``"process"``: that backend; ``workers`` only
+      makes sense for ``process`` (``serial`` with ``workers > 1`` raises).
+    * an already-built :class:`SweepExecutor` passes through unchanged
+      (``workers`` must then be ``None`` — it would be silently ignored).
+    """
+    if workers is not None and int(workers) < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if isinstance(executor, SweepExecutor):
+        if workers is not None:
+            raise ValueError("pass workers via the executor instance, not "
+                             "alongside one")
+        return executor
+    if executor is None:
+        if workers is not None and int(workers) > 1:
+            return ProcessSweepExecutor(workers=workers)
+        return SerialSweepExecutor()
+    try:
+        cls = SWEEP_EXECUTORS[executor]
+    except (KeyError, TypeError):
+        raise ValueError(f"unknown sweep executor {executor!r}; "
+                         f"choose from {tuple(SWEEP_EXECUTORS)}") from None
+    if cls is SerialSweepExecutor:
+        if workers is not None and int(workers) > 1:
+            raise ValueError(f"executor='serial' runs one point at a time; "
+                             f"workers={workers} would be silently ignored")
+        return SerialSweepExecutor()
+    return ProcessSweepExecutor(workers=workers)

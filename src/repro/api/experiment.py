@@ -20,7 +20,8 @@ from __future__ import annotations
 import dataclasses
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Union)
 
 from repro.api.registry import canonical_system_name, get_system
 from repro.api.result import (KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE,
@@ -211,6 +212,9 @@ class Experiment:
 
     # ---------------------------------------------------------------- sweep
     def sweep(self, systems: Optional[Sequence[str]] = None,
+              workers: Optional[int] = None,
+              executor: Union[str, "SweepExecutor", None] = None,
+              progress: Optional[Callable[..., None]] = None,
               **grid: Any) -> SweepReport:
         """Run a full parameter grid, one ``RunReport`` per grid point.
 
@@ -225,12 +229,33 @@ class Experiment:
         ``drop_expired``).  Values may be scalars or lists; the grid is the
         cross product in the given key order, so sweeps are deterministic.
 
+        ``workers``/``executor`` select the execution backend
+        (:mod:`repro.api.executor`): the default runs points serially in this
+        process; ``workers=N`` (N > 1) or ``executor="process"`` fans points
+        out to a process pool.  Every run is seeded, and the report is
+        reassembled in grid order regardless of completion order, so the
+        parallel ``SweepReport`` is bit-identical to the serial one.  A grid
+        point that raises at *run time* becomes a point with a structured
+        ``error`` while its siblings complete; configuration errors (bad
+        grid values, unknown systems) still raise here before anything runs.
+        ``progress`` is called as ``progress(outcome, done, total)`` after
+        each point completes.
+
         >>> Experiment(...).sweep(replicas=[1, 2, 4],
-        ...                       balancer=["round_robin", "jsq"])   # doctest: +SKIP
+        ...                       balancer=["round_robin", "jsq"],
+        ...                       workers=4)   # doctest: +SKIP
         """
+        import repro.api.systems  # noqa: F401  (registrations, for name check)
+        from repro.api.executor import (SweepTask, resolve_sweep_executor)
+
         if not grid:
             raise ValueError("sweep needs at least one parameter grid, "
                              f"e.g. replicas=[1, 2, 4]; valid keys: {_SWEEP_KEYS}")
+        exec_ = resolve_sweep_executor(executor, workers)
+        # Canonicalize system names up front: a typoed system is a config
+        # error and must fail the sweep, not be captured per point.
+        if systems is not None:
+            systems = [canonical_system_name(name) for name in systems]
         axes: List[List[Any]] = []
         keys = list(grid)
         for key in keys:
@@ -255,8 +280,19 @@ class Experiment:
         # anything, so a bad value fails fast instead of aborting mid-sweep.
         combos = [dict(zip(keys, combo)) for combo in itertools.product(*axes)]
         variants = [(params, self._apply_sweep_params(params)) for params in combos]
-        points = [SweepPoint(params=params, report=variant.run(systems))
-                  for params, variant in variants]
+        if exec_.strip_workload_cache:
+            # Forked workers inherit the parent's trace cache copy-on-write;
+            # dropping the materialized object from the pickled variant saves
+            # the serialization freight without losing the shared trace.
+            for _, variant in variants:
+                if isinstance(variant.workload, WorkloadSpec):
+                    variant._workload_cache = None
+        tasks = [SweepTask(index=i, params=params, experiment=variant,
+                           systems=systems)
+                 for i, (params, variant) in enumerate(variants)]
+        outcomes = exec_.map(tasks, progress=progress)
+        points = [SweepPoint(params=o.params, report=o.report, error=o.error)
+                  for o in outcomes]
         return SweepReport(points=points, base_params=self.describe())
 
     def _apply_sweep_params(self, params: Mapping[str, Any]) -> "Experiment":

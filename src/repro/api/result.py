@@ -218,10 +218,22 @@ class RunReport:
 
 @dataclass
 class SweepPoint:
-    """One grid point of a sweep: the varied parameters and their report."""
+    """One grid point of a sweep: the varied parameters and their report.
+
+    A point that raised at run time carries ``error`` (``{"type", "message"}``)
+    instead of a report — the sweep executors capture per-point failures so
+    one bad grid point cannot kill its siblings.  Config errors still fail
+    the whole sweep up front: every point's specs are validated before any
+    point runs.
+    """
 
     params: Dict[str, Any]
-    report: RunReport
+    report: Optional[RunReport]
+    error: Optional[Dict[str, str]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 @dataclass
@@ -238,8 +250,22 @@ class SweepReport:
         return iter(self.points)
 
     def results(self, system: str) -> List[RunResult]:
-        """The given system's result at every grid point, in grid order."""
+        """The given system's result at every grid point, in grid order.
+
+        Raises :class:`ValueError` if any grid point failed — a partial
+        column would silently misalign against the grid.
+        """
+        failed = self.errors()
+        if failed:
+            first = failed[0]
+            raise ValueError(
+                f"{len(failed)} of {len(self.points)} sweep points failed; "
+                f"first: params={first.params} error={first.error}")
         return [point.report.result(system) for point in self.points]
+
+    def errors(self) -> List[SweepPoint]:
+        """The grid points that failed at run time, in grid order."""
+        return [point for point in self.points if point.error is not None]
 
     def format_table(self, metrics: Optional[Sequence[str]] = None,
                      column_width: int = 12) -> str:
@@ -247,9 +273,15 @@ class SweepReport:
         if not self.points:
             return "(empty sweep)"
         if metrics is None:
-            preferred = _DISPLAY_METRICS.get(self.points[0].report.kind, ())
-            available = set(self.points[0].report.metric_keys())
-            metrics = [m for m in preferred if m in available][:6]
+            # A failed point has no report, so key the default metric columns
+            # off the first point that succeeded (no columns if none did).
+            first_ok = next((p for p in self.points if p.report is not None), None)
+            if first_ok is None:
+                metrics = []
+            else:
+                preferred = _DISPLAY_METRICS.get(first_ok.report.kind, ())
+                available = set(first_ok.report.metric_keys())
+                metrics = [m for m in preferred if m in available][:6]
         param_keys = list(self.points[0].params)
         param_widths = {
             key: max(column_width, len(key) + 2,
@@ -262,6 +294,10 @@ class SweepReport:
         for point in self.points:
             prefix = "".join(f"{str(point.params[k]):>{param_widths[k]}s}"
                              for k in param_keys)
+            if point.error is not None:
+                lines.append(prefix + f"  ERROR {point.error['type']}: "
+                             f"{point.error['message']}")
+                continue
             for result in point.report.results:
                 cells = []
                 for m in metrics:
@@ -278,5 +314,9 @@ class SweepReport:
             "schema": "repro.sweep_report/v1",
             "base_params": _jsonable(self.base_params),
             "points": [{"params": _jsonable(p.params),
-                        "report": p.report.to_json()} for p in self.points],
+                        "report": None if p.report is None
+                        else p.report.to_json(),
+                        **({} if p.error is None
+                           else {"error": dict(p.error)})}
+                       for p in self.points],
         }

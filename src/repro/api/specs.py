@@ -104,7 +104,20 @@ class WorkloadSpec:
         return self.rate if self.rate is not None else _KIND_DEFAULTS[self.kind]["rate"]
 
     def build(self, default_seed: int = 0):
-        """Materialize the workload (the only place data is generated)."""
+        """Materialize the workload, memoized by content in the trace cache.
+
+        Generation is fully seeded, so the same resolved spec + seed always
+        produces a bit-identical stream; :mod:`repro.workloads.cache` keys on
+        exactly those inputs and hands back the shared materialized trace.
+        Runs never mutate workloads, so sharing is safe.
+        """
+        # Imported here to keep spec construction free of workload machinery.
+        from repro.workloads.cache import get_or_materialize
+
+        return get_or_materialize(self, default_seed)
+
+    def materialize(self, default_seed: int = 0):
+        """Generate the workload, bypassing the trace cache."""
         # Imported here to keep spec construction free of workload machinery.
         from repro.generative.sequences import make_generative_workload
         from repro.workloads.nlp import make_nlp_workload

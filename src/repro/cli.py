@@ -285,6 +285,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--accuracy-constraint", type=float, default=0.01)
     sweep.add_argument("--ramp-budget", type=float, default=0.02)
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="run grid points on N worker processes "
+                            "(default: serial in this process); results are "
+                            "bit-identical to serial")
+    sweep.add_argument("--executor", choices=("serial", "process"),
+                       default=None,
+                       help="sweep backend (default: process when "
+                            "--workers > 1, else serial)")
     sweep.add_argument("--json", action="store_true",
                        help="print the SweepReport as JSON instead of a table")
     return parser
@@ -635,7 +643,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.faults is not None:
         schedules = [f.strip() or None for f in args.faults.split("|")]
         grid["faults"] = schedules if len(schedules) > 1 else schedules[0]
-    sweep = experiment.sweep(systems=_split_csv(args.systems), **grid)
+    # Live per-point progress on stderr (table mode only: --json output must
+    # stay a single parseable document, and stderr keeps pipelines clean).
+    progress = None if args.json else _sweep_progress_printer()
+    sweep = experiment.sweep(systems=_split_csv(args.systems),
+                             workers=args.workers, executor=args.executor,
+                             progress=progress, **grid)
     if args.json:
         print(json.dumps(sweep.to_json(), indent=2))
         return 0
@@ -645,7 +658,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
           f"platform={args.platform} requests={args.requests} "
           f"grid={'x'.join(str(n) for n in axis_sizes)}")
     print(sweep.format_table())
-    return 0
+    failed = sweep.errors()
+    for point in failed:
+        print(f"FAILED {point.params}: {point.error['type']}: "
+              f"{point.error['message']}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _sweep_progress_printer():
+    """A progress callback printing one line per finished grid point."""
+    def emit(outcome, done: int, total: int) -> None:
+        params = " ".join(f"{k}={v}" for k, v in outcome.params.items())
+        status = "ok" if outcome.error is None \
+            else f"ERROR {outcome.error['type']}: {outcome.error['message']}"
+        print(f"[{done}/{total}] {params} {status} {outcome.wall_s:.2f}s",
+              file=sys.stderr, flush=True)
+    return emit
 
 
 _COMMANDS = {

@@ -808,7 +808,7 @@ class _ClusterRun(SimPlatform):
             timer = entry._wake_event
             if not state.queue:
                 if timer is not None:
-                    timer.cancelled = True
+                    events.cancel(timer)
                     entry._wake_event = None
                 continue
             batch, wake_up = platform.select(state, now)
@@ -820,11 +820,11 @@ class _ClusterRun(SimPlatform):
                     if timer is not None:
                         if not timer.cancelled and timer.time_ms == wake_up:
                             continue  # already armed for this wake-up
-                        timer.cancelled = True
+                        events.cancel(timer)
                     entry._wake_event = events.push(wake_up, _TIMER, entry)
                     continue
             if timer is not None:
-                timer.cancelled = True
+                events.cancel(timer)
                 entry._wake_event = None
             platform.dispatch(state, batch)
             result = entry.executor(batch, now)

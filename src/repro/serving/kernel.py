@@ -68,7 +68,7 @@ queue; ``clockwork`` never waits), as must any future ``select_batch``.
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from typing import Any, List, Optional
 
 __all__ = ["Event", "EventQueue", "Clock", "SimPlatform", "PoolState",
@@ -103,13 +103,31 @@ class Event:
 
 
 class EventQueue:
-    """Deterministic binary-heap schedule of :class:`Event` records."""
+    """Deterministic binary-heap schedule of :class:`Event` records.
 
-    __slots__ = ("_heap", "_seq")
+    Cancellation is lazy — O(1) — but no longer unbounded: policies that
+    re-arm a timer on every queue change (tfserve batching, autoscaler
+    probes) can cancel far more events than they ever let fire, and on long
+    traces the dead records would dominate the heap and every ``heappush``
+    would pay their log factor.  :meth:`cancel` therefore counts dead
+    records and opportunistically compacts the heap — drop cancelled
+    entries, ``heapify`` the survivors — once they exceed half the heap.
+    Compaction never touches event identity: the surviving records keep
+    their ``(time_ms, seq)`` keys, and a heap of them pops in exactly the
+    same total order as the uncompacted heap, so schedules are unchanged
+    bit-for-bit.
+    """
+
+    __slots__ = ("_heap", "_seq", "_cancelled")
+
+    #: Never bother compacting heaps smaller than this: rebuild cost would
+    #: rival the lazy-skip cost it saves.
+    COMPACT_MIN = 64
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._seq = 0
+        self._cancelled = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -121,10 +139,26 @@ class EventQueue:
         heappush(self._heap, event)
         return event
 
-    @staticmethod
-    def cancel(event: Event) -> None:
-        """Mark an event dead; it is skipped when it reaches the heap top."""
+    def cancel(self, event: Event) -> None:
+        """Mark an event dead; it is skipped when it reaches the heap top.
+
+        Compacts the heap when cancelled records exceed half of it (and the
+        heap is big enough to matter), bounding heap growth under heavy
+        timer re-arming at ~2× the live event count.
+        """
+        if event.cancelled:
+            return
         event.cancelled = True
+        self._cancelled += 1
+        if self._cancelled >= self.COMPACT_MIN \
+                and self._cancelled * 2 >= len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled records and re-heapify the survivors in place."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapify(self._heap)
+        self._cancelled = 0
 
     def next_time(self) -> Optional[float]:
         """Earliest pending event time, or ``None`` when the heap is empty.
@@ -137,6 +171,8 @@ class EventQueue:
             top = heap[0]
             if top.cancelled:
                 heappop(heap)
+                if self._cancelled:
+                    self._cancelled -= 1
             else:
                 return top.time_ms
         return None
@@ -150,6 +186,8 @@ class EventQueue:
             event = heappop(heap)
             if not event.cancelled:
                 due.append(event)
+            elif self._cancelled:
+                self._cancelled -= 1
         return due
 
 
@@ -239,7 +277,7 @@ class SimPlatform:
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously registered event."""
-        event.cancelled = True
+        self.events.cancel(event)
 
     def wake(self, entry: Any) -> None:
         """Mark a replica entry for re-evaluation in the next ``step`` pass."""
@@ -343,7 +381,7 @@ def scale_pool(sim: SimPlatform, pool: PoolState, autoscaler: Any,
             pool.boots.append(sim.events.push(now_ms + delay, boot_kind, pool))
     elif desired < len(active):
         for event in pool.boots:
-            event.cancelled = True
+            sim.events.cancel(event)
         pool.boots.clear()
         fleet = pool.fleet
         for entry in sorted(active,

@@ -62,7 +62,8 @@ class ServingMetrics:
 
     __slots__ = ("gpu_busy_ms", "makespan_ms", "num_batches",
                  "_pending", "_cols", "_num_recorded", "_num_dropped",
-                 "_num_exited", "_num_correct_served", "_responses_cache")
+                 "_num_exited", "_num_correct_served", "_responses_cache",
+                 "_summary_cache")
 
     def __init__(self, gpu_busy_ms: float = 0.0, makespan_ms: float = 0.0,
                  num_batches: int = 0) -> None:
@@ -77,6 +78,7 @@ class ServingMetrics:
         self._num_exited = 0
         self._num_correct_served = 0
         self._responses_cache: Optional[List[Response]] = None
+        self._summary_cache: Optional[Dict[str, float]] = None
 
     # ----------------------------------------------------------------- write
     def record_batch(self, batch: Sequence[Request], result, start_ms: float) -> None:
@@ -86,6 +88,7 @@ class ServingMetrics:
         self._pending.append((batch, result, start_ms))
         self._num_recorded += len(batch)
         self._responses_cache = None
+        self._summary_cache = None
 
     def record_drop(self, request: Request, now_ms: float) -> None:
         """Fast path for queue-expiry drops; equivalent to ``add_response``
@@ -110,6 +113,7 @@ class ServingMetrics:
         self._num_recorded += 1
         self._num_dropped += 1
         self._responses_cache = None
+        self._summary_cache = None
 
     def add_response(self, response: Response) -> None:
         """Record one pre-built Response (compat path; reads and tests)."""
@@ -126,6 +130,7 @@ class ServingMetrics:
             if response.correct:
                 self._num_correct_served += 1
         self._responses_cache = None
+        self._summary_cache = None
 
     def add_batch(self, gpu_time_ms: float) -> None:
         self.gpu_busy_ms += gpu_time_ms
@@ -214,7 +219,16 @@ class ServingMetrics:
         return self._served_column("queueing_ms")
 
     def latency_summary(self) -> Dict[str, float]:
-        return summarize_latencies(self.latencies())
+        """Latency percentiles over served requests (computed once, cached).
+
+        The percentile properties and ``summary()`` all read this; caching
+        means one quantile pass per run instead of one per metric.  Every
+        write path invalidates the cache, and callers get a copy so mutating
+        the returned dict cannot poison later reads.
+        """
+        if self._summary_cache is None:
+            self._summary_cache = summarize_latencies(self.latencies())
+        return dict(self._summary_cache)
 
     def median_latency(self) -> float:
         return self.latency_summary()["p50"]

@@ -36,11 +36,15 @@ def summarize_latencies(values: Sequence[float]) -> Dict[str, float]:
     arr = arr[np.isfinite(arr)]
     if arr.size == 0:
         return {"p25": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "count": 0}
+    # One vectorized quantile pass: np.percentile sorts (partitions) per
+    # call, so a single call over all four ranks does a quarter of the work
+    # of four separate calls — this runs once per batch flush fleet-wide.
+    p25, p50, p95, p99 = np.percentile(arr, (25.0, 50.0, 95.0, 99.0))
     return {
-        "p25": float(np.percentile(arr, 25)),
-        "p50": float(np.percentile(arr, 50)),
-        "p95": float(np.percentile(arr, 95)),
-        "p99": float(np.percentile(arr, 99)),
+        "p25": float(p25),
+        "p50": float(p50),
+        "p95": float(p95),
+        "p99": float(p99),
         "mean": float(arr.mean()),
         "count": int(arr.size),
     }

@@ -1,0 +1,63 @@
+"""EventQueue compaction: heap length stays bounded under heavy re-arming."""
+
+from repro.serving.kernel import EventQueue
+
+
+def test_rearm_heavy_trace_keeps_heap_bounded():
+    # The tfserve-timer pattern: every queue change cancels the armed timer
+    # and pushes a replacement.  Lazy cancellation alone would grow the heap
+    # to ~50k records here; compaction must keep it within a small multiple
+    # of the live count (1 live event + the compaction hysteresis).
+    queue = EventQueue()
+    timer = queue.push(10.0, kind=0)
+    for i in range(50_000):
+        queue.cancel(timer)
+        timer = queue.push(10.0 + i * 0.1, kind=0)
+    assert len(queue) <= 4 * EventQueue.COMPACT_MIN
+    assert queue.next_time() == timer.time_ms
+
+
+def test_compaction_preserves_pop_order():
+    # Interleave pushes and cancellations so several compactions fire, then
+    # check the survivors drain in exactly (time_ms, seq) order.
+    queue = EventQueue()
+    live = []
+    handles = []
+    for i in range(2_000):
+        # Deterministic pseudo-shuffle of times; ties exercise seq ordering.
+        event = queue.push((i * 37) % 211, kind=0, payload=i)
+        handles.append(event)
+        if i % 3 != 0:
+            queue.cancel(handles[(i * 17) % len(handles)])
+    expected = sorted((e for e in handles if not e.cancelled),
+                      key=lambda e: (e.time_ms, e.seq))
+    live = [e for e in handles if not e.cancelled]
+    assert len(queue) < len(handles)          # compaction actually ran
+    drained = []
+    while True:
+        t = queue.next_time()
+        if t is None:
+            break
+        drained.extend(queue.pop_due(t))
+    assert drained == expected
+    assert len(drained) == len(live)
+
+
+def test_double_cancel_counts_once():
+    queue = EventQueue()
+    events = [queue.push(float(i), kind=0) for i in range(10)]
+    for _ in range(5):
+        queue.cancel(events[0])
+    assert queue._cancelled == 1
+    assert queue.next_time() == 1.0
+
+
+def test_small_heaps_never_compact():
+    # Below COMPACT_MIN the rebuild would cost more than lazy skipping saves.
+    queue = EventQueue()
+    events = [queue.push(float(i), kind=0) for i in range(10)]
+    for event in events:
+        queue.cancel(event)
+    assert len(queue) == 10                    # all dead, none reclaimed yet
+    assert queue.next_time() is None           # drained lazily as usual
+    assert len(queue) == 0

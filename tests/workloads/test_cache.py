@@ -1,0 +1,128 @@
+"""Tests for the content-addressed workload-trace cache."""
+
+import pytest
+
+from repro.api.specs import WorkloadSpec
+from repro.workloads.cache import TRACE_CACHE, TraceCache, cache_clear, trace_key
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache():
+    cache_clear()
+    yield
+    cache_clear()
+
+
+class TestTraceKey:
+    def test_same_content_same_key(self):
+        a = WorkloadSpec("video", "urban-day", requests=500, seed=3)
+        b = WorkloadSpec("video", "urban-day", requests=500, seed=3)
+        assert trace_key(a) == trace_key(b)
+
+    def test_default_spelling_shares_key_with_explicit(self):
+        # source="" resolves to the kind default; rate=None likewise.  Both
+        # spellings generate the same stream, so they must share one entry.
+        implicit = WorkloadSpec("video", requests=500, seed=3)
+        explicit = WorkloadSpec("video", "urban-day", requests=500, rate=30.0,
+                                seed=3)
+        assert trace_key(implicit) == trace_key(explicit)
+
+    def test_inherited_seed_matches_explicit_seed(self):
+        unseeded = WorkloadSpec("video", requests=500)
+        seeded = WorkloadSpec("video", requests=500, seed=7)
+        assert trace_key(unseeded, default_seed=7) == trace_key(seeded)
+
+    @pytest.mark.parametrize("change", [
+        {"seed": 4},
+        {"requests": 501},
+        {"rate": 25.0},
+        {"source": "highway"},
+        {"overrides": {"walk_sigma": 0.05}},
+    ])
+    def test_any_generation_input_changes_the_key(self, change):
+        base = dict(kind="video", source="urban-day", requests=500, seed=3)
+        assert trace_key(WorkloadSpec(**base)) \
+            != trace_key(WorkloadSpec(**{**base, **change}))
+
+    def test_arrival_process_changes_the_key(self):
+        base = WorkloadSpec("nlp", requests=200, seed=1)
+        poisson = WorkloadSpec("nlp", requests=200, seed=1,
+                               arrival_process="poisson")
+        assert trace_key(base) != trace_key(poisson)
+
+
+class TestTraceCacheLRU:
+    def test_hit_returns_the_same_object(self):
+        cache = TraceCache(maxsize=4)
+        first = cache.get_or_build("k", lambda: object())
+        second = cache.get_or_build("k", lambda: object())
+        assert first is second
+        assert cache.info()["hits"] == 1
+        assert cache.info()["misses"] == 1
+
+    def test_lru_eviction_bounds_size(self):
+        cache = TraceCache(maxsize=2)
+        for i in range(5):
+            cache.get_or_build(f"k{i}", lambda i=i: i)
+        assert len(cache) == 2
+        assert cache.info()["evictions"] == 3
+        # Most recent two survive.
+        assert cache.get_or_build("k4", lambda: "rebuilt") == 4
+
+    def test_eviction_is_least_recently_used(self):
+        cache = TraceCache(maxsize=2)
+        cache.get_or_build("a", lambda: "A")
+        cache.get_or_build("b", lambda: "B")
+        cache.get_or_build("a", lambda: "A'")       # refresh a
+        cache.get_or_build("c", lambda: "C")        # evicts b, not a
+        assert cache.get_or_build("a", lambda: "rebuilt") == "A"
+        assert cache.get_or_build("b", lambda: "rebuilt") == "rebuilt"
+
+    def test_maxsize_zero_disables_caching(self):
+        cache = TraceCache(maxsize=0)
+        builds = []
+        for _ in range(3):
+            cache.get_or_build("k", lambda: builds.append(1))
+        assert len(builds) == 3
+        assert len(cache) == 0
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            TraceCache(maxsize=-1)
+
+
+class TestBuildIntegration:
+    def test_build_is_memoized_by_content(self):
+        spec = WorkloadSpec("video", requests=300, seed=5)
+        first = spec.build()
+        again = WorkloadSpec("video", requests=300, seed=5).build()
+        assert first is again
+        assert TRACE_CACHE.info()["hits"] == 1
+
+    def test_materialize_bypasses_the_cache(self):
+        spec = WorkloadSpec("video", requests=300, seed=5)
+        a = spec.materialize()
+        b = spec.materialize()
+        assert a is not b
+        assert TRACE_CACHE.info()["hits"] == 0
+
+    def test_distinct_seeds_get_distinct_traces(self):
+        a = WorkloadSpec("video", requests=300, seed=1).build()
+        b = WorkloadSpec("video", requests=300, seed=2).build()
+        assert a is not b
+
+    def test_repeated_experiment_runs_share_one_build(self, monkeypatch):
+        from repro.api import Experiment
+
+        calls = []
+        real = WorkloadSpec.materialize
+
+        def counting(self, default_seed=0):
+            calls.append(1)
+            return real(self, default_seed)
+
+        monkeypatch.setattr(WorkloadSpec, "materialize", counting)
+        spec = WorkloadSpec("video", requests=200, seed=9)
+        for _ in range(3):
+            Experiment(model="resnet50", workload=spec).run(["vanilla"])
+        assert len(calls) == 1
