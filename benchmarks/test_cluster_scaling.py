@@ -15,7 +15,7 @@ import pytest
 
 from bench_common import print_table, run_once
 from repro.api import ClusterSpec, Experiment
-from repro.serving.cluster import BALANCER_NAMES
+from repro.serving.cluster import balancer_names
 from repro.workloads.video import make_video_workload
 
 REPLICA_COUNTS = [1, 2, 4]
@@ -37,7 +37,7 @@ def _fleet_experiment(workload, balancer: str) -> Experiment:
                       drop_expired=False, seed=0)
 
 
-@pytest.mark.parametrize("balancer", sorted(BALANCER_NAMES))
+@pytest.mark.parametrize("balancer", sorted(balancer_names("classification")))
 def test_cluster_scaling_throughput(benchmark, balancer, saturating_workload):
     def sweep():
         return _fleet_experiment(saturating_workload, balancer) \

@@ -51,7 +51,7 @@ Run:  python examples/cluster_serving.py
 """
 
 from repro.core.pipeline import run_apparate_cluster, run_vanilla_cluster
-from repro.serving.cluster import BALANCER_NAMES
+from repro.serving.cluster import balancer_names
 from repro.workloads import make_video_workload
 
 REPLICAS = 4
@@ -65,7 +65,7 @@ def main() -> None:
     print(f"=== vanilla fleet, {REPLICAS} replicas, per balancer ===")
     print(f"{'balancer':<24s} {'p50 ms':>9s} {'p99 ms':>9s} {'tput qps':>9s} "
           f"{'drops':>7s} {'imbalance':>10s}")
-    for balancer in BALANCER_NAMES:
+    for balancer in balancer_names("classification"):
         fleet = run_vanilla_cluster("resnet50", workload, replicas=REPLICAS,
                                     balancer=balancer, seed=0)
         s = fleet.summary()

@@ -44,10 +44,11 @@ _CLUSTER_KEYS = ("replicas", "balancer", "fleet_mode", "sync_period",
                  "decode_autoscaler", "prefill_min_replicas",
                  "prefill_max_replicas", "decode_min_replicas",
                  "decode_max_replicas", "prefill_profiles", "decode_profiles",
-                 "tenants", "tenant_policy", "faults")
+                 "tenants", "tenant_policy", "faults", "kv_capacity")
 _EE_KEYS = ("accuracy_constraint", "ramp_budget", "ramp_style",
             "initial_ramp_ids", "ramp_adjustment_enabled")
-_WORKLOAD_KEYS = ("requests", "rate", "source")
+_WORKLOAD_KEYS = ("requests", "rate", "source", "prefix_groups",
+                  "prefix_share", "prefix_tokens")
 _TOP_KEYS = ("platform", "seed", "slo_ms", "max_batch_size", "drop_expired")
 _SWEEP_KEYS = _CLUSTER_KEYS + _EE_KEYS + _WORKLOAD_KEYS + _TOP_KEYS
 
@@ -118,6 +119,10 @@ class Experiment:
             if self.cluster.prefill_in_slot:
                 raise ValueError(
                     f"prefill_in_slot=True requires a generative model; "
+                    f"{self.spec.name!r} is not generative")
+            if self.cluster.kv_capacity is not None:
+                raise ValueError(
+                    f"kv_capacity requires a generative model; "
                     f"{self.spec.name!r} is not generative")
             return KIND_CLUSTER
         return KIND_CLASSIFICATION

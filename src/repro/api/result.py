@@ -55,6 +55,12 @@ METRIC_LABELS = {
     "prefill_replica_seconds": "prefill replica-seconds",
     "prefill_delay_mean_ms": "prefill delay mean",
     "transfer_ms_mean": "KV transfer mean",
+    "kv_hit_rate": "KV hit rate",
+    "kv_hit_tokens": "KV hit tokens",
+    "kv_miss_tokens": "KV miss tokens",
+    "kv_evictions": "KV evictions",
+    "kv_evicted_tokens": "KV evicted tokens",
+    "kv_recompute_tokens": "KV recompute tokens",
 }
 
 #: Pretty column titles for registered systems.

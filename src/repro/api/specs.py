@@ -13,6 +13,7 @@ and every front end (Python API, CLI, benchmarks) reports the same error.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple, Union
 
@@ -67,6 +68,13 @@ class WorkloadSpec:
         :class:`ValueError`.
     overrides:
         Optional preset-parameter overrides forwarded to the workload factory.
+    prefix_groups / prefix_share / prefix_tokens:
+        Shared-prefix structure (generative only): with ``prefix_groups > 0``
+        each sequence joins one of that many prefix groups with probability
+        ``prefix_share`` and prepends the group's shared prefix (~
+        ``prefix_tokens`` tokens) to its prompt.  Drawn from a dedicated RNG
+        stream, so ``prefix_groups=0`` (the default) leaves every existing
+        trace bit-identical.
     """
 
     kind: str
@@ -76,6 +84,9 @@ class WorkloadSpec:
     seed: Optional[int] = None
     arrival_process: Optional[str] = None
     overrides: Optional[Dict[str, float]] = None
+    prefix_groups: int = 0
+    prefix_share: float = 0.8
+    prefix_tokens: int = 256
 
     def __post_init__(self) -> None:
         if self.kind not in WORKLOAD_KINDS:
@@ -85,6 +96,19 @@ class WorkloadSpec:
             raise ValueError(f"requests must be >= 1, got {self.requests}")
         if self.rate is not None and self.rate <= 0:
             raise ValueError(f"rate must be positive, got {self.rate}")
+        if int(self.prefix_groups) < 0:
+            raise ValueError(f"prefix_groups must be >= 0, "
+                             f"got {self.prefix_groups}")
+        if int(self.prefix_groups) > 0:
+            if self.kind != "generative":
+                raise ValueError("prefix_groups only applies to generative "
+                                 f"workloads, not kind={self.kind!r}")
+            if not 0.0 < float(self.prefix_share) <= 1.0:
+                raise ValueError(f"prefix_share must be in (0, 1], "
+                                 f"got {self.prefix_share}")
+            if int(self.prefix_tokens) < 1:
+                raise ValueError(f"prefix_tokens must be >= 1, "
+                                 f"got {self.prefix_tokens}")
 
     @classmethod
     def parse(cls, text: str, requests: int = 4000, rate: Optional[float] = None,
@@ -140,15 +164,25 @@ class WorkloadSpec:
                                         rate_qps=rate, seed=seed,
                                         arrival_process=self.arrival_process
                                         or "poisson",
-                                        preset_overrides=self.overrides)
+                                        preset_overrides=self.overrides,
+                                        prefix_groups=int(self.prefix_groups),
+                                        prefix_share=float(self.prefix_share),
+                                        prefix_tokens=int(self.prefix_tokens))
 
     def describe(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "kind": self.kind,
             "source": self.resolved_source(),
             "requests": int(self.requests),
             "rate": self.resolved_rate(),
         }
+        if int(self.prefix_groups) > 0:
+            data.update({
+                "prefix_groups": int(self.prefix_groups),
+                "prefix_share": float(self.prefix_share),
+                "prefix_tokens": int(self.prefix_tokens),
+            })
+        return data
 
 
 @dataclass(frozen=True)
@@ -191,6 +225,14 @@ class ClusterSpec:
     the run details.  ``faults`` injects replica crash/recovery events on the
     simulation clock; ``"prefill"``-pool faults require ``disaggregate=True``.
     Both default to off, preserving the single-tenant fault-free fast path.
+
+    ``kv_capacity`` (generative models only) gives every replica a KV-cache
+    budget in bytes: shared prefixes already resident shorten prefill, and
+    oversubscription triggers LRU eviction with recompute (see
+    :class:`~repro.generative.decoding.KVCacheAccountant`).  Per-replica
+    ``ReplicaProfile.kv_capacity_bytes`` overrides the fleet-wide value.
+    ``None`` (the default) keeps cache modelling off and every run
+    bit-identical to the uncapped platforms.
     """
 
     replicas: int = 2
@@ -230,6 +272,9 @@ class ClusterSpec:
     #: or a ``"crash:down[:pool]"`` / ``"mtbf=..,mttr=..,horizon=.."`` string
     #: (see :func:`repro.faults.parse_faults`).
     faults: Union[None, str, FaultSpec, FaultSchedule] = None
+    #: Per-replica KV-cache budget in bytes (generative only); ``None``
+    #: disables cache modelling entirely.
+    kv_capacity: Optional[float] = None
 
     #: every pool-scoped field; set on a non-disaggregated spec they would be
     #: dead configuration, so construction rejects that combination.
@@ -267,6 +312,11 @@ class ClusterSpec:
                              f"got {self.tenant_policy!r}")
         object.__setattr__(self, "tenants",
                            coerce_tenancy(self.tenants, self.tenant_policy))
+        if self.kv_capacity is not None:
+            capacity = float(self.kv_capacity)
+            if not math.isfinite(capacity) or capacity <= 0.0:
+                raise ValueError(f"kv_capacity must be positive and finite, "
+                                 f"got {self.kv_capacity}")
         object.__setattr__(self, "faults", coerce_faults(self.faults))
         if self.faults is not None and not self.disaggregate:
             bad = [f for f in self.faults if f.pool == "prefill"]
@@ -452,6 +502,8 @@ class ClusterSpec:
             data["tenants"] = self.tenants.describe()
         if self.faults is not None:
             data["faults"] = self.faults.describe()
+        if self.kv_capacity is not None:
+            data["kv_capacity"] = float(self.kv_capacity)
         return data
 
 

@@ -90,6 +90,17 @@ def _fleet_details(metrics) -> Dict[str, Any]:
     if rollups:
         details["tenant_rollups"] = {tenant: dict(stats)
                                      for tenant, stats in rollups.items()}
+    if hasattr(metrics, "aggregate"):
+        aggregate = metrics.aggregate()
+        if getattr(aggregate, "kv_enabled", False):
+            details["kv_cache"] = {
+                "hit_rate": aggregate.kv_hit_rate(),
+                "hit_tokens": int(aggregate.kv_hit_tokens),
+                "miss_tokens": int(aggregate.kv_miss_tokens),
+                "evictions": int(aggregate.kv_evictions),
+                "evicted_tokens": int(aggregate.kv_evicted_tokens),
+                "recompute_tokens": int(aggregate.kv_recompute_tokens),
+            }
     return details
 
 
@@ -109,6 +120,7 @@ def _generative_cluster_kwargs(experiment) -> Dict[str, Any]:
         "ttft_slo_ms": experiment.slo_ms,
         "tenancy": cluster.tenants,
         "faults": cluster.faults,
+        "kv_capacity": cluster.kv_capacity,
     }
 
 
@@ -141,6 +153,7 @@ def _disagg_kwargs(experiment) -> Dict[str, Any]:
         "ttft_slo_ms": experiment.slo_ms,
         "tenancy": cluster.tenants,
         "faults": cluster.faults,
+        "kv_capacity": cluster.kv_capacity,
     }
 
 

@@ -116,7 +116,7 @@ def _free_generative_cluster_impl(model: Union[str, ModelSpec],
                                   min_replicas=None, max_replicas=None,
                                   profiles=None, prefill_in_slot: bool = False,
                                   ttft_slo_ms: Optional[float] = None,
-                                  tenancy=None, faults=None):
+                                  tenancy=None, faults=None, kv_capacity=None):
     """FREE at fleet scale: one (depth, threshold) pair calibrated once on the
     leading workload slice, then deployed frozen on every replica (including
     any the autoscaler boots mid-run) — no runtime adaptation anywhere."""
@@ -133,7 +133,8 @@ def _free_generative_cluster_impl(model: Union[str, ModelSpec],
                                        max_replicas=max_replicas,
                                        prefill_in_slot=prefill_in_slot,
                                        ttft_slo_ms=ttft_slo_ms,
-                                       tenancy=tenancy, faults=faults)
+                                       tenancy=tenancy, faults=faults,
+                                       kv_capacity=kv_capacity)
     return cluster.run(workload, lambda ordinal: policy)
 
 

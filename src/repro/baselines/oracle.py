@@ -139,7 +139,8 @@ def _optimal_generative_cluster_impl(model: Union[str, ModelSpec],
                                      max_replicas=None, profiles=None,
                                      prefill_in_slot: bool = False,
                                      ttft_slo_ms: Optional[float] = None,
-                                     tenancy=None, faults=None):
+                                     tenancy=None, faults=None,
+                                     kv_capacity=None):
     """The generative oracle at fleet scale: every token on every replica
     exits at its earliest correct ramp with zero overhead."""
     from repro.core.generative import build_generative_cluster
@@ -153,7 +154,8 @@ def _optimal_generative_cluster_impl(model: Union[str, ModelSpec],
                                        max_replicas=max_replicas,
                                        prefill_in_slot=prefill_in_slot,
                                        ttft_slo_ms=ttft_slo_ms,
-                                       tenancy=tenancy, faults=faults)
+                                       tenancy=tenancy, faults=faults,
+                                       kv_capacity=kv_capacity)
     return cluster.run(workload, lambda ordinal: policy)
 
 

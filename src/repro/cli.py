@@ -47,7 +47,7 @@ from repro.api import (ClusterSpec, Experiment, ExitPolicySpec, RunReport,
                        WorkloadSpec, list_systems)
 from repro.models.zoo import Task, get_model, list_models
 from repro.serving.autoscaler import AUTOSCALER_NAMES
-from repro.serving.cluster import BALANCER_NAMES
+from repro.serving.cluster import balancer_names
 from repro.tenancy import TENANT_POLICIES
 
 __all__ = ["build_parser", "main"]
@@ -57,11 +57,28 @@ def _split_csv(text: str) -> List[str]:
     return [item.strip() for item in str(text).split(",") if item.strip()]
 
 
+def _balancer_arg(text: str) -> str:
+    """Normalize a CLI balancer spelling (``prefix-affinity`` ==
+    ``prefix_affinity``) before argparse checks it against ``choices``."""
+    return str(text).strip().lower().replace("-", "_")
+
+
 def _parse_int_list(text: str, option: str) -> List[int]:
     try:
         values = [int(item) for item in _split_csv(text)]
     except ValueError as exc:
         raise ValueError(f"{option} expects a comma-separated list of integers, "
+                         f"got {text!r}") from exc
+    if not values:
+        raise ValueError(f"{option} expects at least one value, got {text!r}")
+    return values
+
+
+def _parse_float_list(text: str, option: str) -> List[float]:
+    try:
+        values = [float(item) for item in _split_csv(text)]
+    except ValueError as exc:
+        raise ValueError(f"{option} expects a comma-separated list of numbers, "
                          f"got {text!r}") from exc
     if not values:
         raise ValueError(f"{option} expects at least one value, got {text!r}")
@@ -97,8 +114,8 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--seed", type=int, default=0)
     classify.add_argument("--replicas", type=int, default=1,
                           help="number of model replicas (>1 enables cluster serving)")
-    classify.add_argument("--balancer", default=None,
-                          choices=list(BALANCER_NAMES),
+    classify.add_argument("--balancer", default=None, type=_balancer_arg,
+                          choices=list(balancer_names("classification")),
                           help="load-balancing policy for cluster serving "
                                "(default: round_robin)")
     classify.add_argument("--fleet-mode", default=None,
@@ -153,11 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--replicas", type=int, default=1,
                           help="number of decode replicas (>1 enables "
                                "generative cluster serving)")
-    generate.add_argument("--balancer", default=None,
-                          choices=list(BALANCER_NAMES),
+    generate.add_argument("--balancer", default=None, type=_balancer_arg,
+                          choices=list(balancer_names("generative")),
                           help="load-balancing policy for cluster serving "
                                "(default: round_robin; work-aware policies "
-                               "cost replicas by outstanding decode tokens)")
+                               "cost replicas by outstanding decode tokens; "
+                               "kv_aware_least_work / prefix_affinity also "
+                               "read each replica's KV-cache state)")
     generate.add_argument("--fleet-mode", default=None,
                           choices=["independent", "shared"],
                           help="token-EE control topology: one policy per "
@@ -182,6 +201,20 @@ def build_parser() -> argparse.ArgumentParser:
                                "(must match --replicas; with --disaggregate "
                                "these profile the decode pool and must match "
                                "--decode-replicas)")
+    generate.add_argument("--kv-capacity", type=float, default=None,
+                          help="per-replica KV-cache budget in bytes; when the "
+                               "working set overflows it, LRU sequences are "
+                               "evicted and pay a recompute penalty (default: "
+                               "unbounded, the pre-existing behavior)")
+    generate.add_argument("--prefix-groups", type=int, default=None,
+                          help="number of shared-prefix groups in the workload "
+                               "(0, the default, disables prefix structure)")
+    generate.add_argument("--prefix-share", type=float, default=None,
+                          help="fraction of sequences that belong to a shared-"
+                               "prefix group (default: 0.8)")
+    generate.add_argument("--prefix-tokens", type=int, default=None,
+                          help="length in tokens of each group's shared prefix "
+                               "(default: 256)")
     generate.add_argument("--prefill-in-slot", action="store_true",
                           help="monolithic fleets only: charge each prompt's "
                                "chunked prefill inside the claiming decode "
@@ -270,6 +303,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--decode-replicas", default=None,
                        help="comma-separated decode pool sizes to sweep "
                             "(implies --disaggregate)")
+    sweep.add_argument("--kv-capacity", default=None,
+                       help="comma-separated per-replica KV-cache budgets in "
+                            "bytes to sweep (generative models only)")
+    sweep.add_argument("--prefix-groups", default=None,
+                       help="comma-separated shared-prefix group counts to "
+                            "sweep (generative workloads only; 0 = no "
+                            "prefix structure)")
+    sweep.add_argument("--prefix-share", type=float, default=None,
+                       help="fraction of sequences in a shared-prefix group, "
+                            "applied at every grid point (default: 0.8)")
+    sweep.add_argument("--prefix-tokens", type=int, default=None,
+                       help="shared-prefix length in tokens, applied at "
+                            "every grid point (default: 256)")
     sweep.add_argument("--tenants", default=None,
                        help="tenant mix(es); separate grid values with '|' "
                             "(an empty segment means no tenants), e.g. "
@@ -417,6 +463,20 @@ def _print_tenant_lines(report: RunReport) -> None:
                       f"{stats['goodput_qps']:7.1f}/s")
 
 
+def _print_kv_lines(report: RunReport) -> None:
+    """Per-system KV-cache rollup for runs with a capacity budget."""
+    for result in report.results:
+        kv = result.details.get("kv_cache")
+        if not kv:
+            continue
+        print(f"{result.system} kv-cache: {100.0 * kv['hit_rate']:.1f}% hit "
+              f"({kv['hit_tokens']} of "
+              f"{kv['hit_tokens'] + kv['miss_tokens']} tokens), "
+              f"{kv['evictions']} evictions "
+              f"({kv['evicted_tokens']} tokens), "
+              f"{kv['recompute_tokens']} recomputed")
+
+
 def _print_fleet_stats(report: RunReport) -> None:
     """EE-control adaptation stats for cluster systems that carry them."""
     for result in report.results:
@@ -504,7 +564,12 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     if args.with_baselines:
         systems += [name for name in ("free", "optimal") if name not in systems]
     workload = WorkloadSpec(kind="generative", source=args.dataset,
-                            requests=args.sequences, rate=args.rate)
+                            requests=args.sequences, rate=args.rate,
+                            prefix_groups=args.prefix_groups or 0,
+                            prefix_share=args.prefix_share
+                            if args.prefix_share is not None else 0.8,
+                            prefix_tokens=args.prefix_tokens
+                            if args.prefix_tokens is not None else 256)
     replicas = int(args.replicas)
     cluster: Optional[ClusterSpec] = None
     if args.ttft_slo is not None and args.ttft_slo <= 0:
@@ -518,7 +583,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     fleet_flags = args.prefill_in_slot or any(
         value is not None for value in
         (args.autoscaler, args.min_replicas, args.max_replicas,
-         args.replica_profiles, args.tenants, args.faults))
+         args.replica_profiles, args.tenants, args.faults,
+         args.kv_capacity))
     if disagg_flags and args.prefill_in_slot:
         raise ValueError("--prefill-in-slot is the monolithic deployment; "
                          "it cannot be combined with --disaggregate")
@@ -538,6 +604,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
                               decode_min_replicas=args.min_replicas,
                               decode_max_replicas=args.max_replicas,
                               decode_profiles=args.replica_profiles,
+                              kv_capacity=args.kv_capacity,
                               tenants=args.tenants,
                               tenant_policy=args.tenant_policy or "weighted_fair",
                               faults=args.faults)
@@ -550,6 +617,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
                               max_replicas=args.max_replicas,
                               profiles=args.replica_profiles,
                               prefill_in_slot=args.prefill_in_slot,
+                              kv_capacity=args.kv_capacity,
                               tenants=args.tenants,
                               tenant_policy=args.tenant_policy or "weighted_fair",
                               faults=args.faults)
@@ -582,12 +650,19 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             header += (f" autoscaler={cluster.autoscaler_name()}"
                        f"[{cluster.resolved_min_replicas()}"
                        f"..{cluster.resolved_max_replicas()}]")
+    if cluster is not None and cluster.kv_capacity is not None:
+        header += f" kv-capacity={cluster.kv_capacity:.4g}B"
+    if workload.prefix_groups:
+        header += (f" prefix={workload.prefix_groups}x"
+                   f"{workload.prefix_tokens}tok"
+                   f"@{workload.prefix_share:.0%}")
     header += _tenancy_header(cluster)
     print(header)
     print(report.format_table())
     _print_dispatch_lines(report)
     _print_fleet_size_lines(report)
     _print_pool_lines(report)
+    _print_kv_lines(report)
     _print_tenant_lines(report)
     _print_win_line(report)
     return 0
@@ -608,7 +683,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                          or args.decode_replicas)
     grid = {"replicas": _parse_int_list(args.replicas, "--replicas")}
     if args.balancer:
-        grid["balancer"] = _split_csv(args.balancer)
+        grid["balancer"] = [_balancer_arg(b) for b in _split_csv(args.balancer)]
     if args.fleet_mode:
         grid["fleet_mode"] = _split_csv(args.fleet_mode)
     if args.autoscaler:
@@ -633,6 +708,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.decode_replicas:
         grid["decode_replicas"] = _parse_int_list(args.decode_replicas,
                                                   "--decode-replicas")
+    if args.kv_capacity:
+        grid["kv_capacity"] = _parse_float_list(args.kv_capacity,
+                                                "--kv-capacity")
+    if args.prefix_groups:
+        grid["prefix_groups"] = _parse_int_list(args.prefix_groups,
+                                                "--prefix-groups")
+    if args.prefix_share is not None:
+        grid["prefix_share"] = args.prefix_share
+    if args.prefix_tokens is not None:
+        grid["prefix_tokens"] = args.prefix_tokens
     # '|' separates grid values for tenants/faults (the specs themselves use
     # ',' and ';'); an empty segment sweeps the off state.
     if args.tenants is not None:

@@ -306,7 +306,8 @@ def build_generative_cluster(model: Union[str, ModelSpec], replicas: int,
                              max_replicas: Optional[int] = None,
                              prefill_in_slot: bool = False,
                              ttft_slo_ms: Optional[float] = None,
-                             tenancy=None, faults=None
+                             tenancy=None, faults=None,
+                             kv_capacity: Optional[float] = None
                              ) -> GenerativeClusterPlatform:
     """Construct a fleet of continuous-batching decode replicas.
 
@@ -320,6 +321,8 @@ def build_generative_cluster(model: Union[str, ModelSpec], replicas: int,
     the decode streams in flight — the behaviour disaggregation removes
     (compare with :func:`build_disaggregated_platform`).  ``ttft_slo_ms``
     enables deadline shedding of sequences whose wait already blew the SLO.
+    ``kv_capacity`` gives each replica a KV-cache byte budget (prefix reuse
+    plus LRU eviction with recompute); ``None`` keeps cache modelling off.
     """
     if replicas < 1:
         raise ValueError("replicas must be >= 1")
@@ -333,7 +336,7 @@ def build_generative_cluster(model: Union[str, ModelSpec], replicas: int,
         autoscaler=_resolve_generative_autoscaler(autoscaler, max_batch_size),
         min_replicas=min_replicas, max_replicas=max_replicas,
         ttft_slo_ms=_normalize_ttft_slo(ttft_slo_ms),
-        tenancy=tenancy, faults=faults)
+        tenancy=tenancy, faults=faults, kv_capacity=kv_capacity)
 
 
 def _generative_vanilla_cluster_impl(model: Union[str, ModelSpec],
@@ -347,7 +350,8 @@ def _generative_vanilla_cluster_impl(model: Union[str, ModelSpec],
                                      profiles: Optional[Sequence] = None,
                                      prefill_in_slot: bool = False,
                                      ttft_slo_ms: Optional[float] = None,
-                                     tenancy=None, faults=None
+                                     tenancy=None, faults=None,
+                                     kv_capacity: Optional[float] = None
                                      ) -> GenerativeClusterMetrics:
     cluster = build_generative_cluster(model, replicas, balancer=balancer,
                                        max_batch_size=max_batch_size,
@@ -357,7 +361,8 @@ def _generative_vanilla_cluster_impl(model: Union[str, ModelSpec],
                                        max_replicas=max_replicas,
                                        prefill_in_slot=prefill_in_slot,
                                        ttft_slo_ms=ttft_slo_ms,
-                                       tenancy=tenancy, faults=faults)
+                                       tenancy=tenancy, faults=faults,
+                                       kv_capacity=kv_capacity)
     # The vanilla policy is stateless: every replica (including scaled-out
     # ones) shares it.
     policy = VanillaTokenPolicy()
@@ -378,7 +383,8 @@ def _generative_apparate_cluster_impl(model: Union[str, ModelSpec],
                                       profiles: Optional[Sequence] = None,
                                       prefill_in_slot: bool = False,
                                       ttft_slo_ms: Optional[float] = None,
-                                      tenancy=None, faults=None
+                                      tenancy=None, faults=None,
+                                      kv_capacity: Optional[float] = None
                                       ) -> GenerativeClusterRunResult:
     if fleet_mode not in FleetController.MODES:
         raise ValueError(f"unknown fleet mode {fleet_mode!r}; "
@@ -396,7 +402,8 @@ def _generative_apparate_cluster_impl(model: Union[str, ModelSpec],
                                        max_replicas=max_replicas,
                                        prefill_in_slot=prefill_in_slot,
                                        ttft_slo_ms=ttft_slo_ms,
-                                       tenancy=tenancy, faults=faults)
+                                       tenancy=tenancy, faults=faults,
+                                       kv_capacity=kv_capacity)
 
     policies: List[ApparateTokenPolicy] = []
     shared = ApparateTokenPolicy(prediction, depths,
@@ -455,13 +462,16 @@ def build_disaggregated_platform(model: Union[str, ModelSpec],
                                  decode_max_replicas: Optional[int] = None,
                                  ttft_slo_ms: Optional[float] = None,
                                  transfer_gbps: float = 16.0,
-                                 tenancy=None, faults=None
+                                 tenancy=None, faults=None,
+                                 kv_capacity: Optional[float] = None
                                  ) -> DisaggregatedPlatform:
     """Construct a prefill pool + decode pool behind one handoff queue.
 
     Decode engines carry no in-slot prefill model (their prompts arrive
     prefilled); the prefill pool charges chunked prefill compute, and every
     handoff pays the KV-transfer time over a ``transfer_gbps`` interconnect.
+    ``kv_capacity`` gives each decode replica a KV-cache byte budget (prefix
+    reuse plus LRU eviction with recompute); ``None`` keeps it off.
     """
     spec = get_model(model) if isinstance(model, str) else model
     timing = DecodeTimingModel(spec, ramp_overhead_fraction=ramp_overhead)
@@ -482,7 +492,7 @@ def build_disaggregated_platform(model: Union[str, ModelSpec],
         decode_min_replicas=decode_min_replicas,
         decode_max_replicas=decode_max_replicas,
         ttft_slo_ms=_normalize_ttft_slo(ttft_slo_ms),
-        tenancy=tenancy, faults=faults)
+        tenancy=tenancy, faults=faults, kv_capacity=kv_capacity)
 
 
 def _generative_vanilla_disagg_impl(model: Union[str, ModelSpec],

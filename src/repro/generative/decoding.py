@@ -13,12 +13,14 @@ timing model captures the quantities Apparate's generative mode cares about:
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.models.zoo import ModelSpec
 
-__all__ = ["TokenRecord", "DecodeTimingModel", "PrefillModel"]
+__all__ = ["TokenRecord", "DecodeTimingModel", "PrefillModel",
+           "KVCacheAccountant", "kv_bytes_per_token"]
 
 
 @dataclass
@@ -174,3 +176,171 @@ class PrefillModel:
         """Time to ship the prompt's KV cache prefill -> decode replica."""
         bytes_per_ms = self.transfer_gbps * 1e6
         return self.kv_bytes(prompt_tokens) / bytes_per_ms
+
+
+def kv_bytes_per_token(spec: ModelSpec) -> int:
+    """KV-cache bytes one token occupies (K+V, fp16 per layer) — the same
+    per-token cost :meth:`PrefillModel.kv_bytes` charges per prompt token."""
+    return spec.num_blocks * spec.hidden_width * 4
+
+
+@dataclass
+class _ResidentSequence:
+    """One sequence's KV residency on a replica (its non-shared tokens)."""
+
+    sequence_id: int
+    unique_tokens: int
+    prefix_group: Optional[int]
+    completion_ms: float
+
+
+class KVCacheAccountant:
+    """Per-replica KV-cache occupancy, prefix reuse and LRU eviction.
+
+    The accountant tracks cache residency in **tokens** against a byte
+    capacity.  A sequence admitted to a decode slot claims its full footprint
+    (prompt plus expected output tokens); tokens of a shared prefix group are
+    stored once per group and every group member references them, so routing
+    group members to the same replica both skips re-prefill of the shared
+    tokens (the **hit**) and shrinks the fleet-wide footprint.
+
+    Residency outlives completion: a finished sequence's cache stays until
+    evicted, which is what makes prefix reuse across sequences possible.
+    When occupancy exceeds capacity, eviction scans residents oldest-first
+    (LRU by admission): finished sequences are evicted for free; a
+    still-running victim loses its cache and must pay **recompute** — a
+    re-prefill of its evicted context, charged as an extension of its decode
+    slot — before it can finish.  A victim is dropped from residency when
+    evicted, so each sequence pays recompute at most once.  The
+    most-recently-admitted sequence is never selected, so eviction always
+    terminates; a single sequence larger than the whole capacity is allowed
+    to oversubscribe.
+    """
+
+    def __init__(self, capacity_bytes: float, bytes_per_token: float,
+                 recompute_ms_per_token: float = 0.0) -> None:
+        if not (capacity_bytes > 0.0) or not math.isfinite(capacity_bytes):
+            raise ValueError(f"capacity_bytes must be positive and finite, "
+                             f"got {capacity_bytes}")
+        if not (bytes_per_token > 0.0):
+            raise ValueError(f"bytes_per_token must be positive, "
+                             f"got {bytes_per_token}")
+        if recompute_ms_per_token < 0.0:
+            raise ValueError(f"recompute_ms_per_token must be >= 0, "
+                             f"got {recompute_ms_per_token}")
+        self.capacity_bytes = float(capacity_bytes)
+        self.bytes_per_token = float(bytes_per_token)
+        self.capacity_tokens = float(capacity_bytes) / float(bytes_per_token)
+        self.recompute_ms_per_token = float(recompute_ms_per_token)
+        self.used_tokens = 0.0
+        self._resident: "OrderedDict[int, _ResidentSequence]" = OrderedDict()
+        self._group_tokens: Dict[int, int] = {}
+        self._group_refs: Dict[int, int] = {}
+        # Conserved counters, copied into the replica's metrics at collection.
+        self.hit_tokens = 0
+        self.miss_tokens = 0
+        self.evictions = 0
+        self.evicted_tokens = 0
+        self.recompute_tokens = 0
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    # ------------------------------------------------------------- admission
+    def prefix_hit_tokens(self, sample) -> int:
+        """Shared-prefix tokens already resident for ``sample``'s group."""
+        group = getattr(sample, "prefix_group", None)
+        if group is None:
+            return 0
+        shared = int(getattr(sample, "shared_prefix_tokens", 0))
+        return min(self._group_tokens.get(group, 0), shared)
+
+    def admission_tokens(self, sample) -> int:
+        """Tokens admitting ``sample`` would add to the cache footprint."""
+        group = getattr(sample, "prefix_group", None)
+        shared = int(getattr(sample, "shared_prefix_tokens", 0)) \
+            if group is not None else 0
+        unique = int(sample.prompt_tokens) - shared + int(sample.num_tokens)
+        prefix_new = shared if group is not None \
+            and group not in self._group_tokens else 0
+        return max(0, unique) + prefix_new
+
+    def overflow_tokens(self, sample) -> float:
+        """Tokens by which admitting ``sample`` would exceed capacity."""
+        return max(0.0, self.used_tokens + self.admission_tokens(sample)
+                   - self.capacity_tokens)
+
+    def admit(self, sample, completion_ms: float) -> int:
+        """Claim ``sample``'s cache footprint; returns the prefix-hit tokens
+        (prompt tokens whose prefill is skipped because they are resident)."""
+        group = getattr(sample, "prefix_group", None)
+        shared = int(getattr(sample, "shared_prefix_tokens", 0)) \
+            if group is not None else 0
+        hit = self.prefix_hit_tokens(sample)
+        if group is not None and group not in self._group_tokens:
+            self._group_tokens[group] = shared
+            self._group_refs[group] = 0
+            self.used_tokens += shared
+        if group is not None:
+            self._group_refs[group] += 1
+        unique = max(0, int(sample.prompt_tokens) - shared
+                     + int(sample.num_tokens))
+        self.used_tokens += unique
+        self._resident[int(sample.sequence_id)] = _ResidentSequence(
+            sequence_id=int(sample.sequence_id), unique_tokens=unique,
+            prefix_group=group, completion_ms=float(completion_ms))
+        self.hit_tokens += hit
+        self.miss_tokens += max(0, int(sample.prompt_tokens) - hit)
+        return hit
+
+    # -------------------------------------------------------------- eviction
+    def over_capacity(self) -> bool:
+        return self.used_tokens > self.capacity_tokens
+
+    def needs_eviction(self) -> bool:
+        """Over capacity with at least one evictable (non-MRU) resident."""
+        return self.over_capacity() and len(self._resident) > 1
+
+    def _free(self, victim: _ResidentSequence) -> int:
+        freed = victim.unique_tokens
+        group = victim.prefix_group
+        if group is not None:
+            self._group_refs[group] -= 1
+            if self._group_refs[group] <= 0:
+                freed += self._group_tokens.pop(group)
+                del self._group_refs[group]
+        self.used_tokens -= freed
+        return freed
+
+    def evict_to_fit(self, now_ms: float) -> List[Tuple[int, float]]:
+        """Evict LRU residents until occupancy fits (or only the MRU is left).
+
+        Finished sequences (completion at or before ``now_ms``) go first and
+        cost nothing.  If occupancy still exceeds capacity, still-running
+        victims are evicted oldest-first; each returns ``(sequence_id,
+        recompute_ms)`` — the re-prefill charge its decode slot must absorb.
+        """
+        charges: List[Tuple[int, float]] = []
+        if not self.over_capacity():
+            return charges
+        order = list(self._resident)
+        mru = order[-1] if order else None
+        for active_pass in (False, True):
+            for seq_id in order:
+                if not self.over_capacity():
+                    return charges
+                if seq_id == mru or seq_id not in self._resident:
+                    continue
+                victim = self._resident[seq_id]
+                running = victim.completion_ms > now_ms
+                if running != active_pass:
+                    continue
+                del self._resident[seq_id]
+                freed = self._free(victim)
+                self.evictions += 1
+                self.evicted_tokens += freed
+                if running:
+                    self.recompute_tokens += victim.unique_tokens
+                    charges.append((seq_id, victim.unique_tokens
+                                    * self.recompute_ms_per_token))
+        return charges

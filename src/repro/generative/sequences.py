@@ -57,11 +57,25 @@ class SequenceSample:
     #: tenant class tag; "default" means untenanted.  The tenancy layer
     #: honours pre-tagged sequences whose tag names a configured tenant.
     tenant: str = "default"
+    #: shared-prefix structure: sequences of one ``prefix_group`` open with
+    #: the same ``shared_prefix_tokens``-token prefix (system prompt / few-shot
+    #: header reuse).  ``None`` means no shared prefix; the shared tokens are
+    #: *included* in ``prompt_tokens``.
+    prefix_group: Optional[int] = None
+    shared_prefix_tokens: int = 0
 
     def __post_init__(self) -> None:
         if int(self.prompt_tokens) < 0:
             raise ValueError(f"prompt_tokens must be >= 0, got {self.prompt_tokens}")
         self.prompt_tokens = int(self.prompt_tokens)
+        self.shared_prefix_tokens = int(self.shared_prefix_tokens)
+        if self.prefix_group is None:
+            if self.shared_prefix_tokens != 0:
+                raise ValueError("shared_prefix_tokens requires a prefix_group")
+        elif not 0 <= self.shared_prefix_tokens <= self.prompt_tokens:
+            raise ValueError(f"shared_prefix_tokens must be in "
+                             f"[0, prompt_tokens={self.prompt_tokens}], "
+                             f"got {self.shared_prefix_tokens}")
         self.token_difficulty = np.clip(np.asarray(self.token_difficulty, dtype=float), 0.0, 1.0)
         self.token_sharpness = np.asarray(self.token_sharpness, dtype=float)
         if self.token_difficulty.shape != self.token_sharpness.shape:
@@ -104,7 +118,10 @@ def make_generative_workload(dataset: str = "cnn-dailymail", num_sequences: int 
                              drift_amplitude: float = 0.15, drift_mode: str = "walk",
                              arrival_process: str = "poisson",
                              diurnal_period_s: float = 60.0,
-                             preset_overrides: Optional[Dict[str, float]] = None) -> GenerativeWorkload:
+                             preset_overrides: Optional[Dict[str, float]] = None,
+                             prefix_groups: int = 0,
+                             prefix_share: float = 0.8,
+                             prefix_tokens: int = 256) -> GenerativeWorkload:
     """Create a synthetic generative workload with Poisson arrivals (§4.1).
 
     ``drift_amplitude`` controls how much the stream's topic difficulty drifts
@@ -120,6 +137,14 @@ def make_generative_workload(dataset: str = "cnn-dailymail", num_sequences: int 
     autoscaling and pool-sizing studies exercise — ``"flash_crowd"`` (Poisson
     baseline with a sudden sustained 4x spike), or ``"trace:<path>"``
     (replay a CSV of arrival timestamps in ms).
+
+    ``prefix_groups`` adds shared-prefix structure (system-prompt / few-shot
+    header reuse): with ``G > 0`` groups, each sequence joins a uniformly
+    chosen group with probability ``prefix_share`` and *prepends* that
+    group's shared prefix (length ~ Poisson around ``prefix_tokens``) to its
+    prompt.  The structure draws from a dedicated ``prefix`` RNG stream, so
+    every existing trace (``prefix_groups=0``, the default) stays
+    bit-identical.
     """
     rng_factory = RngFactory(seed)
     preset = dict(GENERATIVE_DATASET_PRESETS.get(dataset, GENERATIVE_DATASET_PRESETS["cnn-dailymail"]))
@@ -159,6 +184,27 @@ def make_generative_workload(dataset: str = "cnn-dailymail", num_sequences: int 
         else:
             raise ValueError(f"unknown drift_mode {drift_mode!r}")
 
+    # Shared-prefix structure on its own named stream: drawing it only when
+    # enabled leaves every other stream's draws untouched.
+    if int(prefix_groups) < 0:
+        raise ValueError(f"prefix_groups must be >= 0, got {prefix_groups}")
+    group_of: List[Optional[int]] = [None] * num_sequences
+    shared_of = [0] * num_sequences
+    if int(prefix_groups) > 0:
+        if not 0.0 < float(prefix_share) <= 1.0:
+            raise ValueError(f"prefix_share must be in (0, 1], "
+                             f"got {prefix_share}")
+        if int(prefix_tokens) < 1:
+            raise ValueError(f"prefix_tokens must be >= 1, got {prefix_tokens}")
+        prefix_rng = rng_factory.generator(f"gen:{dataset}:prefix")
+        group_lengths = [int(max(16, prefix_rng.poisson(int(prefix_tokens))))
+                         for _ in range(int(prefix_groups))]
+        for seq_id in range(num_sequences):
+            if prefix_rng.random() < float(prefix_share):
+                group = int(prefix_rng.integers(int(prefix_groups)))
+                group_of[seq_id] = group
+                shared_of[seq_id] = group_lengths[group]
+
     sequences: List[SequenceSample] = []
     for seq_id in range(num_sequences):
         length = int(max(preset["min_output_tokens"],
@@ -177,6 +223,8 @@ def make_generative_workload(dataset: str = "cnn-dailymail", num_sequences: int 
             arrival_ms=float(arrivals[seq_id]),
             token_difficulty=difficulties,
             token_sharpness=sharpness,
-            prompt_tokens=prompt,
+            prompt_tokens=prompt + shared_of[seq_id],
+            prefix_group=group_of[seq_id],
+            shared_prefix_tokens=shared_of[seq_id],
         ))
     return GenerativeWorkload(name=dataset, sequences=sequences)

@@ -52,6 +52,26 @@ Balancing policies
 ``power_of_two_choices``
     Sample two replicas uniformly at random and pick the shorter queue —
     near-JSQ balance with O(1) state inspection (Mitzenmacher '01).
+``kv_aware_least_work`` (generative platforms only)
+    Least-work plus the expected recompute cost of the KV-cache thrash the
+    sequence would cause on each replica — long sequences steer away from
+    replicas whose cache they are about to overflow.  Identical to
+    ``least_work_left`` when the cache model is disabled.
+``prefix_affinity`` (generative platforms only)
+    Route to the replica whose KV cache holds the longest shared prefix of
+    the sequence (skipping that much re-prefill), falling back to least-work
+    among replicas with equal residency.
+
+The costing interface
+---------------------
+Every policy costs replicas through the uniform **resource view** on
+:class:`~repro.serving.fleet.ReplicaHandle` — load signals
+(``jobs_in_system``, ``work_left_ms``), identity (``weight``, ``profile``)
+and KV-cache signals (``kv_prefix_hit_tokens``, ``kv_overflow_ms``, which
+read 0 on platforms without a cache model).  Single-signal policies derive
+from :class:`CostBalancer` and implement ``cost(view, item, now_ms)``; the
+round-robin family keeps its custom rotation state but still touches
+replicas only through the view.
 """
 
 from __future__ import annotations
@@ -79,14 +99,18 @@ __all__ = [
     "ReplicaHandle",
     "ReplicaProfile",
     "LoadBalancer",
+    "CostBalancer",
     "RoundRobinBalancer",
     "WeightedRoundRobinBalancer",
     "JoinShortestQueueBalancer",
     "WeightedJoinShortestQueueBalancer",
     "LeastWorkLeftBalancer",
     "PowerOfTwoChoicesBalancer",
+    "KVAwareLeastWorkBalancer",
+    "PrefixAffinityBalancer",
     "build_balancer",
     "canonical_balancer_name",
+    "balancer_names",
     "BALANCER_NAMES",
     "ClusterPlatform",
     "gate_exits",
@@ -111,6 +135,26 @@ class LoadBalancer(abc.ABC):
 
     def reset(self) -> None:
         """Clear any dispatch state before a fresh run (default: nothing)."""
+
+
+class CostBalancer(LoadBalancer):
+    """A balancer that routes to the replica with the minimum cost.
+
+    Subclasses implement :meth:`cost` against the resource view (a
+    :class:`~repro.serving.fleet.ReplicaHandle`); ``choose`` is the shared
+    argmin with the handle index as the deterministic tie-break, which is
+    exactly the historical JSQ/least-work semantics.  ``cost`` may return a
+    float or a tuple (compared lexicographically).
+    """
+
+    @abc.abstractmethod
+    def cost(self, view: ReplicaHandle, item, now_ms: float):
+        """Cost of placing ``item`` on ``view`` now (lower is better)."""
+
+    def choose(self, request, replicas: Sequence[ReplicaHandle],
+               now_ms: float) -> int:
+        return min(range(len(replicas)),
+                   key=lambda i: (self.cost(replicas[i], request, now_ms), i))
 
 
 class RoundRobinBalancer(LoadBalancer):
@@ -163,38 +207,68 @@ class WeightedRoundRobinBalancer(LoadBalancer):
         self._current.clear()
 
 
-class JoinShortestQueueBalancer(LoadBalancer):
+class JoinShortestQueueBalancer(CostBalancer):
     """Route to the replica with the fewest jobs in system (ties: lowest index)."""
 
     name = "join_shortest_queue"
 
-    def choose(self, request: Request, replicas: Sequence[ReplicaHandle],
-               now_ms: float) -> int:
-        return min(range(len(replicas)),
-                   key=lambda i: (replicas[i].jobs_in_system(now_ms), i))
+    def cost(self, view: ReplicaHandle, item, now_ms: float):
+        return view.jobs_in_system(now_ms)
 
 
-class WeightedJoinShortestQueueBalancer(LoadBalancer):
+class WeightedJoinShortestQueueBalancer(CostBalancer):
     """JSQ with queue lengths normalized by replica speed."""
 
     name = "weighted_join_shortest_queue"
 
-    def choose(self, request: Request, replicas: Sequence[ReplicaHandle],
-               now_ms: float) -> int:
-        return min(range(len(replicas)),
-                   key=lambda i: (replicas[i].jobs_in_system(now_ms)
-                                  / replicas[i].weight, i))
+    def cost(self, view: ReplicaHandle, item, now_ms: float):
+        return view.jobs_in_system(now_ms) / view.weight
 
 
-class LeastWorkLeftBalancer(LoadBalancer):
+class LeastWorkLeftBalancer(CostBalancer):
     """Route to the replica with the least expected work (profile-costed)."""
 
     name = "least_work_left"
 
-    def choose(self, request: Request, replicas: Sequence[ReplicaHandle],
-               now_ms: float) -> int:
-        return min(range(len(replicas)),
-                   key=lambda i: (replicas[i].work_left_ms(now_ms), i))
+    def cost(self, view: ReplicaHandle, item, now_ms: float):
+        return view.work_left_ms(now_ms)
+
+
+class KVAwareLeastWorkBalancer(CostBalancer):
+    """Least-work plus the KV-cache thrash the item would cause.
+
+    The penalty is the view's expected recompute cost of admitting the
+    item's full footprint (``kv_overflow_ms``): tokens the cache would
+    overflow by, priced at the replica's re-prefill rate.  A long sequence
+    therefore avoids replicas it is about to thrash even when their decode
+    queues are short.  With the cache model disabled the penalty reads 0 and
+    the policy is exactly ``least_work_left``.
+    """
+
+    name = "kv_aware_least_work"
+
+    def cost(self, view: ReplicaHandle, item, now_ms: float):
+        return view.work_left_ms(now_ms) + view.kv_overflow_ms(item, now_ms)
+
+
+class PrefixAffinityBalancer(CostBalancer):
+    """Route by net placement cost: queued work minus the prefill a resident
+    shared prefix would save, plus the recompute the admission would thrash.
+
+    All three terms are milliseconds from the resource view, so affinity and
+    load trade off in one currency: a replica holding the item's group prefix
+    is discounted by exactly the prefill it skips (``kv_prefix_hit_ms``), but
+    once its queue grows past that saving the policy spills the group to the
+    next-cheapest replica instead of herding the whole group onto one
+    hotspot.  With the cache model off every KV term reads 0 and the policy
+    is exactly ``least_work_left``.
+    """
+
+    name = "prefix_affinity"
+
+    def cost(self, view: ReplicaHandle, item, now_ms: float):
+        return (view.work_left_ms(now_ms) - view.kv_prefix_hit_ms(item)
+                + view.kv_overflow_ms(item, now_ms))
 
 
 class PowerOfTwoChoicesBalancer(LoadBalancer):
@@ -221,13 +295,24 @@ class PowerOfTwoChoicesBalancer(LoadBalancer):
         self._rng = np.random.default_rng(self.seed)
 
 
+#: platform kinds a balancer may serve.  The load-signal policies work on
+#: both; the KV-cache policies read signals only generative replicas expose.
+_BOTH = ("classification", "generative")
+_GENERATIVE = ("generative",)
+
+#: canonical name -> (factory, platform kinds).
 _BALANCERS = {
-    "round_robin": lambda seed: RoundRobinBalancer(),
-    "weighted_round_robin": lambda seed: WeightedRoundRobinBalancer(),
-    "join_shortest_queue": lambda seed: JoinShortestQueueBalancer(),
-    "weighted_join_shortest_queue": lambda seed: WeightedJoinShortestQueueBalancer(),
-    "least_work_left": lambda seed: LeastWorkLeftBalancer(),
-    "power_of_two_choices": lambda seed: PowerOfTwoChoicesBalancer(seed=seed),
+    "round_robin": (lambda seed: RoundRobinBalancer(), _BOTH),
+    "weighted_round_robin": (lambda seed: WeightedRoundRobinBalancer(), _BOTH),
+    "join_shortest_queue": (lambda seed: JoinShortestQueueBalancer(), _BOTH),
+    "weighted_join_shortest_queue":
+        (lambda seed: WeightedJoinShortestQueueBalancer(), _BOTH),
+    "least_work_left": (lambda seed: LeastWorkLeftBalancer(), _BOTH),
+    "power_of_two_choices":
+        (lambda seed: PowerOfTwoChoicesBalancer(seed=seed), _BOTH),
+    "kv_aware_least_work":
+        (lambda seed: KVAwareLeastWorkBalancer(), _GENERATIVE),
+    "prefix_affinity": (lambda seed: PrefixAffinityBalancer(), _GENERATIVE),
 }
 
 _ALIASES = {
@@ -238,34 +323,60 @@ _ALIASES = {
     "lwl": "least_work_left",
     "p2c": "power_of_two_choices",
     "power_of_two": "power_of_two_choices",
+    "kv_least_work": "kv_aware_least_work",
+    "kvlw": "kv_aware_least_work",
+    "affinity": "prefix_affinity",
 }
 
 BALANCER_NAMES = tuple(sorted(_BALANCERS))
 
 
-def canonical_balancer_name(name: Union[str, LoadBalancer]) -> str:
+def balancer_names(kind: Optional[str] = None) -> Tuple[str, ...]:
+    """Canonical balancer names available to ``kind`` (sorted).
+
+    ``kind`` is ``"classification"``, ``"generative"``, or ``None`` for the
+    union across platforms.
+    """
+    if kind is None:
+        return BALANCER_NAMES
+    if kind not in _BOTH:
+        raise ValueError(f"unknown platform kind {kind!r}; choose from {_BOTH}")
+    return tuple(sorted(name for name, (_, kinds) in _BALANCERS.items()
+                        if kind in kinds))
+
+
+def canonical_balancer_name(name: Union[str, LoadBalancer],
+                            kind: Optional[str] = None) -> str:
     """Resolve a balancer name or alias to its canonical registry key.
 
-    Raises :class:`ValueError` naming the offending value when the name is
-    unknown — the single validation used by ``build_balancer``, the cluster
-    spec and the CLI, so every layer reports the same error.
+    Raises :class:`ValueError` enumerating the valid names for ``kind`` (or
+    for every platform when ``kind`` is ``None``) when the name is unknown
+    or not available on that platform kind — the single validation used by
+    ``build_balancer``, the cluster spec and the CLI, so every layer reports
+    the same error.
     """
     if isinstance(name, LoadBalancer):
         return name.name
     key = str(name).lower().replace("-", "_")
     key = _ALIASES.get(key, key)
     if key not in _BALANCERS:
-        raise ValueError(f"unknown balancer {name!r}; choose from {BALANCER_NAMES}")
+        raise ValueError(f"unknown balancer {name!r}; "
+                         f"choose from {balancer_names(kind)}")
+    if kind is not None and kind not in _BALANCERS[key][1]:
+        raise ValueError(f"balancer {key!r} is not available on {kind} "
+                         f"platforms; choose from {balancer_names(kind)}")
     return key
 
 
-def build_balancer(name: Union[str, LoadBalancer], seed: int = 0) -> LoadBalancer:
-    """Construct a balancer by name (``round_robin``, ``join_shortest_queue``,
-    ``least_work_left``, ``power_of_two_choices``, weighted variants; short
-    aliases accepted)."""
+def build_balancer(name: Union[str, LoadBalancer], seed: int = 0,
+                   kind: Optional[str] = None) -> LoadBalancer:
+    """Construct a balancer by name (see :func:`balancer_names`; short
+    aliases accepted).  ``kind`` restricts the lookup to the balancers valid
+    for that platform kind and shapes the error message accordingly.
+    Instances pass through unchanged."""
     if isinstance(name, LoadBalancer):
         return name
-    return _BALANCERS[canonical_balancer_name(name)](seed)
+    return _BALANCERS[canonical_balancer_name(name, kind)][0](seed)
 
 
 def _scale_result(result: BatchResult, speed: float) -> BatchResult:
@@ -342,7 +453,8 @@ class ClusterPlatform:
         if not self.platforms:
             raise ValueError("a cluster needs at least one replica")
         self.seed = int(seed)
-        self.balancer = build_balancer(balancer, seed=seed)
+        self.balancer = build_balancer(balancer, seed=seed,
+                                       kind="classification")
         self.autoscaler = build_autoscaler(autoscaler)
         self.tenancy = coerce_tenancy(tenancy)
         self.faults = coerce_faults(faults)

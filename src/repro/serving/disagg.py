@@ -46,14 +46,17 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.faults import FaultSchedule, FaultSpec, coerce_faults
-from repro.generative.decoding import PrefillModel
+from repro.generative.decoding import (KVCacheAccountant, PrefillModel,
+                                       kv_bytes_per_token)
 from repro.generative.sequences import SequenceSample
 from repro.serving.autoscaler import Autoscaler, build_autoscaler
 from repro.serving.cluster import LoadBalancer, build_balancer
 from repro.serving.fleet import ACTIVE, BaseFleet, ReplicaProfile
 from repro.serving.generative_cluster import (GenerativeClusterMetrics,
                                               GenerativeFleetState,
-                                              PolicyFactory, _arm_slots)
+                                              PolicyFactory, _arm_slots,
+                                              _run_eviction,
+                                              _schedule_eviction)
 from repro.serving.hf_pipelines import ContinuousBatchingEngine
 from repro.serving.kernel import (PoolState, SimPlatform, pool_is_static,
                                   scale_pool)
@@ -138,6 +141,18 @@ class PrefillReplicaHandle:
         if queued_tokens <= 0:
             return work
         return work + entry.model.batch_prefill_ms(queued_tokens) / entry.profile.speed
+
+    # ------------------------------------------------------------- KV signals
+    # Prefill replicas hold no decode-side KV residency, so the cache
+    # signals read 0 and the KV-aware policies degrade to least-work here.
+    def kv_prefix_hit_tokens(self, item) -> int:
+        return 0
+
+    def kv_prefix_hit_ms(self, item) -> float:
+        return 0.0
+
+    def kv_overflow_ms(self, item, now_ms: float) -> float:
+        return 0.0
 
 
 @dataclass
@@ -229,15 +244,25 @@ class DisaggregatedMetrics(GenerativeClusterMetrics):
             return self.num_prefill_replicas()
         return max(count for _, count in self.prefill_fleet_timeline)
 
-    def mean_prefill_delay_ms(self) -> float:
-        if not self.prefill_delays_ms:
+    @staticmethod
+    def _finite_mean(values) -> float:
+        """Mean over the finite entries only (empty / all-NaN -> 0.0).
+
+        Mirrors :func:`repro.utils.stats.summarize_latencies`: a sentinel
+        NaN/inf recorded for a sequence that never completed its stage must
+        not poison the summary that feeds ``RunReport.to_json()``.
+        """
+        arr = np.asarray(list(values), dtype=float)
+        arr = arr[np.isfinite(arr)]
+        if arr.size == 0:
             return 0.0
-        return float(np.mean(list(self.prefill_delays_ms.values())))
+        return float(arr.mean())
+
+    def mean_prefill_delay_ms(self) -> float:
+        return self._finite_mean(self.prefill_delays_ms.values())
 
     def mean_transfer_ms(self) -> float:
-        if not self.transfer_delays_ms:
-            return 0.0
-        return float(np.mean(list(self.transfer_delays_ms.values())))
+        return self._finite_mean(self.transfer_delays_ms.values())
 
     def summary(self) -> Dict[str, float]:
         data = super().summary()
@@ -295,6 +320,13 @@ class DisaggregatedPlatform:
         the prefill balancer), a ``pool="decode"`` crash retires a decode
         replica (in-flight streams salvage, queued sequences requeue).
         The crashed hardware boots back ``down_ms`` later.
+    kv_capacity:
+        Pool-default per-decode-replica KV-cache budget in bytes (a decode
+        profile's ``kv_capacity_bytes`` overrides it).  ``None`` disables
+        the cache model; with a budget, each decode replica runs a
+        :class:`~repro.generative.decoding.KVCacheAccountant` — residency,
+        prefix hits, LRU eviction as a kernel event, recompute charged as a
+        decode-slot extension — priced against the platform's prefill model.
     """
 
     def __init__(self, prefill_model: PrefillModel,
@@ -314,7 +346,8 @@ class DisaggregatedPlatform:
                  decode_max_replicas: Optional[int] = None,
                  ttft_slo_ms: Optional[float] = None,
                  tenancy: Union[None, str, TenancyConfig] = None,
-                 faults: Union[None, str, FaultSpec, FaultSchedule] = None) -> None:
+                 faults: Union[None, str, FaultSpec, FaultSchedule] = None,
+                 kv_capacity: Optional[float] = None) -> None:
         self.prefill_model = prefill_model
         self.decode_engines = list(decode_engines)
         if not self.decode_engines:
@@ -330,12 +363,19 @@ class DisaggregatedPlatform:
         self.num_prefill = int(prefill_replicas)
         self.prefill_batch = int(prefill_batch)
         self.ttft_slo_ms = None if ttft_slo_ms is None else float(ttft_slo_ms)
+        if kv_capacity is not None and not (
+                float(kv_capacity) > 0.0 and np.isfinite(kv_capacity)):
+            raise ValueError(f"kv_capacity must be positive and finite bytes, "
+                             f"got {kv_capacity}")
+        self.kv_capacity = None if kv_capacity is None else float(kv_capacity)
         self.seed = int(seed)
         self.tenancy = coerce_tenancy(tenancy)
         self.faults = coerce_faults(faults)
 
-        self.prefill_balancer = build_balancer(prefill_balancer, seed=seed)
-        self.decode_balancer = build_balancer(decode_balancer, seed=seed + 1)
+        self.prefill_balancer = build_balancer(prefill_balancer, seed=seed,
+                                               kind="generative")
+        self.decode_balancer = build_balancer(decode_balancer, seed=seed + 1,
+                                              kind="generative")
         self.prefill_autoscaler = build_autoscaler(prefill_autoscaler)
         self.decode_autoscaler = build_autoscaler(decode_autoscaler)
         # One *instance* passed for both pools (e.g. a fleet-wide default
@@ -388,6 +428,23 @@ class DisaggregatedPlatform:
         """Size of the initial decode pool."""
         return len(self.decode_engines)
 
+    def _kv_for(self, engine: ContinuousBatchingEngine,
+                profile: ReplicaProfile) -> Optional[KVCacheAccountant]:
+        """Fresh accountant for one decode replica (``None`` = cache off).
+        Recompute is a re-prefill, so it is priced at the platform's
+        chunked-prefill rate scaled by the replica's speed."""
+        capacity = profile.kv_capacity_bytes
+        if capacity is None:
+            capacity = self.kv_capacity
+        if capacity is None:
+            return None
+        prefill = self.prefill_model
+        recompute = prefill.chunk_time_ms() / prefill.tokens_per_chunk \
+            / profile.speed
+        return KVCacheAccountant(capacity,
+                                 kv_bytes_per_token(engine.timing.spec),
+                                 recompute_ms_per_token=recompute)
+
     # --------------------------------------------------------------- main loop
     def run(self, workload, policy_factory: PolicyFactory) -> DisaggregatedMetrics:
         """Serve every sequence through prefill → handoff → decode.
@@ -419,7 +476,8 @@ class DisaggregatedPlatform:
         decode_fleet = GenerativeFleetState()
         for engine, profile in zip(self.decode_engines, self.decode_profiles):
             decode_fleet.add(engine, policy_factory(decode_fleet.next_ordinal()),
-                             profile, mean_tokens, start)
+                             profile, mean_tokens, start,
+                             kv=self._kv_for(engine, profile))
 
         if num_sequences == 0:
             return self._collect(prefill_fleet, decode_fleet, {}, {}, start, start)
@@ -460,7 +518,8 @@ class DisaggregatedPlatform:
         profile = profiles[fleet.next_ordinal() % len(profiles)]
         return fleet.add(self.decode_engines[0],
                          policy_factory(fleet.next_ordinal()), profile,
-                         mean_tokens, now_ms)
+                         mean_tokens, now_ms,
+                         kv=self._kv_for(self.decode_engines[0], profile))
 
     # ------------------------------------------------------------------ collect
     def _collect(self, prefill_fleet: PrefillFleetState,
@@ -477,6 +536,14 @@ class DisaggregatedPlatform:
             if entry.metrics.tokens:
                 entry.metrics.makespan_ms = max(
                     entry.last_completion_ms - start_ms, 1e-9)
+            if entry.kv is not None:
+                m = entry.metrics
+                m.kv_enabled = True
+                m.kv_hit_tokens = entry.kv.hit_tokens
+                m.kv_miss_tokens = entry.kv.miss_tokens
+                m.kv_evictions = entry.kv.evictions
+                m.kv_evicted_tokens = entry.kv.evicted_tokens
+                m.kv_recompute_tokens = entry.kv.recompute_tokens
         decoded_anything = any(e.metrics.tokens for e in decode_fleet.entries)
         makespan = max(end_ms - start_ms, 1e-9) if decoded_anything else 0.0
         return DisaggregatedMetrics(
@@ -507,7 +574,7 @@ class DisaggregatedPlatform:
 #: Event kinds for the disaggregated runner (two pools share one heap).
 #: Crash/recover pairs exist per pool — a fault names its target pool.
 (_PBOOT, _DBOOT, _PREFILL, _DSLOT,
- _PCRASH, _PRECOVER, _DCRASH, _DRECOVER) = range(8)
+ _PCRASH, _PRECOVER, _DCRASH, _DRECOVER, _DEVICT) = range(9)
 
 
 class _DisaggRun(SimPlatform):
@@ -601,6 +668,8 @@ class _DisaggRun(SimPlatform):
             self._wake_prefill(event.payload)
         elif kind == _DSLOT:
             self.wake(event.payload)
+        elif kind == _DEVICT:
+            _run_eviction(self, event.payload, self.clock.now_ms, _DSLOT)
         elif kind == _PCRASH:
             self._crash_prefill(event.payload, self.clock.now_ms)
         elif kind == _DCRASH:
@@ -714,11 +783,15 @@ class _DisaggRun(SimPlatform):
         self.recoveries += 1
 
     def _recover_decode(self, now: float) -> None:
-        """Boot a replacement for the oldest unrecovered decode crash."""
+        """Boot a replacement for the oldest unrecovered decode crash.
+
+        The replacement starts with a fresh (empty) KV accountant — a crash
+        loses the cache along with the queued work."""
         engine, profile = self._dcrash_stock.pop(0)
         fleet = self.dpool.fleet
         entry = fleet.add(engine, self.policy_factory(fleet.next_ordinal()),
-                          profile, self.mean_tokens, now)
+                          profile, self.mean_tokens, now,
+                          kv=self.platform._kv_for(engine, profile))
         self.dpool.add(entry)
         self.recoveries += 1
 
@@ -847,6 +920,7 @@ class _DisaggRun(SimPlatform):
             if entry.claim_streams(now, ttft, runtime):
                 progressed = True
             _arm_slots(self, entry, now, _DSLOT)
+            _schedule_eviction(self, entry, now, _DEVICT)
 
         # Phase 7: drained replicas that have gone idle leave their pool.
         ppool.retire_idle(now)

@@ -58,10 +58,14 @@ class ReplicaProfile:
     ``speed`` scales serving time (2.0 = twice as fast, 0.5 = half speed);
     ``cost_weight`` scales the replica-seconds this replica bills (defaults
     to ``speed`` being free — set it to model faster-but-pricier machines).
+    ``kv_capacity_bytes`` bounds the replica's KV-cache (generative decode
+    replicas only; ``None`` inherits the fleet-wide capacity, which itself
+    defaults to unbounded — no cache model at all).
     """
 
     speed: float = 1.0
     cost_weight: float = 1.0
+    kv_capacity_bytes: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not (self.speed > 0.0 and math.isfinite(self.speed)):
@@ -69,6 +73,11 @@ class ReplicaProfile:
         if not (self.cost_weight > 0.0 and math.isfinite(self.cost_weight)):
             raise ValueError(f"profile cost_weight must be positive, "
                              f"got {self.cost_weight}")
+        if self.kv_capacity_bytes is not None and not (
+                self.kv_capacity_bytes > 0.0
+                and math.isfinite(self.kv_capacity_bytes)):
+            raise ValueError(f"profile kv_capacity_bytes must be positive and "
+                             f"finite, got {self.kv_capacity_bytes}")
 
     @classmethod
     def coerce(cls, value: Union["ReplicaProfile", float, int, str]) -> "ReplicaProfile":
@@ -97,11 +106,28 @@ class ReplicaProfile:
         return tuple(cls.coerce(item) for item in items)
 
     def describe(self) -> dict:
-        return {"speed": float(self.speed), "cost_weight": float(self.cost_weight)}
+        described = {"speed": float(self.speed),
+                     "cost_weight": float(self.cost_weight)}
+        if self.kv_capacity_bytes is not None:
+            described["kv_capacity_bytes"] = float(self.kv_capacity_bytes)
+        return described
 
 
 class ReplicaHandle:
-    """Read-only view of one replica that balancers/autoscalers may inspect."""
+    """Read-only view of one replica that balancers/autoscalers may inspect.
+
+    This is the **resource view** every load balancer costs against — one
+    uniform interface across the classification, generative-cluster and
+    disaggregated platforms instead of per-platform ad-hoc attributes:
+
+    * load signals — :meth:`queue_length`, :meth:`jobs_in_system`,
+      :meth:`backlog_ms`, :meth:`work_left_ms`;
+    * identity/shape — ``index``, ``replica_id``, ``profile``, ``weight``;
+    * KV-cache signals — :meth:`kv_prefix_hit_tokens` and
+      :meth:`kv_overflow_ms`, which default to 0 here (no cache model) and
+      are overridden by generative decode handles when a
+      :class:`~repro.generative.decoding.KVCacheAccountant` is attached.
+    """
 
     def __init__(self, index: int, platform: ServingPlatform, state: ReplicaState,
                  profile: Optional[ReplicaProfile] = None,
@@ -153,6 +179,22 @@ class ReplicaHandle:
         if per_batch is None:
             return work + float(queued) / self.profile.speed
         return work + per_batch * math.ceil(queued / full)
+
+    # ------------------------------------------------------- KV-cache signals
+    def kv_prefix_hit_tokens(self, item) -> int:
+        """Shared-prefix tokens of ``item`` already resident in this
+        replica's KV cache (0 without a cache model)."""
+        return 0
+
+    def kv_prefix_hit_ms(self, item) -> float:
+        """Prefill milliseconds placing ``item`` here would *save* thanks to
+        resident shared-prefix tokens (0 without a cache model)."""
+        return 0.0
+
+    def kv_overflow_ms(self, item, now_ms: float) -> float:
+        """Expected recompute cost (ms) of the cache thrash placing ``item``
+        here would cause (0 without a cache model)."""
+        return 0.0
 
 
 @dataclass

@@ -43,6 +43,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.faults import FaultSchedule, FaultSpec, coerce_faults
+from repro.generative.decoding import (KVCacheAccountant, PrefillModel,
+                                       kv_bytes_per_token)
 from repro.serving.autoscaler import Autoscaler, build_autoscaler
 from repro.serving.cluster import LoadBalancer, build_balancer
 from repro.serving.fleet import (ACTIVE, DRAINING, RETIRED, BaseFleet,
@@ -150,6 +152,30 @@ class GenerativeReplicaHandle:
         # Queued work drains across all slots in parallel.
         return work + queued_tokens * token_ms / entry.engine.max_batch_size
 
+    # ------------------------------------------------------------- KV signals
+    def kv_prefix_hit_tokens(self, item) -> int:
+        """Shared-prefix tokens of ``item``'s group resident in this
+        replica's KV cache (0 when the cache model is disabled)."""
+        kv = self._entry.kv
+        return kv.prefix_hit_tokens(item) if kv is not None else 0
+
+    def kv_prefix_hit_ms(self, item) -> float:
+        """Prefill milliseconds resident shared-prefix tokens would save
+        ``item`` here, priced at this replica's re-prefill rate (0 when the
+        cache model is disabled)."""
+        kv = self._entry.kv
+        if kv is None:
+            return 0.0
+        return kv.prefix_hit_tokens(item) * kv.recompute_ms_per_token
+
+    def kv_overflow_ms(self, item, now_ms: float) -> float:
+        """Expected recompute cost of the cache overflow admitting ``item``
+        would cause here (0 when the cache model is disabled)."""
+        kv = self._entry.kv
+        if kv is None:
+            return 0.0
+        return kv.overflow_tokens(item) * kv.recompute_ms_per_token
+
 
 @dataclass
 class GenerativeReplicaEntry:
@@ -174,10 +200,17 @@ class GenerativeReplicaEntry:
     #: released-token accounting feeding the depth-scaled work estimate.
     released_tokens: int = 0
     released_exits: int = 0
+    #: KV-cache accountant (``None`` disables the cache model entirely).
+    kv: Optional[KVCacheAccountant] = None
+    #: sequence id -> decode slot it occupies; lets an eviction charge the
+    #: victim's recompute as an extension of its slot occupancy.
+    kv_slot_of: Dict[int, int] = field(default_factory=dict, repr=False,
+                                       compare=False)
     #: kernel-scheduler bookkeeping: dirty flag + per-slot armed event times.
     _kdirty: bool = field(default=False, repr=False, compare=False)
     _slot_armed: Dict[int, float] = field(default_factory=dict, repr=False,
                                           compare=False)
+    _kv_evict_pending: bool = field(default=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.slots:
@@ -260,12 +293,16 @@ class GenerativeReplicaEntry:
             if slot is None:
                 break
             sample = self.queue.pop(0)
+            kv = self.kv
+            hit = kv.prefix_hit_tokens(sample) if kv is not None else 0
             decode_start = now_ms
             if self.engine.prefill is not None:
                 # Monolithic in-slot prefill: the prompt's chunks contend
-                # with the decode streams already in flight.
+                # with the decode streams already in flight.  Shared-prefix
+                # tokens already resident in the KV cache skip their share
+                # of the prefill (``hit`` is 0 with the cache disabled).
                 decode_start = now_ms + self.engine.prefill.inslot_prefill_ms(
-                    sample.prompt_tokens,
+                    sample.prompt_tokens - hit,
                     self.busy_slots(now_ms)) / self.profile.speed
             ttft_limit = ttft_slo_ms
             policy = self.policy
@@ -291,6 +328,9 @@ class GenerativeReplicaEntry:
             self.record_stream(len(released),
                                sum(1 for t in released if t.exited))
             self.slots[slot] = completion
+            if kv is not None:
+                kv.admit(sample, completion)
+                self.kv_slot_of[int(sample.sequence_id)] = slot
             self.last_completion_ms = max(self.last_completion_ms, completion)
             progressed = True
         return progressed
@@ -300,11 +340,12 @@ class GenerativeFleetState(BaseFleet):
     """Dynamic decode-replica membership (ACTIVE → DRAINING → RETIRED)."""
 
     def add(self, engine: ContinuousBatchingEngine, policy: TokenExitPolicy,
-            profile: ReplicaProfile, mean_tokens: float,
-            now_ms: float) -> GenerativeReplicaEntry:
+            profile: ReplicaProfile, mean_tokens: float, now_ms: float,
+            kv: Optional[KVCacheAccountant] = None) -> GenerativeReplicaEntry:
         entry = GenerativeReplicaEntry(replica_id=self._next_id, engine=engine,
                                        policy=policy, profile=profile,
-                                       mean_tokens=mean_tokens, added_ms=now_ms)
+                                       mean_tokens=mean_tokens, added_ms=now_ms,
+                                       kv=kv)
         return self._register(entry, now_ms)
 
 
@@ -415,6 +456,15 @@ class GenerativeClusterPlatform:
         Elasticity, exactly as in the classification cluster.  Scaled-out
         replicas reuse the first engine's configuration (engines are
         stateless) and run at ``scale_out_profile`` (default: base speed).
+    kv_capacity:
+        Fleet-default per-replica KV-cache budget in bytes (a replica
+        profile's ``kv_capacity_bytes`` overrides it).  ``None`` (the
+        default) disables the cache model entirely and the run is
+        bit-identical to pre-cache behaviour; with a budget set, each
+        replica runs a :class:`~repro.generative.decoding.KVCacheAccountant`
+        — admissions claim footprint, over-capacity occupancy triggers LRU
+        eviction as a kernel event, and an evicted running sequence pays a
+        re-prefill recompute as an extension of its decode slot.
     """
 
     def __init__(self, engines: Sequence[ContinuousBatchingEngine],
@@ -427,15 +477,21 @@ class GenerativeClusterPlatform:
                  scale_out_profile: Optional[ReplicaProfile] = None,
                  ttft_slo_ms: Optional[float] = None,
                  tenancy: Union[None, str, TenancyConfig] = None,
-                 faults: Union[None, str, FaultSpec, FaultSchedule] = None) -> None:
+                 faults: Union[None, str, FaultSpec, FaultSchedule] = None,
+                 kv_capacity: Optional[float] = None) -> None:
         self.engines = list(engines)
         if not self.engines:
             raise ValueError("a generative cluster needs at least one replica")
         if ttft_slo_ms is not None and ttft_slo_ms <= 0:
             raise ValueError(f"ttft_slo_ms must be positive, got {ttft_slo_ms}")
         self.ttft_slo_ms = None if ttft_slo_ms is None else float(ttft_slo_ms)
+        if kv_capacity is not None and not (
+                float(kv_capacity) > 0.0 and np.isfinite(kv_capacity)):
+            raise ValueError(f"kv_capacity must be positive and finite bytes, "
+                             f"got {kv_capacity}")
+        self.kv_capacity = None if kv_capacity is None else float(kv_capacity)
         self.seed = int(seed)
-        self.balancer = build_balancer(balancer, seed=seed)
+        self.balancer = build_balancer(balancer, seed=seed, kind="generative")
         self.autoscaler = build_autoscaler(autoscaler)
         self.tenancy = coerce_tenancy(tenancy)
         self.faults = coerce_faults(faults)
@@ -464,6 +520,27 @@ class GenerativeClusterPlatform:
         """Size of the initial fleet (the fleet ``run()`` starts from)."""
         return len(self.engines)
 
+    def _kv_for(self, engine: ContinuousBatchingEngine,
+                profile: ReplicaProfile) -> Optional[KVCacheAccountant]:
+        """Fresh accountant for one replica (``None`` when the cache model is
+        off).  Recompute is priced at the replica's chunked-prefill rate —
+        the engine's own prefill model when it has one, otherwise a default
+        :class:`PrefillModel` over the same timing spec (a monolith without
+        in-slot prefill still pays for re-prefilling evicted context)."""
+        capacity = profile.kv_capacity_bytes
+        if capacity is None:
+            capacity = self.kv_capacity
+        if capacity is None:
+            return None
+        prefill = engine.prefill
+        if prefill is None:
+            prefill = PrefillModel(engine.timing.spec)
+        recompute = prefill.chunk_time_ms() / prefill.tokens_per_chunk \
+            / profile.speed
+        return KVCacheAccountant(capacity,
+                                 kv_bytes_per_token(engine.timing.spec),
+                                 recompute_ms_per_token=recompute)
+
     # --------------------------------------------------------------- main loop
     def run(self, workload, policy_factory: PolicyFactory) -> GenerativeClusterMetrics:
         """Serve every sequence in ``workload`` across the (dynamic) fleet.
@@ -488,7 +565,7 @@ class GenerativeClusterPlatform:
         fleet = GenerativeFleetState()
         for engine, profile in zip(self.engines, self.profiles):
             fleet.add(engine, policy_factory(fleet.next_ordinal()), profile,
-                      mean_tokens, start)
+                      mean_tokens, start, kv=self._kv_for(engine, profile))
 
         if num_sequences == 0:
             return self._collect(fleet, start, start)
@@ -517,6 +594,14 @@ class GenerativeClusterPlatform:
             if entry.metrics.tokens:
                 entry.metrics.makespan_ms = max(
                     entry.last_completion_ms - start_ms, 1e-9)
+            if entry.kv is not None:
+                metrics = entry.metrics
+                metrics.kv_enabled = True
+                metrics.kv_hit_tokens = entry.kv.hit_tokens
+                metrics.kv_miss_tokens = entry.kv.miss_tokens
+                metrics.kv_evictions = entry.kv.evictions
+                metrics.kv_evicted_tokens = entry.kv.evicted_tokens
+                metrics.kv_recompute_tokens = entry.kv.recompute_tokens
         decoded_anything = any(entry.metrics.tokens for entry in fleet.entries)
         makespan = max(end_ms - start_ms, 1e-9) if decoded_anything else 0.0
         return GenerativeClusterMetrics(
@@ -532,7 +617,49 @@ class GenerativeClusterPlatform:
 
 
 #: event kinds of the kernel-scheduled generative cluster run.
-_BOOT, _SLOT_FREE, _CRASH, _RECOVER = 0, 1, 2, 3
+_BOOT, _SLOT_FREE, _CRASH, _RECOVER, _EVICT = 0, 1, 2, 3, 4
+
+
+def _run_eviction(sim: SimPlatform, entry: GenerativeReplicaEntry,
+                  now_ms: float, slot_kind: int) -> None:
+    """Fire one replica's deferred KV-eviction event.
+
+    Evicts LRU residents until occupancy fits; a still-running victim's
+    recompute charge extends its decode-slot occupancy (the slot re-prefills
+    the evicted context before the stream can finish), so the freed-slot
+    event is re-armed at the later time.  Shared by the monolithic cluster
+    and the disaggregated decode pool.
+    """
+    entry._kv_evict_pending = False
+    kv = entry.kv
+    if kv is None:
+        return
+    for seq_id, recompute_ms in kv.evict_to_fit(now_ms):
+        slot = entry.kv_slot_of.pop(seq_id, None)
+        if slot is None or recompute_ms <= 0.0:
+            continue
+        if entry.slots[slot] > now_ms + 1e-9:
+            entry.slots[slot] += recompute_ms
+            entry.last_completion_ms = max(entry.last_completion_ms,
+                                           entry.slots[slot])
+    _arm_slots(sim, entry, now_ms, slot_kind)
+    sim.wake(entry)
+
+
+def _schedule_eviction(sim: SimPlatform, entry: GenerativeReplicaEntry,
+                       now_ms: float, evict_kind: int) -> None:
+    """Register a same-timestamp eviction event when occupancy overflowed.
+
+    Deferred to an event (rather than evicting inline during the claim pass)
+    so eviction observes the full admission state of the timestamp;
+    ``_kv_evict_pending`` dedupes, and ``needs_eviction`` requires an
+    evictable non-MRU resident, so a single oversubscribing sequence cannot
+    re-arm the event forever.
+    """
+    kv = entry.kv
+    if kv is not None and not entry._kv_evict_pending and kv.needs_eviction():
+        entry._kv_evict_pending = True
+        sim.events.push(now_ms, evict_kind, entry)
 
 
 def _arm_slots(sim: SimPlatform, entry: GenerativeReplicaEntry,
@@ -610,6 +737,8 @@ class _GenerativeRun(SimPlatform):
         kind = event.kind
         if kind == _SLOT_FREE:
             self.wake(event.payload)
+        elif kind == _EVICT:
+            _run_eviction(self, event.payload, self.clock.now_ms, _SLOT_FREE)
         elif kind == _CRASH:
             self._crash(event.payload, self.clock.now_ms)
         elif kind == _RECOVER:
@@ -621,7 +750,9 @@ class _GenerativeRun(SimPlatform):
             entry = self.fleet.add(cluster.engines[0],
                                    self.policy_factory(self.fleet.next_ordinal()),
                                    cluster.scale_out_profile, self.mean_tokens,
-                                   self.clock.now_ms)
+                                   self.clock.now_ms,
+                                   kv=cluster._kv_for(cluster.engines[0],
+                                                      cluster.scale_out_profile))
             pool.add(entry)
 
     # ------------------------------------------------------------------ faults
@@ -665,11 +796,15 @@ class _GenerativeRun(SimPlatform):
             self.requeued += len(orphans)
 
     def _recover(self, now: float) -> None:
-        """Boot a replacement for the oldest still-unrecovered crash."""
+        """Boot a replacement for the oldest still-unrecovered crash.
+
+        The replacement starts with a fresh (empty) KV accountant — a crash
+        loses the cache along with the queued work."""
         engine, profile = self._crash_stock.pop(0)
         entry = self.fleet.add(engine,
                                self.policy_factory(self.fleet.next_ordinal()),
-                               profile, self.mean_tokens, now)
+                               profile, self.mean_tokens, now,
+                               kv=self.cluster._kv_for(engine, profile))
         self.pool.add(entry)
         self.recoveries += 1
 
@@ -726,6 +861,7 @@ class _GenerativeRun(SimPlatform):
             if entry.claim_streams(now, ttft, runtime):
                 progressed = True
             _arm_slots(self, entry, now, _SLOT_FREE)
+            _schedule_eviction(self, entry, now, _EVICT)
 
         # Phase 4: drained replicas that have gone idle leave the fleet.
         pool.retire_idle(now)

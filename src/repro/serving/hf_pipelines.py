@@ -85,6 +85,16 @@ class GenerativeMetrics:
     #: sequences shed by deadline admission: their wait had already blown the
     #: TTFT SLO when a decode slot freed up, so no token was decoded for them.
     shed_sequence_ids: List[int] = field(default_factory=list)
+    #: KV-cache accounting (populated only when the run priced a cache model;
+    #: ``kv_enabled`` gates the extra summary keys so cache-off runs keep a
+    #: bit-identical summary).  Hits/misses are prompt tokens whose prefill
+    #: was skipped/paid at slot claim; evicted/recompute count cache tokens.
+    kv_enabled: bool = False
+    kv_hit_tokens: int = 0
+    kv_miss_tokens: int = 0
+    kv_evictions: int = 0
+    kv_evicted_tokens: int = 0
+    kv_recompute_tokens: int = 0
 
     def tpt_values(self) -> np.ndarray:
         return np.array([t.tpt_ms for t in self.tokens], dtype=float)
@@ -176,10 +186,17 @@ class GenerativeMetrics:
             return 0.0
         return 1000.0 * len(self.tokens) / self.makespan_ms
 
+    def kv_hit_rate(self) -> float:
+        """Fraction of prompt tokens served from resident cache prefixes."""
+        total = self.kv_hit_tokens + self.kv_miss_tokens
+        if total == 0:
+            return 0.0
+        return self.kv_hit_tokens / total
+
     def summary(self) -> Dict[str, float]:
         tpt = self.tpt_summary()
         ttft = self.ttft_summary()
-        return {
+        data = {
             "tpt_p25_ms": tpt["p25"],
             "tpt_p50_ms": tpt["p50"],
             "tpt_p95_ms": tpt["p95"],
@@ -196,6 +213,16 @@ class GenerativeMetrics:
             "shed": float(self.num_shed()),
             "shed_rate": self.shed_rate(),
         }
+        if self.kv_enabled:
+            data.update({
+                "kv_hit_rate": self.kv_hit_rate(),
+                "kv_hit_tokens": float(self.kv_hit_tokens),
+                "kv_miss_tokens": float(self.kv_miss_tokens),
+                "kv_evictions": float(self.kv_evictions),
+                "kv_evicted_tokens": float(self.kv_evicted_tokens),
+                "kv_recompute_tokens": float(self.kv_recompute_tokens),
+            })
+        return data
 
     # ----------------------------------------------------------------- merge
     @classmethod
@@ -216,6 +243,12 @@ class GenerativeMetrics:
             out.deferred_tokens += metrics.deferred_tokens
             out.deferred_flushes += metrics.deferred_flushes
             out.shed_sequence_ids.extend(metrics.shed_sequence_ids)
+            out.kv_enabled = out.kv_enabled or metrics.kv_enabled
+            out.kv_hit_tokens += metrics.kv_hit_tokens
+            out.kv_miss_tokens += metrics.kv_miss_tokens
+            out.kv_evictions += metrics.kv_evictions
+            out.kv_evicted_tokens += metrics.kv_evicted_tokens
+            out.kv_recompute_tokens += metrics.kv_recompute_tokens
             out.makespan_ms = max(out.makespan_ms, metrics.makespan_ms)
         if makespan_ms is not None:
             out.makespan_ms = makespan_ms

@@ -44,20 +44,50 @@ __all__ = ["TraceCache", "trace_key", "get_or_materialize", "cache_info",
 DEFAULT_MAXSIZE = 32
 
 
+def _arrival_trace_digest(arrival_process: Optional[str]) -> Optional[str]:
+    """Content digest of a ``trace:<path>`` arrival CSV (``None`` otherwise).
+
+    Replayed traces are the one generation input that lives *outside* the
+    spec: the same path can name different bytes across runs.  Hashing the
+    file's content keeps the invalidation rule honest — editing the CSV
+    changes the key, and two paths holding identical bytes share one entry.
+    A missing file hashes to a sentinel so the key is still computable (the
+    builder will raise the real error).
+    """
+    if not arrival_process or not str(arrival_process).startswith("trace:"):
+        return None
+    path = str(arrival_process)[len("trace:"):]
+    try:
+        with open(path, "rb") as handle:
+            return hashlib.sha256(handle.read()).hexdigest()
+    except OSError:
+        return "missing"
+
+
 def trace_key(spec: Any, default_seed: int = 0) -> str:
     """Content-addressed key of the trace ``spec`` would materialize.
 
     The key covers every input of the generation: two ``(spec, seed)`` pairs
     collide exactly when they generate bit-identical workloads.  Defaults are
-    resolved first so equivalent spellings share one entry.
+    resolved first so equivalent spellings share one entry; with
+    ``prefix_groups == 0`` the prefix share/length knobs are inert (no prefix
+    stream is drawn), so they are excluded from the key in that case.
     """
     seed = spec.seed if spec.seed is not None else int(default_seed)
     overrides = None if not spec.overrides else tuple(
         sorted((str(k), float(v)) for k, v in spec.overrides.items()))
-    payload = repr(("repro.workload_trace/v1", spec.kind,
+    prefix_groups = int(getattr(spec, "prefix_groups", 0))
+    prefix = None if prefix_groups == 0 else (
+        prefix_groups, float(spec.prefix_share), int(spec.prefix_tokens))
+    # A replayed trace is addressed by its bytes, not its path: two paths
+    # holding identical CSVs share one entry, and editing the CSV in place
+    # changes the key.
+    digest = _arrival_trace_digest(spec.arrival_process)
+    arrival = ("trace", digest) if digest is not None else spec.arrival_process
+    payload = repr(("repro.workload_trace/v2", spec.kind,
                     spec.resolved_source(), int(spec.requests),
                     float(spec.resolved_rate()), int(seed),
-                    spec.arrival_process, overrides))
+                    arrival, overrides, prefix))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 

@@ -7,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.exits.evaluation import evaluate_thresholds
 from repro.exits.thresholds import tune_thresholds_greedy
 from repro.models.prediction import effective_difficulty, ramp_error_score
-from repro.serving.cluster import BALANCER_NAMES, ClusterPlatform
+from repro.serving.cluster import ClusterPlatform, balancer_names
 from repro.serving.platform import BatchResult
 from repro.serving.request import Request
 from repro.serving.tfserve import TFServingPlatform
@@ -151,7 +151,7 @@ def _run_cluster(num_replicas, balancer, arrival_gaps, seed=0, slo_ms=1e9,
 @FAST
 @given(gaps=st.lists(st.floats(0.0, 20.0), min_size=1, max_size=60),
        num_replicas=st.integers(1, 4),
-       balancer=st.sampled_from(sorted(BALANCER_NAMES)),
+       balancer=st.sampled_from(sorted(balancer_names("classification"))),
        seed=st.integers(0, 10))
 def test_cluster_conserves_requests(gaps, num_replicas, balancer, seed):
     """Every request is answered exactly once — no losses, no duplicates."""
@@ -169,7 +169,7 @@ def test_cluster_conserves_requests(gaps, num_replicas, balancer, seed):
 @FAST
 @given(gaps=st.lists(st.floats(0.0, 5.0), min_size=1, max_size=60),
        num_replicas=st.integers(1, 4),
-       balancer=st.sampled_from(sorted(BALANCER_NAMES)),
+       balancer=st.sampled_from(sorted(balancer_names("classification"))),
        seed=st.integers(0, 10))
 def test_cluster_conserves_requests_under_drops(gaps, num_replicas, balancer, seed):
     """Conservation also holds when expired requests are dropped: a request is
@@ -187,7 +187,7 @@ def test_cluster_conserves_requests_under_drops(gaps, num_replicas, balancer, se
 @FAST
 @given(gaps=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=50),
        num_replicas=st.integers(1, 4),
-       balancer=st.sampled_from(sorted(BALANCER_NAMES)),
+       balancer=st.sampled_from(sorted(balancer_names("classification"))),
        seed=st.integers(0, 10))
 def test_cluster_deterministic_under_fixed_seed(gaps, num_replicas, balancer, seed):
     first = _run_cluster(num_replicas, balancer, gaps, seed=seed)
@@ -202,7 +202,7 @@ def test_cluster_deterministic_under_fixed_seed(gaps, num_replicas, balancer, se
 @FAST
 @given(gaps=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=50),
        num_replicas=st.integers(1, 4),
-       balancer=st.sampled_from(sorted(BALANCER_NAMES)))
+       balancer=st.sampled_from(sorted(balancer_names("classification"))))
 def test_cluster_per_replica_and_aggregate_metrics_agree(gaps, num_replicas, balancer):
     fleet = _run_cluster(num_replicas, balancer, gaps)
     agg = fleet.aggregate()

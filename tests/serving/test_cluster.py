@@ -7,7 +7,8 @@ from repro.serving.cluster import (BALANCER_NAMES, ClusterPlatform,
                                    JoinShortestQueueBalancer,
                                    LeastWorkLeftBalancer,
                                    PowerOfTwoChoicesBalancer, ReplicaHandle,
-                                   RoundRobinBalancer, build_balancer)
+                                   RoundRobinBalancer, balancer_names,
+                                   build_balancer)
 from repro.serving.platform import BatchResult, ServingPlatform
 from repro.serving.request import Request
 from repro.serving.tfserve import TFServingPlatform
@@ -152,7 +153,8 @@ def test_single_replica_cluster_matches_standalone_run():
     assert fleet.makespan_ms == pytest.approx(alone.makespan_ms)
 
 
-@pytest.mark.parametrize("balancer", sorted(BALANCER_NAMES))
+@pytest.mark.parametrize("balancer",
+                         sorted(balancer_names("classification")))
 def test_every_balancer_serves_every_request_once(balancer):
     requests = paced(120, gap_ms=0.5)
     fleet = make_cluster(3, balancer).run(requests, fixed_time_executor())

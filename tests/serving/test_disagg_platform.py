@@ -401,3 +401,22 @@ def test_disagg_conserves_tokens_vs_single_engine():
                                            decode_replicas=4)
     single_ids = Counter((t.sequence_id, t.token_index) for t in single.tokens)
     assert token_multiset(disagg) == single_ids
+
+
+def test_disagg_summary_is_nan_safe():
+    """A sentinel NaN/inf delay (a sequence that never finished its stage)
+    must not leak into the JSON-bound summary; empty maps mean 0.0."""
+    metrics = DisaggregatedMetrics()
+    assert metrics.mean_prefill_delay_ms() == 0.0
+    assert metrics.mean_transfer_ms() == 0.0
+
+    metrics.prefill_delays_ms.update({0: 10.0, 1: float("nan"), 2: 30.0})
+    metrics.transfer_delays_ms.update({0: float("nan"), 1: float("inf")})
+    assert metrics.mean_prefill_delay_ms() == pytest.approx(20.0)
+    assert metrics.mean_transfer_ms() == 0.0
+
+    summary = metrics.summary()
+    assert summary["prefill_delay_mean_ms"] == pytest.approx(20.0)
+    assert summary["transfer_ms_mean"] == 0.0
+    assert all(np.isfinite(v) for k, v in summary.items()
+               if k.startswith(("prefill_", "transfer_")))

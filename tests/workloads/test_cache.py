@@ -126,3 +126,89 @@ class TestBuildIntegration:
         for _ in range(3):
             Experiment(model="resnet50", workload=spec).run(["vanilla"])
         assert len(calls) == 1
+
+
+class TestArrivalProcessKeys:
+    """flash_crowd / trace:<csv> arrivals x the content-addressed key."""
+
+    def test_flash_crowd_builds_and_is_memoized(self):
+        spec = WorkloadSpec("generative", requests=40, seed=2,
+                            arrival_process="flash_crowd")
+        first = spec.build()
+        again = WorkloadSpec("generative", requests=40, seed=2,
+                             arrival_process="flash_crowd").build()
+        assert first is again
+        assert len(first) == 40
+        assert TRACE_CACHE.info()["hits"] == 1
+
+    def test_flash_crowd_keyed_apart_from_poisson(self):
+        base = dict(kind="generative", requests=40, seed=2)
+        assert trace_key(WorkloadSpec(**base, arrival_process="poisson")) \
+            != trace_key(WorkloadSpec(**base, arrival_process="flash_crowd"))
+
+    def _write_trace(self, path, times):
+        path.write_text("\n".join(f"{t:.1f}" for t in times) + "\n")
+        return f"trace:{path}"
+
+    def test_trace_arrivals_build_through_the_cache(self, tmp_path):
+        process = self._write_trace(tmp_path / "arrivals.csv",
+                                    [10.0 * i for i in range(40)])
+        spec = WorkloadSpec("generative", requests=40, seed=2,
+                            arrival_process=process)
+        first = spec.build()
+        again = WorkloadSpec("generative", requests=40, seed=2,
+                             arrival_process=process).build()
+        assert first is again
+        assert TRACE_CACHE.info()["hits"] == 1
+        assert [s.arrival_ms for s in first.sequences] \
+            == [10.0 * i for i in range(40)]
+
+    def test_editing_the_trace_csv_invalidates_the_key(self, tmp_path):
+        csv = tmp_path / "arrivals.csv"
+        process = self._write_trace(csv, [10.0 * i for i in range(40)])
+        spec = WorkloadSpec("generative", requests=40, seed=2,
+                            arrival_process=process)
+        before = trace_key(spec)
+        first = spec.build()
+        self._write_trace(csv, [5.0 * i for i in range(40)])
+        after = trace_key(spec)
+        assert before != after            # same path, different bytes
+        rebuilt = spec.build()
+        assert rebuilt is not first
+        assert [s.arrival_ms for s in rebuilt.sequences] \
+            == [5.0 * i for i in range(40)]
+
+    def test_identical_bytes_at_different_paths_share_a_key(self, tmp_path):
+        times = [10.0 * i for i in range(40)]
+        a = self._write_trace(tmp_path / "a.csv", times)
+        b = self._write_trace(tmp_path / "b.csv", times)
+        assert trace_key(WorkloadSpec("generative", requests=40, seed=2,
+                                      arrival_process=a)) \
+            == trace_key(WorkloadSpec("generative", requests=40, seed=2,
+                                      arrival_process=b))
+
+    def test_missing_trace_file_key_is_computable(self, tmp_path):
+        spec = WorkloadSpec("generative", requests=40, seed=2,
+                            arrival_process=f"trace:{tmp_path}/absent.csv")
+        assert isinstance(trace_key(spec), str)
+
+
+class TestPrefixKnobKeys:
+    def test_inert_prefix_knobs_share_the_entry(self):
+        # With prefix_groups=0 no prefix stream is drawn, so share/tokens
+        # settings are inert and must not split the cache entry.
+        base = WorkloadSpec("generative", requests=40, seed=2)
+        spelled = WorkloadSpec("generative", requests=40, seed=2,
+                               prefix_groups=0, prefix_share=0.5,
+                               prefix_tokens=64)
+        assert trace_key(base) == trace_key(spelled)
+
+    def test_active_prefix_knobs_change_the_key(self):
+        base = dict(kind="generative", requests=40, seed=2)
+        plain = trace_key(WorkloadSpec(**base))
+        grouped = trace_key(WorkloadSpec(**base, prefix_groups=4))
+        assert plain != grouped
+        assert grouped != trace_key(WorkloadSpec(**base, prefix_groups=4,
+                                                 prefix_share=0.5))
+        assert grouped != trace_key(WorkloadSpec(**base, prefix_groups=4,
+                                                 prefix_tokens=64))
