@@ -30,7 +30,7 @@ from repro.api.result import (KIND_CLASSIFICATION, KIND_CLUSTER, KIND_GENERATIVE
                               RunReport, RunResult, SweepPoint, SweepReport,
                               labels_for_kind)
 from repro.api.specs import (WORKLOAD_KINDS, ClusterSpec, ExitPolicySpec,
-                             WorkloadSpec)
+                             TraceSpec, WorkloadSpec)
 
 # Importing the runners registers every built-in system.
 from repro.api import systems as _systems  # noqa: F401
@@ -42,6 +42,7 @@ __all__ = [
     "WorkloadSpec",
     "ClusterSpec",
     "ExitPolicySpec",
+    "TraceSpec",
     "WORKLOAD_KINDS",
     "RunResult",
     "RunReport",

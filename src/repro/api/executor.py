@@ -62,6 +62,9 @@ class SweepOutcome:
     report: Optional[RunReport] = None
     error: Optional[Dict[str, str]] = None
     wall_s: float = 0.0
+    #: Trace-cache activity while this point ran: ``{"hits", "misses"}``
+    #: deltas of the worker's :data:`repro.workloads.cache.TRACE_CACHE`.
+    cache: Optional[Dict[str, int]] = None
 
 
 def _structured_error(exc: BaseException) -> Dict[str, str]:
@@ -83,18 +86,29 @@ def _run_sweep_task(task: SweepTask, keep_raw: bool = True) -> SweepOutcome:
     boundary; ``raw`` is excluded from ``to_json``, so stripping it cannot
     perturb bit-identity.
     """
+    from repro.workloads.cache import TRACE_CACHE
+
+    before = TRACE_CACHE.info()
     start = time.perf_counter()
     try:
         report = task.experiment.run(task.systems)
     except Exception as exc:
         return SweepOutcome(index=task.index, params=task.params,
                             error=_structured_error(exc),
-                            wall_s=time.perf_counter() - start)
+                            wall_s=time.perf_counter() - start,
+                            cache=_cache_delta(before, TRACE_CACHE.info()))
     if not keep_raw:
         for result in report.results:
             result.raw = None
     return SweepOutcome(index=task.index, params=task.params, report=report,
-                        wall_s=time.perf_counter() - start)
+                        wall_s=time.perf_counter() - start,
+                        cache=_cache_delta(before, TRACE_CACHE.info()))
+
+
+def _cache_delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    """Trace-cache hits/misses attributable to one grid point."""
+    return {"hits": after["hits"] - before["hits"],
+            "misses": after["misses"] - before["misses"]}
 
 
 class SweepExecutor:

@@ -78,6 +78,13 @@ class Experiment:
     overrides:
         Per-system keyword overrides, e.g. ``{"static_ee": {"variant": ...}}``,
         for knobs that only one system understands.
+    trace:
+        Observability knob (:mod:`repro.obs`): ``None``/``False`` (default)
+        runs untraced, ``True`` records spans + gauges with default settings,
+        a :class:`~repro.obs.TraceSpec` (or its kwargs as a dict) customizes
+        them.  Each traced system's :class:`~repro.obs.TraceRecorder` comes
+        back on ``RunResult.trace`` with a JSON rollup in
+        ``details["obs"]``; tracing never changes the reported metrics.
     """
 
     model: Union[str, ModelSpec]
@@ -90,6 +97,7 @@ class Experiment:
     drop_expired: bool = True
     seed: int = 0
     overrides: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    trace: Any = None
 
     _workload_cache: Any = field(default=None, init=False, repr=False, compare=False)
 
@@ -193,6 +201,12 @@ class Experiment:
         if self.cluster is not None:
             params["cluster"] = self.cluster.describe()
         params["ee"] = self.ee.describe()
+        if self.trace is not None and self.trace is not False:
+            from repro.obs import coerce_trace
+
+            spec = coerce_trace(self.trace)
+            if spec is not None:
+                params["trace"] = spec.describe()
         return params
 
     # ------------------------------------------------------------------ run
@@ -296,7 +310,8 @@ class Experiment:
                            systems=systems)
                  for i, (params, variant) in enumerate(variants)]
         outcomes = exec_.map(tasks, progress=progress)
-        points = [SweepPoint(params=o.params, report=o.report, error=o.error)
+        points = [SweepPoint(params=o.params, report=o.report, error=o.error,
+                             wall_s=o.wall_s, cache=o.cache)
                   for o in outcomes]
         return SweepReport(points=points, base_params=self.describe())
 

@@ -127,6 +127,12 @@ class RunResult:
     JSON-safe extras (per-replica dispatch counts, tuned thresholds, …);
     ``raw`` keeps the system's legacy result object for code that wants the
     full surface (and for the ``run_*`` shims, which return it).
+
+    ``trace`` holds the live :class:`~repro.obs.TraceRecorder` when the
+    experiment ran with ``trace=...`` (``None`` otherwise) — feed it to
+    :func:`repro.obs.write_chrome_trace` / :func:`repro.obs.write_jsonl`.
+    Like ``raw`` it is an in-process object: excluded from ``to_json``
+    (the JSON-safe rollup lives in ``details["obs"]``).
     """
 
     system: str
@@ -136,6 +142,7 @@ class RunResult:
     params: Dict[str, Any] = field(default_factory=dict)
     details: Dict[str, Any] = field(default_factory=dict)
     raw: Any = field(default=None, repr=False, compare=False)
+    trace: Any = field(default=None, repr=False, compare=False)
 
     def metric(self, key: str, default: Optional[float] = None) -> Optional[float]:
         return self.summary.get(key, default)
@@ -231,11 +238,19 @@ class SweepPoint:
     one bad grid point cannot kill its siblings.  Config errors still fail
     the whole sweep up front: every point's specs are validated before any
     point runs.
+
+    ``wall_s`` (wall-clock seconds the point took) and ``cache`` (workload
+    trace-cache ``{"hits", "misses"}`` deltas observed while it ran) are
+    execution telemetry for progress reporting.  They depend on machine and
+    scheduling, so ``to_json`` excludes them — serial and parallel sweeps of
+    the same grid stay byte-identical.
     """
 
     params: Dict[str, Any]
     report: Optional[RunReport]
     error: Optional[Dict[str, str]] = None
+    wall_s: Optional[float] = field(default=None, compare=False)
+    cache: Optional[Dict[str, int]] = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:

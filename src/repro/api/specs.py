@@ -23,10 +23,14 @@ from repro.faults import FaultSchedule, FaultSpec, coerce_faults
 from repro.serving.autoscaler import Autoscaler, canonical_autoscaler_name
 from repro.serving.cluster import (LoadBalancer, ReplicaProfile,
                                    canonical_balancer_name)
+from repro.obs.spec import TraceSpec
 from repro.tenancy import (TENANT_POLICIES, TenancyConfig, TenantSpec,
                            coerce_tenancy)
 
-__all__ = ["WorkloadSpec", "ClusterSpec", "ExitPolicySpec", "WORKLOAD_KINDS"]
+# TraceSpec lives in repro.obs (the observability subsystem owns its own
+# validation) but is re-exported here: it is an experiment spec like the rest.
+__all__ = ["WorkloadSpec", "ClusterSpec", "ExitPolicySpec", "TraceSpec",
+           "WORKLOAD_KINDS"]
 
 #: Workload families an experiment can declare.
 WORKLOAD_KINDS = ("video", "nlp", "generative")

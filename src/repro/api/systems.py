@@ -35,6 +35,7 @@ from repro.core.generative import (_generative_apparate_cluster_impl,
                                    _generative_vanilla_impl)
 from repro.core.pipeline import (_apparate_cluster_impl, _apparate_impl,
                                  _vanilla_cluster_impl, _vanilla_impl)
+from repro.obs import build_recorder
 
 __all__ = ["REGISTERED_SYSTEMS"]
 
@@ -47,10 +48,26 @@ _GENERATIVE_BATCH = 8
 
 
 def _result(experiment, system: str, kind: str, summary: Dict[str, float],
-            raw: Any, details: Optional[Dict[str, Any]] = None) -> RunResult:
+            raw: Any, details: Optional[Dict[str, Any]] = None,
+            trace=None) -> RunResult:
+    details = dict(details) if details else {}
+    if trace is not None and trace.enabled:
+        details["obs"] = trace.summary()
     return RunResult(system=system, kind=kind, model=experiment.spec.name,
                      summary=dict(summary), params=experiment.describe(),
-                     details=details or {}, raw=raw)
+                     details=details, raw=raw, trace=trace)
+
+
+def _recorder_for(experiment):
+    """The live recorder for ``Experiment.trace``, or ``None`` when off.
+
+    ``None`` (not :data:`~repro.obs.NULL_RECORDER`) keeps untraced runs on
+    the exact pre-observability code path: impls skip the ``engine.obs``
+    assignment entirely and the platforms keep their module-level null
+    recorder singleton.
+    """
+    recorder = build_recorder(experiment.trace)
+    return recorder if recorder.enabled else None
 
 
 def _cluster_kwargs(experiment) -> Dict[str, Any]:
@@ -90,6 +107,9 @@ def _fleet_details(metrics) -> Dict[str, Any]:
     if rollups:
         details["tenant_rollups"] = {tenant: dict(stats)
                                      for tenant, stats in rollups.items()}
+    kernel = getattr(metrics, "kernel_stats", None)
+    if kernel:
+        details["kernel"] = dict(kernel)
     if hasattr(metrics, "aggregate"):
         aggregate = metrics.aggregate()
         if getattr(aggregate, "kv_enabled", False):
@@ -182,39 +202,41 @@ def _disagg_details(metrics) -> Dict[str, Any]:
     description="the original model with no early exits (the paper's baseline)",
     aliases=("baseline",))
 def _vanilla_system(experiment, **kw) -> RunResult:
+    obs = _recorder_for(experiment)
     if experiment.kind == KIND_GENERATIVE_DISAGG:
         metrics = _generative_vanilla_disagg_impl(
             experiment.spec, experiment.workload_obj(),
-            **_disagg_kwargs(experiment), **kw)
+            **_disagg_kwargs(experiment), obs=obs, **kw)
         return _result(experiment, "vanilla", KIND_GENERATIVE_DISAGG,
                        metrics.summary(), raw=metrics,
-                       details=_disagg_details(metrics))
+                       details=_disagg_details(metrics), trace=obs)
     if experiment.kind == KIND_GENERATIVE_CLUSTER:
         metrics = _generative_vanilla_cluster_impl(
             experiment.spec, experiment.workload_obj(),
-            **_generative_cluster_kwargs(experiment), **kw)
+            **_generative_cluster_kwargs(experiment), obs=obs, **kw)
         return _result(experiment, "vanilla", KIND_GENERATIVE_CLUSTER,
                        metrics.summary(), raw=metrics,
-                       details=_fleet_details(metrics))
+                       details=_fleet_details(metrics), trace=obs)
     if experiment.kind == KIND_GENERATIVE:
         metrics = _generative_vanilla_impl(
             experiment.spec, experiment.workload_obj(),
             max_batch_size=experiment.batch_size(_GENERATIVE_BATCH),
-            seed=experiment.seed, ttft_slo_ms=experiment.slo_ms, **kw)
+            seed=experiment.seed, ttft_slo_ms=experiment.slo_ms, obs=obs, **kw)
         return _result(experiment, "vanilla", KIND_GENERATIVE, metrics.summary(),
-                       raw=metrics)
+                       raw=metrics, trace=obs)
     if experiment.kind == KIND_CLUSTER:
         metrics = _vanilla_cluster_impl(experiment.spec, experiment.workload_obj(),
-                                        **_cluster_kwargs(experiment), **kw)
+                                        **_cluster_kwargs(experiment), obs=obs,
+                                        **kw)
         return _result(experiment, "vanilla", KIND_CLUSTER, metrics.summary(),
-                       raw=metrics, details=_fleet_details(metrics))
+                       raw=metrics, details=_fleet_details(metrics), trace=obs)
     metrics = _vanilla_impl(experiment.spec, experiment.workload_obj(),
                             platform=experiment.platform, slo_ms=experiment.slo_ms,
                             max_batch_size=experiment.batch_size(_CLASSIFY_BATCH),
                             seed=experiment.seed,
-                            drop_expired=experiment.drop_expired, **kw)
+                            drop_expired=experiment.drop_expired, obs=obs, **kw)
     return _result(experiment, "vanilla", KIND_CLASSIFICATION, metrics.summary(),
-                   raw=metrics)
+                   raw=metrics, trace=obs)
 
 
 @register_system(
@@ -224,44 +246,46 @@ def _vanilla_system(experiment, **kw) -> RunResult:
     description="Apparate: adaptive early exits managed at runtime (the system)")
 def _apparate_system(experiment, **kw) -> RunResult:
     ee = experiment.ee
+    obs = _recorder_for(experiment)
     if experiment.kind == KIND_GENERATIVE_DISAGG:
         cluster = experiment.cluster
         outcome = _generative_apparate_disagg_impl(
             experiment.spec, experiment.workload_obj(),
             fleet_mode=cluster.fleet_mode,
             accuracy_constraint=ee.accuracy_constraint,
-            **_disagg_kwargs(experiment), **kw)
+            **_disagg_kwargs(experiment), obs=obs, **kw)
         summary = outcome.summary()
         details = _disagg_details(outcome.metrics)
         details["fleet_mode"] = cluster.fleet_mode
         details["ramp_depth"] = summary.get("ramp_depth", 0.0)
         details["threshold"] = summary.get("threshold", 0.0)
         return _result(experiment, "apparate", KIND_GENERATIVE_DISAGG,
-                       summary, raw=outcome, details=details)
+                       summary, raw=outcome, details=details, trace=obs)
     if experiment.kind == KIND_GENERATIVE_CLUSTER:
         cluster = experiment.cluster
         outcome = _generative_apparate_cluster_impl(
             experiment.spec, experiment.workload_obj(),
             fleet_mode=cluster.fleet_mode,
             accuracy_constraint=ee.accuracy_constraint,
-            **_generative_cluster_kwargs(experiment), **kw)
+            **_generative_cluster_kwargs(experiment), obs=obs, **kw)
         summary = outcome.summary()
         details = _fleet_details(outcome.metrics)
         details["fleet_mode"] = cluster.fleet_mode
         details["ramp_depth"] = summary.get("ramp_depth", 0.0)
         details["threshold"] = summary.get("threshold", 0.0)
         return _result(experiment, "apparate", KIND_GENERATIVE_CLUSTER,
-                       summary, raw=outcome, details=details)
+                       summary, raw=outcome, details=details, trace=obs)
     if experiment.kind == KIND_GENERATIVE:
         outcome = _generative_apparate_impl(
             experiment.spec, experiment.workload_obj(),
             accuracy_constraint=ee.accuracy_constraint,
             max_batch_size=experiment.batch_size(_GENERATIVE_BATCH),
-            seed=experiment.seed, ttft_slo_ms=experiment.slo_ms, **kw)
+            seed=experiment.seed, ttft_slo_ms=experiment.slo_ms, obs=obs, **kw)
         return _result(experiment, "apparate", KIND_GENERATIVE, outcome.summary(),
                        raw=outcome,
                        details={"ramp_depth": outcome.policy.ramp_depth,
-                                "threshold": outcome.policy.threshold})
+                                "threshold": outcome.policy.threshold},
+                       trace=obs)
     if experiment.kind == KIND_CLUSTER:
         cluster = experiment.cluster
         outcome = _apparate_cluster_impl(
@@ -270,12 +294,12 @@ def _apparate_system(experiment, **kw) -> RunResult:
             accuracy_constraint=ee.accuracy_constraint,
             ramp_budget=ee.ramp_budget, ramp_style=ee.ramp_style,
             initial_ramp_ids=ee.initial_ramp_ids,
-            **_cluster_kwargs(experiment), **kw)
+            **_cluster_kwargs(experiment), obs=obs, **kw)
         details = _fleet_details(outcome.metrics)
         details["fleet_mode"] = cluster.fleet_mode
         return _result(
             experiment, "apparate", KIND_CLUSTER, outcome.summary(), raw=outcome,
-            details=details)
+            details=details, trace=obs)
     outcome = _apparate_impl(experiment.spec, experiment.workload_obj(),
                              platform=experiment.platform, slo_ms=experiment.slo_ms,
                              accuracy_constraint=ee.accuracy_constraint,
@@ -284,10 +308,11 @@ def _apparate_system(experiment, **kw) -> RunResult:
                              seed=experiment.seed,
                              drop_expired=experiment.drop_expired,
                              ramp_adjustment_enabled=ee.ramp_adjustment_enabled,
-                             initial_ramp_ids=ee.initial_ramp_ids, **kw)
+                             initial_ramp_ids=ee.initial_ramp_ids, obs=obs, **kw)
     return _result(experiment, "apparate", KIND_CLASSIFICATION, outcome.summary(),
                    raw=outcome,
-                   details={"final_config": outcome.controller.config.describe()})
+                   details={"final_config": outcome.controller.config.describe()},
+                   trace=obs)
 
 
 # ---------------------------------------------------------------------------
@@ -301,6 +326,7 @@ def _apparate_system(experiment, **kw) -> RunResult:
     aliases=("static",))
 def _static_ee_system(experiment, variant=StaticEEVariant.SHARED,
                       **kw) -> RunResult:
+    obs = _recorder_for(experiment)
     outcome = _static_ee_impl(experiment.spec, experiment.workload_obj(),
                               variant=StaticEEVariant(variant),
                               ramp_style=experiment.ee.ramp_style,
@@ -308,12 +334,13 @@ def _static_ee_system(experiment, variant=StaticEEVariant.SHARED,
                               slo_ms=experiment.slo_ms,
                               accuracy_constraint=experiment.ee.accuracy_constraint,
                               max_batch_size=experiment.batch_size(_CLASSIFY_BATCH),
-                              seed=experiment.seed, **kw)
+                              seed=experiment.seed, obs=obs, **kw)
     return _result(experiment, "static_ee", KIND_CLASSIFICATION, outcome.summary(),
                    raw=outcome,
                    details={"variant": StaticEEVariant(variant).value,
                             "thresholds": list(outcome.thresholds),
-                            "ramp_depths": list(outcome.ramp_depths)})
+                            "ramp_depths": list(outcome.ramp_depths)},
+                   trace=obs)
 
 
 @register_system(
@@ -321,14 +348,15 @@ def _static_ee_system(experiment, variant=StaticEEVariant.SHARED,
     kinds=(KIND_CLASSIFICATION,),
     description="two-layer cascade (Tabi/FilterForward): compressed model + escalation")
 def _two_layer_system(experiment, **kw) -> RunResult:
+    obs = _recorder_for(experiment)
     outcome = _two_layer_impl(experiment.spec, experiment.workload_obj(),
                               platform=experiment.platform,
                               slo_ms=experiment.slo_ms,
                               accuracy_constraint=experiment.ee.accuracy_constraint,
                               max_batch_size=experiment.batch_size(_CLASSIFY_BATCH),
-                              seed=experiment.seed, **kw)
+                              seed=experiment.seed, obs=obs, **kw)
     return _result(experiment, "two_layer", KIND_CLASSIFICATION, outcome.summary(),
-                   raw=outcome)
+                   raw=outcome, trace=obs)
 
 
 @register_system(
@@ -336,29 +364,30 @@ def _two_layer_system(experiment, **kw) -> RunResult:
     kinds=(KIND_GENERATIVE, KIND_GENERATIVE_CLUSTER, KIND_GENERATIVE_DISAGG),
     description="FREE (Bae et al.): one fixed generative ramp, no runtime adaptation")
 def _free_system(experiment, **kw) -> RunResult:
+    obs = _recorder_for(experiment)
     if experiment.kind == KIND_GENERATIVE_DISAGG:
         metrics = _free_generative_disagg_impl(
             experiment.spec, experiment.workload_obj(),
             accuracy_constraint=experiment.ee.accuracy_constraint,
-            **_disagg_kwargs(experiment), **kw)
+            **_disagg_kwargs(experiment), obs=obs, **kw)
         return _result(experiment, "free", KIND_GENERATIVE_DISAGG,
                        metrics.summary(), raw=metrics,
-                       details=_disagg_details(metrics))
+                       details=_disagg_details(metrics), trace=obs)
     if experiment.kind == KIND_GENERATIVE_CLUSTER:
         metrics = _free_generative_cluster_impl(
             experiment.spec, experiment.workload_obj(),
             accuracy_constraint=experiment.ee.accuracy_constraint,
-            **_generative_cluster_kwargs(experiment), **kw)
+            **_generative_cluster_kwargs(experiment), obs=obs, **kw)
         return _result(experiment, "free", KIND_GENERATIVE_CLUSTER,
                        metrics.summary(), raw=metrics,
-                       details=_fleet_details(metrics))
+                       details=_fleet_details(metrics), trace=obs)
     metrics = _free_generative_impl(
         experiment.spec, experiment.workload_obj(),
         accuracy_constraint=experiment.ee.accuracy_constraint,
         max_batch_size=experiment.batch_size(_GENERATIVE_BATCH),
-        seed=experiment.seed, ttft_slo_ms=experiment.slo_ms, **kw)
+        seed=experiment.seed, ttft_slo_ms=experiment.slo_ms, obs=obs, **kw)
     return _result(experiment, "free", KIND_GENERATIVE, metrics.summary(),
-                   raw=metrics)
+                   raw=metrics, trace=obs)
 
 
 @register_system(
@@ -368,35 +397,38 @@ def _free_system(experiment, **kw) -> RunResult:
     description="optimal oracle: every input exits at its earliest correct ramp",
     aliases=("oracle",))
 def _optimal_system(experiment, **kw) -> RunResult:
+    obs = _recorder_for(experiment)
     if experiment.kind == KIND_GENERATIVE_DISAGG:
         metrics = _optimal_generative_disagg_impl(
             experiment.spec, experiment.workload_obj(),
-            **_disagg_kwargs(experiment), **kw)
+            **_disagg_kwargs(experiment), obs=obs, **kw)
         return _result(experiment, "optimal", KIND_GENERATIVE_DISAGG,
                        metrics.summary(), raw=metrics,
-                       details=_disagg_details(metrics))
+                       details=_disagg_details(metrics), trace=obs)
     if experiment.kind == KIND_GENERATIVE_CLUSTER:
         metrics = _optimal_generative_cluster_impl(
             experiment.spec, experiment.workload_obj(),
-            **_generative_cluster_kwargs(experiment), **kw)
+            **_generative_cluster_kwargs(experiment), obs=obs, **kw)
         return _result(experiment, "optimal", KIND_GENERATIVE_CLUSTER,
                        metrics.summary(), raw=metrics,
-                       details=_fleet_details(metrics))
+                       details=_fleet_details(metrics), trace=obs)
     if experiment.kind == KIND_GENERATIVE:
         metrics = _optimal_generative_impl(
             experiment.spec, experiment.workload_obj(),
             max_batch_size=experiment.batch_size(_GENERATIVE_BATCH),
-            seed=experiment.seed, ttft_slo_ms=experiment.slo_ms, **kw)
+            seed=experiment.seed, ttft_slo_ms=experiment.slo_ms, obs=obs, **kw)
         return _result(experiment, "optimal", KIND_GENERATIVE, metrics.summary(),
-                       raw=metrics)
+                       raw=metrics, trace=obs)
+    # Classification spans record the replayed vanilla timeline (the oracle
+    # discounts its latencies analytically) — see _optimal_classification_impl.
     latencies = _optimal_classification_impl(
         experiment.spec, experiment.workload_obj(),
         platform=experiment.platform, slo_ms=experiment.slo_ms,
         max_batch_size=experiment.batch_size(_CLASSIFY_BATCH),
-        seed=experiment.seed, drop_expired=experiment.drop_expired, **kw)
+        seed=experiment.seed, drop_expired=experiment.drop_expired, obs=obs, **kw)
     summary = _latency_summary(latencies)
     return _result(experiment, "optimal", KIND_CLASSIFICATION, summary,
-                   raw=latencies)
+                   raw=latencies, trace=obs)
 
 
 def _latency_summary(latencies: np.ndarray) -> Dict[str, float]:

@@ -90,7 +90,8 @@ def _free_generative_impl(model: Union[str, ModelSpec], workload: GenerativeWork
                           accuracy_constraint: float = 0.01, max_batch_size: int = 8,
                           calibration_fraction: float = 0.03,
                           seed: int = 0,
-                          ttft_slo_ms: Optional[float] = None) -> GenerativeMetrics:
+                          ttft_slo_ms: Optional[float] = None,
+                          obs=None) -> GenerativeMetrics:
     from repro.core.generative import _normalize_ttft_slo
     spec = get_model(model) if isinstance(model, str) else model
     prediction = PredictionModel(spec, seed=seed)
@@ -103,6 +104,8 @@ def _free_generative_impl(model: Union[str, ModelSpec], workload: GenerativeWork
     timing = DecodeTimingModel(spec, ramp_overhead_fraction=overhead)
     engine = ContinuousBatchingEngine(timing, max_batch_size=max_batch_size,
                                       ttft_slo_ms=_normalize_ttft_slo(ttft_slo_ms))
+    if obs is not None:
+        engine.obs = obs
     return engine.run(workload, policy)
 
 
@@ -116,7 +119,8 @@ def _free_generative_cluster_impl(model: Union[str, ModelSpec],
                                   min_replicas=None, max_replicas=None,
                                   profiles=None, prefill_in_slot: bool = False,
                                   ttft_slo_ms: Optional[float] = None,
-                                  tenancy=None, faults=None, kv_capacity=None):
+                                  tenancy=None, faults=None, kv_capacity=None,
+                                  obs=None):
     """FREE at fleet scale: one (depth, threshold) pair calibrated once on the
     leading workload slice, then deployed frozen on every replica (including
     any the autoscaler boots mid-run) — no runtime adaptation anywhere."""
@@ -134,7 +138,7 @@ def _free_generative_cluster_impl(model: Union[str, ModelSpec],
                                        prefill_in_slot=prefill_in_slot,
                                        ttft_slo_ms=ttft_slo_ms,
                                        tenancy=tenancy, faults=faults,
-                                       kv_capacity=kv_capacity)
+                                       kv_capacity=kv_capacity, obs=obs)
     return cluster.run(workload, lambda ordinal: policy)
 
 

@@ -71,11 +71,14 @@ def _optimal_classification_impl(model: Union[str, ModelSpec], workload: Workloa
                                  platform: str = "clockwork",
                                  slo_ms: Optional[float] = None,
                                  max_batch_size: int = 16, seed: int = 0,
-                                 drop_expired: bool = True) -> np.ndarray:
+                                 drop_expired: bool = True, obs=None) -> np.ndarray:
+    # The oracle replays the vanilla run's schedule, so the recorded spans
+    # are the vanilla serving timeline (its latencies are then discounted
+    # analytically and do not correspond to any simulated timeline).
     spec, _profile, prediction, catalog, _executor = model_stack(model, seed=seed)
     vanilla = _vanilla_impl(spec, workload, platform=platform, slo_ms=slo_ms,
                             max_batch_size=max_batch_size, seed=seed,
-                            drop_expired=drop_expired)
+                            drop_expired=drop_expired, obs=obs)
     return optimal_latencies(vanilla, workload.trace, prediction,
                              [r.depth_fraction for r in catalog.ramps])
 
@@ -121,13 +124,16 @@ def _oracle_token_policy(spec: ModelSpec, seed: int) -> "OracleTokenPolicy":
 
 def _optimal_generative_impl(model: Union[str, ModelSpec], workload: GenerativeWorkload,
                              max_batch_size: int = 8, seed: int = 0,
-                             ttft_slo_ms: Optional[float] = None) -> GenerativeMetrics:
+                             ttft_slo_ms: Optional[float] = None,
+                             obs=None) -> GenerativeMetrics:
     from repro.core.generative import _normalize_ttft_slo
     spec = get_model(model) if isinstance(model, str) else model
     policy = _oracle_token_policy(spec, seed)
     timing = DecodeTimingModel(spec, ramp_overhead_fraction=0.0)
     engine = ContinuousBatchingEngine(timing, max_batch_size=max_batch_size,
                                       ttft_slo_ms=_normalize_ttft_slo(ttft_slo_ms))
+    if obs is not None:
+        engine.obs = obs
     return engine.run(workload, policy)
 
 
@@ -140,7 +146,7 @@ def _optimal_generative_cluster_impl(model: Union[str, ModelSpec],
                                      prefill_in_slot: bool = False,
                                      ttft_slo_ms: Optional[float] = None,
                                      tenancy=None, faults=None,
-                                     kv_capacity=None):
+                                     kv_capacity=None, obs=None):
     """The generative oracle at fleet scale: every token on every replica
     exits at its earliest correct ramp with zero overhead."""
     from repro.core.generative import build_generative_cluster
@@ -155,7 +161,7 @@ def _optimal_generative_cluster_impl(model: Union[str, ModelSpec],
                                        prefill_in_slot=prefill_in_slot,
                                        ttft_slo_ms=ttft_slo_ms,
                                        tenancy=tenancy, faults=faults,
-                                       kv_capacity=kv_capacity)
+                                       kv_capacity=kv_capacity, obs=obs)
     return cluster.run(workload, lambda ordinal: policy)
 
 

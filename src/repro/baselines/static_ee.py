@@ -128,7 +128,8 @@ def _static_ee_impl(model: Union[str, ModelSpec], workload: Workload,
                     ramp_style: RampStyle = RampStyle.LIGHTWEIGHT,
                     platform: str = "clockwork", slo_ms: Optional[float] = None,
                     accuracy_constraint: float = 0.01, calibration_fraction: float = 0.10,
-                    max_batch_size: int = 16, seed: int = 0) -> StaticEEResult:
+                    max_batch_size: int = 16, seed: int = 0,
+                    obs=None) -> StaticEEResult:
     spec, profile, prediction, catalog, executor = model_stack(
         model, seed=seed, ramp_budget=1.0, ramp_style=ramp_style)
     slo = slo_ms if slo_ms is not None else spec.default_slo_ms
@@ -153,7 +154,8 @@ def _static_ee_impl(model: Union[str, ModelSpec], workload: Workload,
                                              accuracy_constraint=accuracy_constraint)
 
     requests = make_requests(workload.trace, workload.arrival_times_ms, slo)
-    engine = build_platform(platform, profile, max_batch_size=max_batch_size)
+    engine = build_platform(platform, profile, max_batch_size=max_batch_size,
+                            obs=obs)
     static_executor = _StaticEEExecutor(executor, ramp_ids, depths, thresholds,
                                         overhead_fractions)
     metrics = engine.run(requests, static_executor)

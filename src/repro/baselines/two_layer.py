@@ -101,7 +101,8 @@ def _two_layer_impl(model: Union[str, ModelSpec], workload: Workload,
                     accuracy_constraint: float = 0.01, calibration_fraction: float = 1.0,
                     capability_depth: Optional[float] = None,
                     runtime_fraction: Optional[float] = None,
-                    max_batch_size: int = 16, seed: int = 0) -> TwoLayerResult:
+                    max_batch_size: int = 16, seed: int = 0,
+                    obs=None) -> TwoLayerResult:
     spec, _profile, prediction, _catalog, _executor = model_stack(model, seed=seed)
     defaults = _DEFAULTS.get(spec.task, _DEFAULTS[Task.NLP_CLASSIFICATION])
     system = TwoLayerSystem(
@@ -114,8 +115,11 @@ def _two_layer_impl(model: Union[str, ModelSpec], workload: Workload,
     system.calibrate(workload.trace.slice(0, calibration_count), prediction,
                      accuracy_constraint=accuracy_constraint)
 
+    # Like the oracle, the two-layer comparator replays the vanilla run's
+    # schedule and discounts latencies analytically, so recorded spans show
+    # the vanilla serving timeline.
     vanilla = _vanilla_impl(spec, workload, platform=platform, slo_ms=slo_ms,
-                            max_batch_size=max_batch_size, seed=seed)
+                            max_batch_size=max_batch_size, seed=seed, obs=obs)
 
     required = prediction.required_depths(workload.trace.raw_difficulty)
     sharpness = workload.trace.sharpness

@@ -30,6 +30,11 @@ system registry (``repro.api.list_systems()``).
     command and print one row per grid point and system.  Generative models
     sweep too (``--model t5-large --workload generative:squad``).
 
+``classify`` and ``generate`` also take ``--trace`` (record request spans +
+fleet gauges and print a per-phase latency breakdown), ``--trace-out
+trace.json`` (export Chrome trace-event JSON for Perfetto), and
+``--gauge-interval MS`` (fleet-gauge sampling period on the simulated clock).
+
 Every subcommand accepts ``--json`` for machine-readable output
 (``RunReport.to_json()`` / ``SweepReport.to_json()``).  Validation errors
 raise :class:`ValueError` inside the API and are converted to ``SystemExit``
@@ -40,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -83,6 +89,22 @@ def _parse_float_list(text: str, option: str) -> List[float]:
     if not values:
         raise ValueError(f"{option} expects at least one value, got {text!r}")
     return values
+
+
+def _add_trace_args(parser) -> None:
+    """Observability flags shared by the classify and generate commands."""
+    parser.add_argument("--trace", action="store_true",
+                        help="record request spans and fleet gauges; prints "
+                             "a per-phase latency breakdown after the run")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write the recorded trace as Chrome trace-event "
+                             "JSON (load in Perfetto / chrome://tracing); "
+                             "implies --trace.  With multiple systems, one "
+                             "file per system (suffixed with the system name)")
+    parser.add_argument("--gauge-interval", type=float, default=None,
+                        metavar="MS",
+                        help="fleet-gauge sampling period in simulated ms "
+                             "(default 50; requires --trace/--trace-out)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -150,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "'crash_ms:down_ms[:pool];...' or "
                                "'mtbf=..,mttr=..,horizon=..[,seed=..][,pool=..]' "
                                "for a seeded random schedule")
+    _add_trace_args(classify)
     classify.add_argument("--json", action="store_true",
                           help="print the RunReport as JSON instead of a table")
 
@@ -257,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "'crash_ms:down_ms[:pool];...' or "
                                "'mtbf=..,mttr=..,horizon=..[,seed=..][,pool=..]' "
                                "for a seeded random schedule")
+    _add_trace_args(generate)
     generate.add_argument("--json", action="store_true",
                           help="print the RunReport as JSON instead of a table")
 
@@ -489,6 +513,44 @@ def _print_fleet_stats(report: RunReport) -> None:
               f"{summary['ramp_adjustments']:.0f} ramp adjustments")
 
 
+def _trace_spec(args: argparse.Namespace):
+    """The ``Experiment.trace`` knob for the parsed CLI flags (or ``None``)."""
+    if not (args.trace or args.trace_out):
+        if args.gauge_interval is not None:
+            raise ValueError("--gauge-interval requires --trace or --trace-out")
+        return None
+    from repro.obs import TraceSpec
+    if args.gauge_interval is not None:
+        return TraceSpec(gauge_interval_ms=float(args.gauge_interval))
+    return TraceSpec()
+
+
+def _print_obs_lines(report: RunReport) -> None:
+    """Per-system phase-breakdown tables for traced runs."""
+    from repro.obs import format_phase_table
+    for result in report.results:
+        obs = result.details.get("obs")
+        if not obs or not obs.get("phases"):
+            continue
+        spans = obs["spans"]
+        outcomes = " ".join(f"{k}={v}" for k, v in spans["outcomes"].items())
+        print(f"{result.system} spans: {spans['total']} "
+              f"({outcomes or 'none closed'})")
+        print("\n".join("  " + line for line in
+                        format_phase_table(obs["phases"]).splitlines()))
+
+
+def _write_traces(report: RunReport, path: str) -> None:
+    """One Chrome trace file per traced system under ``--trace-out``."""
+    from repro.obs import write_chrome_trace
+    traced = [r for r in report.results if r.trace is not None]
+    root, ext = os.path.splitext(path)
+    for result in traced:
+        out = path if len(traced) == 1 else f"{root}.{result.system}{ext}"
+        write_chrome_trace(result.trace, out)
+        print(f"wrote {result.system} trace to {out}", file=sys.stderr)
+
+
 def _tenancy_header(cluster: Optional[ClusterSpec]) -> str:
     parts = ""
     if cluster is not None and cluster.tenants is not None:
@@ -526,12 +588,15 @@ def _classification_experiment(args: argparse.Namespace) -> Experiment:
         print("note: --balancer/--fleet-mode only apply to cluster serving; "
               "pass --replicas N (N > 1) to enable it", file=sys.stderr)
     return Experiment(model=spec, workload=workload, cluster=cluster, ee=ee,
-                      platform=args.platform, seed=args.seed)
+                      platform=args.platform, seed=args.seed,
+                      trace=_trace_spec(args))
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
     experiment = _classification_experiment(args)
     report = experiment.run(_split_csv(args.systems))
+    if args.trace_out:
+        _write_traces(report, args.trace_out)
     if args.json:
         print(json.dumps(report.to_json(), indent=2))
         return 0
@@ -552,6 +617,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     _print_fleet_size_lines(report)
     _print_fleet_stats(report)
     _print_tenant_lines(report)
+    _print_obs_lines(report)
     _print_win_line(report)
     return 0
 
@@ -627,8 +693,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     experiment = Experiment(
         model=spec, workload=workload, cluster=cluster,
         ee=ExitPolicySpec(accuracy_constraint=args.accuracy_constraint),
-        slo_ms=args.ttft_slo, seed=args.seed)
+        slo_ms=args.ttft_slo, seed=args.seed, trace=_trace_spec(args))
     report = experiment.run(systems)
+    if args.trace_out:
+        _write_traces(report, args.trace_out)
     if args.json:
         print(json.dumps(report.to_json(), indent=2))
         return 0
@@ -664,6 +732,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     _print_pool_lines(report)
     _print_kv_lines(report)
     _print_tenant_lines(report)
+    _print_obs_lines(report)
     _print_win_line(report)
     return 0
 
@@ -756,7 +825,16 @@ def _sweep_progress_printer():
         params = " ".join(f"{k}={v}" for k, v in outcome.params.items())
         status = "ok" if outcome.error is None \
             else f"ERROR {outcome.error['type']}: {outcome.error['message']}"
-        print(f"[{done}/{total}] {params} {status} {outcome.wall_s:.2f}s",
+        cache = ""
+        if outcome.cache is not None:
+            # Whether this point reused a sibling's materialized workload
+            # trace ("hit"), paid to generate its own ("miss"), or arrived
+            # with the parent's pre-materialized workload attached ("warm").
+            hits, misses = outcome.cache["hits"], outcome.cache["misses"]
+            tag = "miss" if misses else ("hit" if hits else "warm")
+            cache = f" trace-cache {tag} ({hits}h/{misses}m)"
+        print(f"[{done}/{total}] {params} {status} "
+              f"{outcome.wall_s:.2f}s{cache}",
               file=sys.stderr, flush=True)
     return emit
 

@@ -236,18 +236,22 @@ class GenerativeClusterRunResult:
 
 def _generative_vanilla_impl(model: Union[str, ModelSpec], workload: GenerativeWorkload,
                              max_batch_size: int = 8, seed: int = 0,
-                             ttft_slo_ms: Optional[float] = None) -> GenerativeMetrics:
+                             ttft_slo_ms: Optional[float] = None,
+                             obs=None) -> GenerativeMetrics:
     spec = get_model(model) if isinstance(model, str) else model
     timing = DecodeTimingModel(spec, ramp_overhead_fraction=0.0)
     engine = ContinuousBatchingEngine(timing, max_batch_size=max_batch_size,
                                       ttft_slo_ms=_normalize_ttft_slo(ttft_slo_ms))
+    if obs is not None:
+        engine.obs = obs
     return engine.run(workload, VanillaTokenPolicy())
 
 
 def _generative_apparate_impl(model: Union[str, ModelSpec], workload: GenerativeWorkload,
                               accuracy_constraint: float = 0.01, max_batch_size: int = 8,
                               flush_limit: int = 8, seed: int = 0,
-                              ttft_slo_ms: Optional[float] = None) -> GenerativeRunResult:
+                              ttft_slo_ms: Optional[float] = None,
+                              obs=None) -> GenerativeRunResult:
     spec = get_model(model) if isinstance(model, str) else model
     prediction = PredictionModel(spec, seed=seed)
     depths = generative_ramp_depths(spec, seed=seed)
@@ -257,6 +261,8 @@ def _generative_apparate_impl(model: Union[str, ModelSpec], workload: Generative
     engine = ContinuousBatchingEngine(timing, max_batch_size=max_batch_size,
                                       flush_limit=flush_limit,
                                       ttft_slo_ms=_normalize_ttft_slo(ttft_slo_ms))
+    if obs is not None:
+        engine.obs = obs
     metrics = engine.run(workload, policy)
     return GenerativeRunResult(metrics=metrics, policy=policy)
 
@@ -307,8 +313,8 @@ def build_generative_cluster(model: Union[str, ModelSpec], replicas: int,
                              prefill_in_slot: bool = False,
                              ttft_slo_ms: Optional[float] = None,
                              tenancy=None, faults=None,
-                             kv_capacity: Optional[float] = None
-                             ) -> GenerativeClusterPlatform:
+                             kv_capacity: Optional[float] = None,
+                             obs=None) -> GenerativeClusterPlatform:
     """Construct a fleet of continuous-batching decode replicas.
 
     The engine is stateless, so one instance (model timing + slot count +
@@ -336,7 +342,7 @@ def build_generative_cluster(model: Union[str, ModelSpec], replicas: int,
         autoscaler=_resolve_generative_autoscaler(autoscaler, max_batch_size),
         min_replicas=min_replicas, max_replicas=max_replicas,
         ttft_slo_ms=_normalize_ttft_slo(ttft_slo_ms),
-        tenancy=tenancy, faults=faults, kv_capacity=kv_capacity)
+        tenancy=tenancy, faults=faults, kv_capacity=kv_capacity, obs=obs)
 
 
 def _generative_vanilla_cluster_impl(model: Union[str, ModelSpec],
@@ -351,8 +357,8 @@ def _generative_vanilla_cluster_impl(model: Union[str, ModelSpec],
                                      prefill_in_slot: bool = False,
                                      ttft_slo_ms: Optional[float] = None,
                                      tenancy=None, faults=None,
-                                     kv_capacity: Optional[float] = None
-                                     ) -> GenerativeClusterMetrics:
+                                     kv_capacity: Optional[float] = None,
+                                     obs=None) -> GenerativeClusterMetrics:
     cluster = build_generative_cluster(model, replicas, balancer=balancer,
                                        max_batch_size=max_batch_size,
                                        ramp_overhead=0.0, seed=seed,
@@ -362,7 +368,7 @@ def _generative_vanilla_cluster_impl(model: Union[str, ModelSpec],
                                        prefill_in_slot=prefill_in_slot,
                                        ttft_slo_ms=ttft_slo_ms,
                                        tenancy=tenancy, faults=faults,
-                                       kv_capacity=kv_capacity)
+                                       kv_capacity=kv_capacity, obs=obs)
     # The vanilla policy is stateless: every replica (including scaled-out
     # ones) shares it.
     policy = VanillaTokenPolicy()
@@ -384,8 +390,8 @@ def _generative_apparate_cluster_impl(model: Union[str, ModelSpec],
                                       prefill_in_slot: bool = False,
                                       ttft_slo_ms: Optional[float] = None,
                                       tenancy=None, faults=None,
-                                      kv_capacity: Optional[float] = None
-                                      ) -> GenerativeClusterRunResult:
+                                      kv_capacity: Optional[float] = None,
+                                      obs=None) -> GenerativeClusterRunResult:
     if fleet_mode not in FleetController.MODES:
         raise ValueError(f"unknown fleet mode {fleet_mode!r}; "
                          f"choose from {tuple(FleetController.MODES)}")
@@ -403,7 +409,7 @@ def _generative_apparate_cluster_impl(model: Union[str, ModelSpec],
                                        prefill_in_slot=prefill_in_slot,
                                        ttft_slo_ms=ttft_slo_ms,
                                        tenancy=tenancy, faults=faults,
-                                       kv_capacity=kv_capacity)
+                                       kv_capacity=kv_capacity, obs=obs)
 
     policies: List[ApparateTokenPolicy] = []
     shared = ApparateTokenPolicy(prediction, depths,
@@ -463,8 +469,8 @@ def build_disaggregated_platform(model: Union[str, ModelSpec],
                                  ttft_slo_ms: Optional[float] = None,
                                  transfer_gbps: float = 16.0,
                                  tenancy=None, faults=None,
-                                 kv_capacity: Optional[float] = None
-                                 ) -> DisaggregatedPlatform:
+                                 kv_capacity: Optional[float] = None,
+                                 obs=None) -> DisaggregatedPlatform:
     """Construct a prefill pool + decode pool behind one handoff queue.
 
     Decode engines carry no in-slot prefill model (their prompts arrive
@@ -492,7 +498,7 @@ def build_disaggregated_platform(model: Union[str, ModelSpec],
         decode_min_replicas=decode_min_replicas,
         decode_max_replicas=decode_max_replicas,
         ttft_slo_ms=_normalize_ttft_slo(ttft_slo_ms),
-        tenancy=tenancy, faults=faults, kv_capacity=kv_capacity)
+        tenancy=tenancy, faults=faults, kv_capacity=kv_capacity, obs=obs)
 
 
 def _generative_vanilla_disagg_impl(model: Union[str, ModelSpec],

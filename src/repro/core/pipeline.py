@@ -137,18 +137,23 @@ def _graph_name(spec: ModelSpec) -> str:
 
 
 def build_platform(platform: str, profile: LatencyProfile, max_batch_size: int = 16,
-                   batch_timeout_ms: float = 5.0, drop_expired: bool = True) -> ServingPlatform:
+                   batch_timeout_ms: float = 5.0, drop_expired: bool = True,
+                   obs=None) -> ServingPlatform:
     """Construct a serving platform by name (``clockwork`` or ``tfserve``)."""
     platform = platform.lower()
     if platform == "clockwork":
-        return ClockworkPlatform(profile, max_batch_size=max_batch_size,
-                                 drop_expired=drop_expired)
-    if platform in ("tfserve", "tf-serving", "tensorflow-serving"):
-        return TFServingPlatform(max_batch_size=max_batch_size,
-                                 batch_timeout_ms=batch_timeout_ms,
-                                 drop_expired=drop_expired,
-                                 profile=profile)
-    raise ValueError(f"unknown platform {platform!r}")
+        engine: ServingPlatform = ClockworkPlatform(
+            profile, max_batch_size=max_batch_size, drop_expired=drop_expired)
+    elif platform in ("tfserve", "tf-serving", "tensorflow-serving"):
+        engine = TFServingPlatform(max_batch_size=max_batch_size,
+                                   batch_timeout_ms=batch_timeout_ms,
+                                   drop_expired=drop_expired,
+                                   profile=profile)
+    else:
+        raise ValueError(f"unknown platform {platform!r}")
+    if obs is not None:
+        engine.obs = obs
+    return engine
 
 
 def build_cluster(platform: str, profile: LatencyProfile, replicas: int,
@@ -159,7 +164,7 @@ def build_cluster(platform: str, profile: LatencyProfile, replicas: int,
                   autoscaler: Union[str, Autoscaler, None] = "none",
                   min_replicas: Optional[int] = None,
                   max_replicas: Optional[int] = None,
-                  tenancy=None, faults=None) -> ClusterPlatform:
+                  tenancy=None, faults=None, obs=None) -> ClusterPlatform:
     """Construct a fleet of platforms behind a load balancer.
 
     ``profiles`` makes the fleet heterogeneous: each replica's platform is
@@ -192,7 +197,7 @@ def build_cluster(platform: str, profile: LatencyProfile, replicas: int,
                            profiles=resolved, autoscaler=autoscaler,
                            min_replicas=min_replicas, max_replicas=max_replicas,
                            replica_factory=replica_factory,
-                           tenancy=tenancy, faults=faults)
+                           tenancy=tenancy, faults=faults, obs=obs)
 
 
 # ---------------------------------------------------------------------------
@@ -223,12 +228,12 @@ def _resolve_autoscaler(autoscaler: Union[str, Autoscaler, None],
 def _vanilla_impl(model: Union[str, ModelSpec], workload: Workload,
                   platform: str = "clockwork", slo_ms: Optional[float] = None,
                   max_batch_size: int = 16, seed: int = 0,
-                  drop_expired: bool = True) -> ServingMetrics:
+                  drop_expired: bool = True, obs=None) -> ServingMetrics:
     spec, profile, _prediction, _catalog, executor = model_stack(model, seed=seed)
     slo = slo_ms if slo_ms is not None else spec.default_slo_ms
     requests = _workload_requests(workload, slo)
     engine = build_platform(platform, profile, max_batch_size=max_batch_size,
-                            drop_expired=drop_expired)
+                            drop_expired=drop_expired, obs=obs)
     return engine.run(requests, VanillaExecutor(executor))
 
 
@@ -239,7 +244,8 @@ def _apparate_impl(model: Union[str, ModelSpec], workload: Workload,
                    max_batch_size: int = 16, seed: int = 0,
                    drop_expired: bool = True,
                    ramp_adjustment_enabled: bool = True,
-                   initial_ramp_ids: Optional[Sequence[int]] = None) -> ApparateRunResult:
+                   initial_ramp_ids: Optional[Sequence[int]] = None,
+                   obs=None) -> ApparateRunResult:
     spec, profile, _prediction, catalog, executor = model_stack(
         model, seed=seed, ramp_budget=ramp_budget, ramp_style=ramp_style)
     slo = slo_ms if slo_ms is not None else spec.default_slo_ms
@@ -253,7 +259,7 @@ def _apparate_impl(model: Union[str, ModelSpec], workload: Workload,
         controller.ramp_adjustment_period = 10 ** 9
 
     engine = build_platform(platform, profile, max_batch_size=max_batch_size,
-                            drop_expired=drop_expired)
+                            drop_expired=drop_expired, obs=obs)
     metrics = engine.run(requests, ApparateExecutor(executor, controller))
     return ApparateRunResult(metrics=metrics, controller=controller)
 
@@ -268,7 +274,7 @@ def _vanilla_cluster_impl(model: Union[str, ModelSpec], workload: Workload,
                           min_replicas: Optional[int] = None,
                           max_replicas: Optional[int] = None,
                           profiles: Optional[Sequence] = None,
-                          tenancy=None, faults=None) -> ClusterMetrics:
+                          tenancy=None, faults=None, obs=None) -> ClusterMetrics:
     spec, profile, _prediction, _catalog, executor = model_stack(model, seed=seed)
     slo = slo_ms if slo_ms is not None else spec.default_slo_ms
     requests = _workload_requests(workload, slo)
@@ -278,7 +284,7 @@ def _vanilla_cluster_impl(model: Union[str, ModelSpec], workload: Workload,
                             profiles=profiles,
                             autoscaler=_resolve_autoscaler(autoscaler, slo),
                             min_replicas=min_replicas, max_replicas=max_replicas,
-                            tenancy=tenancy, faults=faults)
+                            tenancy=tenancy, faults=faults, obs=obs)
     # The vanilla executor is stateless, so every replica can share it
     # (including replicas the autoscaler brings online mid-run).
     return cluster.run(requests, VanillaExecutor(executor))
@@ -298,7 +304,7 @@ def _apparate_cluster_impl(model: Union[str, ModelSpec], workload: Workload,
                            min_replicas: Optional[int] = None,
                            max_replicas: Optional[int] = None,
                            profiles: Optional[Sequence] = None,
-                           tenancy=None, faults=None
+                           tenancy=None, faults=None, obs=None
                            ) -> ApparateClusterRunResult:
     spec, profile, _prediction, catalog, executor = model_stack(
         model, seed=seed, ramp_budget=ramp_budget, ramp_style=ramp_style)
@@ -315,7 +321,7 @@ def _apparate_cluster_impl(model: Union[str, ModelSpec], workload: Workload,
                             profiles=profiles,
                             autoscaler=_resolve_autoscaler(autoscaler, slo),
                             min_replicas=min_replicas, max_replicas=max_replicas,
-                            tenancy=tenancy, faults=faults)
+                            tenancy=tenancy, faults=faults, obs=obs)
     # Executors come from a factory keyed by replica ordinal so replicas the
     # autoscaler adds mid-run get their own controller view (fresh controller
     # in independent mode, synced view of the shared one otherwise).

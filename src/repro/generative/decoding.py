@@ -293,6 +293,10 @@ class KVCacheAccountant:
         self.miss_tokens += max(0, int(sample.prompt_tokens) - hit)
         return hit
 
+    def used_bytes(self) -> float:
+        """Resident occupancy in bytes (the ``kv_used_bytes`` gauge)."""
+        return self.used_tokens * self.bytes_per_token
+
     # -------------------------------------------------------------- eviction
     def over_capacity(self) -> bool:
         return self.used_tokens > self.capacity_tokens

@@ -1,0 +1,21 @@
+"""Kernel-native observability: request spans, fleet gauges, exporters.
+
+Enable per experiment with ``Experiment(trace=True)`` (or a
+:class:`TraceSpec`), or on the CLI with ``--trace`` / ``--trace-out`` /
+``--gauge-interval``.  Disabled (the default) every hook is a no-op and runs
+are bit-identical to an uninstrumented build — enforced by the
+kernel-equivalence suite and ``benchmarks/test_obs_overhead.py``.
+"""
+
+from repro.obs.export import (format_phase_table, phase_breakdown,
+                              to_chrome_trace, write_chrome_trace, write_jsonl)
+from repro.obs.recorder import (NULL_RECORDER, OUTCOME_DROPPED, OUTCOME_SERVED,
+                                OUTCOME_SHED, NullRecorder, Span,
+                                TraceRecorder, build_recorder)
+from repro.obs.spec import TraceSpec, coerce_trace
+
+__all__ = ["TraceSpec", "coerce_trace", "Span", "NullRecorder",
+           "TraceRecorder", "NULL_RECORDER", "build_recorder",
+           "OUTCOME_SERVED", "OUTCOME_DROPPED", "OUTCOME_SHED",
+           "phase_breakdown", "format_phase_table", "to_chrome_trace",
+           "write_chrome_trace", "write_jsonl"]

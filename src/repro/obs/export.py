@@ -1,0 +1,169 @@
+"""Exporters for recorded traces: JSONL, Chrome trace-event JSON, tables.
+
+Three consumers, three formats:
+
+- :func:`write_jsonl` — one JSON object per line (``{"type": "span", ...}``
+  and ``{"type": "gauge", ...}``) for ad-hoc ``jq``/pandas analysis.
+- :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (``{"displayTimeUnit": "ms", "traceEvents": [...]}``),
+  loadable in Perfetto / ``chrome://tracing``.  Pools map to processes
+  (``pid``) and replicas to threads (``tid``), so every replica renders as
+  its own track; span phases are complete (``"X"``) events and gauges are
+  counter (``"C"``) events.  Events are emitted sorted by ``(pid, tid,
+  ts)`` so timestamps are monotone per track.
+- :func:`phase_breakdown` / :func:`format_phase_table` — the p50/p99
+  per-phase latency table surfaced in ``RunResult.details["obs"]`` and the
+  CLI printout.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["phase_breakdown", "gauge_summary", "format_phase_table",
+           "to_chrome_trace", "write_chrome_trace", "write_jsonl"]
+
+#: Stable pool → Chrome ``pid`` mapping (unknown pools are appended after).
+_POOL_PIDS = {"serve": 1, "prefill": 2, "decode": 3}
+
+
+def phase_breakdown(spans: Sequence[Any]) -> Dict[str, Dict[str, float]]:
+    """Per-phase duration stats over all recorded phase intervals.
+
+    Returns ``{phase: {count, mean_ms, p50_ms, p99_ms, total_ms}}`` in
+    first-seen phase order.
+    """
+    durations: Dict[str, List[float]] = {}
+    for span in spans:
+        for name, start, end, _, _ in span.phases:
+            durations.setdefault(name, []).append(end - start)
+    breakdown: Dict[str, Dict[str, float]] = {}
+    for name, values in durations.items():
+        arr = np.asarray(values, dtype=float)
+        breakdown[name] = {
+            "count": int(arr.size),
+            "mean_ms": float(arr.mean()),
+            "p50_ms": float(np.percentile(arr, 50.0)),
+            "p99_ms": float(np.percentile(arr, 99.0)),
+            "total_ms": float(arr.sum()),
+        }
+    return breakdown
+
+
+def gauge_summary(gauges: Sequence[Tuple]) -> Dict[str, Dict[str, float]]:
+    """Per-series rollup ``{name: {samples, last, min, max, mean}}``."""
+    by_name: Dict[str, List[float]] = {}
+    for ts, name, value, pool, tenant, replica in gauges:
+        key = name if pool is None else f"{pool}.{name}"
+        if tenant is not None:
+            key = f"{key}.{tenant}"
+        by_name.setdefault(key, []).append(value)
+    summary: Dict[str, Dict[str, float]] = {}
+    for key, values in by_name.items():
+        arr = np.asarray(values, dtype=float)
+        summary[key] = {
+            "samples": int(arr.size),
+            "last": float(arr[-1]),
+            "min": float(arr.min()),
+            "max": float(arr.max()),
+            "mean": float(arr.mean()),
+        }
+    return summary
+
+
+def format_phase_table(breakdown: Dict[str, Dict[str, float]],
+                       label_width: int = 14, column_width: int = 12) -> str:
+    """Render the phase breakdown as the CLI's fixed-width table."""
+    columns = ("count", "mean_ms", "p50_ms", "p99_ms", "total_ms")
+    header = f"{'phase':<{label_width}s}" + "".join(
+        f"{c:>{column_width}s}" for c in columns)
+    lines = [header]
+    for name, stats in breakdown.items():
+        cells = [f"{int(stats['count']):{column_width}d}"] + [
+            f"{stats[c]:{column_width}.3f}" for c in columns[1:]]
+        lines.append(f"{name:<{label_width}s}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def _pid_maps(recorder: Any) -> Tuple[Dict[Optional[str], int],
+                                      Dict[Tuple[int, int], str]]:
+    """Assign pids to pools and collect (pid, tid) → thread-name labels."""
+    pids: Dict[Optional[str], int] = {}
+    threads: Dict[Tuple[int, int], str] = {}
+
+    def pid_for(pool: Optional[str]) -> int:
+        key = pool if pool is not None else "serve"
+        if key not in pids:
+            pids[key] = _POOL_PIDS.get(key, len(_POOL_PIDS) + len(pids) + 1)
+        return pids[key]
+
+    for span in recorder.spans():
+        for name, start, end, pool, replica in span.phases:
+            pid = pid_for(pool)
+            tid = int(replica) if replica is not None else 0
+            threads.setdefault((pid, tid), f"replica {tid}")
+    for ts, name, value, pool, tenant, replica in recorder.gauges:
+        pid_for(pool)
+    return pids, threads
+
+
+def to_chrome_trace(recorder: Any) -> Dict[str, Any]:
+    """The run's spans + gauges as a Chrome trace-event JSON document."""
+    pids, threads = _pid_maps(recorder)
+    meta: List[Dict[str, Any]] = []
+    for pool, pid in sorted(pids.items(), key=lambda kv: kv[1]):
+        meta.append({"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                     "args": {"name": f"{pool} pool"}})
+    for (pid, tid), label in sorted(threads.items()):
+        meta.append({"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                     "args": {"name": label}})
+
+    events: List[Dict[str, Any]] = []
+    for span in recorder.spans():
+        for name, start, end, pool, replica in span.phases:
+            pid = pids.get(pool if pool is not None else "serve", 1)
+            tid = int(replica) if replica is not None else 0
+            args: Dict[str, Any] = {"request_id": str(span.request_id)}
+            if span.tenant is not None:
+                args["tenant"] = span.tenant
+            if span.outcome is not None:
+                args["outcome"] = span.outcome
+            if span.tags:
+                args.update({k: v for k, v in span.tags.items()
+                             if isinstance(v, (int, float, str, bool))})
+            events.append({"name": name, "cat": span.kind, "ph": "X",
+                           "ts": start * 1000.0,
+                           "dur": max(end - start, 0.0) * 1000.0,
+                           "pid": pid, "tid": tid, "args": args})
+    for ts, name, value, pool, tenant, replica in recorder.gauges:
+        pid = pids.get(pool if pool is not None else "serve", 1)
+        series = name if tenant is None else f"{name}.{tenant}"
+        events.append({"name": series, "ph": "C", "ts": ts * 1000.0,
+                       "pid": pid, "tid": 0, "args": {"value": value}})
+    events.sort(key=lambda e: (e["pid"], e["tid"], e["ts"]))
+    return {"displayTimeUnit": "ms", "traceEvents": meta + events}
+
+
+def write_chrome_trace(recorder: Any, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(recorder), fh)
+
+
+def write_jsonl(recorder: Any, path: str) -> None:
+    """Dump spans then gauges, one JSON object per line."""
+    with open(path, "w") as fh:
+        for span in recorder.spans():
+            fh.write(json.dumps({"type": "span", **span.to_json()}) + "\n")
+        for ts, name, value, pool, tenant, replica in recorder.gauges:
+            record: Dict[str, Any] = {"type": "gauge", "ts_ms": ts,
+                                      "name": name, "value": value}
+            if pool is not None:
+                record["pool"] = pool
+            if tenant is not None:
+                record["tenant"] = tenant
+            if replica is not None:
+                record["replica"] = replica
+            fh.write(json.dumps(record) + "\n")

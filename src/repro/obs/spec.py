@@ -1,0 +1,79 @@
+"""Declarative tracing config: what to record, and how often to sample.
+
+A :class:`TraceSpec` travels with the experiment exactly like the other
+frozen specs in :mod:`repro.api.specs` — cheap to copy, validated at
+construction, JSON-describable — and is turned into a live
+:class:`~repro.obs.recorder.TraceRecorder` only when a run starts.
+``None`` (the default everywhere) keeps observability completely off: every
+hook in the simulator is a no-op against the shared
+:data:`~repro.obs.recorder.NULL_RECORDER` and the run is bit-identical to a
+build without tracing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+__all__ = ["TraceSpec", "coerce_trace"]
+
+#: Default fleet-gauge sampling period (simulated milliseconds).
+DEFAULT_GAUGE_INTERVAL_MS = 50.0
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Observability knobs for one experiment run.
+
+    Attributes
+    ----------
+    spans:
+        Record per-request / per-sequence lifecycle spans (admit → queue →
+        dispatch → prefill → transfer → decode → exit/drop/shed).
+    gauges:
+        Sample fleet time series (queue depth, slot occupancy, KV bytes,
+        fleet size, per-tenant backlog) on the simulated clock.
+    gauge_interval_ms:
+        Sampling period for the periodic fleet gauges.  Sampling happens in
+        the kernel's time-advance path, so it never perturbs the simulated
+        trajectory — traced runs report bit-identical metrics.
+    """
+
+    spans: bool = True
+    gauges: bool = True
+    gauge_interval_ms: float = DEFAULT_GAUGE_INTERVAL_MS
+
+    def __post_init__(self) -> None:
+        interval = float(self.gauge_interval_ms)
+        if not math.isfinite(interval) or interval <= 0.0:
+            raise ValueError(f"gauge_interval_ms must be positive and finite, "
+                             f"got {self.gauge_interval_ms}")
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "spans": bool(self.spans),
+            "gauges": bool(self.gauges),
+            "gauge_interval_ms": float(self.gauge_interval_ms),
+        }
+
+
+def coerce_trace(value: Union[None, bool, TraceSpec, Dict[str, object]]
+                 ) -> Optional[TraceSpec]:
+    """Normalize the ``Experiment(trace=...)`` knob to ``TraceSpec | None``.
+
+    Accepts ``None``/``False`` (off), ``True`` (defaults), an explicit
+    :class:`TraceSpec`, or a keyword dict; anything else raises
+    :class:`ValueError` naming the value, matching the spec-validation
+    discipline of :mod:`repro.api.specs`.
+    """
+    if value is None or value is False:
+        return None
+    if value is True:
+        return TraceSpec()
+    if isinstance(value, TraceSpec):
+        return value
+    if isinstance(value, dict):
+        return TraceSpec(**value)
+    raise ValueError(f"trace must be None, bool, TraceSpec or a kwargs dict, "
+                     f"got {value!r}")

@@ -27,6 +27,16 @@ Policies
     where capacity comes from the replicas' own latency profiles.  Leads the
     queue signal: it scales on the *cause* (arrivals) instead of the
     *symptom* (queueing).
+
+Observability
+-------------
+Scaling decisions are visible without touching the policies: every clamped
+target the event loop applies is emitted as the ``autoscaler_target`` gauge
+(de-duplicated — one sample per *change* of target, tagged with the pool it
+sizes), and the ``fleet_size``/``active_replicas`` gauges show the fleet
+actually following it after ``provision_delay_ms`` and drains.  See
+:meth:`repro.serving.kernel.SimPlatform.scale_pool` and
+:mod:`repro.obs`.
 """
 
 from __future__ import annotations

@@ -78,11 +78,12 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Callable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from repro.faults import FaultSchedule, FaultSpec, coerce_faults
+from repro.obs.recorder import NULL_RECORDER
 from repro.serving.autoscaler import Autoscaler, build_autoscaler
 from repro.serving.fleet import (ACTIVE, DRAINING, RETIRED, FleetState,
                                  ReplicaEntry, ReplicaHandle, ReplicaProfile)
@@ -93,7 +94,7 @@ from repro.serving.platform import (BatchExecutorFn, BatchResult, ReplicaState,
                                     ServingPlatform)
 from repro.serving.request import Request
 from repro.tenancy import (TenancyConfig, build_request_runtime, coerce_tenancy,
-                           request_rollups)
+                           request_rollups, tenant_backlog)
 
 __all__ = [
     "ReplicaHandle",
@@ -448,11 +449,16 @@ class ClusterPlatform:
                  replica_factory: Optional[Callable[[], ServingPlatform]] = None,
                  scale_out_profile: Optional[ReplicaProfile] = None,
                  tenancy: Union[None, str, TenancyConfig] = None,
-                 faults: Union[None, str, FaultSpec, FaultSchedule] = None) -> None:
+                 faults: Union[None, str, FaultSpec, FaultSchedule] = None,
+                 obs=None) -> None:
         self.platforms = list(replicas)
         if not self.platforms:
             raise ValueError("a cluster needs at least one replica")
         self.seed = int(seed)
+        #: Observability recorder shared by every replica (no-op when unset).
+        self.obs = obs if obs is not None else NULL_RECORDER
+        #: Kernel schedule counters of the most recent ``run()``.
+        self.last_kernel_stats = None
         self.balancer = build_balancer(balancer, seed=seed,
                                        kind="classification")
         self.autoscaler = build_autoscaler(autoscaler)
@@ -584,6 +590,8 @@ class ClusterPlatform:
                                            now_ms) <= deadline + 1e-9:
                     target_entry = active[target.index]
                     target_entry.platform.admit(target_entry.state, request)
+                    if self.obs.enabled:
+                        self.obs.annotate(request.request_id, rerouted=True)
                     rerouted_ids.add(request.request_id)
                     moved_here += 1
                 else:
@@ -619,6 +627,7 @@ class ClusterPlatform:
         start = pending[0].arrival_ms if pending else 0.0
 
         fleet = FleetState()
+        fleet.obs = self.obs
         for platform, profile in zip(self.platforms, self.profiles):
             fleet.add(platform, factory(fleet.next_ordinal()), profile, start)
 
@@ -628,6 +637,7 @@ class ClusterPlatform:
         runner = _ClusterRun(self, pending, factory, fleet, start,
                              tenant_runtime=tenant_runtime, faults=self.faults)
         runner.drive()
+        self.last_kernel_stats = runner.events.stats()
 
         for entry in fleet.entries:
             entry.state.finalize_makespan()
@@ -638,6 +648,7 @@ class ClusterPlatform:
         metrics.crashes = runner.crashes
         metrics.recoveries = runner.recoveries
         metrics.requeued = runner.requeued
+        metrics.kernel_stats = self.last_kernel_stats
         if tenant_runtime is not None:
             metrics.tenant_rollups = request_rollups(
                 metrics.aggregate().responses, tenant_runtime,
@@ -713,7 +724,9 @@ class _ClusterRun(SimPlatform):
                  tenant_runtime=None,
                  faults: Optional[FaultSchedule] = None) -> None:
         super().__init__(start_ms)
+        self.install_obs(cluster.obs, start_ms)
         self.cluster = cluster
+        self._tenant_runtime = tenant_runtime
         self.pending = pending
         self.arrival_times = [r.arrival_ms for r in pending]
         self.num_requests = len(pending)
@@ -745,6 +758,28 @@ class _ClusterRun(SimPlatform):
         self._autoscaled = not pool_is_static(cluster.autoscaler, self.pool,
                                               cluster.min_replicas,
                                               cluster.max_replicas)
+
+    # ------------------------------------------------------------------ gauges
+    def sample_gauges(self, now_ms: float) -> None:
+        obs = self.obs
+        pool = self.pool
+        depth = 0
+        busy = 0
+        for entry in pool.serving:
+            depth += len(entry.state.queue)
+            if not entry.state.idle_at(now_ms):
+                busy += 1
+        obs.gauge(now_ms, "queue_depth", depth, pool="serve")
+        obs.gauge(now_ms, "busy_replicas", busy, pool="serve")
+        obs.gauge(now_ms, "active_replicas", len(pool.active), pool="serve")
+        runtime = self._tenant_runtime
+        if runtime is not None:
+            backlog = tenant_backlog(
+                (request.request_id for entry in pool.serving
+                 for request in entry.state.queue), runtime.tenant_of)
+            for tenant, count in backlog.items():
+                obs.gauge(now_ms, "tenant_backlog", count, pool="serve",
+                          tenant=tenant)
 
     # --------------------------------------------------------- kernel contract
     def done(self, now_ms: float) -> bool:
@@ -810,6 +845,7 @@ class _ClusterRun(SimPlatform):
             balancer = self.cluster.balancer
             handles = pool.handles
             active = pool.active
+            obs = self.obs
             for request in orphans:
                 index = int(balancer.choose(request, handles, now))
                 if not 0 <= index < len(active):
@@ -817,6 +853,8 @@ class _ClusterRun(SimPlatform):
                                      f"{index} of {len(active)}")
                 entry = active[index]
                 entry.platform.admit(entry.state, request)
+                if obs.enabled:
+                    obs.annotate(request.request_id, requeued=True)
                 self.wake(entry)
             self.requeued += len(orphans)
 
@@ -847,6 +885,9 @@ class _ClusterRun(SimPlatform):
                 and arrivals[next_arrival] <= now + 1e-9:
             pending = self.pending
             balancer = cluster.balancer
+            obs = self.obs
+            runtime = self._tenant_runtime
+            tag_tenants = obs.enabled and runtime is not None
             while (next_arrival < num_requests
                    and arrivals[next_arrival] <= now + 1e-9):
                 request = pending[next_arrival]
@@ -856,6 +897,9 @@ class _ClusterRun(SimPlatform):
                                      f"{index} of {len(active)}")
                 entry = active[index]
                 entry.platform.admit(entry.state, request)
+                if tag_tenants:
+                    obs.annotate(request.request_id,
+                                 tenant=runtime.tenant_of.get(request.request_id))
                 entry.dispatched += 1
                 next_arrival += 1
                 admitted += 1

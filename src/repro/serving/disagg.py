@@ -49,6 +49,7 @@ from repro.faults import FaultSchedule, FaultSpec, coerce_faults
 from repro.generative.decoding import (KVCacheAccountant, PrefillModel,
                                        kv_bytes_per_token)
 from repro.generative.sequences import SequenceSample
+from repro.obs.recorder import NULL_RECORDER
 from repro.serving.autoscaler import Autoscaler, build_autoscaler
 from repro.serving.cluster import LoadBalancer, build_balancer
 from repro.serving.fleet import ACTIVE, BaseFleet, ReplicaProfile
@@ -61,7 +62,7 @@ from repro.serving.hf_pipelines import ContinuousBatchingEngine
 from repro.serving.kernel import (PoolState, SimPlatform, pool_is_static,
                                   scale_pool)
 from repro.tenancy import (TenancyConfig, TenantRuntime, build_sequence_runtime,
-                           coerce_tenancy, sequence_rollups)
+                           coerce_tenancy, sequence_rollups, tenant_backlog)
 
 __all__ = ["PrefillReplicaHandle", "PrefillReplicaEntry", "PrefillFleetState",
            "DisaggregatedMetrics", "DisaggregatedPlatform"]
@@ -347,12 +348,17 @@ class DisaggregatedPlatform:
                  ttft_slo_ms: Optional[float] = None,
                  tenancy: Union[None, str, TenancyConfig] = None,
                  faults: Union[None, str, FaultSpec, FaultSchedule] = None,
-                 kv_capacity: Optional[float] = None) -> None:
+                 kv_capacity: Optional[float] = None,
+                 obs=None) -> None:
         self.prefill_model = prefill_model
         self.decode_engines = list(decode_engines)
         if not self.decode_engines:
             raise ValueError("a disaggregated platform needs at least one "
                              "decode replica")
+        #: Observability recorder shared by both pools (no-op when unset).
+        self.obs = obs if obs is not None else NULL_RECORDER
+        #: Kernel schedule counters of the most recent ``run()``.
+        self.last_kernel_stats = None
         if int(prefill_replicas) < 1:
             raise ValueError(f"prefill_replicas must be >= 1, "
                              f"got {prefill_replicas}")
@@ -470,10 +476,14 @@ class DisaggregatedPlatform:
         mean_prompt = getattr(workload, "mean_prompt_length", lambda: 0.0)() or 1.0
 
         prefill_fleet = PrefillFleetState()
+        prefill_fleet.obs = self.obs
+        prefill_fleet.obs_pool = "prefill"
         for profile in self.prefill_profiles:
             prefill_fleet.add(self.prefill_model, profile, self.prefill_batch,
                               mean_prompt, start)
         decode_fleet = GenerativeFleetState()
+        decode_fleet.obs = self.obs
+        decode_fleet.obs_pool = "decode"
         for engine, profile in zip(self.decode_engines, self.decode_profiles):
             decode_fleet.add(engine, policy_factory(decode_fleet.next_ordinal()),
                              profile, mean_tokens, start,
@@ -486,6 +496,7 @@ class DisaggregatedPlatform:
                             decode_fleet, mean_tokens, mean_prompt, start,
                             tenant_runtime=tenant_runtime, faults=self.faults)
         runner.drive()
+        self.last_kernel_stats = runner.events.stats()
 
         end = max((e.last_completion_ms for e in decode_fleet.entries
                    if np.isfinite(e.last_completion_ms)), default=start)
@@ -495,6 +506,7 @@ class DisaggregatedPlatform:
         metrics.crashes = runner.crashes
         metrics.recoveries = runner.recoveries
         metrics.requeued = runner.requeued
+        metrics.kernel_stats = self.last_kernel_stats
         if tenant_runtime is not None:
             metrics.tenant_rollups = sequence_rollups(metrics.aggregate(),
                                                       tenant_runtime)
@@ -598,6 +610,7 @@ class _DisaggRun(SimPlatform):
                  tenant_runtime: Optional[TenantRuntime] = None,
                  faults: Optional[FaultSchedule] = None) -> None:
         super().__init__(start_ms)
+        self.install_obs(platform.obs, start_ms)
         self.platform = platform
         self.pending = pending
         self.arrival_times = [s.arrival_ms for s in pending]
@@ -606,8 +619,8 @@ class _DisaggRun(SimPlatform):
         self.policy_factory = policy_factory
         self.mean_tokens = mean_tokens
         self.mean_prompt = mean_prompt
-        self.ppool = PoolState(prefill_fleet)
-        self.dpool = PoolState(decode_fleet)
+        self.ppool = PoolState(prefill_fleet, obs_name="prefill")
+        self.dpool = PoolState(decode_fleet, obs_name="decode")
         #: fixed-size pools in band: the per-pass autoscaler consults are
         #: proven no-ops, so the hot loop skips them entirely.
         self._pautoscaled = not pool_is_static(platform.prefill_autoscaler,
@@ -636,6 +649,45 @@ class _DisaggRun(SimPlatform):
                 # A crash scheduled before the first arrival fires with it.
                 kind = _PCRASH if fault.pool == "prefill" else _DCRASH
                 self.events.push(max(fault.crash_ms, start_ms), kind, fault)
+
+    # ------------------------------------------------------------------ gauges
+    def sample_gauges(self, now_ms: float) -> None:
+        obs = self.obs
+        pdepth = 0
+        pbusy = 0
+        for entry in self.ppool.serving:
+            pdepth += len(entry.queue)
+            if not entry.is_free(now_ms):
+                pbusy += 1
+        obs.gauge(now_ms, "queue_depth", pdepth, pool="prefill")
+        obs.gauge(now_ms, "busy_replicas", pbusy, pool="prefill")
+        obs.gauge(now_ms, "active_replicas", len(self.ppool.active),
+                  pool="prefill")
+        ddepth = 0
+        dbusy = 0
+        kv_bytes = 0.0
+        kv_any = False
+        for entry in self.dpool.serving:
+            ddepth += len(entry.queue)
+            dbusy += entry.busy_slots(now_ms)
+            if entry.kv is not None:
+                kv_any = True
+                kv_bytes += entry.kv.used_bytes()
+        obs.gauge(now_ms, "queue_depth", ddepth, pool="decode")
+        obs.gauge(now_ms, "busy_slots", dbusy, pool="decode")
+        obs.gauge(now_ms, "active_replicas", len(self.dpool.active),
+                  pool="decode")
+        if kv_any:
+            obs.gauge(now_ms, "kv_used_bytes", kv_bytes, pool="decode")
+        obs.gauge(now_ms, "handoff_pending", len(self.handoff), pool="decode")
+        runtime = self.tenant_runtime
+        if runtime is not None:
+            backlog = tenant_backlog(
+                (sample.sequence_id for pool in (self.ppool, self.dpool)
+                 for entry in pool.serving for sample in entry.queue),
+                runtime.tenant_of)
+            for tenant, count in backlog.items():
+                obs.gauge(now_ms, "tenant_backlog", count, tenant=tenant)
 
     # --------------------------------------------------------------- plumbing
     def _wake_prefill(self, entry: PrefillReplicaEntry) -> None:
@@ -721,6 +773,7 @@ class _DisaggRun(SimPlatform):
             handles = pool.handles
             active = pool.active
             runtime = self.tenant_runtime
+            obs = self.obs
             for sample in orphans:
                 index = int(balancer.choose(sample, handles, now))
                 if not 0 <= index < len(active):
@@ -731,6 +784,8 @@ class _DisaggRun(SimPlatform):
                 entry.queue.append(sample)
                 if runtime is not None:
                     runtime.reposition(entry.queue)
+                if obs.enabled:
+                    obs.annotate(sample.sequence_id, requeued=True)
                 self._wake_prefill(entry)
             self.requeued += len(orphans)
 
@@ -759,6 +814,7 @@ class _DisaggRun(SimPlatform):
             handles = pool.handles
             active = pool.active
             runtime = self.tenant_runtime
+            obs = self.obs
             for sample in orphans:
                 index = int(balancer.choose(sample, handles, now))
                 if not 0 <= index < len(active):
@@ -769,6 +825,8 @@ class _DisaggRun(SimPlatform):
                 entry.queue.append(sample)
                 if runtime is not None:
                     runtime.reposition(entry.queue)
+                if obs.enabled:
+                    obs.annotate(sample.sequence_id, requeued=True)
                 self.wake(entry)
             self.requeued += len(orphans)
 
@@ -812,6 +870,7 @@ class _DisaggRun(SimPlatform):
             prefill_active = ppool.active
             prefill_handles = ppool.handles
             runtime = self.tenant_runtime
+            obs = self.obs
             while (next_arrival < num_sequences
                    and arrivals[next_arrival] <= now + 1e-9):
                 sample = pending[next_arrival]
@@ -824,6 +883,14 @@ class _DisaggRun(SimPlatform):
                 entry.queue.append(sample)
                 if runtime is not None:
                     runtime.reposition(entry.queue)
+                if obs.enabled:
+                    obs.admit(sample.sequence_id, sample.arrival_ms,
+                              kind="sequence", pool="prefill",
+                              replica=entry.replica_id)
+                    if runtime is not None:
+                        obs.annotate(sample.sequence_id,
+                                     tenant=runtime.tenant_of.get(
+                                         sample.sequence_id))
                 entry.dispatched += 1
                 next_arrival += 1
                 admitted += 1
@@ -845,6 +912,7 @@ class _DisaggRun(SimPlatform):
         handoff = self.handoff
         prefill_delays = self.prefill_delays
         transfer_delays = self.transfer_delays
+        obs = self.obs
         for entry in self.drain_dirty(self._pdirty):
             if entry.in_flight and entry.busy_until_ms <= now + 1e-9:
                 done = entry.busy_until_ms
@@ -854,6 +922,12 @@ class _DisaggRun(SimPlatform):
                     transfer_delays[sample.sequence_id] = transfer
                     heapq.heappush(handoff, (done + transfer,
                                              sample.sequence_id, sample))
+                    if obs.enabled:
+                        # The transfer ends exactly where the handoff entry
+                        # becomes decodeable (same float as the heap key).
+                        obs.phase(sample.sequence_id, "kv_transfer", done,
+                                  done + transfer, pool="prefill",
+                                  replica=entry.replica_id)
                 entry.prefilled += len(entry.in_flight)
                 entry.prefilled_tokens += sum(s.prompt_tokens
                                               for s in entry.in_flight)
@@ -868,6 +942,17 @@ class _DisaggRun(SimPlatform):
                 entry.busy_until_ms = now + duration
                 entry.last_completion_ms = max(entry.last_completion_ms,
                                                now + duration)
+                if obs.enabled:
+                    # ``busy_until_ms`` is the float later recorded into
+                    # prefill_delays, so the span ends bit-exactly there.
+                    batch_end = entry.busy_until_ms
+                    replica = entry.replica_id
+                    for sample in batch:
+                        obs.phase(sample.sequence_id, "prefill_wait",
+                                  sample.arrival_ms, now, pool="prefill",
+                                  replica=replica)
+                        obs.phase(sample.sequence_id, "prefill", now,
+                                  batch_end, pool="prefill", replica=replica)
                 if entry.busy_until_ms > now + 1e-9:
                     self.events.push(entry.busy_until_ms, _PREFILL, entry)
                 else:

@@ -40,6 +40,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs.recorder import NULL_RECORDER
 from repro.serving.platform import BatchExecutorFn, ReplicaState, ServingPlatform
 
 __all__ = ["ReplicaProfile", "ReplicaHandle", "ReplicaEntry", "BaseFleet",
@@ -242,6 +243,10 @@ class BaseFleet:
         self._next_id = 0
         #: (time_ms, active_count) — recorded whenever membership changes.
         self.timeline: List[Tuple[float, int]] = []
+        #: Observability recorder + the pool tag stamped on fleet gauges.
+        #: Installed by the runner; the default no-op keeps runs untouched.
+        self.obs = NULL_RECORDER
+        self.obs_pool = "serve"
 
     def next_ordinal(self) -> int:
         """Ordinal the next-added replica will receive (stable, monotonic)."""
@@ -298,6 +303,10 @@ class BaseFleet:
 
     def _mark(self, now_ms: float) -> None:
         count = self.num_active()
+        if self.obs.enabled:
+            # Event-driven fleet-size series: a point at every membership
+            # transition (the gauge superset of the ad-hoc ``timeline``).
+            self.obs.gauge(now_ms, "fleet_size", count, pool=self.obs_pool)
         if self.timeline and abs(self.timeline[-1][0] - now_ms) <= 1e-9:
             self.timeline[-1] = (now_ms, count)
             return
@@ -318,6 +327,11 @@ class FleetState(BaseFleet):
             profile: ReplicaProfile, now_ms: float) -> ReplicaEntry:
         """Bring a new replica online (dispatchable from the next arrival)."""
         state = platform.new_state()
+        # Every add path (initial fleet, autoscale boot, crash recovery)
+        # funnels through here, so span hooks inherit the fleet's recorder
+        # and the replica's stable id without per-call-site wiring.
+        platform.obs = self.obs
+        state.obs_replica = self._next_id
         handle = ReplicaHandle(index=len(self.entries), platform=platform,
                                state=state, profile=profile,
                                replica_id=self._next_id)

@@ -45,6 +45,7 @@ import numpy as np
 from repro.faults import FaultSchedule, FaultSpec, coerce_faults
 from repro.generative.decoding import (KVCacheAccountant, PrefillModel,
                                        kv_bytes_per_token)
+from repro.obs.recorder import NULL_RECORDER
 from repro.serving.autoscaler import Autoscaler, build_autoscaler
 from repro.serving.cluster import LoadBalancer, build_balancer
 from repro.serving.fleet import (ACTIVE, DRAINING, RETIRED, BaseFleet,
@@ -56,7 +57,7 @@ from repro.serving.kernel import (PoolState, SimPlatform, pool_is_static,
                                   scale_pool)
 from repro.serving.metrics import dispatch_imbalance_ratio
 from repro.tenancy import (TenancyConfig, TenantRuntime, build_sequence_runtime,
-                           coerce_tenancy, sequence_rollups)
+                           coerce_tenancy, sequence_rollups, tenant_backlog)
 
 #: shared stateless policy used to pin a tenant's sequences to the full model
 #: (exit-policy override ``allow_exits=False``).
@@ -206,6 +207,10 @@ class GenerativeReplicaEntry:
     #: victim's recompute as an extension of its slot occupancy.
     kv_slot_of: Dict[int, int] = field(default_factory=dict, repr=False,
                                        compare=False)
+    #: span hooks (the shared no-op recorder unless the run installs one)
+    #: and the pool tag stamped onto this replica's spans/gauges.
+    obs: object = field(default=NULL_RECORDER, repr=False, compare=False)
+    obs_pool: str = field(default="serve", repr=False, compare=False)
     #: kernel-scheduler bookkeeping: dirty flag + per-slot armed event times.
     _kdirty: bool = field(default=False, repr=False, compare=False)
     _slot_armed: Dict[int, float] = field(default_factory=dict, repr=False,
@@ -311,9 +316,18 @@ class GenerativeReplicaEntry:
                                                         ttft_slo_ms)
                 if sample.sequence_id in tenant_runtime.no_exit_ids:
                     policy = _NO_EXIT_POLICY
+            obs = self.obs
             if ttft_limit is not None \
                     and decode_start - sample.arrival_ms > ttft_limit:
                 self.metrics.shed_sequence_ids.append(sample.sequence_id)
+                if obs.enabled:
+                    sid = sample.sequence_id
+                    prev = obs.last_phase_end(sid)
+                    obs.phase(sid, "queue",
+                              sample.arrival_ms if prev is None else prev,
+                              now_ms, pool=self.obs_pool,
+                              replica=self.replica_id)
+                    obs.close(sid, now_ms, outcome="shed")
                 progressed = True
                 continue
             # Queueing spans arrival -> first decode step, so TTFT rolls up
@@ -325,13 +339,36 @@ class GenerativeReplicaEntry:
                 sample, decode_start, policy, self.metrics,
                 speed=self.profile.speed)
             released = self.metrics.tokens[before:]
-            self.record_stream(len(released),
-                               sum(1 for t in released if t.exited))
+            num_exited = sum(1 for t in released if t.exited)
+            self.record_stream(len(released), num_exited)
             self.slots[slot] = completion
             if kv is not None:
                 kv.admit(sample, completion)
                 self.kv_slot_of[int(sample.sequence_id)] = slot
             self.last_completion_ms = max(self.last_completion_ms, completion)
+            if obs.enabled:
+                # The span reuses the exact floats the metrics recorded:
+                # queue ends (and decode starts) at ``decode_start``, whose
+                # distance from arrival *is* queueing_delays_ms.
+                sid = sample.sequence_id
+                pool_name = self.obs_pool
+                replica = self.replica_id
+                prev = obs.last_phase_end(sid)
+                queue_start = sample.arrival_ms if prev is None else prev
+                if self.engine.prefill is not None and decode_start != now_ms:
+                    obs.phase(sid, "queue", queue_start, now_ms,
+                              pool=pool_name, replica=replica)
+                    obs.phase(sid, "prefill", now_ms, decode_start,
+                              pool=pool_name, replica=replica)
+                else:
+                    obs.phase(sid, "queue", queue_start, decode_start,
+                              pool=pool_name, replica=replica)
+                obs.phase(sid, "decode", decode_start, completion,
+                          pool=pool_name, replica=replica)
+                if hit:
+                    obs.annotate(sid, kv_hit_tokens=int(hit))
+                obs.close(sid, completion, outcome="served",
+                          tokens=len(released), exited_tokens=num_exited)
             progressed = True
         return progressed
 
@@ -346,6 +383,10 @@ class GenerativeFleetState(BaseFleet):
                                        policy=policy, profile=profile,
                                        mean_tokens=mean_tokens, added_ms=now_ms,
                                        kv=kv)
+        # Every add path (initial fleet, autoscale boot, crash recovery)
+        # funnels here, so new replicas always see the run's recorder.
+        entry.obs = self.obs
+        entry.obs_pool = self.obs_pool
         return self._register(entry, now_ms)
 
 
@@ -478,10 +519,15 @@ class GenerativeClusterPlatform:
                  ttft_slo_ms: Optional[float] = None,
                  tenancy: Union[None, str, TenancyConfig] = None,
                  faults: Union[None, str, FaultSpec, FaultSchedule] = None,
-                 kv_capacity: Optional[float] = None) -> None:
+                 kv_capacity: Optional[float] = None,
+                 obs=None) -> None:
         self.engines = list(engines)
         if not self.engines:
             raise ValueError("a generative cluster needs at least one replica")
+        #: Observability recorder shared by every replica (no-op when unset).
+        self.obs = obs if obs is not None else NULL_RECORDER
+        #: Kernel schedule counters of the most recent ``run()``.
+        self.last_kernel_stats = None
         if ttft_slo_ms is not None and ttft_slo_ms <= 0:
             raise ValueError(f"ttft_slo_ms must be positive, got {ttft_slo_ms}")
         self.ttft_slo_ms = None if ttft_slo_ms is None else float(ttft_slo_ms)
@@ -563,6 +609,7 @@ class GenerativeClusterPlatform:
         mean_tokens = workload.mean_output_length() or 1.0
 
         fleet = GenerativeFleetState()
+        fleet.obs = self.obs
         for engine, profile in zip(self.engines, self.profiles):
             fleet.add(engine, policy_factory(fleet.next_ordinal()), profile,
                       mean_tokens, start, kv=self._kv_for(engine, profile))
@@ -575,6 +622,7 @@ class GenerativeClusterPlatform:
                                 tenant_runtime=tenant_runtime,
                                 faults=self.faults)
         runner.drive()
+        self.last_kernel_stats = runner.events.stats()
 
         end = max((e.last_completion_ms for e in fleet.entries
                    if np.isfinite(e.last_completion_ms)), default=start)
@@ -582,6 +630,7 @@ class GenerativeClusterPlatform:
         metrics.crashes = runner.crashes
         metrics.recoveries = runner.recoveries
         metrics.requeued = runner.requeued
+        metrics.kernel_stats = self.last_kernel_stats
         if tenant_runtime is not None:
             metrics.tenant_rollups = sequence_rollups(metrics.aggregate(),
                                                       tenant_runtime)
@@ -634,7 +683,10 @@ def _run_eviction(sim: SimPlatform, entry: GenerativeReplicaEntry,
     kv = entry.kv
     if kv is None:
         return
+    obs = entry.obs
     for seq_id, recompute_ms in kv.evict_to_fit(now_ms):
+        if obs.enabled:
+            obs.annotate(seq_id, kv_evicted=True)
         slot = entry.kv_slot_of.pop(seq_id, None)
         if slot is None or recompute_ms <= 0.0:
             continue
@@ -642,6 +694,8 @@ def _run_eviction(sim: SimPlatform, entry: GenerativeReplicaEntry,
             entry.slots[slot] += recompute_ms
             entry.last_completion_ms = max(entry.last_completion_ms,
                                            entry.slots[slot])
+            if obs.enabled:
+                obs.annotate(seq_id, kv_recompute_ms=recompute_ms)
     _arm_slots(sim, entry, now_ms, slot_kind)
     sim.wake(entry)
 
@@ -694,6 +748,7 @@ class _GenerativeRun(SimPlatform):
                  tenant_runtime: Optional[TenantRuntime] = None,
                  faults: Optional[FaultSchedule] = None) -> None:
         super().__init__(start_ms)
+        self.install_obs(cluster.obs, start_ms)
         self.cluster = cluster
         self.pending = pending
         self.arrival_times = [s.arrival_ms for s in pending]
@@ -718,6 +773,35 @@ class _GenerativeRun(SimPlatform):
         self._autoscaled = not pool_is_static(cluster.autoscaler, self.pool,
                                               cluster.min_replicas,
                                               cluster.max_replicas)
+
+    # ------------------------------------------------------------------ gauges
+    def sample_gauges(self, now_ms: float) -> None:
+        obs = self.obs
+        pool = self.pool
+        depth = 0
+        busy = 0
+        kv_bytes = 0.0
+        kv_any = False
+        for entry in pool.serving:
+            depth += len(entry.queue)
+            busy += entry.busy_slots(now_ms)
+            if entry.kv is not None:
+                kv_any = True
+                kv_bytes += entry.kv.used_bytes()
+        pool_name = self.fleet.obs_pool
+        obs.gauge(now_ms, "queue_depth", depth, pool=pool_name)
+        obs.gauge(now_ms, "busy_slots", busy, pool=pool_name)
+        obs.gauge(now_ms, "active_replicas", len(pool.active), pool=pool_name)
+        if kv_any:
+            obs.gauge(now_ms, "kv_used_bytes", kv_bytes, pool=pool_name)
+        runtime = self.tenant_runtime
+        if runtime is not None:
+            backlog = tenant_backlog(
+                (sample.sequence_id for entry in pool.serving
+                 for sample in entry.queue), runtime.tenant_of)
+            for tenant, count in backlog.items():
+                obs.gauge(now_ms, "tenant_backlog", count, pool=pool_name,
+                          tenant=tenant)
 
     # --------------------------------------------------------- kernel contract
     def done(self, now_ms: float) -> bool:
@@ -783,6 +867,7 @@ class _GenerativeRun(SimPlatform):
             handles = pool.handles
             active = pool.active
             runtime = self.tenant_runtime
+            obs = self.obs
             for sample in orphans:
                 index = int(balancer.choose(sample, handles, now))
                 if not 0 <= index < len(active):
@@ -792,6 +877,8 @@ class _GenerativeRun(SimPlatform):
                 entry.queue.append(sample)
                 if runtime is not None:
                     runtime.reposition(entry.queue)
+                if obs.enabled:
+                    obs.annotate(sample.sequence_id, requeued=True)
                 self.wake(entry)
             self.requeued += len(orphans)
 
@@ -825,6 +912,7 @@ class _GenerativeRun(SimPlatform):
             pending = self.pending
             balancer = cluster.balancer
             runtime = self.tenant_runtime
+            obs = self.obs
             while (next_arrival < num_sequences
                    and arrivals[next_arrival] <= now + 1e-9):
                 sample = pending[next_arrival]
@@ -836,6 +924,14 @@ class _GenerativeRun(SimPlatform):
                 entry.queue.append(sample)
                 if runtime is not None:
                     runtime.reposition(entry.queue)
+                if obs.enabled:
+                    obs.admit(sample.sequence_id, sample.arrival_ms,
+                              kind="sequence", pool=entry.obs_pool,
+                              replica=entry.replica_id)
+                    if runtime is not None:
+                        obs.annotate(sample.sequence_id,
+                                     tenant=runtime.tenant_of.get(
+                                         sample.sequence_id))
                 entry.dispatched += 1
                 next_arrival += 1
                 admitted += 1

@@ -31,6 +31,7 @@ import numpy as np
 from repro.generative.decoding import DecodeTimingModel, PrefillModel, TokenRecord
 from repro.generative.parallel import ParallelDecodingState, TokenFeedback, truncate_feedback
 from repro.generative.sequences import GenerativeWorkload, SequenceSample
+from repro.obs.recorder import NULL_RECORDER
 from repro.utils.stats import summarize_latencies
 
 __all__ = ["TokenDecision", "TokenExitPolicy", "VanillaTokenPolicy",
@@ -285,6 +286,9 @@ class ContinuousBatchingEngine:
         self.flush_limit = int(flush_limit)
         self.prefill = prefill
         self.ttft_slo_ms = None if ttft_slo_ms is None else float(ttft_slo_ms)
+        #: Observability recorder for single-replica ``run`` (cluster runners
+        #: record around their own slot logic instead).
+        self.obs = NULL_RECORDER
 
     # ------------------------------------------------------------------ run
     def run(self, workload: GenerativeWorkload, policy: TokenExitPolicy) -> GenerativeMetrics:
@@ -303,13 +307,18 @@ class ContinuousBatchingEngine:
         first_arrival = queue[0].arrival_ms
         last_completion = first_arrival
 
+        obs = self.obs
         for sample in queue:
             slot = int(np.argmin(slot_free_ms))
-            start = max(sample.arrival_ms, slot_free_ms[slot])
+            slot_start = max(sample.arrival_ms, slot_free_ms[slot])
+            start = slot_start
             if self.prefill is not None:
                 busy = sum(1 for t in slot_free_ms if t > start + 1e-9)
                 start += self.prefill.inslot_prefill_ms(sample.prompt_tokens,
                                                         busy)
+            if obs.enabled:
+                obs.admit(sample.sequence_id, sample.arrival_ms,
+                          kind="sequence", pool="serve", replica=0)
             # Deadline admission runs on the time decode would start (in-slot
             # prefill included), consistent with the TTFT the sequence would
             # record — a sequence that provably cannot make its SLO is shed
@@ -317,9 +326,21 @@ class ContinuousBatchingEngine:
             if self.ttft_slo_ms is not None \
                     and start - sample.arrival_ms > self.ttft_slo_ms:
                 metrics.shed_sequence_ids.append(sample.sequence_id)
+                if obs.enabled:
+                    obs.phase(sample.sequence_id, "queue",
+                              sample.arrival_ms, start)
+                    obs.close(sample.sequence_id, start, outcome="shed")
                 continue
             metrics.queueing_delays_ms[sample.sequence_id] = start - sample.arrival_ms
             completion = self.decode_stream(sample, start, policy, metrics)
+            if obs.enabled:
+                obs.phase(sample.sequence_id, "queue",
+                          sample.arrival_ms, slot_start)
+                if start != slot_start:
+                    obs.phase(sample.sequence_id, "prefill", slot_start, start)
+                obs.phase(sample.sequence_id, "decode", start, completion)
+                obs.close(sample.sequence_id, completion, outcome="served",
+                          tokens=sample.num_tokens)
             slot_free_ms[slot] = completion
             last_completion = max(last_completion, completion)
 

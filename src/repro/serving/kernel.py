@@ -69,7 +69,9 @@ queue; ``clockwork`` never waits), as must any future ``select_batch``.
 from __future__ import annotations
 
 from heapq import heapify, heappop, heappush
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
+
+from repro.obs.recorder import NULL_RECORDER
 
 __all__ = ["Event", "EventQueue", "Clock", "SimPlatform", "PoolState",
            "scale_pool", "pool_is_static"]
@@ -118,7 +120,8 @@ class EventQueue:
     bit-for-bit.
     """
 
-    __slots__ = ("_heap", "_seq", "_cancelled")
+    __slots__ = ("_heap", "_seq", "_cancelled", "fired", "cancelled_total",
+                 "compactions", "peak_size")
 
     #: Never bother compacting heaps smaller than this: rebuild cost would
     #: rival the lazy-skip cost it saves.
@@ -128,6 +131,10 @@ class EventQueue:
         self._heap: List[Event] = []
         self._seq = 0
         self._cancelled = 0
+        self.fired = 0
+        self.cancelled_total = 0
+        self.compactions = 0
+        self.peak_size = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -137,6 +144,8 @@ class EventQueue:
         event = Event(time_ms, self._seq, kind, payload)
         self._seq += 1
         heappush(self._heap, event)
+        if len(self._heap) > self.peak_size:
+            self.peak_size = len(self._heap)
         return event
 
     def cancel(self, event: Event) -> None:
@@ -150,6 +159,7 @@ class EventQueue:
             return
         event.cancelled = True
         self._cancelled += 1
+        self.cancelled_total += 1
         if self._cancelled >= self.COMPACT_MIN \
                 and self._cancelled * 2 >= len(self._heap):
             self._compact()
@@ -159,6 +169,7 @@ class EventQueue:
         self._heap = [e for e in self._heap if not e.cancelled]
         heapify(self._heap)
         self._cancelled = 0
+        self.compactions += 1
 
     def next_time(self) -> Optional[float]:
         """Earliest pending event time, or ``None`` when the heap is empty.
@@ -188,7 +199,24 @@ class EventQueue:
                 due.append(event)
             elif self._cancelled:
                 self._cancelled -= 1
+        self.fired += len(due)
         return due
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime schedule counters for ``RunResult.details['kernel']``.
+
+        ``pushed`` is every event ever registered, ``fired`` the ones that
+        actually ran, ``cancelled`` the ones killed before firing,
+        ``compactions`` how often the heap was rebuilt to shed dead records,
+        and ``peak_heap`` the largest live+dead heap ever held.
+        """
+        return {
+            "pushed": self._seq,
+            "fired": self.fired,
+            "cancelled": self.cancelled_total,
+            "compactions": self.compactions,
+            "peak_heap": self.peak_size,
+        }
 
 
 class Clock:
@@ -213,15 +241,20 @@ class PoolState:
     retire scan can be skipped entirely for the common static-fleet case.
     """
 
-    __slots__ = ("fleet", "serving", "active", "handles", "boots", "draining")
+    __slots__ = ("fleet", "serving", "active", "handles", "boots", "draining",
+                 "obs_name", "last_desired")
 
-    def __init__(self, fleet: Any) -> None:
+    def __init__(self, fleet: Any, obs_name: str = "serve") -> None:
         self.fleet = fleet
         self.serving: List[Any] = list(fleet.entries)
         self.active: List[Any] = []
         self.handles: List[Any] = []
         self.boots: List[Event] = []
         self.draining = 0
+        #: Pool label on emitted gauges ("serve", "prefill", "decode").
+        self.obs_name = obs_name
+        #: Last autoscaler target emitted as a gauge (decision de-dup).
+        self.last_desired: Optional[int] = None
         self.refresh_active()
 
     def refresh_active(self) -> None:
@@ -269,6 +302,11 @@ class SimPlatform:
         self.clock = Clock(start_ms)
         self.events = EventQueue()
         self._dirty: List[Any] = []
+        #: Observability hooks; the shared no-op unless a runner installs a
+        #: live :class:`~repro.obs.recorder.TraceRecorder`.
+        self.obs = NULL_RECORDER
+        self._gauge_next_ms: Optional[float] = None
+        self._gauge_interval_ms: Optional[float] = None
 
     # ------------------------------------------------------------- primitives
     def register(self, time_ms: float, kind: int, payload: Any = None) -> Event:
@@ -324,6 +362,33 @@ class SimPlatform:
         """Next event the heap does not track (arrival cursor, handoff head)."""
         return None
 
+    # ------------------------------------------------------------------ gauges
+    def install_obs(self, obs: Any, start_ms: float) -> None:
+        """Attach a recorder and arm the periodic fleet-gauge sampler.
+
+        Sampling is driven from :meth:`drive`'s time-advance path, *not* by
+        heap events: ticks between the old and new timestamp invoke
+        :meth:`sample_gauges` without adding events or extra ``step``
+        passes, so the simulated trajectory — and therefore every metric —
+        is bit-identical whether observability is on or off.
+        """
+        self.obs = obs
+        interval = obs.gauge_interval_ms
+        if obs.enabled and interval is not None:
+            self._gauge_interval_ms = float(interval)
+            self._gauge_next_ms = start_ms + float(interval)
+
+    def sample_gauges(self, now_ms: float) -> None:
+        """Emit one gauge sample set (subclass hook; default does nothing)."""
+
+    def _run_gauges(self, target_ms: float) -> None:
+        tick = self._gauge_next_ms
+        interval = self._gauge_interval_ms
+        while tick is not None and tick <= target_ms:
+            self.sample_gauges(tick)
+            tick += interval
+        self._gauge_next_ms = tick
+
     # ------------------------------------------------------------------ drive
     def drive(self) -> None:
         """Run the simulation to completion.
@@ -350,6 +415,8 @@ class SimPlatform:
                 target = external
             if target is None:
                 return  # nothing can happen anymore
+            if self._gauge_next_ms is not None and self._gauge_next_ms <= target:
+                self._run_gauges(target)
             clock.now_ms = target
             for event in events.pop_due(target):
                 self.on_event(event)
@@ -373,6 +440,13 @@ def scale_pool(sim: SimPlatform, pool: PoolState, autoscaler: Any,
     """
     desired = int(autoscaler.desired_replicas(now_ms, pool.handles))
     desired = max(min_replicas, min(max_replicas, desired))
+    obs = sim.obs
+    if obs.enabled and desired != pool.last_desired:
+        # Decision series: one point per *change* of the clamped target, so
+        # the gauge reads as the autoscaler's step function, not a per-pass
+        # heartbeat.
+        obs.gauge(now_ms, "autoscaler_target", desired, pool=pool.obs_name)
+        pool.last_desired = desired
     active = pool.active
     provisioned = len(active) + len(pool.boots)
     if desired > provisioned:

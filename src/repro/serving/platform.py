@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Protocol, Sequence, Set, Tupl
 import numpy as np
 
 from repro.models.execution import ModelExecutor
+from repro.obs.recorder import NULL_RECORDER
 from repro.serving.metrics import ServingMetrics
 from repro.serving.request import Request, Response
 
@@ -104,6 +105,8 @@ class ReplicaState:
     #: size of the batch currently occupying the accelerator (until busy_until_ms).
     serving_batch_size: int = 0
     responded_ids: Set[int] = field(default_factory=set)
+    #: replica ordinal stamped onto recorded spans (0 for single-replica runs).
+    obs_replica: int = 0
 
     def queue_length(self) -> int:
         return len(self.queue)
@@ -131,6 +134,8 @@ class ServingPlatform(abc.ABC):
             raise ValueError("max_batch_size must be >= 1")
         self.max_batch_size = int(max_batch_size)
         self.drop_expired = bool(drop_expired)
+        #: Span hooks; the shared no-op recorder unless a run installs one.
+        self.obs = NULL_RECORDER
 
     # ------------------------------------------------------------ batch policy
     @abc.abstractmethod
@@ -161,6 +166,12 @@ class ServingPlatform(abc.ABC):
         if state.first_arrival_ms is None or request.arrival_ms < state.first_arrival_ms:
             state.first_arrival_ms = request.arrival_ms
         state.queue.append(request)
+        obs = self.obs
+        if obs.enabled:
+            # Idempotent: a crash-requeued request keeps its original span
+            # and is annotated with the reroute by the cluster runner.
+            obs.admit(request.request_id, request.arrival_ms, pool="serve",
+                      replica=state.obs_replica)
 
     def expire(self, state: ReplicaState, now_ms: float) -> None:
         """Phase 2: drop queued requests whose SLO already expired.
@@ -178,6 +189,11 @@ class ServingPlatform(abc.ABC):
                 state.responded_ids.add(request.request_id)
                 state.metrics.record_drop(request, now_ms)
                 state.last_event_ms = max(state.last_event_ms, now_ms)
+                obs = self.obs
+                if obs.enabled:
+                    obs.phase(request.request_id, "queue", request.arrival_ms,
+                              now_ms, replica=state.obs_replica)
+                    obs.close(request.request_id, now_ms, outcome="dropped")
             else:
                 still_valid.append(request)
         state.queue = still_valid
@@ -210,6 +226,23 @@ class ServingPlatform(abc.ABC):
         state.busy_until_ms = start_ms + result.gpu_time_ms
         state.serving_batch_size = len(batch)
         state.last_event_ms = max(state.last_event_ms, state.busy_until_ms)
+        obs = self.obs
+        if obs.enabled:
+            # Span timestamps are exactly the values record_batch stored:
+            # queue = arrival → batch start, serve = start → release, so the
+            # closed span reconciles bit-for-bit with the metrics columns.
+            replica = state.obs_replica
+            batch_size = len(batch)
+            for i, request in enumerate(batch):
+                request_id = request.request_id
+                release = start_ms + result.result_offsets_ms[i]
+                obs.phase(request_id, "queue", request.arrival_ms, start_ms,
+                          replica=replica)
+                obs.phase(request_id, "serve", start_ms, release,
+                          replica=replica)
+                obs.close(request_id, release, outcome="served",
+                          exited=bool(result.exited[i]),
+                          batch_size=batch_size)
 
     # --------------------------------------------------------------- main loop
     def run(self, requests: Sequence[Request], executor: BatchExecutorFn) -> ServingMetrics:

@@ -5,9 +5,10 @@ from repro.tenancy.spec import (DEFAULT_TENANT, TENANT_POLICIES, TENANT_PRIORITI
                                 parse_tenants)
 from repro.tenancy.schedule import (TenantRuntime, build_request_runtime,
                                     build_sequence_runtime)
-from repro.tenancy.rollup import isolation_ratios, request_rollups, sequence_rollups
+from repro.tenancy.rollup import (isolation_ratios, request_rollups,
+                                  sequence_rollups, tenant_backlog)
 
 __all__ = ["TenantSpec", "TenancyConfig", "TENANT_POLICIES", "TENANT_PRIORITIES",
            "DEFAULT_TENANT", "parse_tenants", "coerce_tenancy", "TenantRuntime",
            "build_request_runtime", "build_sequence_runtime", "request_rollups",
-           "sequence_rollups", "isolation_ratios"]
+           "sequence_rollups", "isolation_ratios", "tenant_backlog"]

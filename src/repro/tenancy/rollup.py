@@ -19,7 +19,24 @@ import numpy as np
 
 from repro.tenancy.schedule import TenantRuntime
 
-__all__ = ["request_rollups", "sequence_rollups", "isolation_ratios"]
+__all__ = ["request_rollups", "sequence_rollups", "isolation_ratios",
+           "tenant_backlog"]
+
+
+def tenant_backlog(item_ids: Iterable[int],
+                   tenant_of: Dict[int, str]) -> Dict[str, int]:
+    """Count queued items per tenant (items without a tenant are skipped).
+
+    Shared by the gauge samplers: each platform walks its queues and feeds
+    the ids here, so the ``tenant_backlog`` time series uses one definition
+    across classification, generative and disaggregated runs.
+    """
+    backlog: Dict[str, int] = {}
+    for item_id in item_ids:
+        name = tenant_of.get(item_id)
+        if name is not None:
+            backlog[name] = backlog.get(name, 0) + 1
+    return backlog
 
 
 def _percentile(values: Iterable[float], q: float) -> float:

@@ -1,0 +1,283 @@
+"""Unit tests for the observability surface: recorder semantics, the
+TraceSpec knob, exporters (phase tables, JSONL, Chrome trace), and the
+``RunResult``/``SweepPoint`` wiring."""
+
+import json
+
+import pytest
+
+from repro.api import Experiment, TraceSpec, WorkloadSpec
+from repro.api.result import SweepPoint
+from repro.obs import (NULL_RECORDER, OUTCOME_DROPPED, OUTCOME_SERVED,
+                       NullRecorder, Span, TraceRecorder, build_recorder,
+                       coerce_trace, format_phase_table, phase_breakdown,
+                       to_chrome_trace, write_chrome_trace, write_jsonl)
+from repro.obs.export import gauge_summary
+
+
+# ------------------------------------------------------------------- recorder
+
+def test_admit_is_idempotent():
+    rec = TraceRecorder()
+    rec.admit(1, 10.0, pool="serve")
+    rec.admit(1, 99.0, pool="decode")   # crash-requeue re-admission
+    span = rec.span(1)
+    assert span.arrival_ms == 10.0
+    assert span.pool == "serve"
+    assert len(rec.spans()) == 1
+
+
+def test_close_is_first_wins():
+    rec = TraceRecorder()
+    rec.admit(1, 0.0)
+    rec.close(1, 5.0, outcome=OUTCOME_SERVED, tokens=3)
+    rec.close(1, 9.0, outcome=OUTCOME_DROPPED)
+    span = rec.span(1)
+    assert span.end_ms == 5.0
+    assert span.outcome == OUTCOME_SERVED
+    assert span.tags == {"tokens": 3}
+    assert rec.closed_spans() == [span]
+    assert rec.open_spans() == []
+
+
+def test_phase_inherits_span_pool_and_replica():
+    rec = TraceRecorder()
+    rec.admit(7, 0.0, pool="decode", replica=2)
+    rec.phase(7, "queue", 0.0, 3.0)
+    rec.phase(7, "decode", 3.0, 9.0, pool="decode", replica=5)
+    assert rec.span(7).phases == [("queue", 0.0, 3.0, "decode", 2),
+                                  ("decode", 3.0, 9.0, "decode", 5)]
+    assert rec.last_phase_end(7) == 9.0
+    assert rec.last_phase_end(999) is None
+
+
+def test_phase_on_unknown_span_is_ignored():
+    rec = TraceRecorder()
+    rec.phase(42, "queue", 0.0, 1.0)
+    rec.annotate(42, tenant="t")
+    rec.close(42, 1.0)
+    assert rec.spans() == []
+
+
+def test_annotate_routes_tenant_onto_span():
+    rec = TraceRecorder()
+    rec.admit(1, 0.0)
+    rec.annotate(1, tenant="gold", kv_hit=True)
+    span = rec.span(1)
+    assert span.tenant == "gold"
+    assert span.tags == {"kv_hit": True}
+
+
+def test_spans_kept_in_admission_order():
+    rec = TraceRecorder()
+    for rid in (3, 1, 2):
+        rec.admit(rid, float(rid))
+    assert [s.request_id for s in rec.spans()] == [3, 1, 2]
+
+
+def test_null_recorder_is_inert():
+    assert NULL_RECORDER.enabled is False
+    assert NULL_RECORDER.gauge_interval_ms is None
+    NULL_RECORDER.admit(1, 0.0)
+    NULL_RECORDER.phase(1, "queue", 0.0, 1.0)
+    NULL_RECORDER.annotate(1, tenant="t")
+    NULL_RECORDER.close(1, 1.0)
+    NULL_RECORDER.gauge(0.0, "queue_depth", 1.0)
+    assert NULL_RECORDER.last_phase_end(1) is None
+
+
+def test_spec_toggles_disable_collection():
+    rec = TraceRecorder(TraceSpec(spans=False))
+    rec.admit(1, 0.0)
+    assert rec.spans() == []
+    rec = TraceRecorder(TraceSpec(gauges=False))
+    rec.gauge(0.0, "queue_depth", 1.0)
+    assert rec.gauges == []
+    assert rec.gauge_interval_ms is None
+    assert TraceRecorder(TraceSpec(gauge_interval_ms=10.0)).gauge_interval_ms \
+        == 10.0
+
+
+def test_summary_counts_and_worst_request():
+    rec = TraceRecorder()
+    rec.admit("a", 0.0)
+    rec.phase("a", "queue", 0.0, 2.0)
+    rec.close("a", 5.0)
+    rec.admit("b", 1.0)
+    rec.phase("b", "queue", 1.0, 2.0)
+    rec.close("b", 11.0)
+    rec.admit("c", 2.0)
+    rec.close("c", 3.0, outcome=OUTCOME_DROPPED)
+    rec.admit("d", 4.0)                 # never closes
+    rec.gauge(0.0, "queue_depth", 2.0, pool="serve")
+    data = rec.summary()
+    assert data["spans"] == {"total": 4, "closed": 3, "open": 1,
+                             "outcomes": {"served": 2, "dropped": 1}}
+    assert data["phases"]["queue"]["count"] == 2
+    assert data["gauges"]["serve.queue_depth"]["samples"] == 1
+    assert data["worst_request"]["request_id"] == "b"
+    assert data["worst_request"]["latency_ms"] == 10.0
+    assert data["worst_request"]["phases"] == {"queue": 1.0}
+
+
+# ----------------------------------------------------------- spec + coercion
+
+def test_coerce_trace_accepts_the_documented_shapes():
+    assert coerce_trace(None) is None
+    assert coerce_trace(False) is None
+    assert coerce_trace(True) == TraceSpec()
+    spec = TraceSpec(gauge_interval_ms=25.0)
+    assert coerce_trace(spec) is spec
+    assert coerce_trace({"gauges": False}) == TraceSpec(gauges=False)
+    with pytest.raises(ValueError):
+        coerce_trace("yes")
+    with pytest.raises(ValueError):
+        TraceSpec(gauge_interval_ms=0.0)
+
+
+def test_build_recorder_shares_the_null_singleton():
+    assert build_recorder(None) is NULL_RECORDER
+    assert build_recorder(False) is NULL_RECORDER
+    live = build_recorder(True)
+    assert isinstance(live, TraceRecorder) and live.enabled
+    assert isinstance(build_recorder(None), NullRecorder)
+
+
+# ----------------------------------------------------------------- exporters
+
+def _sample_recorder():
+    rec = TraceRecorder()
+    rec.admit(1, 0.0, pool="prefill", replica=0, tenant="gold")
+    rec.phase(1, "prefill", 0.0, 4.0)
+    rec.phase(1, "decode", 5.0, 9.0, pool="decode", replica=1)
+    rec.close(1, 9.0)
+    rec.admit(2, 1.0, pool="decode", replica=0)
+    rec.phase(2, "decode", 2.0, 6.0)
+    rec.close(2, 6.0)
+    rec.gauge(0.0, "queue_depth", 3.0, pool="decode")
+    rec.gauge(50.0, "queue_depth", 1.0, pool="decode")
+    rec.gauge(50.0, "backlog", 2.0, tenant="gold")
+    return rec
+
+
+def test_phase_breakdown_and_table():
+    rec = _sample_recorder()
+    breakdown = phase_breakdown(rec.spans())
+    assert list(breakdown) == ["prefill", "decode"]      # first-seen order
+    assert breakdown["decode"] == {"count": 2, "mean_ms": 4.0, "p50_ms": 4.0,
+                                   "p99_ms": 4.0, "total_ms": 8.0}
+    table = format_phase_table(breakdown)
+    lines = table.splitlines()
+    assert lines[0].split() == ["phase", "count", "mean_ms", "p50_ms",
+                                "p99_ms", "total_ms"]
+    assert lines[1].startswith("prefill") and lines[2].startswith("decode")
+
+
+def test_gauge_summary_keys():
+    summary = gauge_summary(_sample_recorder().gauges)
+    assert summary["decode.queue_depth"] == {"samples": 2, "last": 1.0,
+                                             "min": 1.0, "max": 3.0,
+                                             "mean": 2.0}
+    # Pool-less gauges key by bare name; tenant suffixes after the pool.
+    assert summary["backlog.gold"]["samples"] == 1
+
+
+def test_chrome_trace_document():
+    doc = to_chrome_trace(_sample_recorder())
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    counters = [e for e in events if e["ph"] == "C"]
+    # The pool-less tenant gauge lands on the default "serve" process.
+    assert {e["args"]["name"] for e in meta if e["name"] == "process_name"} \
+        == {"serve pool", "prefill pool", "decode pool"}
+    # Pools map to stable pids, replicas to tids (one track each).
+    by_name = {e["name"]: e for e in spans if e["pid"] == 3}
+    assert {(e["pid"], e["tid"]) for e in spans} == {(2, 0), (3, 1), (3, 0)}
+    decode = [e for e in spans if e["name"] == "decode" and e["tid"] == 1][0]
+    assert decode["ts"] == 5000.0 and decode["dur"] == 4000.0   # us
+    assert decode["args"]["tenant"] == "gold"
+    assert decode["args"]["outcome"] == "served"
+    assert all(e["ph"] == "C" and e["args"]["value"] is not None
+               for e in counters)
+    # Monotone timestamps per (pid, tid) track, in document order.
+    tracks = {}
+    for e in events:
+        if e["ph"] in ("X", "C"):
+            tracks.setdefault((e["pid"], e["tid"]), []).append(e["ts"])
+    for track_ts in tracks.values():
+        assert track_ts == sorted(track_ts)
+
+
+def test_write_exporters_round_trip(tmp_path):
+    rec = _sample_recorder()
+    chrome = tmp_path / "trace.json"
+    write_chrome_trace(rec, str(chrome))
+    assert json.loads(chrome.read_text())["displayTimeUnit"] == "ms"
+    jsonl = tmp_path / "trace.jsonl"
+    write_jsonl(rec, str(jsonl))
+    records = [json.loads(line) for line in jsonl.read_text().splitlines()]
+    spans = [r for r in records if r["type"] == "span"]
+    gauges = [r for r in records if r["type"] == "gauge"]
+    assert len(spans) == 2 and len(gauges) == 3
+    assert spans[0]["tenant"] == "gold"
+    assert spans[0]["phases"][1] == {"name": "decode", "start_ms": 5.0,
+                                     "end_ms": 9.0, "pool": "decode",
+                                     "replica": 1}
+    assert gauges[0] == {"type": "gauge", "ts_ms": 0.0, "name": "queue_depth",
+                         "value": 3.0, "pool": "decode"}
+
+
+# ------------------------------------------------------------ result wiring
+
+def test_run_result_carries_trace_and_obs_details():
+    experiment = Experiment(model="resnet50",
+                            workload=WorkloadSpec("video", requests=40),
+                            trace=True)
+    result = experiment.run(["vanilla"]).result("vanilla")
+    assert isinstance(result.trace, TraceRecorder)
+    obs = result.details["obs"]
+    assert obs["spans"]["total"] == 40
+    assert obs["spans"]["open"] == 0
+    assert obs == result.trace.summary()
+
+
+def test_untraced_run_has_no_obs_payload():
+    experiment = Experiment(model="resnet50",
+                            workload=WorkloadSpec("video", requests=40))
+    result = experiment.run(["vanilla"]).result("vanilla")
+    assert result.trace is None
+    assert "obs" not in result.details
+
+
+def test_cluster_run_surfaces_kernel_stats_and_gauges():
+    from repro.api import ClusterSpec
+    experiment = Experiment(model="resnet50",
+                            workload=WorkloadSpec("video", requests=40),
+                            cluster=ClusterSpec(replicas=2), trace=True)
+    result = experiment.run(["vanilla"]).result("vanilla")
+    kernel = result.details["kernel"]
+    assert kernel["pushed"] >= kernel["fired"] > 0
+    assert set(kernel) >= {"pushed", "fired", "cancelled", "compactions",
+                           "peak_heap"}
+    # Periodic fleet gauges sampled on the simulated clock.
+    gauges = result.details["obs"]["gauges"]
+    assert any(key.endswith("queue_depth") for key in gauges)
+    assert any(key.endswith("fleet_size") for key in gauges)
+
+
+def test_sweep_json_excludes_runtime_telemetry():
+    from repro.api.result import SweepReport
+    point = SweepPoint(params={"replicas": 2}, report=None,
+                       error={"type": "ValueError", "message": "x"},
+                       wall_s=1.25, cache={"hits": 1, "misses": 0})
+    data = SweepReport(points=[point]).to_json()
+    (encoded,) = data["points"]
+    assert "wall_s" not in encoded and "cache" not in encoded
+    # wall_s/cache are execution telemetry: excluded from equality too, so
+    # serial and parallel sweeps stay bit-identical.
+    other = SweepPoint(params={"replicas": 2}, report=None,
+                       error={"type": "ValueError", "message": "x"},
+                       wall_s=9.0, cache=None)
+    assert point == other
